@@ -1,0 +1,66 @@
+//! Criterion microbenches for NLF encoding and candidate tables: full
+//! rebuild vs dirty-vertex incremental refresh (§IV-B), and the counter
+//! width trade-off of Figure 4.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gamma_core::IncrementalEncoder;
+use gamma_datasets::{generate_queries, DatasetPreset, QueryClass};
+use gamma_graph::VertexId;
+use std::hint::black_box;
+
+fn bench_full_vs_incremental(c: &mut Criterion) {
+    let d = DatasetPreset::ST.build(0.2, 9);
+    let queries = generate_queries(&d.graph, QueryClass::Sparse, 6, 1, 31);
+    let q = queries.first().expect("query").clone();
+    let mut g = d.graph.clone();
+    let batch = gamma_datasets::split_insertion_workload(&mut g, 0.10, 10);
+
+    let mut group = c.benchmark_group("encoding");
+    group.bench_function("full_build", |b| {
+        b.iter(|| black_box(IncrementalEncoder::build(&g, &q, 2)))
+    });
+    group.bench_function("incremental_refresh_10pct_batch", |b| {
+        // Post-update graph + touched set.
+        let mut g2 = g.clone();
+        let mut touched: Vec<VertexId> = Vec::new();
+        for u in &batch {
+            g2.insert_edge(u.u, u.v, u.label);
+            touched.push(u.u);
+            touched.push(u.v);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        b.iter_batched(
+            || IncrementalEncoder::build(&g, &q, 2),
+            |(mut enc, mut table)| {
+                let dirty = enc.reencode(&g2, &touched);
+                let changed = table.refresh(&dirty, &enc.encodings, &enc.qcodes);
+                black_box((dirty.len(), changed))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_counter_width(c: &mut Criterion) {
+    // Wider counters filter harder but dirty more vertices per batch; this
+    // sweeps M (Figure 4 uses 2).
+    let d = DatasetPreset::AZ.build(0.2, 11);
+    let queries = generate_queries(&d.graph, QueryClass::Dense, 5, 1, 32);
+    let q = queries.first().expect("query").clone();
+    let mut group = c.benchmark_group("counter_bits");
+    for m in [1u32, 2, 4] {
+        group.bench_function(format!("m{m}"), |b| {
+            b.iter(|| black_box(IncrementalEncoder::build(&d.graph, &q, m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full_vs_incremental, bench_counter_width
+);
+criterion_main!(benches);

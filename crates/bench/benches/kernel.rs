@@ -1,0 +1,92 @@
+//! Criterion microbenches for the WBM kernel: optimization ablations and
+//! the thread-granularity cost comparison of §IV-C.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gamma_core::{GammaConfig, GammaEngine, StealingMode};
+use gamma_datasets::{generate_queries, DatasetPreset, QueryClass};
+use gamma_gpu::CostModel;
+use std::hint::black_box;
+
+fn bench_kernel_variants(c: &mut Criterion) {
+    let d = DatasetPreset::GH.build(0.08, 3);
+    let queries = generate_queries(&d.graph, QueryClass::Sparse, 5, 1, 21);
+    let q = queries.first().expect("query").clone();
+    let mut g = d.graph.clone();
+    let batch = gamma_datasets::split_insertion_workload(&mut g, 0.08, 4);
+
+    let mut group = c.benchmark_group("wbm_kernel");
+    for (name, cs, ws) in [
+        ("wbm", false, StealingMode::Off),
+        ("wbm_cs", true, StealingMode::Off),
+        ("wbm_ws", false, StealingMode::Active),
+        ("wbm_cs_ws", true, StealingMode::Active),
+        ("wbm_cs_passive", true, StealingMode::Passive),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = GammaConfig::default();
+                cfg.coalesced_search = cs;
+                cfg.device.stealing = ws;
+                cfg.collect_matches = false;
+                let mut engine = GammaEngine::new(g.clone(), &q, cfg);
+                black_box(engine.apply_batch(&batch).positive_count)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_intersection_granularity(c: &mut Criterion) {
+    // §IV-C thread-granularity discussion, in cost-model form: cycles for
+    // a fixed intersection workload under warp-cooperative vs per-thread
+    // execution.
+    let cost = CostModel::default();
+    let mut group = c.benchmark_group("intersection_cost_model");
+    group.bench_function("warp_cooperative", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for small in [8u64, 32, 128, 512] {
+                total += cost.coop_intersect(small, 4096, 32);
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("thread_serial", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for small in [8u64, 32, 128, 512] {
+                total += small * cost.serial_binary_search(4096);
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    // Kernel wall time scaling with batch size (throughput story).
+    let d = DatasetPreset::GH.build(0.08, 5);
+    let queries = generate_queries(&d.graph, QueryClass::Tree, 4, 1, 22);
+    let q = queries.first().expect("query").clone();
+    let mut group = c.benchmark_group("batch_size");
+    for rate in [0.02f64, 0.05, 0.10] {
+        let mut g = d.graph.clone();
+        let batch = gamma_datasets::split_insertion_workload(&mut g, rate, 6);
+        group.bench_function(format!("ir_{}pct", (rate * 100.0) as u32), |b| {
+            b.iter(|| {
+                let mut cfg = GammaConfig::default();
+                cfg.collect_matches = false;
+                let mut engine = GammaEngine::new(g.clone(), &q, cfg);
+                black_box(engine.apply_batch(&batch).positive_count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel_variants, bench_intersection_granularity, bench_batch_sizes
+);
+criterion_main!(benches);

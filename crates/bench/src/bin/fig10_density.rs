@@ -1,0 +1,79 @@
+//! Figure 10: latency vs density of the update region on LS — insertions
+//! sampled from the k-core for k ∈ {low, middle, high}, per query class.
+//!
+//! `cargo run --release -p gamma-bench --bin fig10_density`
+
+use gamma_bench::{
+    print_header, print_row, run_baseline, run_gamma, BenchParams, Cell, GammaVariant,
+};
+use gamma_datasets::{generate_queries, kcore_insertion_workload, DatasetPreset, QueryClass};
+use gamma_graph::kcore::core_numbers;
+
+fn main() {
+    let params = BenchParams::from_args();
+    let methods = ["RapidFlow", "SymBi"];
+    let d = DatasetPreset::LS.build(params.scale.max(0.15), params.seed);
+    let cores = core_numbers(&d.graph);
+    let kmax = *cores.iter().max().unwrap_or(&0);
+    // Low/middle/high density: the paper uses k ∈ {4, 8, 12}; at reduced
+    // scale we pick three feasible levels spanning the core spectrum.
+    let ks: Vec<u32> = [kmax / 4, kmax / 2, (3 * kmax) / 4]
+        .into_iter()
+        .map(|k| k.max(1))
+        .collect();
+    println!(
+        "# Figure 10 — latency vs update-region density on LS (scale={}, kmax={})\n",
+        params.scale.max(0.15),
+        kmax
+    );
+
+    for class in QueryClass::ALL {
+        println!("\n## {} queries\n", class.name());
+        let mut header = vec!["density (k)".to_string()];
+        header.extend(methods.iter().map(|m| m.to_string()));
+        header.push("GAMMA".into());
+        header.push("GAMMA util".into());
+        let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+        print_header(&hdr);
+
+        for (label, &k) in ["Low", "Middle", "High"].iter().zip(&ks) {
+            let queries = generate_queries(
+                &d.graph,
+                class,
+                params.query_size,
+                params.queries,
+                params.seed ^ 0xd11,
+            );
+            if queries.is_empty() {
+                continue;
+            }
+            let mut g = d.graph.clone();
+            let Some(batch) =
+                kcore_insertion_workload(&mut g, params.insert_rate.min(0.05), k, params.seed)
+            else {
+                print_row(&[format!("{label} (k={k})"), "core too small".into()]);
+                continue;
+            };
+            let mut cells: Vec<Cell> = vec![Cell::default(); methods.len() + 1];
+            for q in &queries {
+                for (i, m) in methods.iter().enumerate() {
+                    cells[i].push(run_baseline(m, &g, q, &batch, params.timeout));
+                }
+                cells[methods.len()].push(run_gamma(
+                    &g,
+                    q,
+                    &batch,
+                    GammaVariant::FULL,
+                    params.timeout,
+                ));
+            }
+            let mut row = vec![format!("{label} (k={k})")];
+            row.extend(cells.iter().map(|c| c.render()));
+            row.push(format!(
+                "{:.0}%",
+                cells[methods.len()].avg_utilization() * 100.0
+            ));
+            print_row(&row);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 11: mixed workloads (insert:delete = 2:1) — average latency per
+//! method on GH and ST, per query class.
+//!
+//! `cargo run --release -p gamma-bench --bin fig11_mixed`
+
+use gamma_bench::{
+    print_header, print_row, run_baseline, run_gamma, BenchParams, Cell, GammaVariant, BASELINES,
+};
+use gamma_datasets::{generate_queries, mixed_workload, DatasetPreset, QueryClass};
+
+fn main() {
+    let params = BenchParams::from_args();
+    println!(
+        "# Figure 11 — mixed workloads at 2:1 insert:delete (scale={}, rate={:.0}%)\n",
+        params.scale,
+        params.insert_rate * 100.0
+    );
+
+    for preset in [DatasetPreset::GH, DatasetPreset::ST] {
+        println!("\n## {}\n", preset.name());
+        let mut header = vec!["QS"];
+        header.extend(BASELINES);
+        header.push("GAMMA");
+        print_header(&header);
+
+        for class in QueryClass::ALL {
+            let d = preset.build(params.scale, params.seed);
+            let queries = generate_queries(
+                &d.graph,
+                class,
+                params.query_size,
+                params.queries,
+                params.seed ^ 0x11f,
+            );
+            if queries.is_empty() {
+                continue;
+            }
+            let mut g = d.graph.clone();
+            let batch = mixed_workload(&mut g, params.insert_rate, params.seed);
+            let mut cells: Vec<Cell> = vec![Cell::default(); BASELINES.len() + 1];
+            for q in &queries {
+                for (i, m) in BASELINES.iter().enumerate() {
+                    cells[i].push(run_baseline(m, &g, q, &batch, params.timeout));
+                }
+                cells[BASELINES.len()].push(run_gamma(
+                    &g,
+                    q,
+                    &batch,
+                    GammaVariant::FULL,
+                    params.timeout,
+                ));
+            }
+            let mut row = vec![class.name().to_string()];
+            row.extend(cells.iter().map(|c| c.render()));
+            print_row(&row);
+        }
+    }
+}

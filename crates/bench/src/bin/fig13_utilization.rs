@@ -1,0 +1,108 @@
+//! Figure 13: GPU utilization with and without work stealing, vs query
+//! size |V(Q)| and vs insertion rate Ir, on GH and ST.
+//!
+//! `cargo run --release -p gamma-bench --bin fig13_utilization`
+
+use gamma_bench::{build_instance, print_header, print_row, run_gamma, BenchParams, GammaVariant};
+use gamma_core::StealingMode;
+use gamma_datasets::{DatasetPreset, QueryClass};
+
+fn variants() -> [(&'static str, GammaVariant); 2] {
+    [
+        (
+            "GAMMA",
+            GammaVariant { coalesced: true, stealing: StealingMode::Active },
+        ),
+        (
+            "GAMMA w/o ws",
+            GammaVariant { coalesced: true, stealing: StealingMode::Off },
+        ),
+    ]
+}
+
+fn main() {
+    let base = BenchParams::from_args();
+    println!(
+        "# Figure 13 — GPU utilization, with vs without work stealing (scale={})\n",
+        base.scale
+    );
+
+    for preset in [DatasetPreset::GH, DatasetPreset::ST] {
+        println!("\n## {} — utilization vs |V(Q)| (Ir={:.0}%)\n", preset.name(), base.insert_rate * 100.0);
+        print_header(&["class", "|V(Q)|", "GAMMA", "GAMMA w/o ws", "gain", "steals"]);
+        for class in QueryClass::ALL {
+            for size in [4usize, 6, 8, 10] {
+                let mut params = base.clone();
+                params.query_size = size;
+                let inst = build_instance(preset, class, &params);
+                if inst.queries.is_empty() {
+                    continue;
+                }
+                let mut utils = [0.0f64; 2];
+                let mut counts = [0usize; 2];
+                let mut steals = 0u64;
+                for q in &inst.queries {
+                    for (i, (_, v)) in variants().iter().enumerate() {
+                        let r = run_gamma(&inst.graph, q, &inst.batch, *v, params.timeout);
+                        if r.solved {
+                            utils[i] += r.utilization;
+                            counts[i] += 1;
+                            if i == 0 {
+                                steals += r.steals;
+                            }
+                        }
+                    }
+                }
+                if counts[0] == 0 || counts[1] == 0 {
+                    continue;
+                }
+                let with = 100.0 * utils[0] / counts[0] as f64;
+                let without = 100.0 * utils[1] / counts[1] as f64;
+                print_row(&[
+                    class.name().to_string(),
+                    size.to_string(),
+                    format!("{with:.1}%"),
+                    format!("{without:.1}%"),
+                    format!("{:+.1}pp", with - without),
+                    steals.to_string(),
+                ]);
+            }
+        }
+
+        println!("\n## {} — utilization vs Ir (|V(Q)|={})\n", preset.name(), base.query_size);
+        print_header(&["class", "Ir", "GAMMA", "GAMMA w/o ws", "gain"]);
+        for class in QueryClass::ALL {
+            for rate_pct in [2u32, 4, 6, 8, 10] {
+                let mut params = base.clone();
+                params.insert_rate = rate_pct as f64 / 100.0;
+                let inst = build_instance(preset, class, &params);
+                if inst.queries.is_empty() {
+                    continue;
+                }
+                let mut utils = [0.0f64; 2];
+                let mut counts = [0usize; 2];
+                for q in &inst.queries {
+                    for (i, (_, v)) in variants().iter().enumerate() {
+                        let r = run_gamma(&inst.graph, q, &inst.batch, *v, params.timeout);
+                        if r.solved {
+                            utils[i] += r.utilization;
+                            counts[i] += 1;
+                        }
+                    }
+                }
+                if counts[0] == 0 || counts[1] == 0 {
+                    continue;
+                }
+                let with = 100.0 * utils[0] / counts[0] as f64;
+                let without = 100.0 * utils[1] / counts[1] as f64;
+                print_row(&[
+                    class.name().to_string(),
+                    format!("{rate_pct}%"),
+                    format!("{with:.1}%"),
+                    format!("{without:.1}%"),
+                    format!("{:+.1}pp", with - without),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 14: ablation — WBM, WBM+cs, WBM+ws, WBM+cs+ws average latency
+//! per dataset, for the three query classes.
+//!
+//! `cargo run --release -p gamma-bench --bin fig14_ablation`
+
+use gamma_bench::{
+    build_instance, print_header, print_row, run_gamma, BenchParams, Cell, GammaVariant,
+};
+use gamma_core::StealingMode;
+use gamma_datasets::{DatasetPreset, QueryClass};
+
+fn main() {
+    let params = BenchParams::from_args();
+    println!(
+        "# Figure 14 — ablation study (scale={}, |V(Q)|={}, Ir={:.0}%)\n",
+        params.scale,
+        params.query_size,
+        params.insert_rate * 100.0
+    );
+
+    let variants = [
+        ("WBM", GammaVariant { coalesced: false, stealing: StealingMode::Off }),
+        ("WBM+cs", GammaVariant { coalesced: true, stealing: StealingMode::Off }),
+        ("WBM+ws", GammaVariant { coalesced: false, stealing: StealingMode::Active }),
+        ("WBM+cs+ws", GammaVariant { coalesced: true, stealing: StealingMode::Active }),
+    ];
+
+    for class in QueryClass::ALL {
+        println!("\n## {} queries\n", class.name());
+        let mut header = vec!["DS"];
+        header.extend(variants.iter().map(|(n, _)| *n));
+        header.push("speedup (full vs WBM)");
+        print_header(&header);
+        for preset in DatasetPreset::ALL {
+            let inst = build_instance(preset, class, &params);
+            if inst.queries.is_empty() {
+                continue;
+            }
+            let mut cells: Vec<Cell> = vec![Cell::default(); variants.len()];
+            for q in &inst.queries {
+                for (i, (_, v)) in variants.iter().enumerate() {
+                    cells[i].push(run_gamma(&inst.graph, q, &inst.batch, *v, params.timeout));
+                }
+            }
+            let mut row = vec![preset.name().to_string()];
+            row.extend(cells.iter().map(|c| c.render()));
+            let speedup = match (cells[0].avg_latency(), cells[3].avg_latency()) {
+                (Some(base), Some(full)) if full > 0.0 => format!("{:.2}x", base / full),
+                _ => "-".to_string(),
+            };
+            row.push(speedup);
+            print_row(&row);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 8: scalability vs query size — average latency and solved share
+//! for |V(Q)| ∈ {4, 6, 8, 10, 12}, on GH and ST, per query class.
+//!
+//! `cargo run --release -p gamma-bench --bin fig8_query_size`
+
+use gamma_bench::{
+    build_instance, print_header, print_row, run_baseline, run_gamma, BenchParams, Cell,
+    GammaVariant,
+};
+use gamma_datasets::{DatasetPreset, QueryClass};
+
+fn main() {
+    let base = BenchParams::from_args();
+    // The strongest CPU baseline plus GAMMA (the paper plots all five; the
+    // full set is available through table3's machinery if wanted).
+    let methods = ["RapidFlow", "SymBi"];
+    println!(
+        "# Figure 8 — latency & solved%% vs |V(Q)| (scale={}, Ir={:.0}%)\n",
+        base.scale,
+        base.insert_rate * 100.0
+    );
+
+    for preset in [DatasetPreset::GH, DatasetPreset::ST] {
+        for class in QueryClass::ALL {
+            println!("\n## {} — {} queries\n", preset.name(), class.name());
+            let mut header = vec!["|V(Q)|".to_string()];
+            for m in methods {
+                header.push(m.to_string());
+                header.push(format!("{m} solved"));
+            }
+            header.push("GAMMA".into());
+            header.push("GAMMA solved".into());
+            let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+            print_header(&hdr);
+
+            for size in [4usize, 6, 8, 10, 12] {
+                let mut params = base.clone();
+                params.query_size = size;
+                let inst = build_instance(preset, class, &params);
+                if inst.queries.is_empty() {
+                    print_row(&[size.to_string(), "no queries".into()]);
+                    continue;
+                }
+                let mut cells: Vec<Cell> = vec![Cell::default(); methods.len() + 1];
+                for q in &inst.queries {
+                    for (i, m) in methods.iter().enumerate() {
+                        cells[i].push(run_baseline(m, &inst.graph, q, &inst.batch, params.timeout));
+                    }
+                    cells[methods.len()].push(run_gamma(
+                        &inst.graph,
+                        q,
+                        &inst.batch,
+                        GammaVariant::FULL,
+                        params.timeout,
+                    ));
+                }
+                let total = inst.queries.len();
+                let mut row = vec![size.to_string()];
+                for c in &cells {
+                    row.push(c.render());
+                    row.push(format!("{}%", 100 * c.solved / total));
+                }
+                print_row(&row);
+            }
+        }
+    }
+}

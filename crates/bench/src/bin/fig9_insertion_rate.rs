@@ -1,0 +1,57 @@
+//! Figure 9: scalability vs insertion rate — average latency and solved
+//! share for Ir ∈ {2, 4, 6, 8, 10}%, on GH and ST, per query class.
+//!
+//! `cargo run --release -p gamma-bench --bin fig9_insertion_rate`
+
+use gamma_bench::{
+    build_instance, print_header, print_row, run_baseline, run_gamma, BenchParams, Cell,
+    GammaVariant,
+};
+use gamma_datasets::{DatasetPreset, QueryClass};
+
+fn main() {
+    let base = BenchParams::from_args();
+    let methods = ["RapidFlow", "SymBi"];
+    println!(
+        "# Figure 9 — latency & solved%% vs insertion rate (scale={}, |V(Q)|={})\n",
+        base.scale, base.query_size
+    );
+
+    for preset in [DatasetPreset::GH, DatasetPreset::ST] {
+        for class in QueryClass::ALL {
+            println!("\n## {} — {} queries\n", preset.name(), class.name());
+            let mut header = vec!["Ir".to_string()];
+            for m in methods {
+                header.push(m.to_string());
+            }
+            header.push("GAMMA".into());
+            let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+            print_header(&hdr);
+
+            for rate_pct in [2u32, 4, 6, 8, 10] {
+                let mut params = base.clone();
+                params.insert_rate = rate_pct as f64 / 100.0;
+                let inst = build_instance(preset, class, &params);
+                if inst.queries.is_empty() {
+                    continue;
+                }
+                let mut cells: Vec<Cell> = vec![Cell::default(); methods.len() + 1];
+                for q in &inst.queries {
+                    for (i, m) in methods.iter().enumerate() {
+                        cells[i].push(run_baseline(m, &inst.graph, q, &inst.batch, params.timeout));
+                    }
+                    cells[methods.len()].push(run_gamma(
+                        &inst.graph,
+                        q,
+                        &inst.batch,
+                        GammaVariant::FULL,
+                        params.timeout,
+                    ));
+                }
+                let mut row = vec![format!("{rate_pct}%")];
+                row.extend(cells.iter().map(|c| c.render()));
+                print_row(&row);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Table III: overall performance — average query latency (s) and
+//! unsolved-query counts for every method on every dataset × query
+//! structure, at |V(Q)| = 6 and Ir = 10%.
+//!
+//! `cargo run --release -p gamma-bench --bin table3 [--scale=.. --queries=.. --timeout=..]`
+
+use gamma_bench::{
+    build_instance, print_header, print_row, run_baseline, run_gamma, BenchParams, Cell,
+    GammaVariant, BASELINES,
+};
+use gamma_datasets::{DatasetPreset, QueryClass};
+
+fn main() {
+    let params = BenchParams::from_args();
+    println!(
+        "# Table III — overall performance (scale={}, |V(Q)|={}, Ir={:.0}%, {} queries/set, timeout={}s)\n",
+        params.scale,
+        params.query_size,
+        params.insert_rate * 100.0,
+        params.queries,
+        params.timeout
+    );
+    println!("Cells: average latency over solved queries (unsolved count).");
+    println!("GAMMA latency = simulated device + host preprocess; baselines = wall clock.\n");
+
+    let mut header = vec!["QS", "DS"];
+    header.extend(BASELINES);
+    header.push("GAMMA");
+    print_header(&header);
+
+    for class in QueryClass::ALL {
+        for preset in DatasetPreset::ALL {
+            let inst = build_instance(preset, class, &params);
+            if inst.queries.is_empty() {
+                print_row(&[
+                    class.name().to_string(),
+                    preset.name().to_string(),
+                    "no queries extracted".to_string(),
+                ]);
+                continue;
+            }
+            let mut cells: Vec<Cell> = vec![Cell::default(); BASELINES.len() + 1];
+            for q in &inst.queries {
+                for (i, name) in BASELINES.iter().enumerate() {
+                    cells[i].push(run_baseline(name, &inst.graph, q, &inst.batch, params.timeout));
+                }
+                cells[BASELINES.len()].push(run_gamma(
+                    &inst.graph,
+                    q,
+                    &inst.batch,
+                    GammaVariant::FULL,
+                    params.timeout,
+                ));
+            }
+            let mut row = vec![class.name().to_string(), preset.name().to_string()];
+            row.extend(cells.iter().map(|c| c.render()));
+            print_row(&row);
+        }
+    }
+
+    println!("\nNotes: CaLig is not reproduced (no -lite implementation); IncIsoMat and");
+    println!("Graphflow are included as the classical lineage the paper discusses in §III-B.");
+}

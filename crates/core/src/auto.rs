@@ -1,0 +1,432 @@
+//! Coalesced-search planning: k-degenerated automorphic subgraphs,
+//! equivalent edge sets and the per-class permutations (§V-B).
+//!
+//! Offline (per query), this module finds induced subgraphs `Q^k` obtained
+//! by removing `k` vertices that are **automorphic** (have a non-trivial
+//! automorphism group), extracts **equivalent edge sets** `E^k` (orbits of
+//! edges under the automorphism group), resolves overlaps between entries
+//! with the paper's two rules —
+//!
+//! 1. if an edge belongs to `g^{k_i}` and `g^{k_j}` with `k_i < k_j`, keep
+//!    it only in the `k_i` entry (share the *larger* data subgraph);
+//! 2. at equal `k`, prefer the entry with the larger `|E^k|` (share more
+//!    edges) —
+//!
+//! and finally designates a **prioritized** representative edge per class
+//! (the *dominating* edge, whose endpoint constraints subsume the others',
+//! minimizing invalid permuted partials). At run time the kernel searches
+//! only the representative; matches for every other member edge are
+//! produced by applying that member's fixed automorphism to each `V^k`
+//! partial match (one permutation per member, so each match is generated
+//! exactly once).
+
+use gamma_graph::{automorphisms, QueryGraph, MAX_QUERY_VERTICES};
+
+/// One member of an equivalence class: the (oriented) image of the
+/// representative edge under `perm`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassMember {
+    /// `perm[w]` = image of query vertex `w`; identity outside `V^k`.
+    pub perm: Vec<u8>,
+    /// Inverse permutation (applied to partial matches).
+    pub perm_inv: Vec<u8>,
+    /// The image edge endpoints `(perm[rep.0], perm[rep.1])` for reference.
+    pub edge: (u8, u8),
+}
+
+/// An equivalence class of query edges rooted at a k-degenerated
+/// automorphic subgraph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EqClass {
+    /// Representative (prioritized) edge, oriented as `(a, b)`.
+    pub rep: (u8, u8),
+    /// Bitmask of `V^k` (the retained, automorphic vertex set).
+    pub vk_mask: u16,
+    /// `|V^k|`.
+    pub vk_size: usize,
+    /// `k` — number of removed vertices.
+    pub k: usize,
+    /// Non-representative members with their fixed permutations.
+    pub members: Vec<ClassMember>,
+}
+
+impl EqClass {
+    /// All member edges including the representative (canonical order).
+    pub fn all_edges(&self) -> Vec<(u8, u8)> {
+        let mut v = vec![canon(self.rep)];
+        v.extend(self.members.iter().map(|m| canon(m.edge)));
+        v
+    }
+}
+
+fn canon(e: (u8, u8)) -> (u8, u8) {
+    if e.0 <= e.1 {
+        e
+    } else {
+        (e.1, e.0)
+    }
+}
+
+/// The per-query coalesced-search plan: which edges are class
+/// representatives, which are skipped members.
+#[derive(Clone, Debug, Default)]
+pub struct CoalescedPlan {
+    /// All classes, in rule-priority order.
+    pub classes: Vec<EqClass>,
+    /// For each canonical query edge: `Some((class idx, is_rep))` if the
+    /// edge participates in a class.
+    pub edge_roles: std::collections::BTreeMap<(u8, u8), (usize, bool)>,
+}
+
+impl CoalescedPlan {
+    /// Builds the plan for `q`, considering removals of up to `max_k`
+    /// vertices (the paper iterates k upward from 0; queries have ≤ 12
+    /// vertices so small caps lose nothing in practice).
+    pub fn build(q: &QueryGraph, max_k: usize) -> Self {
+        let n = q.num_vertices();
+        let full: u16 = if n >= 16 { u16::MAX } else { (1u16 << n) - 1 };
+        // Candidate entries: (k, |orbit|, vk_mask, orbit edges, perms).
+        let mut entries: Vec<(usize, u16, Vec<Vec<u8>>)> = Vec::new();
+        let max_k = max_k.min(n.saturating_sub(3)); // keep ≥ 3 vertices (an edge orbit needs structure)
+        // Removal candidates are restricted to degree-1 query vertices, per
+        // the paper's Remark (§V-B): removing higher-degree vertices strips
+        // too many label constraints from `V^k`, exploding the candidate
+        // space beyond what the permutation speedup recovers. Degree-1
+        // vertices (like u3 in Example 4) cost at most one NLF counter on
+        // their single anchor.
+        let removable: u16 = (0..n as u8)
+            .filter(|&u| q.degree(u) == 1)
+            .fold(0u16, |m, u| m | (1 << u));
+        for k in 0..=max_k {
+            for removed in subsets_of_size(full, n, k) {
+                if removed & !removable != 0 {
+                    continue;
+                }
+                let mask = full & !removed;
+                let (sub, back) = q.induced(mask);
+                if sub.num_edges() < 2 {
+                    continue;
+                }
+                // The retained subgraph must be connected: the kernel
+                // explores V^k first and needs a connected matching order.
+                if !sub.is_connected() {
+                    continue;
+                }
+                let autos = automorphisms(&sub);
+                if autos.len() <= 1 {
+                    continue;
+                }
+                // Lift automorphisms back to original vertex ids (identity
+                // on removed vertices).
+                let lifted: Vec<Vec<u8>> = autos
+                    .iter()
+                    .map(|p| {
+                        let mut lp: Vec<u8> = (0..n as u8).collect();
+                        for (new_idx, &img) in p.iter().enumerate() {
+                            lp[back[new_idx] as usize] = back[img as usize];
+                        }
+                        lp
+                    })
+                    .collect();
+                entries.push((k, mask, lifted));
+            }
+        }
+
+        // Rules 1 & 2: smaller k first; larger orbits first at equal k.
+        // Orbit sizes depend on claim state, so we order entries by k and by
+        // the size of their *largest* orbit, then claim greedily.
+        let mut plan = CoalescedPlan::default();
+        let mut claimed: std::collections::BTreeSet<(u8, u8)> = Default::default();
+        // Precompute orbits per entry.
+        let mut orbit_entries: Vec<(usize, usize, u16, Vec<u8>, Vec<(u8, u8)>, Vec<Vec<u8>>)> =
+            Vec::new();
+        // (k, orbit_size_neg? we'll sort), vk_mask, rep?, orbit edges, perms)
+        for (k, mask, lifted) in &entries {
+            for orbit in edge_orbits(q, *mask, lifted) {
+                if orbit.len() < 2 {
+                    continue;
+                }
+                orbit_entries.push((
+                    *k,
+                    orbit.len(),
+                    *mask,
+                    Vec::new(),
+                    orbit,
+                    lifted.clone(),
+                ));
+            }
+        }
+        orbit_entries.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+
+        for (k, _sz, mask, _x, orbit, perms) in orbit_entries {
+            let live: Vec<(u8, u8)> = orbit
+                .iter()
+                .copied()
+                .filter(|e| !claimed.contains(e))
+                .collect();
+            if live.len() < 2 {
+                continue;
+            }
+            // Prioritized representative: the dominating edge (endpoints
+            // with the strongest NLF constraints); see `dominance_score`.
+            let rep = *live
+                .iter()
+                .max_by_key(|&&e| (dominance_score(q, e), std::cmp::Reverse(e)))
+                .expect("nonempty");
+            // One fixed permutation per non-rep member: any automorphism
+            // mapping rep to it (as an unordered pair).
+            let mut members = Vec::new();
+            for &e in live.iter().filter(|&&e| e != rep) {
+                let perm = perms
+                    .iter()
+                    .find(|p| {
+                        let img = canon((p[rep.0 as usize], p[rep.1 as usize]));
+                        img == e
+                    })
+                    .expect("orbit member without witness permutation")
+                    .clone();
+                let mut perm_inv = vec![0u8; perm.len()];
+                for (w, &img) in perm.iter().enumerate() {
+                    perm_inv[img as usize] = w as u8;
+                }
+                let edge = (perm[rep.0 as usize], perm[rep.1 as usize]);
+                members.push(ClassMember {
+                    perm,
+                    perm_inv,
+                    edge,
+                });
+            }
+            let class_idx = plan.classes.len();
+            for &e in &live {
+                claimed.insert(e);
+                plan.edge_roles.insert(e, (class_idx, e == rep));
+            }
+            plan.classes.push(EqClass {
+                rep,
+                vk_mask: mask,
+                vk_size: mask.count_ones() as usize,
+                k,
+                members,
+            });
+        }
+        plan
+    }
+
+    /// Role of a canonical edge `(u, v)` with `u < v`.
+    pub fn role(&self, u: u8, v: u8) -> Option<(usize, bool)> {
+        self.edge_roles.get(&canon((u, v))).copied()
+    }
+}
+
+/// Orbits of *induced* edges under the lifted automorphism group.
+fn edge_orbits(q: &QueryGraph, mask: u16, perms: &[Vec<u8>]) -> Vec<Vec<(u8, u8)>> {
+    let mut seen: std::collections::BTreeSet<(u8, u8)> = Default::default();
+    let mut orbits = Vec::new();
+    for e in q.edges() {
+        if mask & (1 << e.u) == 0 || mask & (1 << e.v) == 0 {
+            continue;
+        }
+        let start = (e.u, e.v);
+        if seen.contains(&start) {
+            continue;
+        }
+        let mut orbit: std::collections::BTreeSet<(u8, u8)> = Default::default();
+        for p in perms {
+            let img = canon((p[e.u as usize], p[e.v as usize]));
+            orbit.insert(img);
+        }
+        for &e2 in &orbit {
+            seen.insert(e2);
+        }
+        orbits.push(orbit.into_iter().collect());
+    }
+    orbits
+}
+
+/// Dominance heuristic for picking the prioritized edge: sum of endpoint
+/// constraint strengths (degree plus NLF richness). An edge whose
+/// endpoints carry more constraints produces fewer invalid permuted
+/// partials ("Avoid Invalid Matching", §V-B).
+fn dominance_score(q: &QueryGraph, e: (u8, u8)) -> u32 {
+    let strength = |u: u8| -> u32 {
+        let nlf: u32 = q.nlf(u).iter().map(|&(_, c)| c as u32).sum();
+        q.degree(u) as u32 * 4 + nlf
+    };
+    strength(e.0) + strength(e.1)
+}
+
+/// All `n`-bit submasks of `full` with exactly `size` bits set.
+fn subsets_of_size(full: u16, n: usize, size: usize) -> Vec<u16> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(size);
+    fn rec(
+        bits: &[u8],
+        size: usize,
+        start: usize,
+        current: &mut Vec<u8>,
+        out: &mut Vec<u16>,
+    ) {
+        if current.len() == size {
+            let mask = current.iter().fold(0u16, |m, &b| m | (1 << b));
+            out.push(mask);
+            return;
+        }
+        for i in start..bits.len() {
+            current.push(bits[i]);
+            rec(bits, size, i + 1, current, out);
+            current.pop();
+        }
+    }
+    let bits: Vec<u8> = (0..n as u8).filter(|&b| full & (1 << b) != 0).collect();
+    rec(&bits, size, 0, &mut current, &mut out);
+    out
+}
+
+/// Applies a member's inverse permutation to a `V^k` partial match: the
+/// returned match assigns `perm[w] ↦ m(w)` for every assigned `w`.
+pub fn permute_partial(m: &gamma_graph::VMatch, member: &ClassMember) -> gamma_graph::VMatch {
+    let mut out = gamma_graph::VMatch::EMPTY;
+    for (w, v) in m.pairs() {
+        debug_assert!((w as usize) < MAX_QUERY_VERTICES);
+        out.set(member.perm[w as usize], v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_graph::VMatch;
+
+    /// Figure 1 query: triangle A(u0)-B(u1)-B(u2) plus tail u1-C(u3).
+    fn fig1_query() -> QueryGraph {
+        let mut b = QueryGraph::builder();
+        let u0 = b.vertex(0);
+        let u1 = b.vertex(1);
+        let u2 = b.vertex(1);
+        let u3 = b.vertex(2);
+        b.edge(u0, u1).edge(u0, u2).edge(u1, u2).edge(u1, u3);
+        b.build()
+    }
+
+    #[test]
+    fn fig1_one_degenerated_class() {
+        // Removing u3 leaves the automorphic triangle; the paper's Example 4:
+        // E^1 = {e(u0,u1), e(u0,u2)}, and e(u0,u1) dominates (u1 has the C
+        // tail) so it must be the prioritized representative.
+        let q = fig1_query();
+        let plan = CoalescedPlan::build(&q, 3);
+        assert!(!plan.classes.is_empty());
+        let class = plan
+            .classes
+            .iter()
+            .find(|c| c.all_edges().contains(&(0, 1)))
+            .expect("class containing (u0,u1)");
+        assert_eq!(class.k, 1);
+        assert_eq!(class.vk_mask, 0b0111);
+        assert_eq!(class.rep, (0, 1));
+        assert_eq!(class.all_edges(), vec![(0, 1), (0, 2)]);
+        assert_eq!(plan.role(0, 1), Some((0, true)));
+        assert_eq!(plan.role(0, 2), Some((0, false)));
+        assert_eq!(plan.role(1, 2), None);
+    }
+
+    #[test]
+    fn permutation_swaps_u1_u2() {
+        let q = fig1_query();
+        let plan = CoalescedPlan::build(&q, 3);
+        let class = &plan.classes[0];
+        assert_eq!(class.members.len(), 1);
+        let member = &class.members[0];
+        // Example: partial M = {(u0,v0),(u1,v2),(u2,v3)} becomes
+        // {(u0,v0),(u2,v2),(u1,v3)}.
+        let mut m = VMatch::EMPTY;
+        m.set(0, 100);
+        m.set(1, 2);
+        m.set(2, 3);
+        let p = permute_partial(&m, member);
+        assert_eq!(p.get(0), Some(100));
+        assert_eq!(p.get(1), Some(3));
+        assert_eq!(p.get(2), Some(2));
+        assert_eq!(p.get(3), None);
+    }
+
+    #[test]
+    fn zero_degenerated_square() {
+        // Unlabeled 4-cycle: fully automorphic at k = 0; all four edges fall
+        // into one class.
+        let mut b = QueryGraph::builder();
+        let v: Vec<u8> = (0..4).map(|_| b.vertex(0)).collect();
+        b.edge(v[0], v[1]).edge(v[1], v[2]).edge(v[2], v[3]).edge(v[0], v[3]);
+        let q = b.build();
+        let plan = CoalescedPlan::build(&q, 2);
+        let class = &plan.classes[0];
+        assert_eq!(class.k, 0);
+        assert_eq!(class.all_edges().len(), 4);
+        assert_eq!(class.members.len(), 3);
+        // Every edge has a role; exactly one is the rep.
+        let reps = q
+            .edges()
+            .iter()
+            .filter(|e| plan.role(e.u, e.v) == Some((0, true)))
+            .count();
+        assert_eq!(reps, 1);
+    }
+
+    #[test]
+    fn rule1_prefers_smaller_k() {
+        // The square is claimed at k=0; no k=1 entry may re-claim its edges.
+        let mut b = QueryGraph::builder();
+        let v: Vec<u8> = (0..4).map(|_| b.vertex(0)).collect();
+        b.edge(v[0], v[1]).edge(v[1], v[2]).edge(v[2], v[3]).edge(v[0], v[3]);
+        let q = b.build();
+        let plan = CoalescedPlan::build(&q, 2);
+        assert_eq!(plan.classes.len(), 1);
+        assert_eq!(plan.classes[0].k, 0);
+    }
+
+    #[test]
+    fn asymmetric_query_has_no_classes() {
+        // Path with distinct labels: nothing automorphic anywhere.
+        let mut b = QueryGraph::builder();
+        let x = b.vertex(0);
+        let y = b.vertex(1);
+        let z = b.vertex(2);
+        let w = b.vertex(3);
+        b.edge(x, y).edge(y, z).edge(z, w);
+        let q = b.build();
+        let plan = CoalescedPlan::build(&q, 3);
+        assert!(plan.classes.is_empty());
+    }
+
+    #[test]
+    fn star_spokes_form_one_class() {
+        // Star: hub A with 3 B spokes; all spoke edges equivalent at k=0.
+        let mut b = QueryGraph::builder();
+        let hub = b.vertex(0);
+        let spokes: Vec<u8> = (0..3).map(|_| b.vertex(1)).collect();
+        for &s in &spokes {
+            b.edge(hub, s);
+        }
+        let q = b.build();
+        let plan = CoalescedPlan::build(&q, 2);
+        assert_eq!(plan.classes.len(), 1);
+        let c = &plan.classes[0];
+        assert_eq!(c.k, 0);
+        assert_eq!(c.all_edges().len(), 3);
+    }
+
+    #[test]
+    fn permutations_are_label_safe() {
+        let q = fig1_query();
+        let plan = CoalescedPlan::build(&q, 3);
+        for class in &plan.classes {
+            for m in &class.members {
+                for w in 0..q.num_vertices() as u8 {
+                    assert_eq!(q.label(w), q.label(m.perm[w as usize]));
+                    assert_eq!(m.perm_inv[m.perm[w as usize] as usize], w);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The BFS-expansion kernel variant used by the paper's Figure 5 to
+//! motivate DFS: level-synchronous frontier expansion materializes every
+//! partial match, so device memory grows exponentially and overflows spill
+//! across the simulated PCIe link ("Comm."), while the computation itself
+//! also pays a synchronization barrier per level.
+//!
+//! This module exists for the comparison experiment only; the production
+//! kernel is [`crate::wbm`].
+
+use std::collections::HashMap;
+
+use gamma_gpma::Gpma;
+use gamma_gpu::{CostModel, MemoryTracker};
+use gamma_graph::{Update, VMatch, VertexId};
+
+use crate::encoding::CandidateTable;
+use crate::wbm::{build_update_order, QueryMeta};
+
+/// Outcome of a BFS-variant run.
+#[derive(Clone, Debug, Default)]
+pub struct BfsReport {
+    /// Total matches found.
+    pub matches: u64,
+    /// Compute cycles (expansion + per-level synchronization).
+    pub comp_cycles: u64,
+    /// Host↔device transfer cycles caused by frontier spills.
+    pub comm_cycles: u64,
+    /// Device-memory usage samples (fraction of capacity), one per
+    /// expansion level across all anchors.
+    pub memory_samples: Vec<f64>,
+    /// Peak frontier footprint in bytes.
+    pub peak_bytes: u64,
+}
+
+/// Bytes a materialized partial match occupies on the device (the paper's
+/// intermediate results): one 4-byte vertex id per mapped query vertex.
+fn partial_bytes(level: usize) -> u64 {
+    4 * (level as u64 + 1)
+}
+
+/// Runs the BFS-expansion variant for a batch of insertion anchors over the
+/// post-update graph. Functionally equivalent to the DFS kernel (same
+/// matches); wildly different memory behaviour — which is the point.
+pub fn run_bfs_phase(
+    gpma: &Gpma,
+    meta: &QueryMeta,
+    table: &CandidateTable,
+    anchors: &[Update],
+    cost: &CostModel,
+    device_memory_bytes: u64,
+    pcie_bytes_per_cycle: f64,
+) -> BfsReport {
+    let update_order: HashMap<u64, u32> = build_update_order(anchors);
+    let mut report = BfsReport::default();
+    let mut mem = MemoryTracker::new(device_memory_bytes, pcie_bytes_per_cycle);
+    let mut nbr_buf: Vec<(VertexId, u16)> = Vec::new();
+
+    // Note: the BFS variant ignores coalesced-search classes (the paper's
+    // BFS baselines do not have them); with coalesced plans built, member
+    // edges are folded in, so we expand every seed orientation the DFS
+    // kernel would, using the *full* candidate table.
+    for (order_idx, anchor) in anchors.iter().enumerate() {
+        for seed in &meta.seeds {
+            // The BFS comparison is run with coalesced search disabled so
+            // seeds cover every query edge; guard for robustness.
+            let order = &seed.order;
+            let n = order.len();
+            for flip in [false, true] {
+                let (x, y) = if flip {
+                    (anchor.v, anchor.u)
+                } else {
+                    (anchor.u, anchor.v)
+                };
+                if seed.elabel != anchor.label
+                    || !table.is_candidate(x, seed.a)
+                    || !table.is_candidate(y, seed.b)
+                {
+                    continue;
+                }
+                let mut m0 = VMatch::EMPTY;
+                m0.set(seed.a, x);
+                m0.set(seed.b, y);
+                let mut frontier = vec![m0];
+                mem.alloc(partial_bytes(1));
+                mem.sample();
+                for level in 2..n {
+                    let qv = order[level];
+                    let mut next = Vec::new();
+                    for m in &frontier {
+                        // Expand: same candidate logic as the DFS kernel.
+                        let mut base: Option<(VertexId, u16, usize)> = None;
+                        let mut others: Vec<(VertexId, u16)> = Vec::new();
+                        for &(un, el) in meta.q.neighbors(qv) {
+                            if let Some(dv) = m.get(un) {
+                                let deg = gpma.degree(dv);
+                                match base {
+                                    None => base = Some((dv, el, deg)),
+                                    Some((bv, bel, bdeg)) if deg < bdeg => {
+                                        others.push((bv, bel));
+                                        base = Some((dv, el, deg));
+                                    }
+                                    _ => others.push((dv, el)),
+                                }
+                            }
+                        }
+                        let (bv, bel, bdeg) = base.expect("connected order");
+                        gpma.neighbors_into(bv, &mut nbr_buf);
+                        report.comp_cycles +=
+                            cost.coalesced_read(bdeg as u64 * 2, 32);
+                        'cand: for &(cand, el) in nbr_buf.iter() {
+                            report.comp_cycles += cost.compute;
+                            if el != bel
+                                || !table.is_candidate(cand, qv)
+                                || m.uses(cand)
+                            {
+                                continue;
+                            }
+                            if let Some(&o) = update_order.get(&gamma_graph::edge_key(cand, bv)) {
+                                if o < order_idx as u32 {
+                                    continue;
+                                }
+                            }
+                            for &(ov, oel) in &others {
+                                match gpma.edge_label(cand, ov) {
+                                    Some(l) if l == oel => {
+                                        if let Some(&o) = update_order
+                                            .get(&gamma_graph::edge_key(cand, ov))
+                                        {
+                                            if o < order_idx as u32 {
+                                                continue 'cand;
+                                            }
+                                        }
+                                    }
+                                    _ => continue 'cand,
+                                }
+                            }
+                            let mut m2 = *m;
+                            m2.set(qv, cand);
+                            next.push(m2);
+                        }
+                        for &(ov, _) in &others {
+                            report.comp_cycles += cost.coop_intersect(
+                                bdeg as u64,
+                                gpma.degree(ov).max(1) as u64,
+                                32,
+                            );
+                        }
+                    }
+                    // Level barrier: all warps synchronize before the next
+                    // expansion (the extra cost BFS pays even when memory
+                    // suffices).
+                    report.comp_cycles += cost.sync * frontier.len().max(1) as u64;
+                    // Swap frontiers on the device.
+                    mem.free(partial_bytes(level - 1) * frontier.len() as u64);
+                    mem.alloc(partial_bytes(level) * next.len() as u64);
+                    mem.sample();
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                report.matches += frontier.len() as u64;
+                mem.free(partial_bytes(n - 1) * frontier.len() as u64);
+            }
+        }
+    }
+    report.comm_cycles = mem.transfer_cycles();
+    report.memory_samples = mem.samples().to_vec();
+    report.peak_bytes = mem.peak();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::IncrementalEncoder;
+    use gamma_gpma::GpmaConfig;
+    use gamma_graph::{DynamicGraph, QueryGraph, NO_ELABEL};
+
+    fn setup() -> (DynamicGraph, QueryGraph) {
+        let mut g = DynamicGraph::new();
+        for &l in &[0u16, 0, 1, 1, 1, 1, 1, 2, 2, 2] {
+            g.add_vertex(l);
+        }
+        for &(u, v) in &[
+            (0, 3),
+            (0, 4),
+            (2, 3),
+            (2, 4),
+            (3, 7),
+            (2, 8),
+            (1, 5),
+            (1, 6),
+            (5, 6),
+            (5, 9),
+            (4, 7),
+        ] {
+            g.insert_edge(u, v, NO_ELABEL);
+        }
+        let mut b = QueryGraph::builder();
+        let u0 = b.vertex(0);
+        let u1 = b.vertex(1);
+        let u2 = b.vertex(1);
+        let u3 = b.vertex(2);
+        b.edge(u0, u1).edge(u0, u2).edge(u1, u2).edge(u1, u3);
+        (g, b.build())
+    }
+
+    #[test]
+    fn bfs_finds_fig1_matches() {
+        let (mut g, q) = setup();
+        // Apply the insertion (v0, v2); expect the paper's 4 matches.
+        g.insert_edge(0, 2, NO_ELABEL);
+        let (enc, table) = IncrementalEncoder::build(&g, &q, 2);
+        let meta = QueryMeta::build(&q, &table, enc.scheme(), false, 0);
+        let gpma = Gpma::from_graph(&g, GpmaConfig::default());
+        let anchors = [Update::insert(0, 2)];
+        let report = run_bfs_phase(
+            &gpma,
+            &meta,
+            &table,
+            &anchors,
+            &CostModel::default(),
+            1 << 20,
+            16.0,
+        );
+        assert_eq!(report.matches, 4);
+        assert!(report.comp_cycles > 0);
+        assert_eq!(report.comm_cycles, 0, "no spill expected at 1 MiB");
+        assert!(!report.memory_samples.is_empty());
+    }
+
+    #[test]
+    fn tiny_memory_forces_comm() {
+        let (mut g, q) = setup();
+        g.insert_edge(0, 2, NO_ELABEL);
+        let (enc, table) = IncrementalEncoder::build(&g, &q, 2);
+        let meta = QueryMeta::build(&q, &table, enc.scheme(), false, 0);
+        let gpma = Gpma::from_graph(&g, GpmaConfig::default());
+        let anchors = [Update::insert(0, 2)];
+        let report = run_bfs_phase(
+            &gpma,
+            &meta,
+            &table,
+            &anchors,
+            &CostModel::default(),
+            8, // 8 bytes of device memory: everything spills
+            1.0,
+        );
+        assert_eq!(report.matches, 4, "spilling must not change results");
+        assert!(report.comm_cycles > 0);
+        assert!(report.memory_samples.iter().any(|&s| s >= 1.0));
+    }
+}

@@ -1,0 +1,330 @@
+//! The GAMMA engine: the four-component pipeline of Figure 3.
+//!
+//! Per batch: (1) **Preprocess** — canonicalize the update stream, and
+//! after the structural update re-encode only dirty vertices and refresh
+//! their candidate-table rows (host work, overlappable with device
+//! compute); (2) **Update** — apply the batch to the GPMA device store,
+//! collecting simulated update cycles (Figure 12); (3) **BDSM kernel** —
+//! the warp-centric WBM search, run once over deletion anchors against the
+//! pre-update graph (negative matches) and once over insertion anchors
+//! against the post-update graph (positive matches); (4) **Postprocess** —
+//! gather matches and statistics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gamma_gpma::{Gpma, GpmaConfig};
+use gamma_gpu::{Device, DeviceConfig, KernelStats};
+use gamma_graph::{DynamicGraph, QueryGraph, Update, UpdateBatch, VLabel, VMatch, VertexId};
+
+use crate::encoding::{CandidateTable, IncrementalEncoder};
+use crate::wbm::{run_phase, QueryMeta};
+
+/// Work-stealing strategy selector (re-export of the simulator's).
+pub type StealingMode = gamma_gpu::Stealing;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct GammaConfig {
+    /// Simulated device configuration (SMs, warps/block, stealing, costs).
+    pub device: DeviceConfig,
+    /// Enable coalesced search (§V-B).
+    pub coalesced_search: bool,
+    /// Max vertices removed when hunting k-degenerated automorphic
+    /// subgraphs.
+    pub max_degenerate_k: usize,
+    /// NLF counter width `M` (Figure 4 uses 2).
+    pub counter_bits: u32,
+    /// Materialize matches (`false` = count only; benchmarking mode).
+    pub collect_matches: bool,
+    /// Per-batch kernel timeout; exceeded batches are flagged
+    /// [`BatchStats::timed_out`] ("unsolved" in the paper's metrics).
+    pub timeout: Option<Duration>,
+    /// Abort a phase after this many matches (guards runaway tree queries).
+    pub match_limit: u64,
+    /// GPMA store configuration.
+    pub gpma: GpmaConfig,
+}
+
+impl Default for GammaConfig {
+    fn default() -> Self {
+        Self {
+            device: DeviceConfig::default(),
+            coalesced_search: true,
+            max_degenerate_k: 2,
+            counter_bits: 2,
+            collect_matches: true,
+            timeout: None,
+            match_limit: u64::MAX,
+            gpma: GpmaConfig::default(),
+        }
+    }
+}
+
+/// Per-batch statistics.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Host-side preprocessing wall time (canonicalization, re-encoding,
+    /// candidate refresh).
+    pub preprocess_seconds: f64,
+    /// Simulated cycles of the GPMA structural update.
+    pub update_cycles: u64,
+    /// Merged kernel statistics (negative + positive phases).
+    pub kernel: KernelStats,
+    /// Vertices whose encoding actually changed this batch.
+    pub dirty_vertices: usize,
+    /// Whether the kernel hit the timeout or match limit.
+    pub timed_out: bool,
+    /// Net updates processed (after canonicalization).
+    pub net_updates: usize,
+}
+
+impl BatchStats {
+    /// Total simulated device seconds (update + kernel) at `clock_ghz`.
+    pub fn device_seconds(&self, clock_ghz: f64) -> f64 {
+        (self.update_cycles + self.kernel.device_cycles) as f64 / (clock_ghz * 1e9)
+    }
+}
+
+/// Result of one batch.
+#[derive(Clone, Debug, Default)]
+pub struct BatchResult {
+    /// Positive incremental matches (present in `G'`, absent in `G`).
+    pub positive: Vec<VMatch>,
+    /// Negative incremental matches (present in `G`, absent in `G'`).
+    pub negative: Vec<VMatch>,
+    /// Positive count (maintained even when collection is off).
+    pub positive_count: u64,
+    /// Negative count.
+    pub negative_count: u64,
+    /// Statistics.
+    pub stats: BatchStats,
+}
+
+/// The batch-dynamic subgraph matching engine for one `(G, Q)` pair.
+pub struct GammaEngine {
+    graph: DynamicGraph,
+    gpma: Option<Gpma>,
+    encoder: IncrementalEncoder,
+    table: Option<CandidateTable>,
+    meta: Arc<QueryMeta>,
+    device: Device,
+    config: GammaConfig,
+    batches_processed: u64,
+}
+
+impl GammaEngine {
+    /// Builds the engine: encodes every data vertex, derives the candidate
+    /// table, computes per-edge matching orders and the coalesced-search
+    /// plan, and bulk-loads the GPMA device store.
+    pub fn new(graph: DynamicGraph, query: &QueryGraph, config: GammaConfig) -> Self {
+        let (encoder, table) = IncrementalEncoder::build(&graph, query, config.counter_bits);
+        let meta = Arc::new(QueryMeta::build(
+            query,
+            &table,
+            encoder.scheme(),
+            config.coalesced_search,
+            config.max_degenerate_k,
+        ));
+        let gpma = Gpma::from_graph(&graph, config.gpma.clone());
+        let device = Device::new(config.device.clone());
+        Self {
+            graph,
+            gpma: Some(gpma),
+            encoder,
+            table: Some(table),
+            meta,
+            device,
+            config,
+            batches_processed: 0,
+        }
+    }
+
+    /// Read access to the host mirror of the data graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GammaConfig {
+        &self.config
+    }
+
+    /// The kernel metadata (seeds, coalesced plan) — useful for inspection.
+    pub fn meta(&self) -> &QueryMeta {
+        &self.meta
+    }
+
+    /// Adds a fresh vertex (vertex insertions are modeled as a vertex plus
+    /// a collection of edge insertions, per §II-A).
+    pub fn add_vertex(&mut self, label: VLabel) -> VertexId {
+        let v = self.graph.add_vertex(label);
+        self.gpma
+            .as_mut()
+            .expect("gpma present between batches")
+            .ensure_vertices(self.graph.num_vertices());
+        // Encode the isolated vertex and give it a candidate row.
+        let dirty = self.encoder.reencode(&self.graph, &[v]);
+        self.table
+            .as_mut()
+            .expect("table present between batches")
+            .refresh(&dirty, &self.encoder.encodings, &self.encoder.qcodes);
+        v
+    }
+
+    /// Applies one update batch and returns the incremental matches
+    /// (Problem Statement, §II-A). See the module docs for the pipeline.
+    pub fn apply_batch(&mut self, raw: &[Update]) -> BatchResult {
+        let host_t0 = Instant::now();
+        let batch = UpdateBatch::canonicalize(&self.graph, raw);
+        let canon_seconds = host_t0.elapsed().as_secs_f64();
+        let mut result = self.apply_canonical_batch(&batch);
+        result.stats.preprocess_seconds += canon_seconds;
+        result
+    }
+
+    /// Applies an already-canonicalized batch (the entry point the
+    /// asynchronous pipeline uses after its preprocess stage canonicalized
+    /// against a shadow mirror). The batch must be canonical with respect
+    /// to this engine's current graph.
+    pub fn apply_canonical_batch(&mut self, batch: &UpdateBatch) -> BatchResult {
+        let mut result = BatchResult::default();
+        result.stats.net_updates = batch.len();
+        if batch.is_empty() {
+            self.batches_processed += 1;
+            return result;
+        }
+
+        let abort = Arc::new(AtomicBool::new(false));
+        let deadline_guard = self.config.timeout.map(|t| spawn_watchdog(t, &abort));
+
+        // Phase 1: negative matches on the pre-update graph, anchored at
+        // net deletions.
+        if !batch.deletes.is_empty() {
+            let (matches, count, stats) = self.kernel_phase(&batch.deletes, &abort);
+            result.negative = matches;
+            result.negative_count = count;
+            result.stats.kernel.absorb(&stats);
+        }
+
+        // Phase 2: structural update — device (GPMA) and host mirror.
+        let pre_update_cycles = self.gpma.as_ref().expect("gpma").stats().sim_cycles;
+        {
+            let gpma = self.gpma.as_mut().expect("gpma");
+            let dels: Vec<(VertexId, VertexId)> =
+                batch.deletes.iter().map(|d| (d.u, d.v)).collect();
+            gpma.delete_edges(&dels);
+            let ins: Vec<(VertexId, VertexId, gamma_graph::ELabel)> =
+                batch.inserts.iter().map(|i| (i.u, i.v, i.label)).collect();
+            gpma.insert_edges(&ins);
+        }
+        result.stats.update_cycles =
+            self.gpma.as_ref().expect("gpma").stats().sim_cycles - pre_update_cycles;
+        batch.apply(&mut self.graph);
+
+        // Phase 3: preprocess for the next kernel — re-encode touched
+        // vertices, refresh dirty candidate rows (host work).
+        let pre_t = Instant::now();
+        let mut touched: Vec<VertexId> = batch
+            .deletes
+            .iter()
+            .chain(batch.inserts.iter())
+            .flat_map(|u| [u.u, u.v])
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let dirty = self.encoder.reencode(&self.graph, &touched);
+        result.stats.dirty_vertices = dirty.len();
+        self.table
+            .as_mut()
+            .expect("table")
+            .refresh(&dirty, &self.encoder.encodings, &self.encoder.qcodes);
+        let preprocess = pre_t.elapsed().as_secs_f64();
+
+        // Phase 4: positive matches on the post-update graph, anchored at
+        // net insertions.
+        if !batch.inserts.is_empty() {
+            let (matches, count, stats) = self.kernel_phase(&batch.inserts, &abort);
+            result.positive = matches;
+            result.positive_count = count;
+            result.stats.kernel.absorb(&stats);
+        }
+
+        drop(deadline_guard);
+        result.stats.timed_out = abort.load(Ordering::Relaxed);
+        result.stats.preprocess_seconds = preprocess;
+        self.batches_processed += 1;
+        result
+    }
+
+    /// Runs one kernel phase (positive or negative) over `anchors`.
+    fn kernel_phase(
+        &mut self,
+        anchors: &[Update],
+        abort: &Arc<AtomicBool>,
+    ) -> (Vec<VMatch>, u64, KernelStats) {
+        let gpma = self.gpma.take().expect("gpma present");
+        let table = self.table.take().expect("table present");
+        let encodings = Arc::new(self.encoder.encodings.clone());
+        let (gpma, table, matches, count, stats) = run_phase(
+            &self.device,
+            gpma,
+            Arc::clone(&self.meta),
+            table,
+            encodings,
+            anchors,
+            self.config.collect_matches,
+            self.config.match_limit,
+            Arc::clone(abort),
+        );
+        self.gpma = Some(gpma);
+        self.table = Some(table);
+        (matches, count, stats)
+    }
+
+    /// Number of batches processed so far.
+    pub fn batches_processed(&self) -> u64 {
+        self.batches_processed
+    }
+
+    /// Simulated seconds for a cycle count under this engine's clock.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        self.device.seconds(cycles)
+    }
+}
+
+/// A guard whose thread sets `abort` after `timeout` unless dropped first.
+struct Watchdog {
+    cancel: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+fn spawn_watchdog(timeout: Duration, abort: &Arc<AtomicBool>) -> Watchdog {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let c = Arc::clone(&cancel);
+    let a = Arc::clone(abort);
+    let handle = std::thread::spawn(move || {
+        let start = Instant::now();
+        while start.elapsed() < timeout {
+            if c.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1).min(timeout / 10));
+        }
+        a.store(true, Ordering::Relaxed);
+    });
+    Watchdog {
+        cancel,
+        handle: Some(handle),
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # gamma-core — the GAMMA batch-dynamic subgraph matching engine
+//!
+//! A faithful Rust reproduction of GAMMA (*GPU-Accelerated Batch-Dynamic
+//! Subgraph Matching*, ICDE 2024) on the [`gamma_gpu`] SIMT simulator:
+//!
+//! * [`encoding`] — GSI-style NLF bit encoding with thermometer counters,
+//!   candidate table, and dirty-vertex incremental maintenance (§IV-B).
+//! * [`order`] — per-query-edge matching orders (§IV-C).
+//! * [`auto`] — k-degenerated automorphic subgraphs, equivalent edge sets
+//!   and permutations: the *coalesced search* plan (§V-B).
+//! * [`wbm`] — Algorithm 1 as a warp task: DFS frames, `GenCandidates` via
+//!   warp-cooperative intersections, the anchor-order dedup rule, splits
+//!   for warp-level work stealing (§V-A), permuted-partial injection.
+//! * [`bfs`] — the BFS-expansion comparison kernel behind Figure 5.
+//! * [`engine`] — the synchronous engine tying the stages together.
+//! * [`pipeline`] — the asynchronous pipelined variant of Figure 3
+//!   (preprocessing of batch k+1 overlaps the device work of batch k).
+//!
+//! ## Example
+//!
+//! ```
+//! use gamma_core::{GammaConfig, GammaEngine};
+//! use gamma_graph::{DynamicGraph, QueryGraph, Update, NO_ELABEL};
+//!
+//! // Figure 1's data graph (labels A=0, B=1, C=2) ...
+//! let mut g = DynamicGraph::new();
+//! for &l in &[0, 0, 1, 1, 1, 1, 1, 2, 2, 2] {
+//!     g.add_vertex(l);
+//! }
+//! for &(u, v) in &[(0, 3), (0, 4), (2, 3), (2, 4), (3, 7), (2, 8),
+//!                  (1, 5), (1, 6), (5, 6), (5, 9), (4, 7)] {
+//!     g.insert_edge(u, v, NO_ELABEL);
+//! }
+//! // ... and its query: an A-B-B triangle with a C tail.
+//! let mut b = QueryGraph::builder();
+//! let (u0, u1, u2, u3) = (b.vertex(0), b.vertex(1), b.vertex(1), b.vertex(2));
+//! b.edge(u0, u1).edge(u0, u2).edge(u1, u2).edge(u1, u3);
+//! let q = b.build();
+//!
+//! let mut engine = GammaEngine::new(g, &q, GammaConfig::default());
+//! let result = engine.apply_batch(&[Update::insert(0, 2)]);
+//! assert_eq!(result.positive_count, 4); // M1..M4 of Figure 1
+//! ```
+
+pub mod auto;
+pub mod bfs;
+pub mod encoding;
+pub mod engine;
+pub mod order;
+pub mod pipeline;
+pub mod wbm;
+
+pub use auto::CoalescedPlan;
+pub use bfs::{run_bfs_phase, BfsReport};
+pub use encoding::{CandidateTable, EncodingScheme, IncrementalEncoder};
+pub use engine::{BatchResult, BatchStats, GammaConfig, GammaEngine, StealingMode};
+pub use pipeline::{PipelineOutput, PipelinedEngine};
+pub use wbm::{QueryMeta, SeedPlan, WbmTask};

@@ -1,0 +1,778 @@
+//! WBM — the warp-centric batch-dynamic subgraph matching kernel
+//! (Algorithm 1), as a [`WarpTask`] state machine for the SIMT simulator.
+//!
+//! One task = one update edge (the paper's warp-centric assignment). The
+//! DFS of Algorithm 1 is kept in explicit per-level frames (`C[l]`, `p[l]`,
+//! the partial match `M`), which is exactly the state the paper parks in
+//! shared memory — and exactly what lets
+//!
+//! * the block scheduler interleave warps deterministically,
+//! * idle warps **steal half of the unexplored candidates at the
+//!   shallowest unfinished level** ([`WbmTask::try_split`], §V-A), and
+//! * **coalesced search** inject permuted `V^k` partial matches as pending
+//!   subtrees instead of re-traversing the same data subgraph (§V-B).
+//!
+//! Duplicate suppression across anchors follows [19] as cited in §IV-C:
+//! while enumerating from update edge #o, any data edge that is itself an
+//! update of the current phase with order < o is rejected, so every
+//! incremental match is attributed to exactly one (its lowest-order)
+//! anchor.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gamma_gpma::Gpma;
+use gamma_gpu::{StepResult, WarpCtx, WarpTask};
+use gamma_graph::{edge_key, ELabel, QueryGraph, Update, VMatch, VertexId};
+use parking_lot::Mutex;
+
+use crate::auto::{permute_partial, CoalescedPlan};
+use crate::encoding::CandidateTable;
+use crate::order::matching_order;
+
+/// Candidate attempts processed per scheduler quantum; bounds step length
+/// so intra-block interleaving (and thus stealing) stays fine-grained.
+const ATTEMPTS_PER_STEP: usize = 4;
+/// Complete matches emitted per quantum at the last level.
+const EMITS_PER_STEP: usize = 64;
+/// Local match-buffer size before flushing to the shared sink.
+const FLUSH_THRESHOLD: usize = 1024;
+
+/// One seed: a query edge the kernel maps update edges onto, with its
+/// offline matching order.
+#[derive(Clone, Debug)]
+pub struct SeedPlan {
+    /// Query edge endpoints.
+    pub a: u8,
+    /// Query edge endpoints.
+    pub b: u8,
+    /// Required edge label.
+    pub elabel: ELabel,
+    /// Matching order `π` (starts `[a, b]`; for class representatives the
+    /// whole `V^k` precedes `R^k`).
+    pub order: Vec<u8>,
+    /// If this seed is a coalesced-search class representative: the class
+    /// index in [`QueryMeta::plan`].
+    pub class: Option<usize>,
+    /// Number of leading order positions inside `V^k` (= `n` if no class).
+    pub vk_size: usize,
+}
+
+/// Immutable per-query kernel metadata: seeds and the coalesced plan.
+#[derive(Clone, Debug)]
+pub struct QueryMeta {
+    /// The query graph.
+    pub q: QueryGraph,
+    /// Seeds, one per searched query edge (class members are folded into
+    /// their representative when coalesced search is on).
+    pub seeds: Vec<SeedPlan>,
+    /// The coalesced-search plan (empty when disabled).
+    pub plan: CoalescedPlan,
+    /// Per class: `V^k`-restricted query-vertex codes, indexed by original
+    /// query vertex id. During the `V^k` phase of a representative search,
+    /// candidates are gated by these *induced-subgraph* constraints — full-
+    /// query constraints would wrongly reject vertices that only fit a
+    /// member edge's (weaker) role and are recovered by permutation
+    /// ("Avoid Invalid Matching", §V-B). `u64::MAX` for vertices ∉ `V^k`.
+    pub class_vk_codes: Vec<Vec<u64>>,
+}
+
+impl QueryMeta {
+    /// Builds kernel metadata. With `coalesced` off every query edge gets a
+    /// seed; with it on, class member edges are skipped (their matches are
+    /// produced by permutation from the representative's search).
+    pub fn build(
+        q: &QueryGraph,
+        table: &CandidateTable,
+        scheme: &crate::encoding::EncodingScheme,
+        coalesced: bool,
+        max_k: usize,
+    ) -> Self {
+        let plan = if coalesced {
+            CoalescedPlan::build(q, max_k)
+        } else {
+            CoalescedPlan::default()
+        };
+        let n = q.num_vertices();
+        let mut class_vk_codes = Vec::with_capacity(plan.classes.len());
+        for class in &plan.classes {
+            let (sub, back) = q.induced(class.vk_mask);
+            let mut codes = vec![u64::MAX; n];
+            for (new_idx, &orig) in back.iter().enumerate() {
+                codes[orig as usize] = scheme.encode_query_vertex(&sub, new_idx as u8);
+            }
+            class_vk_codes.push(codes);
+        }
+        let mut seeds = Vec::new();
+        for e in q.edges() {
+            match plan.role(e.u, e.v) {
+                Some((_ci, false)) => continue, // member: covered by its rep
+                Some((ci, true)) => {
+                    let class = &plan.classes[ci];
+                    seeds.push(SeedPlan {
+                        a: e.u,
+                        b: e.v,
+                        elabel: e.label,
+                        order: matching_order(q, e.u, e.v, table, Some(class.vk_mask)),
+                        class: Some(ci),
+                        vk_size: class.vk_size,
+                    });
+                }
+                None => {
+                    seeds.push(SeedPlan {
+                        a: e.u,
+                        b: e.v,
+                        elabel: e.label,
+                        order: matching_order(q, e.u, e.v, table, None),
+                        class: None,
+                        vk_size: n,
+                    });
+                }
+            }
+        }
+        Self {
+            q: q.clone(),
+            seeds,
+            plan,
+            class_vk_codes,
+        }
+    }
+}
+
+/// State shared by every warp task of one kernel launch.
+pub struct KernelShared {
+    /// The device edge store being searched (pre-update graph for the
+    /// negative phase, post-update graph for the positive phase).
+    pub gpma: Gpma,
+    /// Query metadata.
+    pub meta: Arc<QueryMeta>,
+    /// Candidate table matching `gpma`'s graph state.
+    pub table: CandidateTable,
+    /// Per-data-vertex NLF codes matching `gpma`'s graph state (used for
+    /// the `V^k`-restricted candidate tests of coalesced search).
+    pub encodings: Arc<Vec<u64>>,
+    /// Canonical edge key → anchor order, for the dedup rule. Contains the
+    /// current phase's update edges only.
+    pub update_order: HashMap<u64, u32>,
+    /// Collected matches (when `collect` is set).
+    pub sink: Mutex<Vec<VMatch>>,
+    /// Total matches found (always maintained).
+    pub match_count: AtomicU64,
+    /// Whether to materialize matches into `sink`.
+    pub collect: bool,
+    /// Cooperative abort flag (timeout / match-limit).
+    pub abort: Arc<AtomicBool>,
+    /// Abort the launch once this many matches were found.
+    pub match_limit: u64,
+}
+
+impl KernelShared {
+    fn note_matches(&self, n: u64) {
+        let total = self.match_count.fetch_add(n, Ordering::Relaxed) + n;
+        if total > self.match_limit {
+            self.abort.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One DFS frame: the candidate list `C[l]` and cursor `p[l]` of a level.
+#[derive(Clone, Debug)]
+struct Frame {
+    cands: Vec<VertexId>,
+    p: usize,
+}
+
+/// A pending `V^k` partial match produced by permutation, awaiting
+/// extension over `R^k`.
+#[derive(Clone, Debug)]
+struct PendingPartial {
+    m: VMatch,
+    seed: usize,
+}
+
+/// The DFS engine state for the current seed / pending partial.
+#[derive(Clone, Debug)]
+struct DfsState {
+    seed: usize,
+    /// First DFS level of this search (2 for fresh seeds, `vk_size` for
+    /// permuted partials, arbitrary for stolen subtrees).
+    base_level: usize,
+    /// Assignments for all levels `< base_level + frames.len() - 1` plus
+    /// the current candidates of non-top frames.
+    m: VMatch,
+    frames: Vec<Frame>,
+    /// Needs its initial frame generated on the next step.
+    warm: bool,
+}
+
+/// The warp task for one update edge.
+pub struct WbmTask {
+    shared: Arc<KernelShared>,
+    /// Update edge endpoints (anchor).
+    v1: VertexId,
+    v2: VertexId,
+    elabel: ELabel,
+    /// This anchor's order `o` in the batch.
+    anchor_order: u32,
+    /// Seeds not yet started: `(seed index, flipped orientation)`.
+    seed_queue: VecDeque<(usize, bool)>,
+    pending: VecDeque<PendingPartial>,
+    state: Option<DfsState>,
+    local: Vec<VMatch>,
+    local_count: u64,
+    nbr_buf: Vec<(VertexId, ELabel)>,
+}
+
+impl WbmTask {
+    /// Creates the task for `anchor` (an insertion for the positive phase,
+    /// a deletion for the negative phase) with batch order `anchor_order`.
+    pub fn new(shared: Arc<KernelShared>, anchor: &Update, anchor_order: u32) -> Self {
+        let mut seed_queue = VecDeque::new();
+        for (si, _) in shared.meta.seeds.iter().enumerate() {
+            seed_queue.push_back((si, false));
+            seed_queue.push_back((si, true));
+        }
+        Self {
+            shared,
+            v1: anchor.u,
+            v2: anchor.v,
+            elabel: anchor.label,
+            anchor_order,
+            seed_queue,
+            pending: VecDeque::new(),
+            state: None,
+            local: Vec::new(),
+            local_count: 0,
+            nbr_buf: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.local_count > 0 {
+            self.shared.note_matches(self.local_count);
+            self.local_count = 0;
+        }
+        if !self.local.is_empty() {
+            self.shared.sink.lock().append(&mut self.local);
+        }
+    }
+
+    fn emit(&mut self, m: VMatch) {
+        self.local_count += 1;
+        if self.shared.collect {
+            self.local.push(m);
+        }
+        if self.local.len() >= FLUSH_THRESHOLD || self.local_count >= FLUSH_THRESHOLD as u64 {
+            self.flush();
+        }
+    }
+
+    /// Candidate gate for query vertex `qv` at a given DFS `level` of
+    /// `seed`. Inside a class representative's `V^k` phase the test uses
+    /// the `V^k`-restricted code (weaker, so member-edge matches survive to
+    /// be recovered by permutation); everywhere else it uses the full
+    /// candidate table.
+    #[inline]
+    fn candidate_ok(&self, seed: &SeedPlan, level: usize, qv: u8, v: VertexId) -> bool {
+        match seed.class {
+            Some(ci) if level < seed.vk_size => {
+                let ucode = self.shared.meta.class_vk_codes[ci][qv as usize];
+                let vcode = self
+                    .shared
+                    .encodings
+                    .get(v as usize)
+                    .copied()
+                    .unwrap_or(0);
+                crate::encoding::EncodingScheme::is_candidate(ucode, vcode)
+            }
+            _ => self.shared.table.is_candidate(v, qv),
+        }
+    }
+
+    /// Validates and installs the next seed; returns the ready state.
+    fn start_seed(&mut self, si: usize, flipped: bool, ctx: &mut WarpCtx) -> Option<DfsState> {
+        let meta = Arc::clone(&self.shared.meta);
+        let seed = &meta.seeds[si];
+        let (x, y) = if flipped {
+            (self.v2, self.v1)
+        } else {
+            (self.v1, self.v2)
+        };
+        ctx.compute(4);
+        if seed.elabel != self.elabel {
+            return None;
+        }
+        // Candidate gate for the two anchored vertices (levels 0 and 1).
+        ctx.shared_access(2);
+        if !self.candidate_ok(seed, 0, seed.a, x) || !self.candidate_ok(seed, 1, seed.b, y) {
+            return None;
+        }
+        let mut m = VMatch::EMPTY;
+        m.set(seed.a, x);
+        m.set(seed.b, y);
+        Some(DfsState {
+            seed: si,
+            base_level: 2,
+            m,
+            frames: Vec::new(),
+            warm: true,
+        })
+    }
+
+    /// `GenCandidates` (Algorithm 1, lines 23–29): candidates for the query
+    /// vertex at `level` of `seed`'s order, given partial match `m`.
+    fn gen_candidates(
+        &mut self,
+        seed: &SeedPlan,
+        level: usize,
+        m: &VMatch,
+        ctx: &mut WarpCtx,
+    ) -> Vec<VertexId> {
+        let meta = Arc::clone(&self.shared.meta);
+        let q = &meta.q;
+        let qv = seed.order[level];
+        // Matched backward neighbors of qv; the smallest adjacency list
+        // seeds the scan, the rest are checked by warp-cooperative binary
+        // search (the paper's parallel-binary-search intersection).
+        let mut base: Option<(VertexId, ELabel, usize)> = None; // (vertex, required elabel, degree)
+        let mut others: Vec<(VertexId, ELabel)> = Vec::new();
+        for &(un, el) in q.neighbors(qv) {
+            if let Some(dv) = m.get(un) {
+                let deg = self.shared.gpma.degree(dv);
+                match base {
+                    None => base = Some((dv, el, deg)),
+                    Some((bv, bel, bdeg)) => {
+                        if deg < bdeg {
+                            others.push((bv, bel));
+                            base = Some((dv, el, deg));
+                        } else {
+                            others.push((dv, el));
+                        }
+                    }
+                }
+            }
+        }
+        let (bv, bel, bdeg) = base.expect("connected matching order");
+        // Warp-coalesced read of the base adjacency from the PMA.
+        let mut nbrs = std::mem::take(&mut self.nbr_buf);
+        self.shared.gpma.neighbors_into(bv, &mut nbrs);
+        ctx.global_read_coalesced(bdeg as u64 * 2);
+        // Candidate-table rows for the scanned vertices.
+        ctx.global_read_coalesced(bdeg as u64);
+        let mut out = Vec::new();
+        'cand: for &(cand, el) in nbrs.iter() {
+            ctx.compute(1);
+            if el != bel {
+                continue;
+            }
+            if !self.candidate_ok(seed, level, qv, cand) {
+                continue;
+            }
+            if m.uses(cand) {
+                continue;
+            }
+            // Dedup rule for the base back-edge.
+            if self.edge_breaks_order(cand, bv) {
+                continue;
+            }
+            // Remaining backward neighbors: adjacency + label + order rule.
+            for &(ov, oel) in &others {
+                match self.shared.gpma.edge_label(cand, ov) {
+                    Some(l) if l == oel => {
+                        if self.edge_breaks_order(cand, ov) {
+                            continue 'cand;
+                        }
+                    }
+                    _ => continue 'cand,
+                }
+            }
+            out.push(cand);
+        }
+        // Cost of the cooperative intersections against the other lists.
+        for &(ov, _) in &others {
+            let odeg = self.shared.gpma.degree(ov) as u64;
+            ctx.coop_intersect(bdeg as u64, odeg.max(1));
+        }
+        nbrs.clear();
+        self.nbr_buf = nbrs;
+        out
+    }
+
+    /// The anchor-order dedup rule: data edge `(a, b)` must not be an
+    /// update edge of this phase with order lower than ours.
+    #[inline]
+    fn edge_breaks_order(&self, a: VertexId, b: VertexId) -> bool {
+        match self.shared.update_order.get(&edge_key(a, b)) {
+            Some(&o) => o < self.anchor_order,
+            None => false,
+        }
+    }
+
+    /// On completing a `V^k` assignment under a class representative seed,
+    /// inject the permuted partial matches (coalesced search, §V-B).
+    fn spawn_permutations(&mut self, seed_idx: usize, m: &VMatch, ctx: &mut WarpCtx) {
+        let meta = Arc::clone(&self.shared.meta);
+        let seed = &meta.seeds[seed_idx];
+        let Some(ci) = seed.class else { return };
+        let class = &meta.plan.classes[ci];
+        for member in &class.members {
+            ctx.compute(class.vk_size as u64);
+            let pm = permute_partial(m, member);
+            // Validate reassigned vertices against the candidate table:
+            // within-V^k structure is automorphism-invariant, but removed-
+            // vertex constraints may no longer hold for the new roles.
+            ctx.shared_access(class.vk_size as u64);
+            let ok = pm
+                .pairs()
+                .all(|(w, v)| self.shared.table.is_candidate(v, w));
+            if !ok {
+                continue;
+            }
+            if class.vk_size == meta.q.num_vertices() {
+                // k = 0: the permuted partial is already a complete match.
+                self.emit(pm);
+            } else {
+                self.pending.push_back(PendingPartial {
+                    m: pm,
+                    seed: seed_idx,
+                });
+            }
+        }
+    }
+
+    /// Advances the DFS by one quantum. Returns `false` when the current
+    /// state is exhausted.
+    fn advance(&mut self, ctx: &mut WarpCtx) -> bool {
+        let Some(mut st) = self.state.take() else {
+            return false;
+        };
+        let meta = Arc::clone(&self.shared.meta);
+        let seed = &meta.seeds[st.seed];
+        let n = seed.order.len();
+
+        if st.warm {
+            st.warm = false;
+            if st.base_level == n {
+                // Degenerate: nothing to extend (k = 0 classes emit
+                // directly and never get here; guard anyway).
+                self.emit(st.m);
+                return false;
+            }
+            let cands = self.gen_candidates(seed, st.base_level, &st.m, ctx);
+            if cands.is_empty() {
+                return false;
+            }
+            st.frames.push(Frame { cands, p: 0 });
+            self.state = Some(st);
+            return true;
+        }
+
+        let mut budget = ATTEMPTS_PER_STEP;
+        while budget > 0 {
+            let Some(top_idx) = st.frames.len().checked_sub(1) else {
+                return false; // exhausted
+            };
+            let level = st.base_level + top_idx;
+            let last = level == n - 1;
+            if last {
+                // Lines 9–11: join every remaining candidate with M.
+                let mut emitted = 0;
+                while emitted < EMITS_PER_STEP {
+                    let f = &mut st.frames[top_idx];
+                    if f.p >= f.cands.len() {
+                        break;
+                    }
+                    let c = f.cands[f.p];
+                    f.p += 1;
+                    let qv = seed.order[level];
+                    let mut m = st.m;
+                    m.set(qv, c);
+                    ctx.compute(1);
+                    self.emit(m);
+                    // Coalesced-search trigger when V^k ends at the last
+                    // level (|R^k| = 0 handled at class build; this arm
+                    // covers vk_size == n with class present).
+                    if seed.class.is_some() && seed.vk_size == n {
+                        self.spawn_permutations(st.seed, &m, ctx);
+                    }
+                    emitted += 1;
+                }
+                let f = &st.frames[top_idx];
+                if f.p >= f.cands.len() {
+                    // Lines 12–13: backtrack.
+                    st.frames.pop();
+                    if !self.backtrack(&mut st, seed) {
+                        return false;
+                    }
+                }
+                budget = budget.saturating_sub(emitted.max(1));
+                continue;
+            }
+
+            // Lines 15–20: find a candidate at `level` whose next-level
+            // candidate set is nonempty.
+            let f = &mut st.frames[top_idx];
+            if f.p >= f.cands.len() {
+                st.frames.pop();
+                if !self.backtrack(&mut st, seed) {
+                    return false;
+                }
+                budget -= 1;
+                continue;
+            }
+            let c = f.cands[f.p];
+            let qv = seed.order[level];
+            st.m.set(qv, c);
+            // Entering level+1; if that crosses the V^k boundary, fire the
+            // coalesced permutations for the just-completed V^k partial.
+            let crossing_vk = seed.class.is_some() && level + 1 == seed.vk_size;
+            let next = self.gen_candidates(seed, level + 1, &st.m, ctx);
+            if !next.is_empty() {
+                if crossing_vk {
+                    let m = st.m;
+                    self.spawn_permutations(st.seed, &m, ctx);
+                }
+                st.frames.push(Frame { cands: next, p: 0 });
+            } else {
+                if crossing_vk {
+                    // The V^k partial itself is complete even if it cannot
+                    // be extended: permutations may still extend.
+                    let m = st.m;
+                    self.spawn_permutations(st.seed, &m, ctx);
+                }
+                st.m.unset(qv);
+                st.frames[top_idx].p += 1;
+            }
+            budget -= 1;
+        }
+        self.state = Some(st);
+        true
+    }
+
+    /// After popping an exhausted frame, advance the parent's cursor (and
+    /// clear its assignment). Returns `false` when the whole state is done.
+    /// On `true`, the new top frame's candidate at `p` is *unassigned*
+    /// (regular top-frame semantics) and the caller's loop resumes there.
+    fn backtrack(&self, st: &mut DfsState, seed: &SeedPlan) -> bool {
+        loop {
+            let Some(top_idx) = st.frames.len().checked_sub(1) else {
+                return false;
+            };
+            let level = st.base_level + top_idx;
+            let qv = seed.order[level];
+            st.m.unset(qv);
+            let f = &mut st.frames[top_idx];
+            f.p += 1;
+            if f.p < f.cands.len() {
+                return true;
+            }
+            st.frames.pop();
+        }
+    }
+}
+
+impl WarpTask for WbmTask {
+    fn step(&mut self, ctx: &mut WarpCtx) -> StepResult {
+        if self.shared.abort.load(Ordering::Relaxed) {
+            self.flush();
+            return StepResult::Done;
+        }
+        // Continue the running DFS.
+        if self.state.is_some() {
+            if self.advance(ctx) {
+                return StepResult::Continue;
+            }
+            self.state = None;
+            return StepResult::Continue;
+        }
+        // Pull the next pending permuted partial.
+        if let Some(p) = self.pending.pop_front() {
+            let seed = &self.shared.meta.seeds[p.seed];
+            self.state = Some(DfsState {
+                seed: p.seed,
+                base_level: seed.vk_size,
+                m: p.m,
+                frames: Vec::new(),
+                warm: true,
+            });
+            ctx.compute(2);
+            return StepResult::Continue;
+        }
+        // Start the next seed.
+        while let Some((si, flipped)) = self.seed_queue.pop_front() {
+            if let Some(st) = self.start_seed(si, flipped, ctx) {
+                self.state = Some(st);
+                return StepResult::Continue;
+            }
+        }
+        self.flush();
+        StepResult::Done
+    }
+
+    fn remaining_hint(&self) -> u64 {
+        let frames: u64 = self
+            .state
+            .as_ref()
+            .map(|st| {
+                st.frames
+                    .iter()
+                    .map(|f| (f.cands.len().saturating_sub(f.p + 1)) as u64)
+                    .sum()
+            })
+            .unwrap_or(0);
+        frames + 8 * self.pending.len() as u64 + 16 * self.seed_queue.len() as u64
+    }
+
+    fn try_split(&mut self) -> Option<Box<dyn WarpTask>> {
+        // Priority 1: split the shallowest frame with ≥ 2 unexplored
+        // candidates beyond the current one (the paper's "appropriates half
+        // of the unexplored candidates along with their parents").
+        if let Some(st) = &mut self.state {
+            let seed = self.shared.meta.seeds[st.seed].clone();
+            let num_frames = st.frames.len();
+            for (fi, f) in st.frames.iter_mut().enumerate() {
+                let level = st.base_level + fi;
+                let top = fi + 1 == num_frames;
+                // Non-top frames have their current candidate assigned at
+                // `p`; unexplored start at p+1. Top frame: unexplored at p.
+                let first_unexplored = if top { f.p } else { f.p + 1 };
+                let unexplored = f.cands.len().saturating_sub(first_unexplored);
+                if unexplored < 2 {
+                    continue;
+                }
+                let take = unexplored / 2;
+                let stolen: Vec<VertexId> = f.cands.split_off(f.cands.len() - take);
+                // Parent partial: assignments for levels < this frame's.
+                let mut m = VMatch::EMPTY;
+                for l in 0..level {
+                    let qv = seed.order[l];
+                    if let Some(v) = st.m.get(qv) {
+                        m.set(qv, v);
+                    }
+                }
+                let thief_state = DfsState {
+                    seed: st.seed,
+                    base_level: level,
+                    m,
+                    frames: vec![Frame { cands: stolen, p: 0 }],
+                    warm: false,
+                };
+                return Some(Box::new(WbmTask {
+                    shared: Arc::clone(&self.shared),
+                    v1: self.v1,
+                    v2: self.v2,
+                    elabel: self.elabel,
+                    anchor_order: self.anchor_order,
+                    seed_queue: VecDeque::new(),
+                    pending: VecDeque::new(),
+                    state: Some(thief_state),
+                    local: Vec::new(),
+                    local_count: 0,
+                    nbr_buf: Vec::new(),
+                }));
+            }
+        }
+        // Priority 2: hand over half of the pending permuted partials.
+        if self.pending.len() >= 2 {
+            let take = self.pending.len() / 2;
+            let stolen: VecDeque<PendingPartial> =
+                self.pending.split_off(self.pending.len() - take);
+            return Some(Box::new(WbmTask {
+                shared: Arc::clone(&self.shared),
+                v1: self.v1,
+                v2: self.v2,
+                elabel: self.elabel,
+                anchor_order: self.anchor_order,
+                seed_queue: VecDeque::new(),
+                pending: stolen,
+                state: None,
+                local: Vec::new(),
+                local_count: 0,
+                nbr_buf: Vec::new(),
+            }));
+        }
+        // Priority 3: hand over half of the unstarted seeds.
+        if self.seed_queue.len() >= 2 {
+            let take = self.seed_queue.len() / 2;
+            let stolen: VecDeque<(usize, bool)> =
+                self.seed_queue.split_off(self.seed_queue.len() - take);
+            return Some(Box::new(WbmTask {
+                shared: Arc::clone(&self.shared),
+                v1: self.v1,
+                v2: self.v2,
+                elabel: self.elabel,
+                anchor_order: self.anchor_order,
+                seed_queue: stolen,
+                pending: VecDeque::new(),
+                state: None,
+                local: Vec::new(),
+                local_count: 0,
+                nbr_buf: Vec::new(),
+            }));
+        }
+        None
+    }
+}
+
+impl Drop for WbmTask {
+    fn drop(&mut self) {
+        // Safety net: a task dropped early (abort) must not lose counts.
+        self.flush();
+    }
+}
+
+/// Builds the per-phase anchor-order map used by the dedup rule.
+pub fn build_update_order(anchors: &[Update]) -> HashMap<u64, u32> {
+    anchors
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.key(), i as u32))
+        .collect()
+}
+
+/// Convenience: launches one kernel phase over `anchors` and returns
+/// `(matches, count, stats)`. The `gpma` and `table` are moved in and
+/// returned, mirroring host↔device buffer ownership.
+#[allow(clippy::too_many_arguments)]
+pub fn run_phase(
+    device: &gamma_gpu::Device,
+    gpma: Gpma,
+    meta: Arc<QueryMeta>,
+    table: CandidateTable,
+    encodings: Arc<Vec<u64>>,
+    anchors: &[Update],
+    collect: bool,
+    match_limit: u64,
+    abort: Arc<AtomicBool>,
+) -> (Gpma, CandidateTable, Vec<VMatch>, u64, gamma_gpu::KernelStats) {
+    let shared = Arc::new(KernelShared {
+        gpma,
+        meta,
+        table,
+        encodings,
+        update_order: build_update_order(anchors),
+        sink: Mutex::new(Vec::new()),
+        match_count: AtomicU64::new(0),
+        collect,
+        abort,
+        match_limit,
+    });
+    let tasks: Vec<Box<dyn WarpTask>> = anchors
+        .iter()
+        .enumerate()
+        .map(|(i, a)| Box::new(WbmTask::new(Arc::clone(&shared), a, i as u32)) as _)
+        .collect();
+    let stats = device.launch(tasks);
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("kernel tasks must release shared state"));
+    let count = shared.match_count.load(Ordering::Relaxed);
+    (
+        shared.gpma,
+        shared.table,
+        shared.sink.into_inner(),
+        count,
+        stats,
+    )
+}

@@ -1,0 +1,156 @@
+//! Property tests for the NLF encoding/candidate-table layer: the filter
+//! must be *sound* (never prune a vertex that participates in a true
+//! match) for every counter width, and incremental maintenance must agree
+//! with a from-scratch rebuild after arbitrary batches.
+
+use gamma_core::{CandidateTable, EncodingScheme, IncrementalEncoder};
+use gamma_datasets::{generate_query, QueryClass};
+use gamma_graph::{enumerate_matches, DynamicGraph, QueryGraph, VertexId, NO_ELABEL};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph_and_query(seed: u64) -> (DynamicGraph, QueryGraph) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(6..30);
+    let labels = rng.random_range(1..4u16);
+    let mut g = DynamicGraph::new();
+    for _ in 0..n {
+        g.add_vertex(rng.random_range(0..labels));
+    }
+    for _ in 0..rng.random_range(n..4 * n) {
+        let u = rng.random_range(0..n) as u32;
+        let v = rng.random_range(0..n) as u32;
+        if u != v {
+            g.insert_edge(u, v, NO_ELABEL);
+        }
+    }
+    let q = generate_query(&g, QueryClass::Sparse, 4, &mut rng)
+        .or_else(|| generate_query(&g, QueryClass::Tree, 3, &mut rng))
+        .unwrap_or_else(|| {
+            let mut b = QueryGraph::builder();
+            let x = b.vertex(0);
+            let y = b.vertex(0);
+            b.edge(x, y);
+            b.build()
+        });
+    (g, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn candidate_table_never_prunes_true_matches(seed in 0u64..50_000, m in 1u32..5) {
+        let (g, q) = random_graph_and_query(seed);
+        let (_enc, table) = IncrementalEncoder::build(&g, &q, m);
+        for mtch in enumerate_matches(&g, &q, Some(200)) {
+            for (u, v) in mtch.pairs() {
+                prop_assert!(
+                    table.is_candidate(v, u),
+                    "M={m}: v{v} pruned for u{u} though a match uses it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_equals_rebuild(seed in 0u64..50_000) {
+        let (mut g, q) = random_graph_and_query(seed);
+        let (mut enc, mut table) = IncrementalEncoder::build(&g, &q, 2);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let n = g.num_vertices() as u32;
+        for _ in 0..4 {
+            // Random structural change.
+            let mut touched: Vec<VertexId> = Vec::new();
+            for _ in 0..rng.random_range(1..6) {
+                let u = rng.random_range(0..n);
+                let v = rng.random_range(0..n);
+                if u == v { continue; }
+                if rng.random_bool(0.5) {
+                    if g.insert_edge(u, v, NO_ELABEL) {
+                        touched.extend([u, v]);
+                    }
+                } else if g.delete_edge(u, v).is_some() {
+                    touched.extend([u, v]);
+                }
+            }
+            let dirty = enc.reencode(&g, &touched);
+            table.refresh(&dirty, &enc.encodings, &enc.qcodes);
+            // Compare to from-scratch.
+            let (enc2, table2) = IncrementalEncoder::build(&g, &q, 2);
+            prop_assert_eq!(&enc.encodings, &enc2.encodings, "encoding drift");
+            for v in 0..n {
+                for u in 0..q.num_vertices() as u8 {
+                    prop_assert_eq!(
+                        table.is_candidate(v, u),
+                        table2.is_candidate(v, u),
+                        "row drift at v{} u{}", v, u
+                    );
+                }
+            }
+            for u in 0..q.num_vertices() as u8 {
+                prop_assert_eq!(table.count(u), table2.count(u), "count drift at u{}", u);
+            }
+        }
+    }
+
+    #[test]
+    fn wider_counters_filter_harder(seed in 0u64..50_000) {
+        // Candidates under M=4 are a subset of candidates under M=1.
+        let (g, q) = random_graph_and_query(seed);
+        let (_e1, t1) = IncrementalEncoder::build(&g, &q, 1);
+        let (_e4, t4) = IncrementalEncoder::build(&g, &q, 4);
+        for v in 0..g.num_vertices() as u32 {
+            for u in 0..q.num_vertices() as u8 {
+                if t4.is_candidate(v, u) {
+                    prop_assert!(t1.is_candidate(v, u));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn and_test_matches_definition() {
+    // Exhaustive check of the thermometer AND-test semantics on small
+    // counter values: ucode ⊆ vcode iff count_v' >= count_u' where ' is
+    // saturation at M.
+    let mut b = QueryGraph::builder();
+    let x = b.vertex(0);
+    let y = b.vertex(1);
+    b.edge(x, y);
+    let q = b.build();
+    for m in 1..=4u32 {
+        let scheme = EncodingScheme::new(&q, m);
+        for cu in 0..=5u32 {
+            for cv in 0..=5u32 {
+                // Build a star with cu/cv label-1 neighbors for two hubs.
+                let mut g = DynamicGraph::new();
+                let hu = g.add_vertex(0);
+                for _ in 0..cu {
+                    let s = g.add_vertex(1);
+                    g.insert_edge(hu, s, NO_ELABEL);
+                }
+                let hv = g.add_vertex(0);
+                for _ in 0..cv {
+                    let s = g.add_vertex(1);
+                    g.insert_edge(hv, s, NO_ELABEL);
+                }
+                let code_u = scheme.encode_data_vertex(&g, hu);
+                let code_v = scheme.encode_data_vertex(&g, hv);
+                let expected = cv.min(m) >= cu.min(m);
+                assert_eq!(
+                    EncodingScheme::is_candidate(code_u, code_v),
+                    expected,
+                    "m={m} cu={cu} cv={cv}"
+                );
+            }
+        }
+    }
+    let _ = CandidateTable::build(
+        &DynamicGraph::with_vertices(1),
+        &q,
+        &EncodingScheme::new(&q, 2),
+    );
+}

@@ -1,0 +1,210 @@
+//! Behavioural tests of the WBM kernel: stealing invariance, coalesced
+//! search equivalence, determinism of the simulated clock, and seed
+//! coverage of the coalesced plan.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use gamma_core::wbm::{build_update_order, KernelShared, QueryMeta, WbmTask};
+use gamma_core::{GammaConfig, GammaEngine, IncrementalEncoder, StealingMode};
+use gamma_datasets::{generate_queries, skewed_star_workload, DatasetPreset, QueryClass};
+use gamma_gpma::{Gpma, GpmaConfig};
+use gamma_gpu::{run_block, DeviceConfig, Stealing, WarpTask};
+use gamma_graph::{QueryGraph, Update, UpdateBatch, VMatch};
+use parking_lot::Mutex;
+
+/// Runs one raw block over the given anchors and returns sorted matches.
+fn run_raw_block(
+    g2: &gamma_graph::DynamicGraph,
+    q: &QueryGraph,
+    anchors: &[Update],
+    stealing: Stealing,
+    coalesced: bool,
+) -> (Vec<VMatch>, gamma_gpu::BlockStats) {
+    let (enc, table) = IncrementalEncoder::build(g2, q, 2);
+    let meta = Arc::new(QueryMeta::build(q, &table, enc.scheme(), coalesced, 2));
+    let shared = Arc::new(KernelShared {
+        gpma: Gpma::from_graph(g2, GpmaConfig::default()),
+        meta,
+        table,
+        encodings: Arc::new(enc.encodings.clone()),
+        update_order: build_update_order(anchors),
+        sink: Mutex::new(Vec::new()),
+        match_count: std::sync::atomic::AtomicU64::new(0),
+        collect: true,
+        abort: Arc::new(AtomicBool::new(false)),
+        match_limit: u64::MAX,
+    });
+    let tasks: Vec<Box<dyn WarpTask>> = anchors
+        .iter()
+        .enumerate()
+        .map(|(i, a)| Box::new(WbmTask::new(Arc::clone(&shared), a, i as u32)) as _)
+        .collect();
+    let cfg = DeviceConfig {
+        stealing,
+        min_steal_hint: 2,
+        ..DeviceConfig::single_sm()
+    };
+    let out = run_block(tasks, &cfg);
+    let shared = Arc::try_unwrap(shared).unwrap_or_else(|_| panic!("tasks leaked"));
+    let mut ms = shared.sink.into_inner();
+    ms.sort_unstable();
+    (ms, out.stats)
+}
+
+fn star_instance() -> (gamma_graph::DynamicGraph, Vec<Update>, QueryGraph) {
+    let (g, ups, q) = skewed_star_workload(3, 150);
+    let mut g2 = g.clone();
+    UpdateBatch::canonicalize(&g, &ups).apply(&mut g2);
+    (g2, ups, q)
+}
+
+#[test]
+fn stealing_preserves_exact_match_set() {
+    let (g2, ups, q) = star_instance();
+    let (off, s_off) = run_raw_block(&g2, &q, &ups, Stealing::Off, false);
+    let (act, s_act) = run_raw_block(&g2, &q, &ups, Stealing::Active, false);
+    let (pas, s_pas) = run_raw_block(&g2, &q, &ups, Stealing::Passive, false);
+    assert_eq!(off, act, "active stealing changed the match multiset");
+    assert_eq!(off, pas, "passive stealing changed the match multiset");
+    assert!(s_act.steals > 0);
+    assert!(s_act.makespan_cycles < s_off.makespan_cycles);
+    let _ = s_pas;
+}
+
+#[test]
+fn coalesced_search_preserves_exact_match_set() {
+    let d = DatasetPreset::AZ.build(0.05, 51);
+    for class in [QueryClass::Dense, QueryClass::Sparse] {
+        let queries = generate_queries(&d.graph, class, 5, 3, 52);
+        for q in &queries {
+            let mut g = d.graph.clone();
+            let ups = gamma_datasets::split_insertion_workload(&mut g, 0.08, 53);
+            let mut g2 = g.clone();
+            UpdateBatch::canonicalize(&g, &ups).apply(&mut g2);
+            let (plain, _) = run_raw_block(&g2, &q.clone(), &ups, Stealing::Off, false);
+            let (coal, _) = run_raw_block(&g2, &q.clone(), &ups, Stealing::Off, true);
+            assert_eq!(plain, coal, "coalesced search changed results");
+        }
+    }
+}
+
+#[test]
+fn simulated_clock_is_deterministic() {
+    let (g2, ups, q) = star_instance();
+    let (_, a) = run_raw_block(&g2, &q, &ups, Stealing::Active, true);
+    let (_, b) = run_raw_block(&g2, &q, &ups, Stealing::Active, true);
+    assert_eq!(a.makespan_cycles, b.makespan_cycles);
+    assert_eq!(a.busy_cycles, b.busy_cycles);
+    assert_eq!(a.steals, b.steals);
+    assert_eq!(a.global_transactions, b.global_transactions);
+}
+
+#[test]
+fn seed_plans_cover_all_query_edges_exactly_once() {
+    let d = DatasetPreset::GH.build(0.05, 54);
+    for class in QueryClass::ALL {
+        for size in [4usize, 6, 8] {
+            for q in generate_queries(&d.graph, class, size, 3, 55) {
+                let (enc, table) = IncrementalEncoder::build(&d.graph, &q, 2);
+                let meta = QueryMeta::build(&q, &table, enc.scheme(), true, 2);
+                // Every edge: either a seed or a member of exactly one class.
+                let mut covered = std::collections::BTreeSet::new();
+                for s in &meta.seeds {
+                    assert!(covered.insert((s.a.min(s.b), s.a.max(s.b))));
+                }
+                for class in &meta.plan.classes {
+                    for m in &class.members {
+                        let e = (m.edge.0.min(m.edge.1), m.edge.0.max(m.edge.1));
+                        assert!(covered.insert(e), "edge {e:?} covered twice");
+                    }
+                }
+                assert_eq!(covered.len(), q.num_edges());
+                // Rep seeds place all of V^k before R^k in their order.
+                for s in meta.seeds.iter().filter(|s| s.class.is_some()) {
+                    let ci = s.class.unwrap();
+                    let mask = meta.plan.classes[ci].vk_mask;
+                    for (lvl, &qv) in s.order.iter().enumerate() {
+                        let in_vk = mask & (1 << qv) != 0;
+                        assert_eq!(
+                            in_vk,
+                            lvl < s.vk_size,
+                            "order {:?} violates V^k-first at level {lvl}",
+                            s.order
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn vk_codes_are_weaker_than_full_codes() {
+    // The V^k-restricted code of a vertex must never be stricter than the
+    // full-query code (it drops R^k-derived constraints).
+    let mut b = QueryGraph::builder();
+    let u0 = b.vertex(0);
+    let u1 = b.vertex(1);
+    let u2 = b.vertex(1);
+    let u3 = b.vertex(2);
+    b.edge(u0, u1).edge(u0, u2).edge(u1, u2).edge(u1, u3);
+    let q = b.build();
+    let g = {
+        let mut g = gamma_graph::DynamicGraph::new();
+        for &l in &[0u16, 1, 1, 2] {
+            g.add_vertex(l);
+        }
+        g.insert_edge(0, 1, 0);
+        g.insert_edge(0, 2, 0);
+        g.insert_edge(1, 2, 0);
+        g.insert_edge(1, 3, 0);
+        g
+    };
+    let (enc, table) = IncrementalEncoder::build(&g, &q, 2);
+    let meta = QueryMeta::build(&q, &table, enc.scheme(), true, 2);
+    assert!(!meta.plan.classes.is_empty());
+    for (ci, class) in meta.plan.classes.iter().enumerate() {
+        for w in 0..q.num_vertices() as u8 {
+            if class.vk_mask & (1 << w) == 0 {
+                continue;
+            }
+            let vk_code = meta.class_vk_codes[ci][w as usize];
+            let full_code = enc.qcodes[w as usize];
+            // vk_code's bits are a subset of full_code's bits.
+            assert_eq!(
+                vk_code & full_code,
+                vk_code,
+                "V^k code stricter than full code for u{w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_warp_skew_is_visible_without_stealing() {
+    let (g2, ups, q) = star_instance();
+    let (_, stats) = run_raw_block(&g2, &q, &ups, Stealing::Off, false);
+    assert_eq!(stats.warp_busy.len(), 2);
+    let (small, large) = (stats.warp_busy[0], stats.warp_busy[1]);
+    assert!(
+        large > 5 * small,
+        "expected heavy skew: small={small} large={large}"
+    );
+}
+
+#[test]
+fn engine_abort_flag_stops_everything() {
+    // A pre-set abort aborts instantly; the engine reports timed_out.
+    let d = DatasetPreset::GH.build(0.05, 56);
+    let queries = generate_queries(&d.graph, QueryClass::Sparse, 5, 1, 57);
+    let q = &queries[0];
+    let mut g = d.graph.clone();
+    let ups = gamma_datasets::split_insertion_workload(&mut g, 0.05, 58);
+    let mut cfg = GammaConfig::default();
+    cfg.device.stealing = StealingMode::Active;
+    cfg.timeout = Some(std::time::Duration::ZERO);
+    let mut engine = GammaEngine::new(g, q, cfg);
+    let r = engine.apply_batch(&ups);
+    assert!(r.stats.timed_out);
+}

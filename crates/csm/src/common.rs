@@ -1,0 +1,389 @@
+//! The CSM trait and the shared edge-anchored extension search.
+
+use std::time::Instant;
+
+use gamma_graph::{DynamicGraph, Op, QueryGraph, Update, VMatch, VertexId};
+
+/// How often (in candidate attempts) the search re-reads the clock when a
+/// deadline is armed.
+const DEADLINE_STRIDE: u32 = 1024;
+
+/// A cooperative time budget for the enumeration helpers: the search
+/// checks the clock every [`DEADLINE_STRIDE`] candidate attempts and
+/// abandons cleanly once `deadline` passes (the paper's 30-minute
+/// unsolved-query rule, scaled down).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchBudget {
+    /// Absolute cutoff; `None` = unlimited.
+    pub deadline: Option<Instant>,
+}
+
+impl SearchBudget {
+    /// Unlimited budget.
+    pub const UNLIMITED: SearchBudget = SearchBudget { deadline: None };
+
+    /// A budget expiring at `deadline`.
+    pub fn until(deadline: Instant) -> Self {
+        Self {
+            deadline: Some(deadline),
+        }
+    }
+
+    #[inline]
+    fn expired(&self, ticks: &mut u32) -> bool {
+        match self.deadline {
+            None => false,
+            Some(d) => {
+                *ticks += 1;
+                if *ticks % DEADLINE_STRIDE == 0 {
+                    Instant::now() >= d
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Incremental matches produced by one update.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalResult {
+    /// Matches created by the update (insertions).
+    pub positive: Vec<VMatch>,
+    /// Matches destroyed by the update (deletions).
+    pub negative: Vec<VMatch>,
+}
+
+impl IncrementalResult {
+    /// Total incremental matches.
+    pub fn len(&self) -> usize {
+        self.positive.len() + self.negative.len()
+    }
+
+    /// Whether the update changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.positive.is_empty() && self.negative.is_empty()
+    }
+}
+
+/// A continuous subgraph matching engine: processes edge updates one at a
+/// time (the sequential regime GAMMA's batch processing is compared to).
+pub trait CsmEngine: Send {
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Applies one update to the engine's internal graph state and returns
+    /// the incremental matches. Inserting an existing edge or deleting a
+    /// missing one is a no-op returning empty results.
+    fn apply_update(&mut self, update: Update) -> IncrementalResult;
+
+    /// The engine's current data graph (testing aid).
+    fn graph(&self) -> &DynamicGraph;
+
+    /// Arms (or clears) a search deadline. Once it passes, enumeration
+    /// aborts cleanly mid-update; the structural update itself is still
+    /// applied, but results may be incomplete — callers treat such runs as
+    /// *unsolved*, exactly like the paper's 30-minute rule.
+    fn set_deadline(&mut self, deadline: Option<Instant>);
+
+    /// Applies a whole stream sequentially (how CSM handles a "batch"),
+    /// returning concatenated incremental results.
+    fn apply_stream(&mut self, updates: &[Update]) -> IncrementalResult {
+        let mut out = IncrementalResult::default();
+        for &u in updates {
+            let r = self.apply_update(u);
+            out.positive.extend(r.positive);
+            out.negative.extend(r.negative);
+        }
+        out
+    }
+}
+
+/// Computes a connectivity-first matching order starting at query edge
+/// `(a, b)` (shared by every baseline).
+pub fn edge_order(q: &QueryGraph, a: u8, b: u8) -> Vec<u8> {
+    let n = q.num_vertices();
+    let mut order = vec![a, b];
+    let mut placed: u16 = (1 << a) | (1 << b);
+    while order.len() < n {
+        let next = (0..n as u8)
+            .filter(|&u| placed & (1 << u) == 0)
+            .filter(|&u| q.adj_mask(u) & placed != 0)
+            .max_by_key(|&u| {
+                (
+                    (q.adj_mask(u) & placed).count_ones(),
+                    q.degree(u),
+                    usize::MAX - u as usize,
+                )
+            })
+            .expect("connected query");
+        order.push(next);
+        placed |= 1 << next;
+    }
+    order
+}
+
+/// Enumerates all matches of `q` in `g` in which query edge `(a, b)` maps
+/// onto data edge `(x, y)` (in that orientation), pruned by `filter`
+/// (candidate test per (data vertex, query vertex)). Appends to `out`.
+///
+/// This is the core "map the updated edge, then join remaining vertices"
+/// step every CSM engine shares (Graphflow's join, TurboFlux/SymBi's
+/// pruned extension, RapidFlow's reduced-query search).
+#[allow(clippy::too_many_arguments)]
+pub fn extend_edge_anchored<F: Fn(VertexId, u8) -> bool>(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    order: &[u8],
+    x: VertexId,
+    y: VertexId,
+    filter: &F,
+    out: &mut Vec<VMatch>,
+    limit: Option<usize>,
+    budget: SearchBudget,
+) {
+    let (a, b) = (order[0], order[1]);
+    if g.label(x) != q.label(a) || g.label(y) != q.label(b) {
+        return;
+    }
+    if !filter(x, a) || !filter(y, b) {
+        return;
+    }
+    let mut m = VMatch::EMPTY;
+    m.set(a, x);
+    m.set(b, y);
+    let mut ticks = 0u32;
+    rec(g, q, order, 2, &mut m, filter, out, limit, budget, &mut ticks);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec<F: Fn(VertexId, u8) -> bool>(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    order: &[u8],
+    depth: usize,
+    m: &mut VMatch,
+    filter: &F,
+    out: &mut Vec<VMatch>,
+    limit: Option<usize>,
+    budget: SearchBudget,
+    ticks: &mut u32,
+) -> bool {
+    if limit.is_some_and(|l| out.len() >= l) {
+        return false;
+    }
+    if depth == order.len() {
+        out.push(*m);
+        return limit.is_none_or(|l| out.len() < l);
+    }
+    let qv = order[depth];
+    // Seed from the smallest matched backward adjacency.
+    let mut base: Option<(VertexId, gamma_graph::ELabel)> = None;
+    for &(un, el) in q.neighbors(qv) {
+        if let Some(dv) = m.get(un) {
+            if base.is_none_or(|(bv, _)| g.degree(dv) < g.degree(bv)) {
+                base = Some((dv, el));
+            }
+        }
+    }
+    let (bv, bel) = base.expect("connected order");
+    for &(cand, el) in g.neighbors(bv) {
+        if budget.expired(ticks) {
+            return false;
+        }
+        if el != bel
+            || g.label(cand) != q.label(qv)
+            || m.uses(cand)
+            || !filter(cand, qv)
+        {
+            continue;
+        }
+        // All matched backward neighbors must connect with right labels.
+        let ok = q.neighbors(qv).iter().all(|&(un, uel)| match m.get(un) {
+            Some(dv) => g.edge_label(cand, dv) == Some(uel),
+            None => true,
+        });
+        if !ok {
+            continue;
+        }
+        m.set(qv, cand);
+        let go_on = rec(g, q, order, depth + 1, m, filter, out, limit, budget, ticks);
+        m.unset(qv);
+        if !go_on {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates all matches containing data edge `(u, v)` on *any* query
+/// edge in either orientation (dedup-free by construction: a match's
+/// assignment determines which query pair covers the data edge).
+#[allow(clippy::too_many_arguments)]
+pub fn matches_using_edge<F: Fn(VertexId, u8) -> bool>(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    u: VertexId,
+    v: VertexId,
+    elabel: gamma_graph::ELabel,
+    filter: &F,
+    out: &mut Vec<VMatch>,
+    budget: SearchBudget,
+) {
+    for e in q.edges() {
+        if e.label != elabel {
+            continue;
+        }
+        let order = edge_order(q, e.u, e.v);
+        extend_edge_anchored(g, q, &order, u, v, filter, out, None, budget);
+        extend_edge_anchored(g, q, &order, v, u, filter, out, None, budget);
+    }
+}
+
+/// Shared insert/delete skeleton: positives for inserts are enumerated
+/// after applying the edge; negatives for deletes before removing it.
+pub fn apply_update_generic<F: Fn(&DynamicGraph, VertexId, u8) -> bool>(
+    g: &mut DynamicGraph,
+    q: &QueryGraph,
+    update: Update,
+    filter: F,
+    budget: SearchBudget,
+) -> IncrementalResult {
+    let mut res = IncrementalResult::default();
+    match update.op {
+        Op::Insert => {
+            if (update.u as usize) >= g.num_vertices()
+                || (update.v as usize) >= g.num_vertices()
+                || !g.insert_edge(update.u, update.v, update.label)
+            {
+                return res;
+            }
+            let gg: &DynamicGraph = g;
+            matches_using_edge(
+                gg,
+                q,
+                update.u,
+                update.v,
+                update.label,
+                &|v, u| filter(gg, v, u),
+                &mut res.positive,
+                budget,
+            );
+        }
+        Op::Delete => {
+            if (update.u as usize) >= g.num_vertices()
+                || (update.v as usize) >= g.num_vertices()
+            {
+                return res;
+            }
+            let Some(el) = g.edge_label(update.u, update.v) else {
+                return res;
+            };
+            {
+                let gg: &DynamicGraph = g;
+                matches_using_edge(
+                    gg,
+                    q,
+                    update.u,
+                    update.v,
+                    el,
+                    &|v, u| filter(gg, v, u),
+                    &mut res.negative,
+                    budget,
+                );
+            }
+            g.delete_edge(update.u, update.v);
+        }
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_graph::NO_ELABEL;
+
+    fn fig1() -> (DynamicGraph, QueryGraph) {
+        let mut g = DynamicGraph::new();
+        for &l in &[0u16, 0, 1, 1, 1, 1, 1, 2, 2, 2] {
+            g.add_vertex(l);
+        }
+        for &(u, v) in &[
+            (0, 3),
+            (0, 4),
+            (2, 3),
+            (2, 4),
+            (3, 7),
+            (2, 8),
+            (1, 5),
+            (1, 6),
+            (5, 6),
+            (5, 9),
+            (4, 7),
+        ] {
+            g.insert_edge(u, v, NO_ELABEL);
+        }
+        let mut b = QueryGraph::builder();
+        let u0 = b.vertex(0);
+        let u1 = b.vertex(1);
+        let u2 = b.vertex(1);
+        let u3 = b.vertex(2);
+        b.edge(u0, u1).edge(u0, u2).edge(u1, u2).edge(u1, u3);
+        (g, b.build())
+    }
+
+    #[test]
+    fn insert_v0v2_yields_four_matches() {
+        let (mut g, q) = fig1();
+        let r = apply_update_generic(&mut g, &q, Update::insert(0, 2), |_, _, _| true, SearchBudget::UNLIMITED);
+        assert_eq!(r.positive.len(), 4, "{:?}", r.positive);
+        assert!(r.negative.is_empty());
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn delete_recovers_same_matches() {
+        let (mut g, q) = fig1();
+        g.insert_edge(0, 2, NO_ELABEL);
+        let r = apply_update_generic(&mut g, &q, Update::delete(0, 2), |_, _, _| true, SearchBudget::UNLIMITED);
+        assert_eq!(r.negative.len(), 4);
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn duplicate_insert_noop() {
+        let (mut g, q) = fig1();
+        let r = apply_update_generic(&mut g, &q, Update::insert(1, 5), |_, _, _| true, SearchBudget::UNLIMITED);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn missing_delete_noop() {
+        let (mut g, q) = fig1();
+        let r = apply_update_generic(&mut g, &q, Update::delete(0, 9), |_, _, _| true, SearchBudget::UNLIMITED);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn no_duplicate_matches_within_update() {
+        let (mut g, q) = fig1();
+        let r = apply_update_generic(&mut g, &q, Update::insert(0, 2), |_, _, _| true, SearchBudget::UNLIMITED);
+        let mut ms = r.positive.clone();
+        ms.sort_unstable();
+        ms.dedup();
+        assert_eq!(ms.len(), r.positive.len());
+    }
+
+    #[test]
+    fn edge_order_is_connected() {
+        let (_g, q) = fig1();
+        for e in q.edges() {
+            let ord = edge_order(&q, e.u, e.v);
+            let mut placed: u16 = 1 << ord[0];
+            for &u in &ord[1..] {
+                assert_ne!(q.adj_mask(u) & placed, 0);
+                placed |= 1 << u;
+            }
+        }
+    }
+}

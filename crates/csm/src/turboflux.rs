@@ -1,0 +1,222 @@
+//! TurboFlux-style CSM: a data-centric incremental candidate index.
+//!
+//! TurboFlux maintains a *data-centric graph* whose per-vertex states say
+//! which query vertices a data vertex can still play; transitions are
+//! updated incrementally per edge event, and match enumeration is pruned
+//! by those states (§III-B). The lite engine keeps the data-centric
+//! essence — an incrementally maintained vertex→query-vertex candidate
+//! bitmap driven by neighbor-label-frequency constraints — without the
+//! full edge-transition machinery.
+
+use std::time::Instant;
+
+use gamma_graph::{DynamicGraph, QueryGraph, Update, VertexId};
+
+use crate::common::{CsmEngine, IncrementalResult, SearchBudget};
+
+/// The candidate-indexed baseline.
+pub struct TurboFluxLite {
+    graph: DynamicGraph,
+    query: QueryGraph,
+    /// `index[v]` bit `u` set iff `v` currently satisfies `u`'s label and
+    /// NLF constraints.
+    index: Vec<u16>,
+    deadline: Option<Instant>,
+}
+
+impl TurboFluxLite {
+    /// Builds the engine and its initial index (the offline phase real
+    /// TurboFlux performs when registering a query).
+    pub fn new(graph: DynamicGraph, query: &QueryGraph) -> Self {
+        let mut eng = Self {
+            index: vec![0; graph.num_vertices()],
+            graph,
+            query: query.clone(),
+            deadline: None,
+        };
+        for v in 0..eng.graph.num_vertices() as VertexId {
+            eng.index[v as usize] = eng.row(v);
+        }
+        eng
+    }
+
+    /// Recomputes the candidate bitmap of `v`.
+    fn row(&self, v: VertexId) -> u16 {
+        let mut row = 0u16;
+        for u in 0..self.query.num_vertices() as u8 {
+            if self.query.label(u) != self.graph.label(v)
+                || self.graph.degree(v) < self.query.degree(u)
+            {
+                continue;
+            }
+            let ok = self
+                .query
+                .nlf(u)
+                .iter()
+                .all(|&(l, c)| self.graph.nl_count(v, l) >= c as usize);
+            if ok {
+                row |= 1 << u;
+            }
+        }
+        row
+    }
+
+    /// Refreshes index rows of the two endpoints after a structural change
+    /// (their NLF counters are the only ones that can flip).
+    fn refresh(&mut self, u: VertexId, v: VertexId) {
+        for w in [u, v] {
+            if (w as usize) < self.index.len() {
+                self.index[w as usize] = self.row(w);
+            }
+        }
+    }
+}
+
+impl CsmEngine for TurboFluxLite {
+    fn name(&self) -> &'static str {
+        "TurboFlux"
+    }
+
+    fn apply_update(&mut self, update: Update) -> IncrementalResult {
+        let mut res = IncrementalResult::default();
+        if (update.u as usize) >= self.graph.num_vertices()
+            || (update.v as usize) >= self.graph.num_vertices()
+        {
+            return res;
+        }
+        match update.op {
+            gamma_graph::Op::Insert => {
+                if !self.graph.insert_edge(update.u, update.v, update.label) {
+                    return res;
+                }
+                // Index maintenance first: the new edge may enable
+                // candidates at its endpoints.
+                self.refresh(update.u, update.v);
+                let index = &self.index;
+                crate::common::matches_using_edge(
+                    &self.graph,
+                    &self.query,
+                    update.u,
+                    update.v,
+                    update.label,
+                    &|v, u| index.get(v as usize).is_some_and(|r| r & (1 << u) != 0),
+                    &mut res.positive,
+                    SearchBudget { deadline: self.deadline },
+                );
+            }
+            gamma_graph::Op::Delete => {
+                let Some(el) = self.graph.edge_label(update.u, update.v) else {
+                    return res;
+                };
+                // Enumerate dying matches against the pre-delete state
+                // (index still valid for it), then remove and refresh.
+                let index = &self.index;
+                crate::common::matches_using_edge(
+                    &self.graph,
+                    &self.query,
+                    update.u,
+                    update.v,
+                    el,
+                    &|v, u| index.get(v as usize).is_some_and(|r| r & (1 << u) != 0),
+                    &mut res.negative,
+                    SearchBudget { deadline: self.deadline },
+                );
+                self.graph.delete_edge(update.u, update.v);
+                self.refresh(update.u, update.v);
+            }
+        }
+        res
+    }
+
+    fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_graph::NO_ELABEL;
+
+    fn fig1() -> (DynamicGraph, QueryGraph) {
+        let mut g = DynamicGraph::new();
+        for &l in &[0u16, 0, 1, 1, 1, 1, 1, 2, 2, 2] {
+            g.add_vertex(l);
+        }
+        for &(u, v) in &[
+            (0, 3),
+            (0, 4),
+            (2, 3),
+            (2, 4),
+            (3, 7),
+            (2, 8),
+            (1, 5),
+            (1, 6),
+            (5, 6),
+            (5, 9),
+            (4, 7),
+        ] {
+            g.insert_edge(u, v, NO_ELABEL);
+        }
+        let mut b = QueryGraph::builder();
+        let u0 = b.vertex(0);
+        let u1 = b.vertex(1);
+        let u2 = b.vertex(1);
+        let u3 = b.vertex(2);
+        b.edge(u0, u1).edge(u0, u2).edge(u1, u2).edge(u1, u3);
+        (g, b.build())
+    }
+
+    #[test]
+    fn finds_fig1_matches() {
+        let (g, q) = fig1();
+        let mut eng = TurboFluxLite::new(g, &q);
+        let r = eng.apply_update(Update::insert(0, 2));
+        assert_eq!(r.positive.len(), 4);
+        // Delete brings them back as negatives.
+        let r = eng.apply_update(Update::delete(0, 2));
+        assert_eq!(r.negative.len(), 4);
+    }
+
+    #[test]
+    fn index_stays_consistent() {
+        let (g, q) = fig1();
+        let mut eng = TurboFluxLite::new(g, &q);
+        eng.apply_update(Update::insert(0, 2));
+        eng.apply_update(Update::delete(1, 5));
+        eng.apply_update(Update::insert(1, 5));
+        for v in 0..eng.graph.num_vertices() as VertexId {
+            assert_eq!(eng.index[v as usize], eng.row(v), "row drift at v{v}");
+        }
+    }
+
+    #[test]
+    fn index_prunes_but_never_wrongly() {
+        // Compare against the filter-free Graphflow on the same updates.
+        let (g, q) = fig1();
+        let mut tf = TurboFluxLite::new(g.clone(), &q);
+        let mut gf = crate::GraphflowLite::new(g, &q);
+        for up in [
+            Update::insert(0, 2),
+            Update::insert(1, 4),
+            Update::delete(0, 2),
+        ] {
+            let a = tf.apply_update(up);
+            let b = gf.apply_update(up);
+            let mut pa = a.positive.clone();
+            let mut pb = b.positive.clone();
+            pa.sort_unstable();
+            pb.sort_unstable();
+            assert_eq!(pa, pb);
+            let mut na = a.negative.clone();
+            let mut nb = b.negative.clone();
+            na.sort_unstable();
+            nb.sort_unstable();
+            assert_eq!(na, nb);
+        }
+    }
+}

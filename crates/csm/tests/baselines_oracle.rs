@@ -1,0 +1,131 @@
+//! Every CSM baseline must produce exactly the oracle's incremental
+//! matches for each individual update, on random graphs/queries/streams.
+
+use gamma_csm::{all_baselines, CsmEngine};
+use gamma_datasets::{generate_query, QueryClass};
+use gamma_graph::{enumerate_matches, DynamicGraph, QueryGraph, Update, VMatch, NO_ELABEL};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn all_matches(g: &DynamicGraph, q: &QueryGraph) -> Vec<VMatch> {
+    let mut ms = enumerate_matches(g, q, None);
+    ms.sort_unstable();
+    ms
+}
+
+fn random_instance(seed: u64) -> (DynamicGraph, QueryGraph, Vec<Update>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(8..24);
+    let labels = rng.random_range(1..4u16);
+    let mut g = DynamicGraph::new();
+    for _ in 0..n {
+        g.add_vertex(rng.random_range(0..labels));
+    }
+    for _ in 0..rng.random_range(n..3 * n) {
+        let u = rng.random_range(0..n) as u32;
+        let v = rng.random_range(0..n) as u32;
+        if u != v {
+            g.insert_edge(u, v, NO_ELABEL);
+        }
+    }
+    let q = generate_query(&g, QueryClass::Tree, rng.random_range(3..5), &mut rng)
+        .or_else(|| generate_query(&g, QueryClass::Sparse, 4, &mut rng))
+        .unwrap_or_else(|| {
+            let mut b = QueryGraph::builder();
+            let x = b.vertex(0);
+            let y = b.vertex(0);
+            b.edge(x, y);
+            b.build()
+        });
+    let mut raw = Vec::new();
+    for _ in 0..rng.random_range(1..8) {
+        let u = rng.random_range(0..n) as u32;
+        let v = rng.random_range(0..n) as u32;
+        if u == v {
+            continue;
+        }
+        if rng.random_bool(0.5) {
+            raw.push(Update::insert(u, v));
+        } else {
+            raw.push(Update::delete(u, v));
+        }
+    }
+    (g, q, raw)
+}
+
+/// Checks one engine against per-update snapshot diffs.
+fn check_engine(mut engine: Box<dyn CsmEngine>, g0: &DynamicGraph, q: &QueryGraph, raw: &[Update]) {
+    let mut shadow = g0.clone();
+    for &up in raw {
+        let before = all_matches(&shadow, q);
+        // Shadow-apply.
+        let applied = match up.op {
+            gamma_graph::Op::Insert => shadow.insert_edge(up.u, up.v, up.label),
+            gamma_graph::Op::Delete => shadow.delete_edge(up.u, up.v).is_some(),
+        };
+        let after = all_matches(&shadow, q);
+        let oracle_pos: Vec<VMatch> = after
+            .iter()
+            .filter(|m| before.binary_search(m).is_err())
+            .copied()
+            .collect();
+        let oracle_neg: Vec<VMatch> = before
+            .iter()
+            .filter(|m| after.binary_search(m).is_err())
+            .copied()
+            .collect();
+        let r = engine.apply_update(up);
+        let mut gp = r.positive.clone();
+        gp.sort_unstable();
+        let mut gn = r.negative.clone();
+        gn.sort_unstable();
+        assert_eq!(
+            gp,
+            oracle_pos,
+            "{}: positive mismatch on {up:?} (applied={applied})",
+            engine.name()
+        );
+        assert_eq!(gn, oracle_neg, "{}: negative mismatch on {up:?}", engine.name());
+        assert_eq!(engine.graph().num_edges(), shadow.num_edges());
+    }
+}
+
+#[test]
+fn all_baselines_match_oracle_on_fixed_seeds() {
+    for seed in [1u64, 7, 42, 99, 1234] {
+        let (g, q, raw) = random_instance(seed);
+        for engine in all_baselines(&g, &q) {
+            check_engine(engine, &g, &q, &raw);
+        }
+    }
+}
+
+#[test]
+fn engine_names_are_distinct() {
+    let mut g = DynamicGraph::with_vertices(3);
+    g.insert_edge(0, 1, NO_ELABEL);
+    let mut b = QueryGraph::builder();
+    let x = b.vertex(0);
+    let y = b.vertex(0);
+    b.edge(x, y);
+    let q = b.build();
+    let names: Vec<&str> = all_baselines(&g, &q).iter().map(|e| e.name()).collect();
+    assert_eq!(names.len(), 5);
+    let mut uniq = names.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    assert_eq!(uniq.len(), 5, "{names:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn baselines_match_oracle_on_random_instances(seed in 0u64..100_000) {
+        let (g, q, raw) = random_instance(seed);
+        for engine in all_baselines(&g, &q) {
+            check_engine(engine, &g, &q, &raw);
+        }
+    }
+}

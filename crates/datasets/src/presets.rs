@@ -1,0 +1,160 @@
+//! Scaled-down analogues of the paper's six datasets (Table II).
+
+use gamma_graph::DynamicGraph;
+
+use crate::synth::{generate_graph, SynthSpec};
+
+/// The six dataset shapes of Table II.
+///
+/// | preset | paper |V| | paper |E| | |Σ_V| | |Σ_E| | d_avg |
+/// |--------|-----------|-----------|-------|-------|-------|
+/// | GH     | 37.7K     | 0.3M      | 5     | 1     | 15.3  |
+/// | ST     | 1.7M      | 11.1M     | 25    | 1     | 13.1  |
+/// | AZ     | 0.4M      | 2.4M      | 6     | 1     | 12.2  |
+/// | LJ     | 4.9M      | 42.9M     | 30    | 1     | 18.1  |
+/// | NF     | 3.1M      | 2.9M      | 1     | 7     | 2.0   |
+/// | LS     | 5.2M      | 20.3M     | 1     | 44    | 8.2   |
+///
+/// The synthetic analogue keeps `|Σ_V|`, `|Σ_E|` and `d_avg` exactly and
+/// scales `|V|` to a laptop-friendly default (`scale = 1.0` ≈ thousands of
+/// vertices; pass a larger scale for stress runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetPreset {
+    /// GitHub: small, dense-ish, 5 vertex labels.
+    GH,
+    /// Skitter: large, 25 vertex labels.
+    ST,
+    /// Amazon: mid-sized, 6 vertex labels.
+    AZ,
+    /// LiveJournal: largest, highest average degree.
+    LJ,
+    /// Netflow: edge-labeled (7), very sparse, single vertex label.
+    NF,
+    /// LSBench: edge-labeled (44), single vertex label.
+    LS,
+}
+
+impl DatasetPreset {
+    /// All six presets in Table II order.
+    pub const ALL: [DatasetPreset; 6] = [
+        DatasetPreset::GH,
+        DatasetPreset::ST,
+        DatasetPreset::AZ,
+        DatasetPreset::LJ,
+        DatasetPreset::NF,
+        DatasetPreset::LS,
+    ];
+
+    /// Table II's short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetPreset::GH => "GH",
+            DatasetPreset::ST => "ST",
+            DatasetPreset::AZ => "AZ",
+            DatasetPreset::LJ => "LJ",
+            DatasetPreset::NF => "NF",
+            DatasetPreset::LS => "LS",
+        }
+    }
+
+    /// The generator spec at `scale = 1.0`.
+    pub fn spec(&self, scale: f64) -> SynthSpec {
+        let (base_v, avg_degree, vertex_labels, edge_labels): (usize, f64, usize, usize) =
+            match self {
+                DatasetPreset::GH => (1_800, 15.3, 5, 1),
+                DatasetPreset::ST => (6_000, 13.1, 25, 1),
+                DatasetPreset::AZ => (3_500, 12.2, 6, 1),
+                DatasetPreset::LJ => (8_000, 18.1, 30, 1),
+                DatasetPreset::NF => (6_000, 2.0, 1, 7),
+                DatasetPreset::LS => (7_000, 8.2, 1, 44),
+            };
+        SynthSpec {
+            num_vertices: ((base_v as f64 * scale).round() as usize).max(16),
+            avg_degree,
+            vertex_labels,
+            edge_labels,
+            degree_skew: 0.9,
+            label_skew: 0.6,
+            edge_label_skew: match self {
+                // NF's edge labels are called out as highly skewed (§VI-B).
+                DatasetPreset::NF => 1.4,
+                _ => 0.8,
+            },
+        }
+    }
+
+    /// Generates the dataset at the given scale, deterministically.
+    pub fn build(&self, scale: f64, seed: u64) -> Dataset {
+        let spec = self.spec(scale);
+        let graph = generate_graph(&spec, seed ^ (*self as u64) << 32);
+        Dataset {
+            preset: *self,
+            graph,
+            spec,
+        }
+    }
+}
+
+/// A generated dataset: the graph plus its provenance.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Which Table II shape this mimics.
+    pub preset: DatasetPreset,
+    /// The data graph.
+    pub graph: DynamicGraph,
+    /// The spec it was generated from.
+    pub spec: SynthSpec,
+}
+
+impl Dataset {
+    /// Short name (Table II).
+    pub fn name(&self) -> &'static str {
+        self.preset.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_build() {
+        for p in DatasetPreset::ALL {
+            let d = p.build(0.25, 1);
+            assert!(d.graph.num_vertices() >= 16, "{}", p.name());
+            assert!(d.graph.num_edges() > 0, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn shape_parameters_respected() {
+        let gh = DatasetPreset::GH.build(1.0, 2);
+        assert_eq!(gh.graph.num_vertices(), 1800);
+        assert!((gh.graph.avg_degree() - 15.3).abs() < 0.2);
+        assert!(gh.graph.distinct_vertex_labels() <= 5);
+
+        let nf = DatasetPreset::NF.build(1.0, 2);
+        assert!((nf.graph.avg_degree() - 2.0).abs() < 0.1);
+        assert_eq!(nf.graph.distinct_vertex_labels(), 1);
+        // Edge labels in use.
+        let distinct_elabels: std::collections::BTreeSet<_> =
+            nf.graph.edges().map(|(_, _, l)| l).collect();
+        assert!(distinct_elabels.len() > 1);
+    }
+
+    #[test]
+    fn scaling_scales_vertices() {
+        let small = DatasetPreset::AZ.build(0.1, 3);
+        let big = DatasetPreset::AZ.build(0.5, 3);
+        assert!(big.graph.num_vertices() > 4 * small.graph.num_vertices());
+    }
+
+    #[test]
+    fn lj_vs_ls_degree_story() {
+        // The paper: "LJ boasts a substantially higher average degree"
+        // than LS. The presets must preserve that relation.
+        let lj = DatasetPreset::LJ.build(0.25, 4);
+        let ls = DatasetPreset::LS.build(0.25, 4);
+        assert!(lj.graph.avg_degree() > 2.0 * ls.graph.avg_degree());
+    }
+}

@@ -1,0 +1,310 @@
+//! Query-set generation by random-walk extraction (§VI-A).
+//!
+//! "Following precedent studies, we generate query graphs by randomly
+//! extracting subgraphs from the data graph. The query graphs are
+//! categorized into Dense (d_avg ≥ 3), Sparse (d_avg < 3), and Tree
+//! (d_avg = |V_Q| - 1 edges)". Extracted queries inherit vertex and edge
+//! labels from the data graph, so every generated query has at least one
+//! match in the unmodified graph.
+
+use gamma_graph::{DynamicGraph, QEdge, QueryGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three query structures of the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Average degree ≥ 3.
+    Dense,
+    /// Average degree < 3, but not a tree.
+    Sparse,
+    /// Spanning tree (`|E| = |V| - 1`).
+    Tree,
+}
+
+impl QueryClass {
+    /// All classes in the paper's order.
+    pub const ALL: [QueryClass; 3] = [QueryClass::Dense, QueryClass::Sparse, QueryClass::Tree];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryClass::Dense => "Dense",
+            QueryClass::Sparse => "Sparse",
+            QueryClass::Tree => "Tree",
+        }
+    }
+}
+
+/// Generates one query of `size` vertices and the requested class by
+/// random-walk extraction from `g`. Returns `None` if no suitable region
+/// was found within the attempt budget (e.g. Dense queries on a very
+/// sparse graph).
+pub fn generate_query(
+    g: &DynamicGraph,
+    class: QueryClass,
+    size: usize,
+    rng: &mut StdRng,
+) -> Option<QueryGraph> {
+    assert!(size >= 2 && size <= gamma_graph::MAX_QUERY_VERTICES);
+    let n = g.num_vertices();
+    if n < size {
+        return None;
+    }
+    'attempt: for _ in 0..200 {
+        // Random connected vertex set via neighbor expansion. Dense queries
+        // seed at high-degree vertices to find dense regions faster.
+        let start = match class {
+            QueryClass::Dense => {
+                let mut best = rng.random_range(0..n) as VertexId;
+                for _ in 0..8 {
+                    let c = rng.random_range(0..n) as VertexId;
+                    if g.degree(c) > g.degree(best) {
+                        best = c;
+                    }
+                }
+                best
+            }
+            _ => rng.random_range(0..n) as VertexId,
+        };
+        if g.degree(start) == 0 {
+            continue;
+        }
+        let mut chosen: Vec<VertexId> = vec![start];
+        while chosen.len() < size {
+            // Expand from a random chosen vertex to a random neighbor.
+            let mut grown = false;
+            for _ in 0..20 {
+                let &anchor = &chosen[rng.random_range(0..chosen.len())];
+                let nbrs = g.neighbors(anchor);
+                if nbrs.is_empty() {
+                    continue;
+                }
+                let (cand, _) = nbrs[rng.random_range(0..nbrs.len())];
+                if !chosen.contains(&cand) {
+                    chosen.push(cand);
+                    grown = true;
+                    break;
+                }
+            }
+            if !grown {
+                continue 'attempt;
+            }
+        }
+
+        // Induced edges among chosen vertices.
+        let mut edges: Vec<(u8, u8, u16)> = Vec::new();
+        for i in 0..size {
+            for j in (i + 1)..size {
+                if let Some(el) = g.edge_label(chosen[i], chosen[j]) {
+                    edges.push((i as u8, j as u8, el));
+                }
+            }
+        }
+
+        let kept = match class {
+            QueryClass::Dense => {
+                // Need d_avg >= 3, i.e. |E| >= ceil(1.5 |V|).
+                let need = (3 * size).div_ceil(2);
+                if edges.len() < need {
+                    continue;
+                }
+                edges
+            }
+            QueryClass::Tree => spanning_tree(size, &edges, rng)?,
+            QueryClass::Sparse => {
+                // Tree edges plus at least one extra, staying under
+                // d_avg < 3 (|E| < 1.5 |V|).
+                let tree = spanning_tree(size, &edges, rng)?;
+                let limit = ((3 * size - 1) / 2).max(size); // |E| <= this keeps d_avg < 3
+                let mut kept = tree.clone();
+                let mut extras: Vec<(u8, u8, u16)> = edges
+                    .iter()
+                    .copied()
+                    .filter(|e| !tree.contains(e))
+                    .collect();
+                if extras.is_empty() {
+                    continue; // would be a tree, not Sparse
+                }
+                // Shuffle extras and add while under the cap.
+                for i in (1..extras.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    extras.swap(i, j);
+                }
+                for e in extras {
+                    if kept.len() >= limit {
+                        break;
+                    }
+                    kept.push(e);
+                }
+                if kept.len() == tree.len() {
+                    continue;
+                }
+                kept
+            }
+        };
+
+        let mut b = QueryGraph::builder();
+        for &v in &chosen {
+            b.vertex(g.label(v));
+        }
+        for &(i, j, el) in &kept {
+            b.edge_labeled(i, j, el);
+        }
+        let q = b.build();
+        debug_assert!(q.is_connected());
+        match class {
+            QueryClass::Dense => debug_assert!(q.avg_degree() >= 3.0),
+            QueryClass::Sparse => debug_assert!(q.avg_degree() < 3.0 && !q.is_tree()),
+            QueryClass::Tree => debug_assert!(q.is_tree()),
+        }
+        return Some(q);
+    }
+    None
+}
+
+/// Random spanning tree over the `size` vertices using only `edges`;
+/// `None` if the induced subgraph is disconnected.
+fn spanning_tree(size: usize, edges: &[(u8, u8, u16)], rng: &mut StdRng) -> Option<Vec<(u8, u8, u16)>> {
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    // Union-find.
+    let mut parent: Vec<u8> = (0..size as u8).collect();
+    fn find(parent: &mut [u8], x: u8) -> u8 {
+        if parent[x as usize] != x {
+            let r = find(parent, parent[x as usize]);
+            parent[x as usize] = r;
+        }
+        parent[x as usize]
+    }
+    let mut tree = Vec::with_capacity(size - 1);
+    for idx in order {
+        let (a, bb, el) = edges[idx];
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, bb));
+        if ra != rb {
+            parent[ra as usize] = rb;
+            tree.push((a, bb, el));
+            if tree.len() == size - 1 {
+                return Some(tree);
+            }
+        }
+    }
+    None
+}
+
+/// Generates a query set: `count` queries of the class and size, skipping
+/// failed extractions (the returned set may be smaller on hostile graphs).
+pub fn generate_queries(
+    g: &DynamicGraph,
+    class: QueryClass,
+    size: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<QueryGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count * 3 {
+        if out.len() == count {
+            break;
+        }
+        if let Some(q) = generate_query(g, class, size, &mut rng) {
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// Checks that `q`'s edges (as a QEdge list) are plausible; testing aid.
+pub fn assert_class(q: &QueryGraph, class: QueryClass) {
+    let _: &[QEdge] = q.edges();
+    match class {
+        QueryClass::Dense => assert!(q.avg_degree() >= 3.0, "not dense: {}", q.avg_degree()),
+        QueryClass::Sparse => {
+            assert!(q.avg_degree() < 3.0 && !q.is_tree(), "not sparse")
+        }
+        QueryClass::Tree => assert!(q.is_tree(), "not a tree"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::DatasetPreset;
+    use gamma_graph::enumerate_matches;
+
+    #[test]
+    fn classes_respected_on_gh() {
+        let d = DatasetPreset::GH.build(0.3, 11);
+        for class in QueryClass::ALL {
+            let qs = generate_queries(&d.graph, class, 6, 5, 99);
+            assert!(!qs.is_empty(), "{}: no queries", class.name());
+            for q in &qs {
+                assert_eq!(q.num_vertices(), 6);
+                assert_class(q, class);
+            }
+        }
+    }
+
+    #[test]
+    fn extracted_queries_have_matches() {
+        let d = DatasetPreset::GH.build(0.2, 12);
+        for class in QueryClass::ALL {
+            let qs = generate_queries(&d.graph, class, 5, 3, 100);
+            for q in &qs {
+                let ms = enumerate_matches(&d.graph, q, Some(1));
+                assert!(!ms.is_empty(), "{} query without match", class.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_span_4_to_12() {
+        let d = DatasetPreset::LJ.build(0.15, 13);
+        for size in [4usize, 8, 12] {
+            let qs = generate_queries(&d.graph, QueryClass::Tree, size, 2, size as u64);
+            for q in &qs {
+                assert_eq!(q.num_vertices(), size);
+                assert!(q.is_tree());
+            }
+        }
+    }
+
+    #[test]
+    fn dense_queries_unavailable_on_sparse_graph() {
+        // NF has d_avg = 2; dense 8-vertex regions are essentially absent.
+        let d = DatasetPreset::NF.build(0.2, 14);
+        let qs = generate_queries(&d.graph, QueryClass::Dense, 10, 3, 15);
+        // Not asserting emptiness (RNG may find a pocket), but the API must
+        // not hang or panic and any result must really be dense.
+        for q in &qs {
+            assert_class(q, QueryClass::Dense);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = DatasetPreset::AZ.build(0.2, 15);
+        let a = generate_queries(&d.graph, QueryClass::Sparse, 6, 4, 7);
+        let b = generate_queries(&d.graph, QueryClass::Sparse, 6, 4, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.edges(), y.edges());
+            assert_eq!(x.labels(), y.labels());
+        }
+    }
+
+    #[test]
+    fn edge_labels_preserved_on_ls() {
+        let d = DatasetPreset::LS.build(0.2, 16);
+        let qs = generate_queries(&d.graph, QueryClass::Tree, 5, 3, 8);
+        // LS has 44 edge labels; extracted queries should carry them.
+        let any_labeled = qs
+            .iter()
+            .flat_map(|q| q.edges())
+            .any(|e| e.label != gamma_graph::NO_ELABEL);
+        assert!(any_labeled || qs.is_empty());
+    }
+}

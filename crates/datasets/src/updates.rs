@@ -1,0 +1,234 @@
+//! Update-stream generation (§VI-A, Figures 9–11; Figure 6's skewed star).
+
+use gamma_graph::{kcore::core_numbers, DynamicGraph, QueryGraph, Update, VertexId, NO_ELABEL};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Produces an insertion batch of `rate * |E|` edges by *removing* that
+/// many random edges from `g` (mutating it into the pre-batch graph) and
+/// returning them as insertions. This mirrors the standard CSM evaluation
+/// setup: the inserted edges are real edges of the dataset, so insertions
+/// have realistic label/degree structure.
+pub fn split_insertion_workload(g: &mut DynamicGraph, rate: f64, seed: u64) -> Vec<Update> {
+    assert!((0.0..=1.0).contains(&rate));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let count = ((g.num_edges() as f64) * rate).round() as usize;
+    let mut edges: Vec<(VertexId, VertexId, u16)> = g.edges().collect();
+    partial_shuffle(&mut edges, count, &mut rng);
+    let mut updates = Vec::with_capacity(count);
+    for &(u, v, l) in edges.iter().take(count) {
+        g.delete_edge(u, v);
+        updates.push(Update::insert_labeled(u, v, l));
+    }
+    updates
+}
+
+/// Samples a deletion batch of `rate * |E|` live edges (without mutating
+/// `g`; the engine applies them).
+pub fn sample_deletion_workload(g: &DynamicGraph, rate: f64, seed: u64) -> Vec<Update> {
+    assert!((0.0..=1.0).contains(&rate));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let count = ((g.num_edges() as f64) * rate).round() as usize;
+    let mut edges: Vec<(VertexId, VertexId, u16)> = g.edges().collect();
+    partial_shuffle(&mut edges, count, &mut rng);
+    edges
+        .iter()
+        .take(count)
+        .map(|&(u, v, _)| Update::delete(u, v))
+        .collect()
+}
+
+/// Mixed workload at the paper's 2:1 insertion:deletion ratio (Figure 11):
+/// `rate * |E|` total updates; insertions are split out of `g` (mutating
+/// it), deletions sample the remaining edges. The returned batch
+/// interleaves both kinds.
+pub fn mixed_workload(g: &mut DynamicGraph, rate: f64, seed: u64) -> Vec<Update> {
+    let ins_rate = rate * 2.0 / 3.0;
+    let del_rate_of_remaining =
+        (rate / 3.0) * (1.0 / (1.0 - ins_rate)).min(1.0);
+    let mut ins = split_insertion_workload(g, ins_rate, seed);
+    let del = sample_deletion_workload(g, del_rate_of_remaining.min(1.0), seed ^ 0x5eed);
+    // Interleave 2 inserts : 1 delete to mimic a mixed stream.
+    let mut out = Vec::with_capacity(ins.len() + del.len());
+    let mut di = del.into_iter();
+    for (i, u) in ins.drain(..).enumerate() {
+        out.push(u);
+        if i % 2 == 1 {
+            if let Some(d) = di.next() {
+                out.push(d);
+            }
+        }
+    }
+    out.extend(di);
+    out
+}
+
+/// Figure-10 density workload: insertions restricted to edges whose *both*
+/// endpoints lie in the k-core of `g` ("we perform k-core decomposition …
+/// and sample edges from these cores for insertions"). Mutates `g` by
+/// removing the sampled edges. Returns `None` if the k-core holds fewer
+/// than `count` qualifying edges.
+pub fn kcore_insertion_workload(
+    g: &mut DynamicGraph,
+    rate: f64,
+    k: u32,
+    seed: u64,
+) -> Option<Vec<Update>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let count = ((g.num_edges() as f64) * rate).round() as usize;
+    let core = core_numbers(g);
+    let mut eligible: Vec<(VertexId, VertexId, u16)> = g
+        .edges()
+        .filter(|&(u, v, _)| core[u as usize] >= k && core[v as usize] >= k)
+        .collect();
+    if eligible.len() < count {
+        return None;
+    }
+    partial_shuffle(&mut eligible, count, &mut rng);
+    let mut updates = Vec::with_capacity(count);
+    for &(u, v, l) in eligible.iter().take(count) {
+        g.delete_edge(u, v);
+        updates.push(Update::insert_labeled(u, v, l));
+    }
+    Some(updates)
+}
+
+/// The Figure-6 workload: a two-hub star graph where one update edge has a
+/// tiny match subtree and the other a huge one, producing the skewed warp
+/// workloads that motivate work stealing. Returns `(graph, updates, query)`:
+///
+/// * data graph: hubs `v0`, `v1` (label A) share `spokes` B-neighbors; each
+///   spoke also connects to a C vertex; `v1`'s side additionally fans out.
+/// * updates: insert `(v0, x)` and `(v1, x)` for a fresh B vertex `x`,
+///   mirroring the paper's `e(v0, v102)` / `e(v1, v102)` example.
+/// * query: the A–B edge extended to a B and a C (4-vertex path/star),
+///   whose match counts differ wildly between the two updates.
+pub fn skewed_star_workload(spokes_small: usize, spokes_large: usize) -> (DynamicGraph, Vec<Update>, QueryGraph) {
+    let mut g = DynamicGraph::new();
+    let v0 = g.add_vertex(0); // A, small side
+    let v1 = g.add_vertex(0); // A, large side
+    // Shared bridge vertex the updates attach: label B.
+    let bridge = g.add_vertex(1);
+    let c_tail = g.add_vertex(2); // C
+    g.insert_edge(bridge, c_tail, NO_ELABEL);
+    for _ in 0..spokes_small {
+        let b = g.add_vertex(1);
+        let c = g.add_vertex(2);
+        g.insert_edge(v0, b, NO_ELABEL);
+        g.insert_edge(b, c, NO_ELABEL);
+    }
+    for _ in 0..spokes_large {
+        let b = g.add_vertex(1);
+        let c = g.add_vertex(2);
+        g.insert_edge(v1, b, NO_ELABEL);
+        g.insert_edge(b, c, NO_ELABEL);
+    }
+    let updates = vec![Update::insert(v0, bridge), Update::insert(v1, bridge)];
+
+    // Query: A(u0) - B(u1), A - B(u2), B(u2) - C(u3): after mapping the
+    // update to (u0,u1), u2 ranges over the hub's other spokes — few for
+    // v0, many for v1.
+    let mut b = QueryGraph::builder();
+    let u0 = b.vertex(0);
+    let u1 = b.vertex(1);
+    let u2 = b.vertex(1);
+    let u3 = b.vertex(2);
+    b.edge(u0, u1).edge(u0, u2).edge(u2, u3);
+    (g, updates, b.build())
+}
+
+/// Fisher–Yates prefix shuffle: randomizes the first `count` positions.
+fn partial_shuffle<T>(items: &mut [T], count: usize, rng: &mut StdRng) {
+    let n = items.len();
+    for i in 0..count.min(n.saturating_sub(1)) {
+        let j = rng.random_range(i..n);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::DatasetPreset;
+    use gamma_graph::{Op, UpdateBatch};
+
+    #[test]
+    fn split_insertions_roundtrip() {
+        let mut d = DatasetPreset::GH.build(0.2, 21);
+        let e0 = d.graph.num_edges();
+        let ups = split_insertion_workload(&mut d.graph, 0.1, 5);
+        assert_eq!(ups.len(), (e0 as f64 * 0.1).round() as usize);
+        assert_eq!(d.graph.num_edges(), e0 - ups.len());
+        // All updates are insertions of currently-absent edges.
+        for u in &ups {
+            assert_eq!(u.op, Op::Insert);
+            assert!(!d.graph.has_edge(u.u, u.v));
+        }
+        // Canonicalization keeps them all.
+        let b = UpdateBatch::canonicalize(&d.graph, &ups);
+        assert_eq!(b.inserts.len(), ups.len());
+        assert!(b.deletes.is_empty());
+    }
+
+    #[test]
+    fn deletions_reference_live_edges() {
+        let d = DatasetPreset::AZ.build(0.15, 22);
+        let ups = sample_deletion_workload(&d.graph, 0.05, 6);
+        assert!(!ups.is_empty());
+        for u in &ups {
+            assert_eq!(u.op, Op::Delete);
+            assert!(d.graph.has_edge(u.u, u.v));
+        }
+        // No duplicates.
+        let keys: std::collections::BTreeSet<u64> = ups.iter().map(|u| u.key()).collect();
+        assert_eq!(keys.len(), ups.len());
+    }
+
+    #[test]
+    fn mixed_ratio_close_to_two_to_one() {
+        let mut d = DatasetPreset::ST.build(0.2, 23);
+        let ups = mixed_workload(&mut d.graph, 0.09, 7);
+        let ins = ups.iter().filter(|u| u.op == Op::Insert).count();
+        let del = ups.len() - ins;
+        assert!(ins > 0 && del > 0);
+        let ratio = ins as f64 / del as f64;
+        assert!((1.5..=2.8).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn kcore_insertions_in_core() {
+        let mut d = DatasetPreset::LS.build(0.3, 24);
+        let g_before = d.graph.clone();
+        let ups = kcore_insertion_workload(&mut d.graph, 0.02, 4, 8)
+            .expect("LS-like graph has a 4-core");
+        let core = core_numbers(&g_before);
+        for u in &ups {
+            assert!(core[u.u as usize] >= 4 && core[u.v as usize] >= 4);
+        }
+        // Impossibly dense request fails gracefully.
+        assert!(kcore_insertion_workload(&mut d.graph, 0.9, 50, 9).is_none());
+    }
+
+    #[test]
+    fn skewed_star_shape() {
+        let (g, ups, q) = skewed_star_workload(2, 100);
+        assert_eq!(ups.len(), 2);
+        assert_eq!(q.num_vertices(), 4);
+        // v0 has 2 spokes, v1 has 100.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 100);
+        // Update endpoints exist and edges are absent pre-batch.
+        for u in &ups {
+            assert!(!g.has_edge(u.u, u.v));
+        }
+    }
+
+    #[test]
+    fn deterministic_workloads() {
+        let mut a = DatasetPreset::GH.build(0.15, 25);
+        let mut b = DatasetPreset::GH.build(0.15, 25);
+        let ua = split_insertion_workload(&mut a.graph, 0.08, 11);
+        let ub = split_insertion_workload(&mut b.graph, 0.08, 11);
+        assert_eq!(ua, ub);
+    }
+}

@@ -1,0 +1,37 @@
+//! # gamma-gpma — a packed-memory-array dynamic edge store
+//!
+//! GAMMA adopts **GPMA** (Sha et al., PVLDB 2017) as its dynamic graph
+//! container (§V-C): all directed edge entries live in one sorted array
+//! with evenly distributed gaps (a Packed Memory Array), managed by an
+//! implicit segment tree whose per-level density thresholds decide when a
+//! batch of updates can be materialized in place and when a subtree must be
+//! redistributed.
+//!
+//! This crate implements that structure from scratch:
+//!
+//! * [`Gpma`] — the PMA keyed by `(src << 32) | dst`, one entry per
+//!   direction of an undirected edge, plus a parallel edge-label array.
+//! * **Batch updates** ([`Gpma::batch_insert`], [`Gpma::batch_delete`])
+//!   process sorted update groups per leaf segment and escalate overflowing
+//!   / underflowing groups to parent nodes bottom-up, exactly like GPMA's
+//!   iterative segment-merging rounds. A root overflow doubles the array.
+//! * **Simulated-GPU cost accounting** — every batch records the cycles the
+//!   equivalent CUDA kernels would spend (segment location via binary
+//!   descent, coalesced reads/writes for redistribution) against a
+//!   [`gamma_gpu::CostModel`]. The two §V-C optimizations are modeled
+//!   faithfully and can be toggled:
+//!   - *top-k tree layers cached in shared memory* — descent steps through
+//!     cached layers cost shared- instead of global-memory latency;
+//!   - *Cooperative-Group sub-warp sizing* — segment groups smaller than a
+//!     warp are packed onto power-of-two sub-groups, improving thread
+//!     utilization for small segments.
+//!
+//! The store also maintains per-vertex degrees and exposes sorted neighbor
+//! scans, which is what the WBM kernel's `GenCandidates` intersects.
+
+pub mod store;
+
+pub use store::{Gpma, GpmaConfig, GpmaStats};
+
+/// The sentinel key marking an empty PMA slot.
+pub(crate) const EMPTY: u64 = u64::MAX;

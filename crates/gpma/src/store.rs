@@ -1,0 +1,975 @@
+//! The PMA store itself.
+
+use gamma_gpu::CostModel;
+use gamma_graph::{DynamicGraph, ELabel, VertexId};
+
+use crate::EMPTY;
+
+/// Configuration of the PMA and its simulated-GPU cost accounting.
+#[derive(Clone, Debug)]
+pub struct GpmaConfig {
+    /// Leaf segment size in slots (power of two).
+    pub seg_size: usize,
+    /// Number of top tree layers held in simulated shared memory during
+    /// segment location (§V-C optimization; 0 disables).
+    pub top_layers_cached: usize,
+    /// Cooperative-Group sub-warp sizing for small segments (§V-C).
+    pub cg_subwarps: bool,
+    /// Leaf upper density threshold.
+    pub tau_leaf: f64,
+    /// Root upper density threshold.
+    pub tau_root: f64,
+    /// Leaf lower density threshold.
+    pub rho_leaf: f64,
+    /// Root lower density threshold.
+    pub rho_root: f64,
+    /// Fill fraction targeted right after a grow/bulk-load redistribution.
+    pub bulk_fill: f64,
+    /// Cycle cost model (shared with the device executing the kernels).
+    pub cost: CostModel,
+    /// Threads per warp for coalescing arithmetic.
+    pub warp_size: u32,
+}
+
+impl Default for GpmaConfig {
+    fn default() -> Self {
+        Self {
+            seg_size: 32,
+            top_layers_cached: 3,
+            cg_subwarps: true,
+            tau_leaf: 0.92,
+            tau_root: 0.70,
+            rho_leaf: 0.08,
+            rho_root: 0.30,
+            bulk_fill: 0.55,
+            cost: CostModel::default(),
+            warp_size: 32,
+        }
+    }
+}
+
+/// Counters describing the work a batch performed, including the simulated
+/// cycles the equivalent GPU kernels would take (feeds Figure 12).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GpmaStats {
+    /// Update batches processed.
+    pub batches: u64,
+    /// Directed entries inserted.
+    pub inserted: u64,
+    /// Directed entries deleted.
+    pub deleted: u64,
+    /// Updates skipped (duplicate insert / missing delete).
+    pub skipped: u64,
+    /// Node redistributions performed.
+    pub rebalances: u64,
+    /// Capacity doublings.
+    pub grows: u64,
+    /// Capacity halvings.
+    pub shrinks: u64,
+    /// Total simulated cycles across batches.
+    pub sim_cycles: u64,
+    /// Portion of `sim_cycles` spent locating leaf segments.
+    pub locate_cycles: u64,
+    /// Portion of `sim_cycles` spent merging/redistributing.
+    pub rebalance_cycles: u64,
+}
+
+/// A packed-memory-array edge store over directed entries
+/// `(src << 32) | dst`, with a parallel edge-label array.
+///
+/// Both directions of an undirected edge are stored, so a vertex's
+/// neighborhood is the contiguous key range `[src<<32, (src+1)<<32)` — one
+/// coalesced range scan on the simulated GPU.
+#[derive(Clone, Debug)]
+pub struct Gpma {
+    keys: Vec<u64>,
+    vals: Vec<ELabel>,
+    /// Number of live elements per segment (left-compacted within segment).
+    seg_counts: Vec<u32>,
+    num_elems: usize,
+    degrees: Vec<u32>,
+    cfg: GpmaConfig,
+    stats: GpmaStats,
+}
+
+impl Gpma {
+    /// Creates an empty store able to address `num_vertices` vertices.
+    pub fn new(num_vertices: usize, cfg: GpmaConfig) -> Self {
+        assert!(cfg.seg_size.is_power_of_two(), "seg_size must be a power of two");
+        let capacity = cfg.seg_size;
+        Self {
+            keys: vec![EMPTY; capacity],
+            vals: vec![0; capacity],
+            seg_counts: vec![0; 1],
+            num_elems: 0,
+            degrees: vec![0; num_vertices],
+            cfg,
+            stats: GpmaStats::default(),
+        }
+    }
+
+    /// Bulk-loads a [`DynamicGraph`] (both directions of every edge).
+    pub fn from_graph(g: &DynamicGraph, cfg: GpmaConfig) -> Self {
+        let mut items: Vec<(u64, ELabel)> = Vec::with_capacity(2 * g.num_edges());
+        for (u, v, l) in g.edges() {
+            items.push(((u as u64) << 32 | v as u64, l));
+            items.push(((v as u64) << 32 | u as u64, l));
+        }
+        items.sort_unstable_by_key(|&(k, _)| k);
+        let mut pma = Self::new(g.num_vertices(), cfg);
+        pma.rebuild_with(items);
+        pma
+    }
+
+    /// Ensures vertex ids up to `n - 1` are addressable.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.degrees.len() {
+            self.degrees.resize(n, 0);
+        }
+    }
+
+    /// Number of addressable vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Number of undirected edges stored.
+    pub fn num_edges(&self) -> usize {
+        debug_assert_eq!(self.num_elems % 2, 0);
+        self.num_elems / 2
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.degrees[u as usize] as usize
+    }
+
+    /// Total slot capacity (for density/occupancy inspection).
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &GpmaStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = GpmaStats::default();
+    }
+
+    // ------------------------------------------------------------------
+    // Geometry helpers
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn seg_size(&self) -> usize {
+        self.cfg.seg_size
+    }
+
+    #[inline]
+    fn num_segments(&self) -> usize {
+        self.keys.len() / self.cfg.seg_size
+    }
+
+    /// Tree height: level 0 = leaves, level `height` = root.
+    #[inline]
+    fn height(&self) -> usize {
+        self.num_segments().trailing_zeros() as usize
+    }
+
+    /// Upper density threshold at `level` (leaf = loosest, root = tightest).
+    fn tau(&self, level: usize) -> f64 {
+        let h = self.height();
+        if h == 0 {
+            return self.cfg.tau_leaf;
+        }
+        self.cfg.tau_leaf + (self.cfg.tau_root - self.cfg.tau_leaf) * level as f64 / h as f64
+    }
+
+    /// Lower density threshold at `level`.
+    fn rho(&self, level: usize) -> f64 {
+        let h = self.height();
+        if h == 0 {
+            return 0.0; // a single segment may be arbitrarily empty
+        }
+        self.cfg.rho_leaf + (self.cfg.rho_root - self.cfg.rho_leaf) * level as f64 / h as f64
+    }
+
+    /// Live elements in segment range `[s0, s1)`.
+    fn count_range(&self, s0: usize, s1: usize) -> usize {
+        self.seg_counts[s0..s1].iter().map(|&c| c as usize).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup / iteration
+    // ------------------------------------------------------------------
+
+    /// First key of segment `s`, walking left over empty segments so the
+    /// result is monotone in `s`. Returns 0 for a prefix of empty segments.
+    fn effective_first(&self, mut s: usize) -> u64 {
+        loop {
+            if self.seg_counts[s] > 0 {
+                return self.keys[s * self.seg_size()];
+            }
+            if s == 0 {
+                return 0;
+            }
+            s -= 1;
+        }
+    }
+
+    /// Position (segment, offset) of the first element ≥ `key`; the offset
+    /// may equal the segment count, meaning "continue at the next segment".
+    fn lower_bound(&self, key: u64) -> (usize, usize) {
+        let nsegs = self.num_segments();
+        // Last segment whose effective first key ≤ key.
+        let mut lo = 0usize;
+        let mut hi = nsegs; // exclusive
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.effective_first(mid) <= key {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // The element, if present, is in `lo` or earlier empty-segment runs
+        // collapse to `lo` anyway; search inside `lo`'s compacted prefix.
+        let base = lo * self.seg_size();
+        let cnt = self.seg_counts[lo] as usize;
+        let off = self.keys[base..base + cnt].partition_point(|&k| k < key);
+        (lo, off)
+    }
+
+    /// Whether the directed entry `key` exists; returns its value slot.
+    fn find(&self, key: u64) -> Option<usize> {
+        let (seg, off) = self.lower_bound(key);
+        let base = seg * self.seg_size();
+        let cnt = self.seg_counts[seg] as usize;
+        if off < cnt && self.keys[base + off] == key {
+            Some(base + off)
+        } else {
+            None
+        }
+    }
+
+    /// Whether undirected edge `(u, v)` is present, with its label.
+    pub fn edge_label(&self, u: VertexId, v: VertexId) -> Option<ELabel> {
+        self.find((u as u64) << 32 | v as u64).map(|i| self.vals[i])
+    }
+
+    /// Whether undirected edge `(u, v)` is present.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.find((u as u64) << 32 | v as u64).is_some()
+    }
+
+    /// Appends `u`'s sorted neighbor list into `out` (cleared first).
+    pub fn neighbors_into(&self, u: VertexId, out: &mut Vec<(VertexId, ELabel)>) {
+        out.clear();
+        let lo = (u as u64) << 32;
+        let hi = ((u as u64) + 1) << 32;
+        let (mut seg, mut off) = self.lower_bound(lo);
+        let nsegs = self.num_segments();
+        loop {
+            let base = seg * self.seg_size();
+            let cnt = self.seg_counts[seg] as usize;
+            while off < cnt {
+                let k = self.keys[base + off];
+                if k >= hi {
+                    return;
+                }
+                out.push((k as VertexId, self.vals[base + off]));
+                off += 1;
+            }
+            seg += 1;
+            off = 0;
+            if seg >= nsegs {
+                return;
+            }
+        }
+    }
+
+    /// Iterates all directed entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, ELabel)> + '_ {
+        (0..self.num_segments()).flat_map(move |s| {
+            let base = s * self.seg_size();
+            let cnt = self.seg_counts[s] as usize;
+            (0..cnt).map(move |i| (self.keys[base + i], self.vals[base + i]))
+        })
+    }
+
+    /// Materializes the store back into a [`DynamicGraph`] with the given
+    /// vertex labels (testing / interop aid).
+    pub fn to_dynamic_graph(&self, labels: &[gamma_graph::VLabel]) -> DynamicGraph {
+        let mut g = DynamicGraph::with_vertices(self.degrees.len());
+        for (v, &l) in labels.iter().enumerate() {
+            g.set_label(v as VertexId, l);
+        }
+        for (k, el) in self.iter() {
+            let (u, v) = ((k >> 32) as VertexId, k as VertexId);
+            if u < v {
+                g.insert_edge(u, v, el);
+            }
+        }
+        g
+    }
+
+    // ------------------------------------------------------------------
+    // Batch updates
+    // ------------------------------------------------------------------
+
+    /// Inserts a batch of undirected edges, returning how many were new.
+    ///
+    /// Within-batch duplicates of the same undirected edge are collapsed to
+    /// the **first** occurrence (so both directed entries always carry the
+    /// same label, regardless of later conflicting labels in the batch).
+    pub fn insert_edges(&mut self, edges: &[(VertexId, VertexId, ELabel)]) -> usize {
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        let mut items = Vec::with_capacity(edges.len() * 2);
+        let mut max_v = 0;
+        for &(u, v, l) in edges {
+            if u == v {
+                continue;
+            }
+            let canonical = ((u.min(v) as u64) << 32) | u.max(v) as u64;
+            if !seen.insert(canonical) {
+                continue;
+            }
+            max_v = max_v.max(u.max(v));
+            items.push(((u as u64) << 32 | v as u64, l));
+            items.push(((v as u64) << 32 | u as u64, l));
+        }
+        self.ensure_vertices(max_v as usize + 1);
+        self.batch_insert(&mut items) / 2
+    }
+
+    /// Deletes a batch of undirected edges, returning how many existed.
+    pub fn delete_edges(&mut self, edges: &[(VertexId, VertexId)]) -> usize {
+        let mut keys = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            if u == v || (u as usize) >= self.degrees.len() || (v as usize) >= self.degrees.len()
+            {
+                continue;
+            }
+            keys.push((u as u64) << 32 | v as u64);
+            keys.push((v as u64) << 32 | u as u64);
+        }
+        self.batch_delete(&mut keys) / 2
+    }
+
+    /// Inserts sorted-deduped directed entries; returns how many were new.
+    pub fn batch_insert(&mut self, items: &mut Vec<(u64, ELabel)>) -> usize {
+        self.stats.batches += 1;
+        items.sort_unstable_by_key(|&(k, _)| k);
+        items.dedup_by_key(|&mut (k, _)| k);
+        // Drop already-present keys (charging their locate cost).
+        self.charge_locates(items.len());
+        let before = items.len();
+        items.retain(|&(k, _)| self.find(k).is_none());
+        self.stats.skipped += (before - items.len()) as u64;
+        if items.is_empty() {
+            return 0;
+        }
+
+        // Group per leaf segment.
+        let mut groups: Vec<(usize, Vec<(u64, ELabel)>)> = Vec::new();
+        for &(k, v) in items.iter() {
+            let (seg, _) = self.lower_bound(k);
+            match groups.last_mut() {
+                Some((s, g)) if *s == seg => g.push((k, v)),
+                _ => groups.push((seg, vec![(k, v)])),
+            }
+        }
+
+        // Bottom-up escalation, exactly one pass per tree level.
+        let mut level = 0usize;
+        let mut pending: Vec<(usize, Vec<(u64, ELabel)>)> = groups; // (node idx at `level`, items)
+        while !pending.is_empty() {
+            if level > self.height() {
+                // Root overflow: grow and rebuild with everything pending.
+                let mut all: Vec<(u64, ELabel)> = self.collect_range(0, self.num_segments());
+                for (_, mut g) in pending {
+                    all.append(&mut g);
+                }
+                all.sort_unstable_by_key(|&(k, _)| k);
+                self.stats.grows += 1;
+                // `rebuild_with` reconstructs `num_elems` and the degree
+                // cache from scratch, so only the insert counter is bumped.
+                self.rebuild_with(all);
+                self.stats.inserted += items.len() as u64;
+                return items.len();
+            }
+            let spn = 1usize << level; // segments per node
+            let mut next: Vec<(usize, Vec<(u64, ELabel)>)> = Vec::new();
+            for (node, group) in pending {
+                let s0 = node * spn;
+                let s1 = ((node + 1) * spn).min(self.num_segments());
+                let existing = self.count_range(s0, s1);
+                let total = existing + group.len();
+                let cap = (s1 - s0) * self.seg_size();
+                if (total as f64) <= self.tau(level) * cap as f64 {
+                    self.merge_into_range(s0, s1, group);
+                } else {
+                    // Escalate: merge with a sibling group at the parent.
+                    let parent = node / 2;
+                    match next.last_mut() {
+                        Some((p, g)) if *p == parent => {
+                            let mut merged =
+                                Vec::with_capacity(g.len() + group.len());
+                            merge_sorted(g, &group, &mut merged);
+                            *g = merged;
+                        }
+                        _ => next.push((parent, group)),
+                    }
+                }
+            }
+            pending = next;
+            level += 1;
+        }
+        self.recount_inserted(items);
+        items.len()
+    }
+
+    fn recount_inserted(&mut self, items: &[(u64, ELabel)]) {
+        for &(k, _) in items {
+            let src = (k >> 32) as usize;
+            self.degrees[src] += 1;
+        }
+        self.num_elems += items.len();
+        self.stats.inserted += items.len() as u64;
+    }
+
+    /// Deletes sorted-deduped directed keys; returns how many existed.
+    pub fn batch_delete(&mut self, keys: &mut Vec<u64>) -> usize {
+        self.stats.batches += 1;
+        keys.sort_unstable();
+        keys.dedup();
+        self.charge_locates(keys.len());
+        keys.retain(|&k| self.find(k).is_some());
+        if keys.is_empty() {
+            return 0;
+        }
+
+        // Remove per leaf segment (left-compacting the remainder).
+        let mut affected: Vec<usize> = Vec::new();
+        let mut i = 0usize;
+        while i < keys.len() {
+            let (seg, _) = self.lower_bound(keys[i]);
+            let base = seg * self.seg_size();
+            let cnt = self.seg_counts[seg] as usize;
+            let seg_hi_key = {
+                // All keys of this batch that fall in this segment.
+                let last = self.keys[base + cnt - 1];
+                last
+            };
+            let mut j = i;
+            while j < keys.len() && keys[j] <= seg_hi_key {
+                j += 1;
+            }
+            let to_delete = &keys[i..j];
+            let mut kept: Vec<(u64, ELabel)> = Vec::with_capacity(cnt);
+            let mut d = 0usize;
+            for slot in base..base + cnt {
+                let k = self.keys[slot];
+                while d < to_delete.len() && to_delete[d] < k {
+                    d += 1;
+                }
+                if d < to_delete.len() && to_delete[d] == k {
+                    d += 1;
+                    continue;
+                }
+                kept.push((k, self.vals[slot]));
+            }
+            let removed = cnt - kept.len();
+            debug_assert_eq!(removed, to_delete.len());
+            self.write_segment(seg, &kept);
+            self.charge_rebalance(cnt, 1);
+            affected.push(seg);
+            i = j;
+        }
+
+        for &k in keys.iter() {
+            self.degrees[(k >> 32) as usize] -= 1;
+        }
+        self.num_elems -= keys.len();
+        self.stats.deleted += keys.len() as u64;
+
+        // Fix lower-density violations bottom-up.
+        let mut s = 0usize;
+        let mut fixed_until = 0usize; // segments < fixed_until are settled
+        while s < affected.len() {
+            let seg = affected[s];
+            s += 1;
+            // A shrink inside an earlier iteration both settles everything
+            // and invalidates recorded indices beyond the new extent.
+            if seg < fixed_until || seg >= self.num_segments() {
+                continue;
+            }
+            let cnt = self.seg_counts[seg] as usize;
+            if (cnt as f64) >= self.rho(0) * self.seg_size() as f64 {
+                continue;
+            }
+            // Climb to the lowest ancestor satisfying its lower bound.
+            let mut level = 1usize;
+            loop {
+                if level > self.height() {
+                    // Whole array too sparse: shrink (if possible) and stop.
+                    self.maybe_shrink();
+                    fixed_until = self.num_segments();
+                    break;
+                }
+                let spn = 1usize << level;
+                let node = seg / spn;
+                let s0 = node * spn;
+                let s1 = ((node + 1) * spn).min(self.num_segments());
+                let existing = self.count_range(s0, s1);
+                let cap = (s1 - s0) * self.seg_size();
+                if (existing as f64) >= self.rho(level) * cap as f64 {
+                    let all = self.collect_range(s0, s1);
+                    self.redistribute(s0, s1, &all);
+                    fixed_until = s1;
+                    break;
+                }
+                level += 1;
+            }
+        }
+        self.maybe_shrink();
+        keys.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal mechanics
+    // ------------------------------------------------------------------
+
+    /// Collects the live `(key, value)` pairs of segments `[s0, s1)`.
+    fn collect_range(&self, s0: usize, s1: usize) -> Vec<(u64, ELabel)> {
+        let mut out = Vec::with_capacity(self.count_range(s0, s1));
+        for s in s0..s1 {
+            let base = s * self.seg_size();
+            let cnt = self.seg_counts[s] as usize;
+            for i in 0..cnt {
+                out.push((self.keys[base + i], self.vals[base + i]));
+            }
+        }
+        out
+    }
+
+    /// Overwrites segment `seg` with `items` (≤ seg_size), left-compacted.
+    fn write_segment(&mut self, seg: usize, items: &[(u64, ELabel)]) {
+        debug_assert!(items.len() <= self.seg_size());
+        let base = seg * self.seg_size();
+        for (i, &(k, v)) in items.iter().enumerate() {
+            self.keys[base + i] = k;
+            self.vals[base + i] = v;
+        }
+        for i in items.len()..self.seg_size() {
+            self.keys[base + i] = EMPTY;
+        }
+        self.seg_counts[seg] = items.len() as u32;
+    }
+
+    /// Merges `group` (sorted new items) with the existing contents of
+    /// segments `[s0, s1)` and redistributes evenly.
+    fn merge_into_range(&mut self, s0: usize, s1: usize, group: Vec<(u64, ELabel)>) {
+        let existing = self.collect_range(s0, s1);
+        let mut merged = Vec::with_capacity(existing.len() + group.len());
+        merge_sorted(&existing, &group, &mut merged);
+        self.redistribute(s0, s1, &merged);
+    }
+
+    /// Evenly spreads `items` across segments `[s0, s1)`.
+    fn redistribute(&mut self, s0: usize, s1: usize, items: &[(u64, ELabel)]) {
+        let nsegs = s1 - s0;
+        let base_cnt = items.len() / nsegs;
+        let extra = items.len() % nsegs;
+        debug_assert!(base_cnt + 1 <= self.seg_size(), "redistribute overflow");
+        let mut idx = 0usize;
+        for s in 0..nsegs {
+            let take = base_cnt + usize::from(s < extra);
+            self.write_segment(s0 + s, &items[idx..idx + take]);
+            idx += take;
+        }
+        self.stats.rebalances += 1;
+        self.charge_rebalance(items.len(), nsegs);
+    }
+
+    /// Rebuilds the whole array for `items`, growing/shrinking capacity to
+    /// hit the bulk fill target.
+    fn rebuild_with(&mut self, items: Vec<(u64, ELabel)>) {
+        debug_assert!(items.windows(2).all(|w| w[0].0 < w[1].0));
+        let needed = ((items.len() as f64 / self.cfg.bulk_fill).ceil() as usize)
+            .max(self.cfg.seg_size);
+        let mut capacity = self.cfg.seg_size;
+        while capacity < needed {
+            capacity *= 2;
+        }
+        self.keys = vec![EMPTY; capacity];
+        self.vals = vec![0; capacity];
+        self.seg_counts = vec![0; capacity / self.cfg.seg_size];
+        self.num_elems = items.len();
+        // Degrees are rebuilt from scratch.
+        for d in self.degrees.iter_mut() {
+            *d = 0;
+        }
+        for &(k, _) in &items {
+            let src = (k >> 32) as usize;
+            if src >= self.degrees.len() {
+                self.degrees.resize(src + 1, 0);
+            }
+            self.degrees[src] += 1;
+        }
+        self.redistribute(0, self.num_segments(), &items);
+    }
+
+    /// Halves capacity while the array is emptier than the root's lower
+    /// bound would allow at the smaller size.
+    fn maybe_shrink(&mut self) {
+        let mut target = self.keys.len();
+        while target > self.cfg.seg_size
+            && (self.num_elems as f64) < self.cfg.rho_root * (target / 2) as f64
+        {
+            target /= 2;
+        }
+        if target < self.keys.len() {
+            let all = self.collect_range(0, self.num_segments());
+            self.keys = vec![EMPTY; target];
+            self.vals = vec![0; target];
+            self.seg_counts = vec![0; target / self.cfg.seg_size];
+            self.stats.shrinks += 1;
+            self.redistribute(0, self.num_segments(), &all);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Simulated-GPU cost accounting
+    // ------------------------------------------------------------------
+
+    /// Charges the segment-location kernel: one thread per update performs
+    /// a binary descent over the segment tree; the top cached layers hit
+    /// shared memory, the rest global memory.
+    fn charge_locates(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let h = self.height().max(1) as u64;
+        let cached = (self.cfg.top_layers_cached as u64).min(h);
+        let uncached = h - cached;
+        let warps = (n as u64).div_ceil(self.cfg.warp_size as u64);
+        let per_warp =
+            cached * self.cfg.cost.shared_latency + uncached * self.cfg.cost.global_latency;
+        let cycles = warps * per_warp;
+        self.stats.locate_cycles += cycles;
+        self.stats.sim_cycles += cycles;
+    }
+
+    /// Charges a merge/redistribute of `n` elements over `nsegs` segments:
+    /// coalesced read + write. GPMA's warp method dedicates a whole warp to
+    /// a (sub-)segment even when it holds fewer than `warp_size` elements;
+    /// the Cooperative-Group optimization partitions the warp into power-of-
+    /// two sub-groups sized to the segment, so small merges cost a fraction
+    /// of a warp round. Costs are accounted in quarter-round units so the
+    /// sub-warp saving is visible.
+    fn charge_rebalance(&mut self, n: usize, nsegs: usize) {
+        let ws = self.cfg.warp_size as u64;
+        let words = (n as u64 * 2).max(1); // key (2 words) per element
+        let quarter_rounds = if self.cfg.cg_subwarps {
+            // Sub-warps (down to ws/4) pack small work onto partial warps.
+            (4 * words).div_ceil(ws).max(1)
+        } else {
+            // A full warp round per segment, even for tiny segments.
+            4 * (nsegs as u64).max(words.div_ceil(ws)).max(1)
+        };
+        let cycles = (2 * quarter_rounds * self.cfg.cost.global_latency) / 4;
+        self.stats.rebalance_cycles += cycles;
+        self.stats.sim_cycles += cycles;
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests)
+    // ------------------------------------------------------------------
+
+    /// Panics if any structural invariant is violated (test support).
+    pub fn assert_consistent(&self) {
+        // Segment counts match slot contents; prefixes sorted & compacted.
+        let mut prev = None;
+        let mut total = 0usize;
+        for s in 0..self.num_segments() {
+            let base = s * self.seg_size();
+            let cnt = self.seg_counts[s] as usize;
+            total += cnt;
+            for i in 0..self.seg_size() {
+                let k = self.keys[base + i];
+                if i < cnt {
+                    assert_ne!(k, EMPTY, "live slot marked empty at seg {s} off {i}");
+                    if let Some(p) = prev {
+                        assert!(p < k, "keys out of order: {p} !< {k}");
+                    }
+                    prev = Some(k);
+                } else {
+                    assert_eq!(k, EMPTY, "stale key beyond segment count");
+                }
+            }
+        }
+        assert_eq!(total, self.num_elems, "element count drift");
+        assert_eq!(self.num_elems % 2, 0, "directed entries must pair up");
+        // Degrees match contents.
+        let mut deg = vec![0u32; self.degrees.len()];
+        for (k, _) in self.iter() {
+            deg[(k >> 32) as usize] += 1;
+        }
+        assert_eq!(deg, self.degrees, "degree cache drift");
+    }
+}
+
+/// Merges two sorted `(key, value)` runs into `out`. Duplicate keys across
+/// runs keep the `b` (newer) value; duplicates cannot occur in practice
+/// because inserts are pre-filtered, but the merge is total anyway.
+fn merge_sorted(a: &[(u64, ELabel)], b: &[(u64, ELabel)], out: &mut Vec<(u64, ELabel)>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(b[j]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_graph::NO_ELABEL;
+
+    fn key(u: u32, v: u32) -> u64 {
+        (u as u64) << 32 | v as u64
+    }
+
+    #[test]
+    fn empty_store() {
+        let pma = Gpma::new(4, GpmaConfig::default());
+        assert_eq!(pma.num_edges(), 0);
+        assert!(!pma.has_edge(0, 1));
+        let mut buf = Vec::new();
+        pma.neighbors_into(0, &mut buf);
+        assert!(buf.is_empty());
+        pma.assert_consistent();
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut pma = Gpma::new(5, GpmaConfig::default());
+        assert_eq!(pma.insert_edges(&[(0, 1, 7), (1, 2, 8), (0, 3, 9)]), 3);
+        assert_eq!(pma.num_edges(), 3);
+        assert_eq!(pma.edge_label(0, 1), Some(7));
+        assert_eq!(pma.edge_label(1, 0), Some(7));
+        assert_eq!(pma.edge_label(2, 1), Some(8));
+        assert_eq!(pma.edge_label(0, 2), None);
+        assert_eq!(pma.degree(0), 2);
+        assert_eq!(pma.degree(1), 2);
+        pma.assert_consistent();
+    }
+
+    #[test]
+    fn duplicate_inserts_skipped() {
+        let mut pma = Gpma::new(4, GpmaConfig::default());
+        assert_eq!(pma.insert_edges(&[(0, 1, 1)]), 1);
+        assert_eq!(pma.insert_edges(&[(0, 1, 1), (1, 2, 2)]), 1);
+        assert_eq!(pma.num_edges(), 2);
+        assert_eq!(pma.stats().skipped, 2); // both directions of (0,1)
+        pma.assert_consistent();
+    }
+
+    #[test]
+    fn delete_and_missing_delete() {
+        let mut pma = Gpma::new(4, GpmaConfig::default());
+        pma.insert_edges(&[(0, 1, 1), (1, 2, 2), (2, 3, 3)]);
+        assert_eq!(pma.delete_edges(&[(1, 2)]), 1);
+        assert!(!pma.has_edge(1, 2));
+        assert!(pma.has_edge(0, 1));
+        assert_eq!(pma.num_edges(), 2);
+        assert_eq!(pma.delete_edges(&[(1, 2)]), 0);
+        assert_eq!(pma.degree(1), 1);
+        pma.assert_consistent();
+    }
+
+    #[test]
+    fn growth_under_many_inserts() {
+        let mut pma = Gpma::new(0, GpmaConfig::default());
+        let edges: Vec<(u32, u32, ELabel)> =
+            (0..500u32).map(|i| (i, i + 1000, NO_ELABEL)).collect();
+        assert_eq!(pma.insert_edges(&edges), 500);
+        assert_eq!(pma.num_edges(), 500);
+        assert!(pma.stats().grows >= 1);
+        assert!(pma.capacity() >= 1000);
+        for &(u, v, _) in &edges {
+            assert!(pma.has_edge(u, v), "missing ({u},{v})");
+        }
+        pma.assert_consistent();
+    }
+
+    #[test]
+    fn incremental_batches_match_reference() {
+        use std::collections::BTreeSet;
+        let mut pma = Gpma::new(64, GpmaConfig::default());
+        let mut reference: BTreeSet<u64> = BTreeSet::new();
+        // Deterministic pseudo-random batched workload.
+        let mut x = 0x12345678u64;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _round in 0..30 {
+            let mut ins = Vec::new();
+            let mut del = Vec::new();
+            for _ in 0..20 {
+                let u = (rnd() % 64) as u32;
+                let v = (rnd() % 64) as u32;
+                if u == v {
+                    continue;
+                }
+                if rnd() % 3 == 0 {
+                    del.push((u, v));
+                } else {
+                    ins.push((u, v, NO_ELABEL));
+                }
+            }
+            pma.insert_edges(&ins);
+            for (u, v, _) in ins {
+                reference.insert(key(u.min(v), u.max(v)));
+            }
+            pma.delete_edges(&del);
+            for (u, v) in del {
+                reference.remove(&key(u.min(v), u.max(v)));
+            }
+            pma.assert_consistent();
+            assert_eq!(pma.num_edges(), reference.len());
+            for &k in &reference {
+                let (u, v) = ((k >> 32) as u32, k as u32);
+                assert!(pma.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted_and_complete() {
+        let mut pma = Gpma::new(10, GpmaConfig::default());
+        pma.insert_edges(&[(5, 9, 1), (5, 2, 2), (5, 7, 3), (3, 5, 4)]);
+        let mut buf = Vec::new();
+        pma.neighbors_into(5, &mut buf);
+        assert_eq!(buf, vec![(2, 2), (3, 4), (7, 3), (9, 1)]);
+        pma.neighbors_into(9, &mut buf);
+        assert_eq!(buf, vec![(5, 1)]);
+        pma.neighbors_into(0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn from_graph_roundtrip() {
+        let mut g = DynamicGraph::with_vertices(8);
+        g.set_label(0, 1);
+        g.set_label(1, 2);
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (2, 3), (3, 4), (0, 4), (5, 6)] {
+            g.insert_edge(u, v, (u + v) as ELabel);
+        }
+        let pma = Gpma::from_graph(&g, GpmaConfig::default());
+        pma.assert_consistent();
+        assert_eq!(pma.num_edges(), g.num_edges());
+        let g2 = pma.to_dynamic_graph(g.labels());
+        for (u, v, l) in g.edges() {
+            assert_eq!(g2.edge_label(u, v), Some(l));
+        }
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.label(0), 1);
+    }
+
+    #[test]
+    fn shrink_after_mass_delete() {
+        let mut pma = Gpma::new(0, GpmaConfig::default());
+        let edges: Vec<(u32, u32, ELabel)> =
+            (0..400u32).map(|i| (i, i + 500, NO_ELABEL)).collect();
+        pma.insert_edges(&edges);
+        let big = pma.capacity();
+        let dels: Vec<(u32, u32)> = (0..396u32).map(|i| (i, i + 500)).collect();
+        pma.delete_edges(&dels);
+        assert_eq!(pma.num_edges(), 4);
+        assert!(pma.capacity() < big, "expected shrink from {big}");
+        assert!(pma.stats().shrinks >= 1);
+        pma.assert_consistent();
+        for i in 396..400u32 {
+            assert!(pma.has_edge(i, i + 500));
+        }
+    }
+
+    #[test]
+    fn cost_accounting_monotone() {
+        let mut pma = Gpma::new(0, GpmaConfig::default());
+        let c0 = pma.stats().sim_cycles;
+        pma.insert_edges(&[(0, 1, 0)]);
+        let c1 = pma.stats().sim_cycles;
+        assert!(c1 > c0);
+        let edges: Vec<(u32, u32, ELabel)> =
+            (0..200u32).map(|i| (i, i + 300, NO_ELABEL)).collect();
+        pma.insert_edges(&edges);
+        assert!(pma.stats().sim_cycles > c1);
+        assert!(pma.stats().locate_cycles > 0);
+        assert!(pma.stats().rebalance_cycles > 0);
+    }
+
+    #[test]
+    fn cached_layers_reduce_locate_cost() {
+        let edges: Vec<(u32, u32, ELabel)> =
+            (0..1000u32).map(|i| (i, i + 2000, NO_ELABEL)).collect();
+        let run = |cached: usize| {
+            let mut cfg = GpmaConfig::default();
+            cfg.top_layers_cached = cached;
+            let mut pma = Gpma::new(0, cfg);
+            pma.insert_edges(&edges);
+            pma.reset_stats();
+            // Locate-heavy: probe existing edges via a delete+reinsert.
+            let probe: Vec<(u32, u32)> = (0..1000u32).map(|i| (i, i + 2000)).collect();
+            pma.delete_edges(&probe);
+            pma.stats().locate_cycles
+        };
+        assert!(run(4) < run(0), "shared-memory cache should cut locate cost");
+    }
+
+    #[test]
+    fn cg_subwarps_reduce_rebalance_cost() {
+        // Many tiny per-leaf merges: CG packing should be cheaper.
+        let run = |cg: bool| {
+            let mut cfg = GpmaConfig::default();
+            cfg.cg_subwarps = cg;
+            let mut pma = Gpma::new(0, cfg);
+            // Seed spread-out keys so batches hit many distinct segments.
+            let seed: Vec<(u32, u32, ELabel)> =
+                (0..2000u32).map(|i| (i, i + 4000, NO_ELABEL)).collect();
+            pma.insert_edges(&seed);
+            pma.reset_stats();
+            for b in 0..10u32 {
+                let batch: Vec<(u32, u32, ELabel)> = (0..50u32)
+                    .map(|i| (i * 37 % 2000, 6000 + b * 50 + i, NO_ELABEL))
+                    .collect();
+                pma.insert_edges(&batch);
+            }
+            pma.stats().rebalance_cycles
+        };
+        assert!(run(true) < run(false), "CG sub-warps should cut rebalance cost");
+    }
+}

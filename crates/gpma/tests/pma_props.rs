@@ -1,0 +1,112 @@
+//! Property tests: the PMA must behave exactly like a reference set under
+//! arbitrary batch sequences, and its structural invariants must hold after
+//! every batch.
+
+use std::collections::BTreeMap;
+
+use gamma_gpma::{Gpma, GpmaConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum BatchOp {
+    Insert(Vec<(u32, u32, u16)>),
+    Delete(Vec<(u32, u32)>),
+}
+
+fn batch_strategy(max_v: u32) -> impl Strategy<Value = Vec<BatchOp>> {
+    let edge = (0..max_v, 0..max_v, 0u16..4);
+    let ins = prop::collection::vec(edge, 0..40).prop_map(BatchOp::Insert);
+    let del = prop::collection::vec((0..max_v, 0..max_v), 0..40).prop_map(BatchOp::Delete);
+    prop::collection::vec(prop_oneof![ins, del], 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pma_matches_reference_set(batches in batch_strategy(40)) {
+        let mut pma = Gpma::new(40, GpmaConfig::default());
+        let mut reference: BTreeMap<(u32, u32), u16> = BTreeMap::new();
+        for batch in batches {
+            match batch {
+                BatchOp::Insert(edges) => {
+                    let mut expected_new = 0usize;
+                    let mut seen = std::collections::BTreeSet::new();
+                    for &(u, v, l) in &edges {
+                        if u == v { continue; }
+                        let k = (u.min(v), u.max(v));
+                        if !reference.contains_key(&k) && seen.insert(k) {
+                            expected_new += 1;
+                            reference.insert(k, l);
+                        }
+                    }
+                    // Within-batch duplicates keep one copy; the store skips
+                    // existing edges, so its count matches expected_new.
+                    let n = pma.insert_edges(&edges);
+                    prop_assert_eq!(n, expected_new);
+                }
+                BatchOp::Delete(edges) => {
+                    let mut expected_gone = 0usize;
+                    let mut seen = std::collections::BTreeSet::new();
+                    for &(u, v) in &edges {
+                        if u == v { continue; }
+                        let k = (u.min(v), u.max(v));
+                        if reference.remove(&k).is_some() && seen.insert(k) {
+                            expected_gone += 1;
+                        }
+                    }
+                    let n = pma.delete_edges(&edges);
+                    prop_assert_eq!(n, expected_gone);
+                }
+            }
+            pma.assert_consistent();
+            prop_assert_eq!(pma.num_edges(), reference.len());
+        }
+        // Final content equality, labels included.
+        for (&(u, v), &l) in &reference {
+            prop_assert_eq!(pma.edge_label(u, v), Some(l));
+            prop_assert_eq!(pma.edge_label(v, u), Some(l));
+        }
+        // Degrees agree with reference adjacency.
+        let mut deg = vec![0usize; 40];
+        for &(u, v) in reference.keys() {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        for v in 0..40u32 {
+            prop_assert_eq!(pma.degree(v), deg[v as usize]);
+        }
+    }
+
+    #[test]
+    fn neighbor_scans_sorted(edges in prop::collection::vec((0u32..30, 0u32..30, 0u16..3), 0..120)) {
+        let mut pma = Gpma::new(30, GpmaConfig::default());
+        pma.insert_edges(&edges);
+        pma.assert_consistent();
+        let mut buf = Vec::new();
+        for v in 0..30u32 {
+            pma.neighbors_into(v, &mut buf);
+            prop_assert!(buf.windows(2).all(|w| w[0].0 < w[1].0), "unsorted: {:?}", buf);
+            prop_assert_eq!(buf.len(), pma.degree(v));
+            for &(n, l) in &buf {
+                prop_assert_eq!(pma.edge_label(v, n), Some(l));
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_segment_sizes_still_correct(
+        edges in prop::collection::vec((0u32..20, 0u32..20, 0u16..2), 1..60),
+        seg_pow in 2u32..6,
+    ) {
+        let cfg = GpmaConfig { seg_size: 1 << seg_pow, ..GpmaConfig::default() };
+        let mut pma = Gpma::new(20, cfg);
+        pma.insert_edges(&edges);
+        pma.assert_consistent();
+        for &(u, v, _) in &edges {
+            if u != v {
+                prop_assert!(pma.has_edge(u, v));
+            }
+        }
+    }
+}

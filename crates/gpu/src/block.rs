@@ -1,0 +1,364 @@
+//! Event-driven execution of one block of warps, with work stealing.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::stats::BlockStats;
+use crate::task::{StepResult, WarpCtx, WarpTask};
+use crate::{DeviceConfig, Stealing};
+
+/// Result of running one block to completion.
+pub struct BlockOutcome {
+    /// Per-block statistics (makespan, busy cycles, steals, ...).
+    pub stats: BlockStats,
+}
+
+struct WarpSlot {
+    /// Virtual clock of this warp (cycles since block start).
+    clock: u64,
+    /// Cycles this warp spent doing useful work.
+    busy: u64,
+    /// The running task; `None` once finished and nothing was stolen.
+    task: Option<Box<dyn WarpTask>>,
+    /// Scheduler steps executed since the last passive poll.
+    steps_since_poll: u32,
+}
+
+/// Runs one block of warp tasks to completion and returns its statistics.
+///
+/// Warps are advanced in virtual-clock order (ties broken by warp index),
+/// which makes the interleaving — and therefore stealing decisions,
+/// utilization and makespan — fully deterministic for a given task list.
+pub fn run_block(tasks: Vec<Box<dyn WarpTask>>, cfg: &DeviceConfig) -> BlockOutcome {
+    let num_warps = tasks.len().max(1);
+    let mut ctx = WarpCtx::new(cfg.cost, cfg.warp_size);
+    let mut warps: Vec<WarpSlot> = tasks
+        .into_iter()
+        .map(|t| WarpSlot {
+            clock: 0,
+            busy: 0,
+            task: Some(t),
+            steps_since_poll: 0,
+        })
+        .collect();
+
+    let mut stats = BlockStats::new(num_warps);
+    // Min-heap of (clock, warp index) over warps that still hold a task.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = warps
+        .iter()
+        .enumerate()
+        .map(|(i, w)| Reverse((w.clock, i)))
+        .collect();
+    // Indices of warps that have gone idle (task finished); candidates to
+    // receive work via passive stealing, or (active mode) they re-enter the
+    // heap right away to attempt a steal when their clock comes up.
+    let mut idle: Vec<usize> = Vec::new();
+
+    while let Some(Reverse((clock, wi))) = heap.pop() {
+        debug_assert_eq!(warps[wi].clock, clock);
+
+        if warps[wi].task.is_none() {
+            // An idle warp scheduled for an active-steal attempt.
+            if cfg.stealing == Stealing::Active {
+                if let Some(cost) = try_active_steal(&mut warps, wi, cfg, &mut ctx, &mut stats) {
+                    warps[wi].clock += cost;
+                    // Stole something: resume running.
+                    heap.push(Reverse((warps[wi].clock, wi)));
+                } else {
+                    idle.push(wi);
+                }
+            } else {
+                idle.push(wi);
+            }
+            continue;
+        }
+
+        // Advance the task by one quantum.
+        let result = warps[wi].task.as_mut().expect("checked").step(&mut ctx);
+        let cycles = ctx.take_step_cycles().max(1);
+        warps[wi].clock += cycles;
+        warps[wi].busy += cycles;
+        warps[wi].steps_since_poll += 1;
+        stats.scheduler_steps += 1;
+
+        match result {
+            StepResult::Done => {
+                warps[wi].task = None;
+                stats.tasks_completed += 1;
+                match cfg.stealing {
+                    Stealing::Active => {
+                        // Re-enter the heap: on its next turn (i.e. when all
+                        // other warps caught up to its clock) it scans for a
+                        // victim. This models "after a warp completes its
+                        // current workloads, it inspects other warps".
+                        heap.push(Reverse((warps[wi].clock, wi)));
+                    }
+                    _ => idle.push(wi),
+                }
+            }
+            StepResult::Continue => {
+                // Passive mode: the busy warp periodically interrupts its
+                // work to look for an idle warp and push half its load.
+                if cfg.stealing == Stealing::Passive
+                    && warps[wi].steps_since_poll >= cfg.passive_poll_interval
+                {
+                    warps[wi].steps_since_poll = 0;
+                    // Scanning the status array costs shared-memory reads,
+                    // charged to the busy (interrupted) warp.
+                    ctx.shared_access(num_warps as u64);
+                    let scan = ctx.take_step_cycles();
+                    warps[wi].clock += scan;
+                    warps[wi].busy += scan;
+                    if let Some(ti) = idle.pop() {
+                        let hint = warps[wi].task.as_ref().expect("busy").remaining_hint();
+                        if hint >= cfg.min_steal_hint {
+                            if let Some(split) =
+                                warps[wi].task.as_mut().expect("busy").try_split()
+                            {
+                                // Copying the stolen candidate range + match
+                                // prefix through shared memory.
+                                ctx.shared_access(split.remaining_hint().max(1));
+                                let copy = ctx.take_step_cycles();
+                                warps[wi].clock += copy;
+                                // The thief resumes at the happening time.
+                                warps[ti].clock = warps[ti].clock.max(warps[wi].clock);
+                                warps[ti].task = Some(split);
+                                stats.steals += 1;
+                                heap.push(Reverse((warps[ti].clock, ti)));
+                            } else {
+                                idle.push(ti);
+                            }
+                        } else {
+                            idle.push(ti);
+                        }
+                    }
+                }
+                heap.push(Reverse((warps[wi].clock, wi)));
+            }
+        }
+    }
+
+    let makespan = warps.iter().map(|w| w.clock).max().unwrap_or(0).max(1);
+    stats.makespan_cycles = makespan;
+    stats.busy_cycles = warps.iter().map(|w| w.busy).sum();
+    stats.num_warps = num_warps;
+    stats.global_transactions = ctx.global_transactions;
+    stats.shared_accesses = ctx.shared_accesses;
+    stats.warp_busy = warps.iter().map(|w| w.busy).collect();
+    stats.warp_clock = warps.iter().map(|w| w.clock).collect();
+    BlockOutcome { stats }
+}
+
+/// An idle warp scans shared memory for the busiest victim and takes half
+/// of its unexplored candidates. Returns the cycles spent if a steal
+/// happened, `None` if no victim qualified.
+fn try_active_steal(
+    warps: &mut [WarpSlot],
+    thief: usize,
+    cfg: &DeviceConfig,
+    ctx: &mut WarpCtx,
+    stats: &mut BlockStats,
+) -> Option<u64> {
+    // Scanning csize/p layer by layer: O(L * |W|) shared accesses (§V-A
+    // complexity). L is bounded by the query depth; we charge the scan as
+    // |W| shared reads per scan round and let the task's own hint stand in
+    // for the per-layer walk.
+    ctx.shared_access(warps.len() as u64);
+    let victim = warps
+        .iter()
+        .enumerate()
+        .filter(|(i, w)| *i != thief && w.task.is_some())
+        .max_by_key(|(i, w)| {
+            (
+                w.task.as_ref().map_or(0, |t| t.remaining_hint()),
+                usize::MAX - *i,
+            )
+        })
+        .map(|(i, _)| i)?;
+    let hint = warps[victim]
+        .task
+        .as_ref()
+        .expect("victim has task")
+        .remaining_hint();
+    if hint < cfg.min_steal_hint {
+        let _ = ctx.take_step_cycles();
+        return None;
+    }
+    let split = warps[victim].task.as_mut().expect("victim").try_split()?;
+    // Copying the stolen range + parent partial match through shared memory.
+    ctx.shared_access(split.remaining_hint().max(1));
+    warps[thief].task = Some(split);
+    stats.steals += 1;
+    Some(ctx.take_step_cycles())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{StepResult, WarpCtx, WarpTask};
+
+    /// A task that performs `units` steps of `cycles_per_unit` cycles each
+    /// and can be split in half.
+    struct Chunk {
+        units: u64,
+        cycles_per_unit: u64,
+        splittable: bool,
+    }
+
+    impl WarpTask for Chunk {
+        fn step(&mut self, ctx: &mut WarpCtx) -> StepResult {
+            if self.units == 0 {
+                return StepResult::Done;
+            }
+            self.units -= 1;
+            ctx.charge(self.cycles_per_unit);
+            if self.units == 0 {
+                StepResult::Done
+            } else {
+                StepResult::Continue
+            }
+        }
+
+        fn remaining_hint(&self) -> u64 {
+            if self.splittable {
+                self.units
+            } else {
+                0
+            }
+        }
+
+        fn try_split(&mut self) -> Option<Box<dyn WarpTask>> {
+            if !self.splittable || self.units < 2 {
+                return None;
+            }
+            let half = self.units / 2;
+            self.units -= half;
+            Some(Box::new(Chunk {
+                units: half,
+                cycles_per_unit: self.cycles_per_unit,
+                splittable: true,
+            }))
+        }
+    }
+
+    fn cfg(stealing: Stealing) -> DeviceConfig {
+        DeviceConfig {
+            stealing,
+            min_steal_hint: 4,
+            ..DeviceConfig::single_sm()
+        }
+    }
+
+    #[test]
+    fn balanced_tasks_no_steal_needed() {
+        let tasks: Vec<Box<dyn WarpTask>> = (0..4)
+            .map(|_| {
+                Box::new(Chunk {
+                    units: 10,
+                    cycles_per_unit: 100,
+                    splittable: true,
+                }) as Box<dyn WarpTask>
+            })
+            .collect();
+        let out = run_block(tasks, &cfg(Stealing::Active));
+        assert_eq!(out.stats.tasks_completed, 4);
+        assert!(out.stats.utilization() > 0.95, "{}", out.stats.utilization());
+    }
+
+    #[test]
+    fn skewed_tasks_active_stealing_cuts_makespan() {
+        let mk = |steal: Stealing| {
+            let tasks: Vec<Box<dyn WarpTask>> = vec![
+                Box::new(Chunk { units: 1000, cycles_per_unit: 100, splittable: true }),
+                Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
+                Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
+                Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
+            ];
+            run_block(tasks, &cfg(steal)).stats
+        };
+        let off = mk(Stealing::Off);
+        let active = mk(Stealing::Active);
+        assert_eq!(off.steals, 0);
+        assert!(active.steals >= 2, "steals={}", active.steals);
+        assert!(
+            active.makespan_cycles * 2 < off.makespan_cycles,
+            "active={} off={}",
+            active.makespan_cycles,
+            off.makespan_cycles
+        );
+        assert!(active.utilization() > off.utilization());
+    }
+
+    #[test]
+    fn passive_stealing_also_balances() {
+        let mk = |steal: Stealing| {
+            let tasks: Vec<Box<dyn WarpTask>> = vec![
+                Box::new(Chunk { units: 4000, cycles_per_unit: 100, splittable: true }),
+                Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
+            ];
+            let mut c = cfg(steal);
+            c.passive_poll_interval = 16;
+            run_block(tasks, &c).stats
+        };
+        let off = mk(Stealing::Off);
+        let passive = mk(Stealing::Passive);
+        assert!(passive.steals >= 1);
+        assert!(passive.makespan_cycles < off.makespan_cycles);
+    }
+
+    #[test]
+    fn unsplittable_tasks_never_stolen() {
+        let tasks: Vec<Box<dyn WarpTask>> = vec![
+            Box::new(Chunk { units: 100, cycles_per_unit: 10, splittable: false }),
+            Box::new(Chunk { units: 1, cycles_per_unit: 10, splittable: false }),
+        ];
+        let out = run_block(tasks, &cfg(Stealing::Active));
+        assert_eq!(out.stats.steals, 0);
+        assert_eq!(out.stats.tasks_completed, 2);
+    }
+
+    #[test]
+    fn determinism() {
+        let mk = || {
+            let tasks: Vec<Box<dyn WarpTask>> = (0..6)
+                .map(|i| {
+                    Box::new(Chunk {
+                        units: 17 * (i + 1),
+                        cycles_per_unit: 30 + i,
+                        splittable: true,
+                    }) as Box<dyn WarpTask>
+                })
+                .collect();
+            run_block(tasks, &cfg(Stealing::Active)).stats
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.steals, b.steals);
+        assert_eq!(a.busy_cycles, b.busy_cycles);
+    }
+
+    #[test]
+    fn empty_block() {
+        let out = run_block(Vec::new(), &cfg(Stealing::Active));
+        assert_eq!(out.stats.tasks_completed, 0);
+        assert_eq!(out.stats.steals, 0);
+    }
+
+    #[test]
+    fn work_conserved_under_stealing() {
+        // Total busy cycles should be >= the no-stealing payload (steal
+        // overhead adds, never removes, work).
+        let payload = 1000 * 100 + 3 * 2 * 100;
+        let tasks: Vec<Box<dyn WarpTask>> = vec![
+            Box::new(Chunk { units: 1000, cycles_per_unit: 100, splittable: true }),
+            Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
+            Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
+            Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
+        ];
+        let out = run_block(tasks, &cfg(Stealing::Active));
+        assert!(out.stats.busy_cycles >= payload);
+        // ... and not wildly more (steal overhead is small).
+        assert!(out.stats.busy_cycles < payload + payload / 4);
+    }
+}

@@ -1,0 +1,118 @@
+//! Cycle cost model for the simulated device.
+//!
+//! Latencies are rough CUDA-class numbers (global ≈ hundreds of cycles,
+//! shared ≈ tens, registers/ALU ≈ 1); what matters for reproducing the
+//! paper is the *ratio* between them, which drives every design decision
+//! GAMMA makes (coalescing, shared-memory stealing, DFS-over-BFS).
+
+/// Per-operation cycle costs.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Latency of one global-memory transaction (a 128-byte coalesced
+    /// segment or one divergent access).
+    pub global_latency: u64,
+    /// Latency of one shared-memory access.
+    pub shared_latency: u64,
+    /// Cost of one warp-wide ALU step.
+    pub compute: u64,
+    /// Cost of a warp-level sync / vote primitive.
+    pub sync: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            global_latency: 200,
+            shared_latency: 20,
+            compute: 1,
+            sync: 4,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cycles for a warp cooperatively reading `words` consecutive 4-byte
+    /// words from global memory. Coalescing folds `warp_size` words into a
+    /// single transaction.
+    pub fn coalesced_read(&self, words: u64, warp_size: u32) -> u64 {
+        let transactions = words.div_ceil(warp_size as u64).max(1);
+        transactions * self.global_latency
+    }
+
+    /// Cycles for `words` divergent (non-consecutive) global accesses: one
+    /// transaction each, but the warp's lanes issue them in parallel, so
+    /// the latency is paid once per *round* of up to `warp_size` accesses
+    /// and the memory system serializes a fraction of them. We charge an
+    /// extra serialization factor of 4 over the coalesced case, consistent
+    /// with the bandwidth loss the paper attributes to memory divergence.
+    pub fn divergent_read(&self, words: u64, warp_size: u32) -> u64 {
+        let rounds = words.div_ceil(warp_size as u64).max(1);
+        rounds * self.global_latency * 4
+    }
+
+    /// Cycles for the warp-cooperative sorted-set intersection GAMMA uses in
+    /// `GenCandidates` (§IV-C): each lane takes one element of the smaller
+    /// list and binary-searches the larger. Rounds = ⌈small / warp_size⌉;
+    /// each round costs one coalesced read of the chunk plus
+    /// `log2(large)` dependent probe steps into the larger list.
+    pub fn coop_intersect(&self, small: u64, large: u64, warp_size: u32) -> u64 {
+        if small == 0 || large == 0 {
+            return self.compute;
+        }
+        let rounds = small.div_ceil(warp_size as u64);
+        let probes = (64 - large.leading_zeros() as u64).max(1);
+        rounds * (self.global_latency + probes * self.global_latency / 4 + self.sync)
+    }
+
+    /// Cycles for a single thread doing a binary search of a list of length
+    /// `n` in global memory (used by the thread-per-update ablation).
+    pub fn serial_binary_search(&self, n: u64) -> u64 {
+        let probes = (64 - n.leading_zeros() as u64).max(1);
+        probes * self.global_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_folds_transactions() {
+        let c = CostModel::default();
+        assert_eq!(c.coalesced_read(32, 32), c.global_latency);
+        assert_eq!(c.coalesced_read(33, 32), 2 * c.global_latency);
+        assert_eq!(c.coalesced_read(0, 32), c.global_latency);
+    }
+
+    #[test]
+    fn divergent_costs_more() {
+        let c = CostModel::default();
+        assert!(c.divergent_read(32, 32) > c.coalesced_read(32, 32));
+    }
+
+    #[test]
+    fn intersect_scales_with_small_side() {
+        let c = CostModel::default();
+        let a = c.coop_intersect(32, 1000, 32);
+        let b = c.coop_intersect(320, 1000, 32);
+        assert!(b > a);
+        assert_eq!(b, 10 * a);
+    }
+
+    #[test]
+    fn intersect_empty_is_cheap() {
+        let c = CostModel::default();
+        assert_eq!(c.coop_intersect(0, 100, 32), c.compute);
+        assert_eq!(c.coop_intersect(100, 0, 32), c.compute);
+    }
+
+    #[test]
+    fn warp_coop_beats_serial_search() {
+        // One warp intersecting 32 elements against 1k should be far
+        // cheaper than 32 serial binary searches.
+        let c = CostModel::default();
+        let coop = c.coop_intersect(32, 1024, 32);
+        let serial = 32 * c.serial_binary_search(1024);
+        assert!(coop * 4 < serial, "coop={coop} serial={serial}");
+    }
+}

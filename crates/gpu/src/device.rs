@@ -1,0 +1,201 @@
+//! Device-level kernel launches: blocks over SM worker threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::block::run_block;
+use crate::stats::KernelStats;
+use crate::task::WarpTask;
+use crate::DeviceConfig;
+
+/// The simulated GPU device.
+///
+/// A `Device` is cheap to construct; all state lives in the config. Kernel
+/// launches are synchronous: [`Device::launch`] returns when every block
+/// has retired, like a `cudaDeviceSynchronize` after the grid.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Device configuration (SMs, warps per block, cost model, stealing).
+    pub config: DeviceConfig,
+}
+
+impl Device {
+    /// Creates a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        Self { config }
+    }
+
+    /// Launches a grid: `tasks` are chunked into blocks of
+    /// `warps_per_block` and executed on `num_sms` worker threads.
+    ///
+    /// Device makespan is the max over SMs of the sum of makespans of the
+    /// blocks that SM executed (blocks are picked up greedily, modeling the
+    /// hardware block scheduler).
+    pub fn launch(&self, tasks: Vec<Box<dyn WarpTask>>) -> KernelStats {
+        let started = std::time::Instant::now();
+        let num_tasks = tasks.len();
+        let mut blocks: Vec<Vec<Box<dyn WarpTask>>> = Vec::new();
+        let mut current: Vec<Box<dyn WarpTask>> = Vec::new();
+        for t in tasks {
+            current.push(t);
+            if current.len() == self.config.warps_per_block {
+                blocks.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            blocks.push(current);
+        }
+
+        let num_blocks = blocks.len();
+        let block_queue: Vec<Mutex<Option<Vec<Box<dyn WarpTask>>>>> =
+            blocks.into_iter().map(|b| Mutex::new(Some(b))).collect();
+        let next = AtomicUsize::new(0);
+        let sm_count = self.config.num_sms.max(1);
+        // Host threads actually executing blocks: never more than the
+        // machine offers (the *simulated* clock still divides by sm_count).
+        let workers = sm_count
+            .min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .min(num_blocks.max(1));
+        let max_block_cycles = Mutex::new(0u64);
+        let agg = Mutex::new(KernelStats {
+            num_blocks,
+            num_tasks,
+            ..Default::default()
+        });
+
+        crossbeam::scope(|scope| {
+            for _sm in 0..workers {
+                let next = &next;
+                let block_queue = &block_queue;
+                let agg = &agg;
+                let max_block_cycles = &max_block_cycles;
+                let cfg = &self.config;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= block_queue.len() {
+                        break;
+                    }
+                    let tasks = block_queue[i].lock().take().expect("block taken twice");
+                    let outcome = run_block(tasks, cfg);
+                    let s = &outcome.stats;
+                    {
+                        let mut m = max_block_cycles.lock();
+                        *m = (*m).max(s.makespan_cycles);
+                    }
+                    let mut a = agg.lock();
+                    a.total_block_cycles += s.makespan_cycles;
+                    a.busy_cycles += s.busy_cycles;
+                    a.resident_warp_cycles += s.num_warps as u64 * s.makespan_cycles;
+                    a.steals += s.steals;
+                    a.global_transactions += s.global_transactions;
+                    a.shared_accesses += s.shared_accesses;
+                });
+            }
+        })
+        .expect("SM worker panicked");
+
+        let mut stats = agg.into_inner();
+        // Device makespan: with many blocks in flight the hardware block
+        // scheduler approaches the LPT bound
+        // `max(ceil(total / num_sms), longest single block)`. Using the
+        // bound (instead of the racy host assignment realized above) keeps
+        // the simulated clock deterministic.
+        let ideal = stats.total_block_cycles.div_ceil(sm_count as u64);
+        stats.device_cycles = ideal.max(max_block_cycles.into_inner());
+        stats.wall_seconds = started.elapsed().as_secs_f64();
+        stats
+    }
+
+    /// Converts simulated cycles into simulated seconds using the device
+    /// clock.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        self.config.cycles_to_seconds(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{StepResult, WarpCtx};
+    use crate::Stealing;
+
+    struct Fixed(u64);
+    impl WarpTask for Fixed {
+        fn step(&mut self, ctx: &mut WarpCtx) -> StepResult {
+            if self.0 == 0 {
+                return StepResult::Done;
+            }
+            self.0 -= 1;
+            ctx.charge(100);
+            if self.0 == 0 {
+                StepResult::Done
+            } else {
+                StepResult::Continue
+            }
+        }
+    }
+
+    fn cfg(sms: usize, wpb: usize) -> DeviceConfig {
+        DeviceConfig {
+            num_sms: sms,
+            warps_per_block: wpb,
+            stealing: Stealing::Off,
+            ..DeviceConfig::default()
+        }
+    }
+
+    #[test]
+    fn blocks_are_chunked() {
+        let dev = Device::new(cfg(2, 4));
+        let tasks: Vec<Box<dyn WarpTask>> = (0..10).map(|_| Box::new(Fixed(3)) as _).collect();
+        let stats = dev.launch(tasks);
+        assert_eq!(stats.num_blocks, 3);
+        assert_eq!(stats.num_tasks, 10);
+        assert!(stats.device_cycles > 0);
+        assert!(stats.busy_cycles >= 10 * 3 * 100);
+    }
+
+    #[test]
+    fn more_sms_reduce_device_time() {
+        let tasks = |n: usize| -> Vec<Box<dyn WarpTask>> {
+            (0..n).map(|_| Box::new(Fixed(50)) as _).collect()
+        };
+        let one = Device::new(cfg(1, 2)).launch(tasks(16));
+        let four = Device::new(cfg(4, 2)).launch(tasks(16));
+        assert!(
+            four.device_cycles < one.device_cycles,
+            "four={} one={}",
+            four.device_cycles,
+            one.device_cycles
+        );
+        // Same total work regardless of SM count.
+        assert_eq!(four.busy_cycles, one.busy_cycles);
+    }
+
+    #[test]
+    fn empty_launch() {
+        let dev = Device::new(cfg(2, 4));
+        let stats = dev.launch(Vec::new());
+        assert_eq!(stats.num_blocks, 0);
+        assert_eq!(stats.device_cycles, 0);
+        assert_eq!(stats.utilization(), 0.0);
+    }
+
+    #[test]
+    fn single_block_device_time_is_block_makespan() {
+        let dev = Device::new(cfg(4, 8));
+        let stats = dev.launch(vec![Box::new(Fixed(10)) as _, Box::new(Fixed(20)) as _]);
+        assert_eq!(stats.num_blocks, 1);
+        assert_eq!(stats.device_cycles, 20 * 100);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let dev = Device::new(DeviceConfig {
+            clock_ghz: 1.0,
+            ..DeviceConfig::default()
+        });
+        assert!((dev.seconds(1_000_000_000) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! # gamma-gpu — a deterministic SIMT execution simulator
+//!
+//! The GAMMA paper's contributions are *scheduling and memory-shape*
+//! algorithms for CUDA hardware: warp-centric task granularity, warp-level
+//! work stealing through per-block shared memory, coalesced global-memory
+//! access, and cooperative-group sub-warp sizing. Reproducing them in Rust
+//! without an Nvidia GPU requires a substrate that preserves those
+//! mechanisms and their observables. This crate is that substrate.
+//!
+//! ## Execution model
+//!
+//! * A **kernel launch** ([`Device::launch`]) receives a list of *warp
+//!   tasks* ([`WarpTask`]) — in GAMMA, one task per update edge, exactly the
+//!   paper's warp-centric assignment (§IV-C).
+//! * Tasks are grouped into **blocks** of `warps_per_block` warps. Blocks
+//!   are executed in parallel on real OS threads, one per simulated
+//!   **SM** (streaming multiprocessor), mirroring how CUDA distributes
+//!   resident blocks over SMs.
+//! * Inside a block, warps are interleaved by a deterministic event-driven
+//!   scheduler: the warp with the smallest virtual clock is advanced by one
+//!   [`WarpTask::step`], whose cost (in simulated cycles) is charged through
+//!   [`WarpCtx`]. The per-warp clocks are exactly the "cumulative execution
+//!   time across warps" the paper's Figure 13 reasons about.
+//! * **Work stealing** (§V-A) is modeled faithfully: each block owns a
+//!   simulated shared-memory status array; in *active* mode an idle warp
+//!   scans it (cost `O(L·|W|)` shared-memory reads, the paper's complexity)
+//!   and appropriates half of the victim's unexplored candidates via
+//!   [`WarpTask::try_split`]; in *passive* mode busy warps periodically poll
+//!   for idle warps and push work.
+//!
+//! ## What the simulator reports
+//!
+//! [`KernelStats`] exposes device makespan in cycles (converted to
+//! *simulated seconds* through a calibrated clock), warp busy time, GPU
+//! utilization (busy warp-cycles over resident warp-cycles), memory
+//! transaction counts and steal counts — the quantities behind the paper's
+//! Table III latency entries, Figure 13 utilization plots and Figure 14
+//! ablations. Absolute seconds are not expected to match an RTX 3090;
+//! *shapes and ratios* are.
+
+pub mod block;
+pub mod cost;
+pub mod device;
+pub mod memory;
+pub mod primitives;
+pub mod stats;
+pub mod task;
+
+pub use block::{run_block, BlockOutcome};
+pub use primitives::{ballot, coop_intersect_sorted, exclusive_scan, reduce_sum};
+pub use cost::CostModel;
+pub use device::Device;
+pub use memory::MemoryTracker;
+pub use stats::{BlockStats, KernelStats};
+pub use task::{StepResult, WarpCtx, WarpTask};
+
+/// Work-stealing strategy for warps within a block (§V-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Stealing {
+    /// No stealing: the WBM baseline.
+    Off,
+    /// Busy warps periodically scan for idle warps and push half their work.
+    Passive,
+    /// Idle warps scan `csize`/`p` in shared memory and take half of the
+    /// victim's unexplored candidates (the paper's preferred strategy).
+    #[default]
+    Active,
+}
+
+/// Configuration of the simulated device.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// Number of simulated streaming multiprocessors. Drives the device
+    /// makespan model (`max(total/num_sms, longest block)`); execution uses
+    /// `min(num_sms, host parallelism)` OS threads.
+    pub num_sms: usize,
+    /// Warps per block (the pool a warp can steal from).
+    pub warps_per_block: usize,
+    /// Threads per warp (32 on all CUDA hardware).
+    pub warp_size: u32,
+    /// Simulated core clock in GHz; converts cycles to simulated seconds.
+    pub clock_ghz: f64,
+    /// Work-stealing strategy.
+    pub stealing: Stealing,
+    /// In passive mode, a busy warp polls for idle warps every this many
+    /// scheduler steps.
+    pub passive_poll_interval: u32,
+    /// Minimum remaining-work hint for a warp to be considered a victim.
+    pub min_steal_hint: u64,
+    /// Device (global) memory capacity in bytes; the BFS-variant kernel and
+    /// GPMA use it to model spill-to-host transfers.
+    pub device_memory_bytes: u64,
+    /// Host↔device bandwidth in bytes per simulated cycle (PCIe model).
+    pub pcie_bytes_per_cycle: f64,
+    /// Cost model for memory/compute charging.
+    pub cost: CostModel,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            // Simulated SM count — a model parameter, NOT the host thread
+            // count (the launcher caps worker threads at host parallelism
+            // separately). The paper's RTX 3090 has 83 SMs; 16 keeps the
+            // scaled-down device proportionate to the scaled-down datasets.
+            num_sms: 16,
+            warps_per_block: 8,
+            warp_size: 32,
+            clock_ghz: 1.4,
+            stealing: Stealing::Active,
+            passive_poll_interval: 64,
+            min_steal_hint: 32,
+            device_memory_bytes: 64 << 20,
+            pcie_bytes_per_cycle: 16.0, // ~22 GB/s at 1.4 GHz
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A deterministic single-SM configuration (serial block execution),
+    /// useful in tests where reproducible interleaving matters end-to-end.
+    pub fn single_sm() -> Self {
+        Self {
+            num_sms: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Converts simulated cycles to simulated seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+}

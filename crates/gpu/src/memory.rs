@@ -1,0 +1,160 @@
+//! Device-memory accounting for intermediate results.
+//!
+//! The paper's Figure 5 motivates DFS over BFS by plotting device-memory
+//! usage and the host↔device transfer ("Comm.") time BFS incurs once the
+//! frontier overflows device memory. [`MemoryTracker`] provides exactly
+//! that accounting: kernels register allocations/frees; allocations beyond
+//! capacity are spilled to the host at PCIe bandwidth, and the tracker
+//! records a usage time-series plus cumulative transfer cycles.
+
+/// Tracks simulated device-memory consumption for one kernel run.
+#[derive(Clone, Debug)]
+pub struct MemoryTracker {
+    capacity: u64,
+    pcie_bytes_per_cycle: f64,
+    resident: u64,
+    spilled: u64,
+    peak: u64,
+    transfer_cycles: u64,
+    transfer_bytes: u64,
+    /// Usage samples (fraction of capacity, 0..=1) taken at each
+    /// [`MemoryTracker::sample`] call.
+    samples: Vec<f64>,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker with the given capacity and PCIe bandwidth.
+    pub fn new(capacity: u64, pcie_bytes_per_cycle: f64) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            pcie_bytes_per_cycle: pcie_bytes_per_cycle.max(f64::MIN_POSITIVE),
+            resident: 0,
+            spilled: 0,
+            peak: 0,
+            transfer_cycles: 0,
+            transfer_bytes: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Allocates `bytes` on the device. Whatever does not fit is spilled to
+    /// host memory, charging transfer cycles.
+    pub fn alloc(&mut self, bytes: u64) {
+        let free = self.capacity.saturating_sub(self.resident);
+        let on_device = bytes.min(free);
+        let spill = bytes - on_device;
+        self.resident += on_device;
+        if spill > 0 {
+            self.spilled += spill;
+            self.transfer_bytes += spill;
+            self.transfer_cycles += (spill as f64 / self.pcie_bytes_per_cycle).ceil() as u64;
+        }
+        self.peak = self.peak.max(self.resident + self.spilled);
+    }
+
+    /// Frees `bytes` (device-resident data is freed before spilled data;
+    /// reading spilled data back is charged to the consumer, not here).
+    pub fn free(&mut self, bytes: u64) {
+        let from_device = bytes.min(self.resident);
+        self.resident -= from_device;
+        let rest = bytes - from_device;
+        self.spilled = self.spilled.saturating_sub(rest);
+    }
+
+    /// Charges transfer cycles for reading `bytes` of spilled data back in.
+    pub fn read_back(&mut self, bytes: u64) {
+        self.transfer_bytes += bytes;
+        self.transfer_cycles += (bytes as f64 / self.pcie_bytes_per_cycle).ceil() as u64;
+    }
+
+    /// Records a usage sample (fraction of device capacity in use, capped
+    /// at 1.0; spilled bytes count as "memory exhausted").
+    pub fn sample(&mut self) {
+        let frac = if self.spilled > 0 {
+            1.0
+        } else {
+            self.resident as f64 / self.capacity as f64
+        };
+        self.samples.push(frac.min(1.0));
+    }
+
+    /// Bytes currently resident on the device.
+    pub fn resident(&self) -> u64 {
+        self.resident
+    }
+
+    /// Peak total footprint (resident + spilled).
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Total bytes moved over the simulated PCIe link.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.transfer_bytes
+    }
+
+    /// Cycles spent on host↔device transfers (the Figure-5 "Comm." bar).
+    pub fn transfer_cycles(&self) -> u64 {
+        self.transfer_cycles
+    }
+
+    /// The recorded usage time-series.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_within_capacity_no_transfer() {
+        let mut m = MemoryTracker::new(1000, 10.0);
+        m.alloc(800);
+        assert_eq!(m.resident(), 800);
+        assert_eq!(m.transfer_cycles(), 0);
+        m.sample();
+        assert!((m.samples()[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_spills_and_charges() {
+        let mut m = MemoryTracker::new(1000, 10.0);
+        m.alloc(1500);
+        assert_eq!(m.resident(), 1000);
+        assert_eq!(m.transfer_bytes(), 500);
+        assert_eq!(m.transfer_cycles(), 50);
+        m.sample();
+        assert_eq!(m.samples()[0], 1.0);
+        assert_eq!(m.peak(), 1500);
+    }
+
+    #[test]
+    fn free_releases_device_first() {
+        let mut m = MemoryTracker::new(1000, 10.0);
+        m.alloc(1200);
+        m.free(300);
+        assert_eq!(m.resident(), 700);
+        m.alloc(100);
+        assert_eq!(m.resident(), 800);
+        // No new spill since it fits.
+        assert_eq!(m.transfer_bytes(), 200);
+    }
+
+    #[test]
+    fn read_back_charges() {
+        let mut m = MemoryTracker::new(100, 2.0);
+        m.read_back(10);
+        assert_eq!(m.transfer_cycles(), 5);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut m = MemoryTracker::new(1000, 1.0);
+        m.alloc(400);
+        m.free(400);
+        m.alloc(100);
+        assert_eq!(m.peak(), 400);
+    }
+}

@@ -1,0 +1,132 @@
+//! Warp-level cooperative primitives with cycle accounting.
+//!
+//! CUDA kernels coordinate lanes with ballots, shuffles and scans; GAMMA's
+//! intersection and GPMA's segment processing lean on them. These helpers
+//! compute the primitive's *result* exactly and charge its *cost* through
+//! a [`WarpCtx`], so kernel code written against the simulator keeps the
+//! shape of the CUDA original.
+
+use crate::task::WarpCtx;
+
+/// `__ballot_sync`: a bitmask of lanes whose predicate is true. `lanes`
+/// holds one bool per lane (≤ warp size).
+pub fn ballot(ctx: &mut WarpCtx, lanes: &[bool]) -> u64 {
+    debug_assert!(lanes.len() <= ctx.warp_size as usize);
+    ctx.charge(ctx.cost.sync);
+    lanes
+        .iter()
+        .enumerate()
+        .fold(0u64, |m, (i, &b)| if b { m | (1 << i) } else { m })
+}
+
+/// Exclusive prefix sum across lanes (`cub`-style warp scan): returns the
+/// per-lane offsets and the total. The hardware needs `log2(warp)` rounds.
+pub fn exclusive_scan(ctx: &mut WarpCtx, values: &[u32]) -> (Vec<u32>, u32) {
+    debug_assert!(values.len() <= ctx.warp_size as usize);
+    let rounds = (ctx.warp_size.max(2) as f64).log2().ceil() as u64;
+    ctx.charge(rounds * ctx.cost.sync);
+    let mut out = Vec::with_capacity(values.len());
+    let mut acc = 0u32;
+    for &v in values {
+        out.push(acc);
+        acc += v;
+    }
+    (out, acc)
+}
+
+/// Warp-wide reduction (sum). One value per lane; `log2(warp)` shuffle
+/// rounds.
+pub fn reduce_sum(ctx: &mut WarpCtx, values: &[u32]) -> u64 {
+    debug_assert!(values.len() <= ctx.warp_size as usize);
+    let rounds = (ctx.warp_size.max(2) as f64).log2().ceil() as u64;
+    ctx.charge(rounds * ctx.cost.sync);
+    values.iter().map(|&v| v as u64).sum()
+}
+
+/// Warp-cooperative sorted-set intersection (the paper's "parallel binary
+/// search", §IV-C): every lane takes one element of the smaller list and
+/// binary-searches the larger; survivors are compacted by a scan. Returns
+/// the intersection (sorted) and charges the full cost model.
+pub fn coop_intersect_sorted(ctx: &mut WarpCtx, small: &[u32], large: &[u32]) -> Vec<u32> {
+    ctx.coop_intersect(small.len() as u64, large.len() as u64);
+    let mut out = Vec::new();
+    for chunk in small.chunks(ctx.warp_size as usize) {
+        let hits: Vec<bool> = chunk
+            .iter()
+            .map(|v| large.binary_search(v).is_ok())
+            .collect();
+        let mask = ballot(ctx, &hits);
+        let counts: Vec<u32> = hits.iter().map(|&h| u32::from(h)).collect();
+        let (_offsets, total) = exclusive_scan(ctx, &counts);
+        // Compaction write: one coalesced transaction per chunk.
+        ctx.global_read_coalesced(total as u64);
+        out.extend(
+            chunk
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &v)| v),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    fn ctx() -> WarpCtx {
+        WarpCtx::new(CostModel::default(), 32)
+    }
+
+    #[test]
+    fn ballot_masks_lanes() {
+        let mut c = ctx();
+        let mask = ballot(&mut c, &[true, false, true, true]);
+        assert_eq!(mask, 0b1101);
+        assert_eq!(ballot(&mut c, &[]), 0);
+    }
+
+    #[test]
+    fn scan_offsets_and_total() {
+        let mut c = ctx();
+        let (offsets, total) = exclusive_scan(&mut c, &[3, 0, 2, 5]);
+        assert_eq!(offsets, vec![0, 3, 3, 5]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let mut c = ctx();
+        assert_eq!(reduce_sum(&mut c, &[1, 2, 3, 4]), 10);
+    }
+
+    #[test]
+    fn intersect_correct_and_charged() {
+        let mut c = ctx();
+        let a: Vec<u32> = (0..100).filter(|x| x % 3 == 0).collect();
+        let b: Vec<u32> = (0..100).filter(|x| x % 5 == 0).collect();
+        let before = c.global_transactions;
+        let inter = coop_intersect_sorted(&mut c, &a, &b);
+        let expect: Vec<u32> = (0..100).filter(|x| x % 15 == 0).collect();
+        assert_eq!(inter, expect);
+        assert!(c.global_transactions > before);
+    }
+
+    #[test]
+    fn intersect_empty_sides() {
+        let mut c = ctx();
+        assert!(coop_intersect_sorted(&mut c, &[], &[1, 2, 3]).is_empty());
+        assert!(coop_intersect_sorted(&mut c, &[1, 2, 3], &[]).is_empty());
+    }
+
+    #[test]
+    fn intersect_multi_chunk() {
+        let mut c = ctx();
+        let a: Vec<u32> = (0..200).collect(); // > warp size: several rounds
+        let b: Vec<u32> = (100..300).collect();
+        let inter = coop_intersect_sorted(&mut c, &a, &b);
+        assert_eq!(inter, (100..200).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,137 @@
+//! The warp-task abstraction and per-warp cost accounting.
+
+use crate::cost::CostModel;
+
+/// Result of advancing a warp by one scheduler quantum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepResult {
+    /// The warp still has work.
+    Continue,
+    /// The warp finished its task.
+    Done,
+}
+
+/// Execution context handed to a warp on every step; the warp charges the
+/// simulated cycle cost of whatever it did through these methods.
+#[derive(Debug)]
+pub struct WarpCtx {
+    /// Cost model shared by the device.
+    pub cost: CostModel,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Cycles charged during the current step.
+    step_cycles: u64,
+    /// Global-memory transactions charged during the whole block run.
+    pub global_transactions: u64,
+    /// Shared-memory accesses charged during the whole block run.
+    pub shared_accesses: u64,
+}
+
+impl WarpCtx {
+    pub(crate) fn new(cost: CostModel, warp_size: u32) -> Self {
+        Self {
+            cost,
+            warp_size,
+            step_cycles: 0,
+            global_transactions: 0,
+            shared_accesses: 0,
+        }
+    }
+
+    /// Charges raw cycles.
+    #[inline]
+    pub fn charge(&mut self, cycles: u64) {
+        self.step_cycles += cycles;
+    }
+
+    /// Charges a warp-coalesced global read of `words` consecutive words.
+    pub fn global_read_coalesced(&mut self, words: u64) {
+        self.global_transactions += words.div_ceil(self.warp_size as u64).max(1);
+        let c = self.cost.coalesced_read(words, self.warp_size);
+        self.charge(c);
+    }
+
+    /// Charges a divergent global read of `words` scattered words.
+    pub fn global_read_divergent(&mut self, words: u64) {
+        self.global_transactions += words.max(1);
+        let c = self.cost.divergent_read(words, self.warp_size);
+        self.charge(c);
+    }
+
+    /// Charges `accesses` shared-memory accesses.
+    pub fn shared_access(&mut self, accesses: u64) {
+        self.shared_accesses += accesses;
+        let c = accesses * self.cost.shared_latency;
+        self.charge(c);
+    }
+
+    /// Charges `ops` warp-wide compute steps.
+    pub fn compute(&mut self, ops: u64) {
+        let c = ops * self.cost.compute;
+        self.charge(c);
+    }
+
+    /// Charges a warp-cooperative sorted intersection (see
+    /// [`CostModel::coop_intersect`]).
+    pub fn coop_intersect(&mut self, small: u64, large: u64) {
+        self.global_transactions += small.div_ceil(self.warp_size as u64).max(1);
+        let c = self.cost.coop_intersect(small, large, self.warp_size);
+        self.charge(c);
+    }
+
+    /// Drains and returns the cycles charged since the last drain.
+    pub(crate) fn take_step_cycles(&mut self) -> u64 {
+        std::mem::take(&mut self.step_cycles)
+    }
+}
+
+/// A unit of warp-granularity work (in GAMMA: the DFS for one update edge).
+///
+/// Implementations are *state machines*: [`WarpTask::step`] performs a
+/// bounded amount of work (one DFS level transition, one segment merge, ...)
+/// and charges its cost to the [`WarpCtx`]. This is what lets the block
+/// scheduler interleave warps deterministically and lets idle warps steal.
+pub trait WarpTask: Send {
+    /// Advances the task by one quantum, charging costs to `ctx`.
+    fn step(&mut self, ctx: &mut WarpCtx) -> StepResult;
+
+    /// Estimate of remaining work (used for victim selection; GAMMA scans
+    /// the `csize`/`p` arrays in shared memory for this). Zero means
+    /// nothing left to steal.
+    fn remaining_hint(&self) -> u64 {
+        0
+    }
+
+    /// Splits off roughly half of the *unexplored* work into a new task
+    /// (the paper's "appropriates half of its tasks"). Returns `None` when
+    /// the task cannot be split. Costs of copying state are charged by the
+    /// caller, not here.
+    fn try_split(&mut self) -> Option<Box<dyn WarpTask>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_accumulates_and_drains() {
+        let mut ctx = WarpCtx::new(CostModel::default(), 32);
+        ctx.compute(10);
+        ctx.shared_access(2);
+        let cycles = ctx.take_step_cycles();
+        assert_eq!(cycles, 10 + 2 * 20);
+        assert_eq!(ctx.take_step_cycles(), 0);
+        assert_eq!(ctx.shared_accesses, 2);
+    }
+
+    #[test]
+    fn transactions_counted() {
+        let mut ctx = WarpCtx::new(CostModel::default(), 32);
+        ctx.global_read_coalesced(64);
+        assert_eq!(ctx.global_transactions, 2);
+        ctx.global_read_divergent(5);
+        assert_eq!(ctx.global_transactions, 7);
+    }
+}

@@ -1,0 +1,170 @@
+//! Immutable CSR snapshots.
+//!
+//! [`CsrGraph`] freezes a [`DynamicGraph`] into the classic compressed-
+//! sparse-row layout — one offsets array, one neighbor array — which is
+//! both the format static GPU matchers (GSI, GunRock-class systems) ship
+//! to the device and the fastest layout for read-only host-side scans
+//! (oracle enumeration over large snapshots, metrics).
+
+use crate::{DynamicGraph, ELabel, VLabel, VertexId};
+
+/// A frozen CSR view of a labeled undirected graph.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    neighbors: Vec<VertexId>,
+    edge_labels: Vec<ELabel>,
+    labels: Vec<VLabel>,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Freezes `g`. Both directions of every edge are materialized, so
+    /// `neighbors` has `2|E|` entries and per-vertex slices are sorted.
+    pub fn from_dynamic(g: &DynamicGraph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * g.num_edges());
+        let mut edge_labels = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0);
+        for v in 0..n as VertexId {
+            for &(w, el) in g.neighbors(v) {
+                neighbors.push(w);
+                edge_labels.push(el);
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        Self {
+            offsets,
+            neighbors,
+            edge_labels,
+            labels: g.labels().to_vec(),
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Label of `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> VLabel {
+        self.labels[v as usize]
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Edge-label slice parallel to [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn neighbor_labels(&self, v: VertexId) -> &[ELabel] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.edge_labels[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Binary-search edge lookup; returns the edge label if present.
+    pub fn edge_label(&self, u: VertexId, v: VertexId) -> Option<ELabel> {
+        let ns = self.neighbors(u);
+        ns.binary_search(&v)
+            .ok()
+            .map(|i| self.neighbor_labels(u)[i])
+    }
+
+    /// Whether edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_label(u, v).is_some()
+    }
+
+    /// Thaws back into a [`DynamicGraph`] (testing / interop).
+    pub fn to_dynamic(&self) -> DynamicGraph {
+        let mut g = DynamicGraph::with_vertices(self.num_vertices());
+        for (v, &l) in self.labels.iter().enumerate() {
+            g.set_label(v as VertexId, l);
+        }
+        for u in 0..self.num_vertices() as VertexId {
+            for (i, &v) in self.neighbors(u).iter().enumerate() {
+                if u < v {
+                    g.insert_edge(u, v, self.neighbor_labels(u)[i]);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NO_ELABEL;
+
+    fn sample() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        for &l in &[0u16, 1, 1, 2, 0] {
+            g.add_vertex(l);
+        }
+        g.insert_edge(0, 1, 5);
+        g.insert_edge(0, 3, NO_ELABEL);
+        g.insert_edge(1, 2, NO_ELABEL);
+        g.insert_edge(2, 3, 9);
+        g
+    }
+
+    #[test]
+    fn freeze_preserves_structure() {
+        let g = sample();
+        let csr = CsrGraph::from_dynamic(&g);
+        assert_eq!(csr.num_vertices(), 5);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.neighbors(0), &[1, 3]);
+        assert_eq!(csr.neighbors(4), &[] as &[u32]);
+        assert_eq!(csr.degree(2), 2);
+        assert_eq!(csr.edge_label(0, 1), Some(5));
+        assert_eq!(csr.edge_label(3, 2), Some(9));
+        assert_eq!(csr.edge_label(0, 2), None);
+        assert!(csr.has_edge(1, 0));
+        assert_eq!(csr.label(3), 2);
+    }
+
+    #[test]
+    fn thaw_roundtrip() {
+        let g = sample();
+        let g2 = CsrGraph::from_dynamic(&g).to_dynamic();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(g.labels(), g2.labels());
+        for (u, v, l) in g.edges() {
+            assert_eq!(g2.edge_label(u, v), Some(l));
+        }
+    }
+
+    #[test]
+    fn neighbor_slices_sorted() {
+        let mut g = DynamicGraph::with_vertices(10);
+        for v in [7u32, 2, 9, 4, 1] {
+            g.insert_edge(5, v, NO_ELABEL);
+        }
+        let csr = CsrGraph::from_dynamic(&g);
+        assert_eq!(csr.neighbors(5), &[1, 2, 4, 7, 9]);
+    }
+}

@@ -1,0 +1,267 @@
+//! CPU-side dynamic labeled graph with sorted adjacency lists.
+//!
+//! [`DynamicGraph`] is the reference representation of the data graph: the
+//! CSM baselines run directly on it, the GAMMA engine mirrors it into a
+//! [`gamma-gpma`](https://docs.rs) store, and the test oracle diffs
+//! snapshots of it. Neighbor lists are kept sorted by neighbor id, so edge
+//! lookup is `O(log deg)` and neighbor iteration yields ascending ids —
+//! matching the ordering guarantees of the PMA-backed device store.
+
+use crate::{ELabel, VLabel, VertexId};
+
+/// An undirected, vertex- and edge-labeled multigraph-free graph.
+///
+/// Self-loops and parallel edges are rejected; an edge carries exactly one
+/// label (use [`crate::NO_ELABEL`] for unlabeled datasets).
+#[derive(Clone, Debug, Default)]
+pub struct DynamicGraph {
+    labels: Vec<VLabel>,
+    adj: Vec<Vec<(VertexId, ELabel)>>,
+    num_edges: usize,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` vertices, all labeled `0`.
+    pub fn with_vertices(n: usize) -> Self {
+        Self {
+            labels: vec![0; n],
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Adds a vertex with the given label and returns its id.
+    pub fn add_vertex(&mut self, label: VLabel) -> VertexId {
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        (self.labels.len() - 1) as VertexId
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> VLabel {
+        self.labels[v as usize]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[VLabel] {
+        &self.labels
+    }
+
+    /// Sets the label of vertex `v` (used by generators).
+    pub fn set_label(&mut self, v: VertexId, label: VLabel) {
+        self.labels[v as usize] = label;
+    }
+
+    /// Sorted neighbor list of `v`: `(neighbor, edge label)` pairs.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, ELabel)] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Returns the label of edge `(u, v)` if present.
+    pub fn edge_label(&self, u: VertexId, v: VertexId) -> Option<ELabel> {
+        let list = &self.adj[u as usize];
+        list.binary_search_by_key(&v, |&(n, _)| n)
+            .ok()
+            .map(|i| list[i].1)
+    }
+
+    /// Whether edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_label(u, v).is_some()
+    }
+
+    /// Inserts undirected edge `(u, v)` with label `el`.
+    ///
+    /// Returns `false` (and leaves the graph unchanged) if the edge already
+    /// exists or `u == v`.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId, el: ELabel) -> bool {
+        if u == v {
+            return false;
+        }
+        debug_assert!((u as usize) < self.labels.len() && (v as usize) < self.labels.len());
+        match self.adj[u as usize].binary_search_by_key(&v, |&(n, _)| n) {
+            Ok(_) => false,
+            Err(iu) => {
+                self.adj[u as usize].insert(iu, (v, el));
+                let iv = self.adj[v as usize]
+                    .binary_search_by_key(&u, |&(n, _)| n)
+                    .unwrap_err();
+                self.adj[v as usize].insert(iv, (u, el));
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Deletes undirected edge `(u, v)`, returning its label if it existed.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> Option<ELabel> {
+        let iu = self.adj[u as usize]
+            .binary_search_by_key(&v, |&(n, _)| n)
+            .ok()?;
+        let (_, el) = self.adj[u as usize].remove(iu);
+        let iv = self.adj[v as usize]
+            .binary_search_by_key(&u, |&(n, _)| n)
+            .expect("adjacency lists out of sync");
+        self.adj[v as usize].remove(iv);
+        self.num_edges -= 1;
+        Some(el)
+    }
+
+    /// Number of neighbors of `v` whose vertex label is `l` (the paper's
+    /// `|N_l(v)|`, used by the NLF filter).
+    pub fn nl_count(&self, v: VertexId, l: VLabel) -> usize {
+        self.adj[v as usize]
+            .iter()
+            .filter(|&&(n, _)| self.labels[n as usize] == l)
+            .count()
+    }
+
+    /// Iterates all undirected edges as `(u, v, label)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, ELabel)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            let u = u as VertexId;
+            list.iter()
+                .filter(move |&&(v, _)| u < v)
+                .map(move |&(v, el)| (u, v, el))
+        })
+    }
+
+    /// Average degree `2|E| / |V|`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Number of distinct vertex labels present.
+    pub fn distinct_vertex_labels(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        seen.extend(self.labels.iter().copied());
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NO_ELABEL;
+
+    fn triangle() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        let a = g.add_vertex(0);
+        let b = g.add_vertex(1);
+        let c = g.add_vertex(1);
+        assert!(g.insert_edge(a, b, NO_ELABEL));
+        assert!(g.insert_edge(b, c, NO_ELABEL));
+        assert!(g.insert_edge(a, c, NO_ELABEL));
+        g
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.avg_degree(), 2.0);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut g = triangle();
+        assert!(!g.insert_edge(0, 1, NO_ELABEL));
+        assert!(!g.insert_edge(1, 0, NO_ELABEL));
+        assert!(!g.insert_edge(2, 2, NO_ELABEL));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn delete_roundtrip() {
+        let mut g = triangle();
+        assert_eq!(g.delete_edge(0, 1), Some(NO_ELABEL));
+        assert_eq!(g.delete_edge(0, 1), None);
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.insert_edge(1, 0, 7));
+        assert_eq!(g.edge_label(0, 1), Some(7));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut g = DynamicGraph::with_vertices(6);
+        for v in [5u32, 1, 4, 2, 3] {
+            g.insert_edge(0, v, NO_ELABEL);
+        }
+        let ns: Vec<u32> = g.neighbors(0).iter().map(|&(n, _)| n).collect();
+        assert_eq!(ns, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn nl_count_counts_labels() {
+        let g = triangle();
+        assert_eq!(g.nl_count(0, 1), 2);
+        assert_eq!(g.nl_count(1, 0), 1);
+        assert_eq!(g.nl_count(1, 1), 1);
+        assert_eq!(g.nl_count(1, 9), 0);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = triangle();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1, 0), (0, 2, 0), (1, 2, 0)]);
+    }
+
+    #[test]
+    fn edge_labels_roundtrip() {
+        let mut g = DynamicGraph::with_vertices(3);
+        g.insert_edge(0, 1, 3);
+        g.insert_edge(1, 2, 5);
+        assert_eq!(g.edge_label(0, 1), Some(3));
+        assert_eq!(g.edge_label(2, 1), Some(5));
+        assert_eq!(g.edge_label(0, 2), None);
+    }
+
+    #[test]
+    fn distinct_labels() {
+        let g = triangle();
+        assert_eq!(g.distinct_vertex_labels(), 2);
+    }
+}

@@ -1,0 +1,321 @@
+//! Text serialization for graphs, queries and update streams.
+//!
+//! The formats follow the conventions of the CSM evaluation ecosystem the
+//! paper draws its datasets from (one record per line):
+//!
+//! ```text
+//! # graph / query file          # update stream file
+//! v <id> <label>                + <u> <v> [elabel]
+//! e <u> <v> [elabel]            - <u> <v>
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Vertices must be declared
+//! before edges referencing them; ids must be dense (0..n) for graphs.
+
+use std::io::{BufRead, Write};
+
+use crate::{DynamicGraph, ELabel, Op, QueryGraph, Update, VLabel, VertexId, NO_ELABEL};
+
+/// Parse failure with line context.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Writes a data graph in the `v`/`e` format.
+pub fn write_graph<W: Write>(g: &DynamicGraph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# gamma graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for v in 0..g.num_vertices() as VertexId {
+        writeln!(w, "v {} {}", v, g.label(v))?;
+    }
+    for (u, v, el) in g.edges() {
+        if el == NO_ELABEL {
+            writeln!(w, "e {u} {v}")?;
+        } else {
+            writeln!(w, "e {u} {v} {el}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a data graph written by [`write_graph`] (or hand-authored).
+pub fn read_graph<R: BufRead>(r: R) -> Result<DynamicGraph, ParseError> {
+    let mut g = DynamicGraph::new();
+    let mut expected_id: VertexId = 0;
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| err(lineno, e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("v") => {
+                let id: VertexId = parse_field(&mut it, lineno, "vertex id")?;
+                let label: VLabel = parse_field(&mut it, lineno, "vertex label")?;
+                if id != expected_id {
+                    return Err(err(lineno, format!("non-dense vertex id {id}, expected {expected_id}")));
+                }
+                expected_id += 1;
+                g.add_vertex(label);
+            }
+            Some("e") => {
+                let u: VertexId = parse_field(&mut it, lineno, "edge endpoint")?;
+                let v: VertexId = parse_field(&mut it, lineno, "edge endpoint")?;
+                let el: ELabel = match it.next() {
+                    Some(t) => t.parse().map_err(|_| err(lineno, "bad edge label"))?,
+                    None => NO_ELABEL,
+                };
+                if (u as usize) >= g.num_vertices() || (v as usize) >= g.num_vertices() {
+                    return Err(err(lineno, "edge references undeclared vertex"));
+                }
+                if !g.insert_edge(u, v, el) {
+                    return Err(err(lineno, format!("duplicate or self edge ({u}, {v})")));
+                }
+            }
+            Some(other) => return Err(err(lineno, format!("unknown record '{other}'"))),
+            None => {}
+        }
+    }
+    Ok(g)
+}
+
+/// Writes a query graph (same format as graphs).
+pub fn write_query<W: Write>(q: &QueryGraph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# gamma query: {} vertices, {} edges", q.num_vertices(), q.num_edges())?;
+    for u in 0..q.num_vertices() as u8 {
+        writeln!(w, "v {} {}", u, q.label(u))?;
+    }
+    for e in q.edges() {
+        if e.label == NO_ELABEL {
+            writeln!(w, "e {} {}", e.u, e.v)?;
+        } else {
+            writeln!(w, "e {} {} {}", e.u, e.v, e.label)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a query graph. Enforces the connectivity and size constraints of
+/// [`QueryGraph::builder`].
+pub fn read_query<R: BufRead>(r: R) -> Result<QueryGraph, ParseError> {
+    let mut b = QueryGraph::builder();
+    let mut n: usize = 0;
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| err(lineno, e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("v") => {
+                let id: usize = parse_field(&mut it, lineno, "vertex id")?;
+                let label: VLabel = parse_field(&mut it, lineno, "vertex label")?;
+                if id != n {
+                    return Err(err(lineno, format!("non-dense query vertex id {id}")));
+                }
+                if n >= crate::MAX_QUERY_VERTICES {
+                    return Err(err(lineno, "query too large"));
+                }
+                b.vertex(label);
+                n += 1;
+            }
+            Some("e") => {
+                let u: u8 = parse_field(&mut it, lineno, "edge endpoint")?;
+                let v: u8 = parse_field(&mut it, lineno, "edge endpoint")?;
+                let el: ELabel = match it.next() {
+                    Some(t) => t.parse().map_err(|_| err(lineno, "bad edge label"))?,
+                    None => NO_ELABEL,
+                };
+                if (u as usize) >= n || (v as usize) >= n || u == v {
+                    return Err(err(lineno, "bad query edge endpoints"));
+                }
+                b.edge_labeled(u, v, el);
+            }
+            Some(other) => return Err(err(lineno, format!("unknown record '{other}'"))),
+            None => {}
+        }
+    }
+    if n == 0 {
+        return Err(err(0, "empty query"));
+    }
+    Ok(b.build())
+}
+
+/// Writes an update stream in the `+`/`-` format.
+pub fn write_updates<W: Write>(updates: &[Update], mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# gamma update stream: {} updates", updates.len())?;
+    for up in updates {
+        match up.op {
+            Op::Insert => {
+                if up.label == NO_ELABEL {
+                    writeln!(w, "+ {} {}", up.u, up.v)?;
+                } else {
+                    writeln!(w, "+ {} {} {}", up.u, up.v, up.label)?;
+                }
+            }
+            Op::Delete => writeln!(w, "- {} {}", up.u, up.v)?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads an update stream written by [`write_updates`].
+pub fn read_updates<R: BufRead>(r: R) -> Result<Vec<Update>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| err(lineno, e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("+") => {
+                let u: VertexId = parse_field(&mut it, lineno, "endpoint")?;
+                let v: VertexId = parse_field(&mut it, lineno, "endpoint")?;
+                let label: ELabel = match it.next() {
+                    Some(t) => t.parse().map_err(|_| err(lineno, "bad edge label"))?,
+                    None => NO_ELABEL,
+                };
+                out.push(Update::insert_labeled(u, v, label));
+            }
+            Some("-") => {
+                let u: VertexId = parse_field(&mut it, lineno, "endpoint")?;
+                let v: VertexId = parse_field(&mut it, lineno, "endpoint")?;
+                out.push(Update::delete(u, v));
+            }
+            Some(other) => return Err(err(lineno, format!("unknown op '{other}'"))),
+            None => {}
+        }
+    }
+    Ok(out)
+}
+
+fn parse_field<'a, T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    it.next()
+        .ok_or_else(|| err(lineno, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| err(lineno, format!("bad {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        for &l in &[0u16, 1, 1, 2] {
+            g.add_vertex(l);
+        }
+        g.insert_edge(0, 1, NO_ELABEL);
+        g.insert_edge(1, 2, 7);
+        g.insert_edge(2, 3, NO_ELABEL);
+        g
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.labels(), g.labels());
+        assert_eq!(g2.edge_label(1, 2), Some(7));
+        assert_eq!(g2.edge_label(0, 1), Some(NO_ELABEL));
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let mut b = QueryGraph::builder();
+        let x = b.vertex(0);
+        let y = b.vertex(1);
+        let z = b.vertex(1);
+        b.edge(x, y).edge_labeled(y, z, 3);
+        let q = b.build();
+        let mut buf = Vec::new();
+        write_query(&q, &mut buf).unwrap();
+        let q2 = read_query(&buf[..]).unwrap();
+        assert_eq!(q2.labels(), q.labels());
+        assert_eq!(q2.edges(), q.edges());
+    }
+
+    #[test]
+    fn updates_roundtrip() {
+        let ups = vec![
+            Update::insert(0, 1),
+            Update::insert_labeled(1, 2, 9),
+            Update::delete(0, 1),
+        ];
+        let mut buf = Vec::new();
+        write_updates(&ups, &mut buf).unwrap();
+        let ups2 = read_updates(&buf[..]).unwrap();
+        assert_eq!(ups, ups2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\nv 0 5\nv 1 5\n# mid comment\ne 0 1\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.label(0), 5);
+    }
+
+    #[test]
+    fn malformed_inputs_report_lines() {
+        let cases = [
+            ("v 0\n", "missing vertex label"),
+            ("v 1 0\n", "non-dense"),
+            ("v 0 0\ne 0 5\n", "undeclared"),
+            ("x 1 2\n", "unknown record"),
+            ("v 0 0\nv 1 0\ne 0 1\ne 1 0\n", "duplicate"),
+        ];
+        for (text, needle) in cases {
+            let e = read_graph(text.as_bytes()).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "{text:?} -> {e} (wanted {needle})"
+            );
+        }
+        let e = read_updates("* 1 2\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("unknown op"));
+        // A single-vertex query is trivially connected and accepted.
+        assert!(read_query("v 0 0\n".as_bytes()).is_ok());
+        assert!(read_query("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(read_graph("v zero 0\n".as_bytes()).is_err());
+        assert!(read_updates("+ 1 abc\n".as_bytes()).is_err());
+    }
+}

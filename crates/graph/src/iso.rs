@@ -1,0 +1,402 @@
+//! Ground-truth subgraph-isomorphism enumeration and automorphisms.
+//!
+//! This module is the *oracle* used throughout the test suite: incremental
+//! results from the GAMMA engine and from every CSM baseline are validated
+//! against set-differences of full enumerations produced here. It is a
+//! straightforward Ullmann-style backtracking matcher with NLF (neighbor-
+//! label-frequency) and degree filters — deliberately simple and easy to
+//! audit rather than fast.
+
+use crate::{DynamicGraph, QueryGraph, VMatch, VertexId};
+
+/// Receives matches during enumeration; return `false` to stop early.
+pub trait MatchSink {
+    /// Called for every complete match. Returning `false` aborts.
+    fn found(&mut self, m: &VMatch) -> bool;
+}
+
+impl<F: FnMut(&VMatch) -> bool> MatchSink for F {
+    fn found(&mut self, m: &VMatch) -> bool {
+        self(m)
+    }
+}
+
+/// Enumerates every match of `q` in `g`, up to `limit` if given.
+pub fn enumerate_matches(g: &DynamicGraph, q: &QueryGraph, limit: Option<usize>) -> Vec<VMatch> {
+    let mut out = Vec::new();
+    let mut sink = |m: &VMatch| {
+        out.push(*m);
+        limit.is_none_or(|l| out.len() < l)
+    };
+    enumerate_into(g, q, &mut sink);
+    out
+}
+
+/// Counts matches of `q` in `g` without materializing them.
+pub fn count_matches(g: &DynamicGraph, q: &QueryGraph) -> u64 {
+    let mut n = 0u64;
+    let mut sink = |_: &VMatch| {
+        n += 1;
+        true
+    };
+    enumerate_into(g, q, &mut sink);
+    n
+}
+
+/// Core enumeration with a caller-supplied sink.
+pub fn enumerate_into<S: MatchSink>(g: &DynamicGraph, q: &QueryGraph, sink: &mut S) {
+    let order = matching_order(q);
+    let mut m = VMatch::EMPTY;
+    backtrack(g, q, &order, 0, &mut m, sink);
+}
+
+/// Greedy connectivity-first matching order: start at the query vertex with
+/// the highest degree, then repeatedly pick the unordered vertex with the
+/// most already-ordered neighbors (ties: higher degree, lower index).
+pub fn matching_order(q: &QueryGraph) -> Vec<u8> {
+    let n = q.num_vertices();
+    let mut order = Vec::with_capacity(n);
+    let mut placed: u16 = 0;
+    let first = (0..n as u8).max_by_key(|&u| q.degree(u)).expect("nonempty");
+    order.push(first);
+    placed |= 1 << first;
+    while order.len() < n {
+        let next = (0..n as u8)
+            .filter(|&u| placed & (1 << u) == 0)
+            .max_by_key(|&u| {
+                let back = (q.adj_mask(u) & placed).count_ones();
+                (back, q.degree(u), usize::MAX - u as usize)
+            })
+            .expect("connected query");
+        order.push(next);
+        placed |= 1 << next;
+    }
+    order
+}
+
+fn candidate_ok(g: &DynamicGraph, q: &QueryGraph, u: u8, v: VertexId) -> bool {
+    if g.label(v) != q.label(u) || g.degree(v) < q.degree(u) {
+        return false;
+    }
+    // NLF filter: |N_l(v)| >= |N_l(u)| for every neighbor label l of u.
+    q.nlf(u)
+        .iter()
+        .all(|&(l, cnt)| g.nl_count(v, l) >= cnt as usize)
+}
+
+fn backtrack<S: MatchSink>(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    order: &[u8],
+    depth: usize,
+    m: &mut VMatch,
+    sink: &mut S,
+) -> bool {
+    if depth == order.len() {
+        return sink.found(m);
+    }
+    let u = order[depth];
+    // Pick the matched backward neighbor with the smallest adjacency list to
+    // seed candidates; fall back to a full vertex scan at depth 0.
+    let mut seed: Option<VertexId> = None;
+    for &(un, _) in q.neighbors(u) {
+        if let Some(v) = m.get(un) {
+            if seed.is_none_or(|s| g.degree(v) < g.degree(s)) {
+                seed = Some(v);
+            }
+        }
+    }
+    match seed {
+        Some(sv) => {
+            // Iterate neighbors of the seed; check adjacency to all matched
+            // backward neighbors plus label filters.
+            for &(cand, _) in g.neighbors(sv) {
+                if m.uses(cand) || !candidate_ok(g, q, u, cand) {
+                    continue;
+                }
+                if !backward_consistent(g, q, u, cand, m) {
+                    continue;
+                }
+                m.set(u, cand);
+                let go_on = backtrack(g, q, order, depth + 1, m, sink);
+                m.unset(u);
+                if !go_on {
+                    return false;
+                }
+            }
+        }
+        None => {
+            for cand in 0..g.num_vertices() as VertexId {
+                if m.uses(cand) || !candidate_ok(g, q, u, cand) {
+                    continue;
+                }
+                m.set(u, cand);
+                let go_on = backtrack(g, q, order, depth + 1, m, sink);
+                m.unset(u);
+                if !go_on {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Every matched query neighbor of `u` must be adjacent to `cand` with a
+/// matching edge label.
+fn backward_consistent(
+    g: &DynamicGraph,
+    q: &QueryGraph,
+    u: u8,
+    cand: VertexId,
+    m: &VMatch,
+) -> bool {
+    for &(un, el) in q.neighbors(u) {
+        if let Some(v) = m.get(un) {
+            match g.edge_label(cand, v) {
+                Some(gl) if gl == el => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Computes the full automorphism group of `q` (all label- and edge-
+/// preserving self-bijections), as permutation vectors `perm[u] = image`.
+///
+/// The identity is always included and is the first element.
+pub fn automorphisms(q: &QueryGraph) -> Vec<Vec<u8>> {
+    let n = q.num_vertices();
+    let mut result = Vec::new();
+    let mut perm = vec![u8::MAX; n];
+    let mut used: u16 = 0;
+    fn rec(q: &QueryGraph, depth: u8, perm: &mut Vec<u8>, used: &mut u16, out: &mut Vec<Vec<u8>>) {
+        let n = q.num_vertices() as u8;
+        if depth == n {
+            out.push(perm.clone());
+            return;
+        }
+        for img in 0..n {
+            if *used & (1 << img) != 0 || q.label(img) != q.label(depth) {
+                continue;
+            }
+            if q.degree(img) != q.degree(depth) {
+                continue;
+            }
+            // Consistency with already-assigned vertices: (depth, j) is an
+            // edge iff (img, perm[j]) is an edge with the same label.
+            let ok = (0..depth).all(|j| {
+                let e1 = q.edge_label(depth, j);
+                let e2 = q.edge_label(img, perm[j as usize]);
+                e1 == e2
+            });
+            if !ok {
+                continue;
+            }
+            perm[depth as usize] = img;
+            *used |= 1 << img;
+            rec(q, depth + 1, perm, used, out);
+            *used &= !(1 << img);
+            perm[depth as usize] = u8::MAX;
+        }
+    }
+    rec(q, 0, &mut perm, &mut used, &mut result);
+    // Put the identity first for deterministic downstream use.
+    let id: Vec<u8> = (0..n as u8).collect();
+    if let Some(pos) = result.iter().position(|p| *p == id) {
+        result.swap(0, pos);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NO_ELABEL;
+
+    /// Figure 1 data graph G (10 vertices; labels A=0 B=1 C=2), *before*
+    /// the updates. Vertices: v0,v1 = A; v2,v3,v4,v5,v6 = B wait — the
+    /// figure has v0,v1:A; v2..v6:B; v7,v8,v9:C approximated for tests.
+    fn fig1_data() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        let labels = [0, 0, 1, 1, 1, 1, 1, 2, 2, 2]; // v0..v9
+        for &l in &labels {
+            g.add_vertex(l);
+        }
+        for &(u, v) in &[
+            (0, 3),
+            (0, 4),
+            (2, 3),
+            (2, 4),
+            (3, 7),
+            (2, 8),
+            (1, 5),
+            (1, 6),
+            (5, 6),
+            (5, 9),
+            (4, 7),
+        ] {
+            g.insert_edge(u, v, NO_ELABEL);
+        }
+        g
+    }
+
+    fn fig1_query() -> QueryGraph {
+        let mut b = QueryGraph::builder();
+        let u0 = b.vertex(0);
+        let u1 = b.vertex(1);
+        let u2 = b.vertex(1);
+        let u3 = b.vertex(2);
+        b.edge(u0, u1).edge(u0, u2).edge(u1, u2).edge(u1, u3);
+        b.build()
+    }
+
+    #[test]
+    fn fig1_match_exists() {
+        let g = fig1_data();
+        let q = fig1_query();
+        let ms = enumerate_matches(&g, &q, None);
+        // {(u0,v1),(u1,v5),(u2,v6),(u3,v9)} is the paper's example match.
+        let expect = VMatch::from_slice(&[1, 5, 6, 9]);
+        assert!(ms.contains(&expect), "missing paper example match: {ms:?}");
+        // All matches are valid embeddings.
+        for m in &ms {
+            for e in q.edges() {
+                assert_eq!(
+                    g.edge_label(m.at(e.u), m.at(e.v)),
+                    Some(e.label),
+                    "non-edge in match {m:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_equals_enumerate() {
+        let g = fig1_data();
+        let q = fig1_query();
+        assert_eq!(count_matches(&g, &q) as usize, enumerate_matches(&g, &q, None).len());
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let g = fig1_data();
+        // B - B edge: many matches in fig1_data.
+        let mut b = QueryGraph::builder();
+        let x = b.vertex(1);
+        let y = b.vertex(1);
+        b.edge(x, y);
+        let q = b.build();
+        let all = enumerate_matches(&g, &q, None);
+        assert!(all.len() >= 2, "{all:?}");
+        let one = enumerate_matches(&g, &q, Some(1));
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn matching_order_is_connected_permutation() {
+        let q = fig1_query();
+        let order = matching_order(&q);
+        assert_eq!(order.len(), 4);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // Every vertex after the first has a backward neighbor.
+        let mut placed: u16 = 1 << order[0];
+        for &u in &order[1..] {
+            assert_ne!(q.adj_mask(u) & placed, 0, "order not connected");
+            placed |= 1 << u;
+        }
+        // The highest-degree vertex (u1, degree 3) comes first.
+        assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn automorphisms_of_fig1_query() {
+        // Swapping u1 and u2 is NOT an automorphism of the full Q (u1 has
+        // the C-tail) — only the identity survives.
+        let q = fig1_query();
+        let autos = automorphisms(&q);
+        assert_eq!(autos, vec![vec![0, 1, 2, 3]]);
+        // But the induced subgraph on {u0, u1, u2} (the triangle with
+        // labels A,B,B) has the u1<->u2 swap: 2 automorphisms.
+        let (sub, _) = q.induced(0b0111);
+        let autos = automorphisms(&sub);
+        assert_eq!(autos.len(), 2);
+        assert_eq!(autos[0], vec![0, 1, 2]);
+        assert!(autos.contains(&vec![0, 2, 1]));
+    }
+
+    #[test]
+    fn automorphisms_of_unlabeled_triangle() {
+        let mut b = QueryGraph::builder();
+        let a = b.vertex(0);
+        let c = b.vertex(0);
+        let d = b.vertex(0);
+        b.edge(a, c).edge(c, d).edge(a, d);
+        let q = b.build();
+        assert_eq!(automorphisms(&q).len(), 6);
+    }
+
+    #[test]
+    fn automorphisms_respect_edge_labels() {
+        // Path x - y - z with distinct edge labels: no swap possible.
+        let mut b = QueryGraph::builder();
+        let x = b.vertex(0);
+        let y = b.vertex(1);
+        let z = b.vertex(0);
+        b.edge_labeled(x, y, 1).edge_labeled(y, z, 2);
+        let q = b.build();
+        assert_eq!(automorphisms(&q).len(), 1);
+        // Same labels: the x<->z swap appears.
+        let mut b = QueryGraph::builder();
+        let x = b.vertex(0);
+        let y = b.vertex(1);
+        let z = b.vertex(0);
+        b.edge_labeled(x, y, 1).edge_labeled(y, z, 1);
+        let q = b.build();
+        assert_eq!(automorphisms(&q).len(), 2);
+    }
+
+    #[test]
+    fn labels_prune_matches() {
+        let g = fig1_data();
+        // Query: A - A edge; fig1_data has no A-A edge.
+        let mut b = QueryGraph::builder();
+        let x = b.vertex(0);
+        let y = b.vertex(0);
+        b.edge(x, y);
+        let q = b.build();
+        assert_eq!(count_matches(&g, &q), 0);
+    }
+
+    #[test]
+    fn single_vertex_query() {
+        let g = fig1_data();
+        let mut b = QueryGraph::builder();
+        b.vertex(2); // label C
+        let q = b.build();
+        // v7, v8, v9 have label C but v8 has degree... all count: deg>=0.
+        assert_eq!(count_matches(&g, &q), 3);
+    }
+
+    #[test]
+    fn injectivity_enforced() {
+        // Query triangle of Bs; data has B-B edges but check no vertex reuse:
+        // a path v5-v6 plus v5-v6 cannot form a triangle without 3 distinct Bs.
+        let mut g = DynamicGraph::new();
+        for _ in 0..3 {
+            g.add_vertex(1);
+        }
+        g.insert_edge(0, 1, NO_ELABEL);
+        g.insert_edge(1, 2, NO_ELABEL);
+        let mut b = QueryGraph::builder();
+        let x = b.vertex(1);
+        let y = b.vertex(1);
+        let z = b.vertex(1);
+        b.edge(x, y).edge(y, z).edge(x, z);
+        let q = b.build();
+        assert_eq!(count_matches(&g, &q), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! k-core decomposition (peeling), used to sample update edges from regions
+//! of chosen density for the paper's Figure-10 experiment.
+
+use crate::{DynamicGraph, VertexId};
+
+/// Returns the core number of every vertex (the largest `k` such that the
+/// vertex belongs to the k-core), via the standard O(E) peeling algorithm.
+pub fn core_numbers(g: &DynamicGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg: Vec<u32> = (0..n).map(|v| g.degree(v as VertexId) as u32).collect();
+    let max_deg = *deg.iter().max().unwrap() as usize;
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0u32; n];
+    for v in 0..n {
+        let d = deg[v] as usize;
+        pos[v] = bin[d];
+        vert[bin[d]] = v as u32;
+        bin[d] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..=max_deg + 1).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+
+    let mut core = deg.clone();
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = deg[v as usize];
+        for &(u, _) in g.neighbors(v) {
+            let u = u as usize;
+            if deg[u] > deg[v as usize] {
+                // Move u one bucket down.
+                let du = deg[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u as u32 != w {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Vertices whose core number is at least `k`.
+pub fn kcore_vertices(g: &DynamicGraph, k: u32) -> Vec<VertexId> {
+    core_numbers(g)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= k)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NO_ELABEL;
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle 0-1-2 plus tail 2-3: triangle is 2-core, tail is 1-core.
+        let mut g = DynamicGraph::with_vertices(4);
+        g.insert_edge(0, 1, NO_ELABEL);
+        g.insert_edge(1, 2, NO_ELABEL);
+        g.insert_edge(0, 2, NO_ELABEL);
+        g.insert_edge(2, 3, NO_ELABEL);
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 1]);
+        assert_eq!(kcore_vertices(&g, 2), vec![0, 1, 2]);
+        assert_eq!(kcore_vertices(&g, 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn clique_core() {
+        let n = 6;
+        let mut g = DynamicGraph::with_vertices(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                g.insert_edge(u, v, NO_ELABEL);
+            }
+        }
+        assert!(core_numbers(&g).iter().all(|&c| c == (n - 1) as u32));
+    }
+
+    #[test]
+    fn path_is_one_core() {
+        let mut g = DynamicGraph::with_vertices(5);
+        for v in 0..4 {
+            g.insert_edge(v, v + 1, NO_ELABEL);
+        }
+        assert_eq!(core_numbers(&g), vec![1; 5]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_zero_core() {
+        let g = DynamicGraph::with_vertices(3);
+        assert_eq!(core_numbers(&g), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DynamicGraph::new();
+        assert!(core_numbers(&g).is_empty());
+    }
+
+    #[test]
+    fn two_cliques_joined_by_bridge() {
+        // Two K4s joined by a single edge: all clique vertices are 3-core.
+        let mut g = DynamicGraph::with_vertices(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    g.insert_edge(base + i, base + j, NO_ELABEL);
+                }
+            }
+        }
+        g.insert_edge(0, 4, NO_ELABEL);
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 3), "{core:?}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Graph statistics used by the dataset generators' validation and the
+//! experiment reports: degree distribution, label histograms, clustering.
+
+use crate::{DynamicGraph, VLabel, VertexId};
+
+/// Summary statistics of a labeled graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphMetrics {
+    /// `|V|`.
+    pub num_vertices: usize,
+    /// `|E|`.
+    pub num_edges: usize,
+    /// `2|E| / |V|`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Sorted `(vertex label, count)` histogram.
+    pub label_histogram: Vec<(VLabel, usize)>,
+    /// Sorted `(edge label, count)` histogram.
+    pub edge_label_histogram: Vec<(u16, usize)>,
+    /// Global clustering coefficient (3·triangles / wedges); 0 for graphs
+    /// without wedges.
+    pub clustering_coefficient: f64,
+    /// Degree-distribution Gini coefficient: 0 = perfectly even, → 1 =
+    /// extreme hub concentration (a cheap power-law skew proxy).
+    pub degree_gini: f64,
+}
+
+/// Computes [`GraphMetrics`] for `g`.
+pub fn metrics(g: &DynamicGraph) -> GraphMetrics {
+    let n = g.num_vertices();
+    let mut label_histogram: Vec<(VLabel, usize)> = Vec::new();
+    for &l in g.labels() {
+        match label_histogram.binary_search_by_key(&l, |&(x, _)| x) {
+            Ok(i) => label_histogram[i].1 += 1,
+            Err(i) => label_histogram.insert(i, (l, 1)),
+        }
+    }
+    let mut edge_label_histogram: Vec<(u16, usize)> = Vec::new();
+    for (_, _, el) in g.edges() {
+        match edge_label_histogram.binary_search_by_key(&el, |&(x, _)| x) {
+            Ok(i) => edge_label_histogram[i].1 += 1,
+            Err(i) => edge_label_histogram.insert(i, (el, 1)),
+        }
+    }
+
+    GraphMetrics {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        avg_degree: g.avg_degree(),
+        max_degree: g.max_degree(),
+        label_histogram,
+        edge_label_histogram,
+        clustering_coefficient: clustering_coefficient(g),
+        degree_gini: degree_gini(g),
+    }
+}
+
+/// Global clustering coefficient: `3 * triangles / wedges`.
+pub fn clustering_coefficient(g: &DynamicGraph) -> f64 {
+    let mut wedges: u64 = 0;
+    let mut triangles: u64 = 0;
+    for v in 0..g.num_vertices() as VertexId {
+        let d = g.degree(v) as u64;
+        wedges += d.saturating_sub(1) * d / 2;
+        // Count triangles where v is the smallest-id corner to count each
+        // triangle exactly once.
+        let ns = g.neighbors(v);
+        for (i, &(a, _)) in ns.iter().enumerate() {
+            if a <= v {
+                continue;
+            }
+            for &(b, _) in &ns[i + 1..] {
+                if b > a && g.has_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+/// Gini coefficient of the degree sequence.
+pub fn degree_gini(g: &DynamicGraph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut degs: Vec<u64> = (0..n).map(|v| g.degree(v as VertexId) as u64).collect();
+    degs.sort_unstable();
+    let total: u64 = degs.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // Gini = (2 * Σ i*d_i / (n * Σ d)) - (n + 1)/n, with i 1-based on the
+    // sorted sequence.
+    let weighted: u128 = degs
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (i as u128 + 1) * d as u128)
+        .sum();
+    (2.0 * weighted as f64 / (n as f64 * total as f64)) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NO_ELABEL;
+
+    #[test]
+    fn triangle_metrics() {
+        let mut g = DynamicGraph::with_vertices(3);
+        g.set_label(0, 7);
+        g.insert_edge(0, 1, NO_ELABEL);
+        g.insert_edge(1, 2, NO_ELABEL);
+        g.insert_edge(0, 2, NO_ELABEL);
+        let m = metrics(&g);
+        assert_eq!(m.num_edges, 3);
+        assert!((m.clustering_coefficient - 1.0).abs() < 1e-12);
+        assert_eq!(m.label_histogram, vec![(0, 2), (7, 1)]);
+        assert!((m.avg_degree - 2.0).abs() < 1e-12);
+        // Perfectly regular: Gini 0.
+        assert!(m.degree_gini.abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_has_no_triangles_and_high_gini() {
+        let mut g = DynamicGraph::with_vertices(11);
+        for v in 1..11u32 {
+            g.insert_edge(0, v, NO_ELABEL);
+        }
+        let m = metrics(&g);
+        assert_eq!(m.clustering_coefficient, 0.0);
+        assert_eq!(m.max_degree, 10);
+        assert!(m.degree_gini > 0.4, "gini {}", m.degree_gini);
+    }
+
+    #[test]
+    fn path_clustering_zero() {
+        let mut g = DynamicGraph::with_vertices(4);
+        g.insert_edge(0, 1, NO_ELABEL);
+        g.insert_edge(1, 2, NO_ELABEL);
+        g.insert_edge(2, 3, NO_ELABEL);
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn edge_label_histogram_counts() {
+        let mut g = DynamicGraph::with_vertices(4);
+        g.insert_edge(0, 1, 2);
+        g.insert_edge(1, 2, 2);
+        g.insert_edge(2, 3, 5);
+        let m = metrics(&g);
+        assert_eq!(m.edge_label_histogram, vec![(2, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn empty_graph_safe() {
+        let m = metrics(&DynamicGraph::new());
+        assert_eq!(m.num_vertices, 0);
+        assert_eq!(m.degree_gini, 0.0);
+        assert_eq!(m.clustering_coefficient, 0.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Query (pattern) graphs.
+//!
+//! Queries in the paper have 4–12 vertices; we cap at [`MAX_QUERY_VERTICES`]
+//! = 16 so that vertex subsets fit in a `u16` bitmask and embeddings fit in
+//! a fixed-size array ([`crate::VMatch`]).
+
+use crate::{ELabel, VLabel};
+
+/// Upper bound on query size; keeps subsets in `u16` bitmasks.
+pub const MAX_QUERY_VERTICES: usize = 16;
+
+/// A query edge (`u < v`) with its edge label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QEdge {
+    /// Smaller endpoint (query-vertex index).
+    pub u: u8,
+    /// Larger endpoint (query-vertex index).
+    pub v: u8,
+    /// Edge label ([`crate::NO_ELABEL`] when unlabeled).
+    pub label: ELabel,
+}
+
+/// A small labeled pattern graph.
+///
+/// Construction goes through [`QueryGraph::builder`]; the finished value is
+/// immutable and precomputes adjacency bitmasks and neighbor-label
+/// frequencies, which the matching layers consult heavily.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryGraph {
+    labels: Vec<VLabel>,
+    adj: Vec<Vec<(u8, ELabel)>>,
+    adj_mask: Vec<u16>,
+    edges: Vec<QEdge>,
+    /// Per vertex: sorted `(neighbor label, count)` pairs — the NLF signature.
+    nlf: Vec<Vec<(VLabel, u8)>>,
+}
+
+/// Incremental builder for [`QueryGraph`].
+#[derive(Clone, Debug, Default)]
+pub struct QueryGraphBuilder {
+    labels: Vec<VLabel>,
+    edges: Vec<QEdge>,
+}
+
+impl QueryGraphBuilder {
+    /// Adds a query vertex with `label`, returning its index.
+    pub fn vertex(&mut self, label: VLabel) -> u8 {
+        assert!(
+            self.labels.len() < MAX_QUERY_VERTICES,
+            "query graphs are limited to {MAX_QUERY_VERTICES} vertices"
+        );
+        self.labels.push(label);
+        (self.labels.len() - 1) as u8
+    }
+
+    /// Adds an unlabeled edge between query vertices `a` and `b`.
+    pub fn edge(&mut self, a: u8, b: u8) -> &mut Self {
+        self.edge_labeled(a, b, crate::NO_ELABEL)
+    }
+
+    /// Adds an edge with an edge label.
+    pub fn edge_labeled(&mut self, a: u8, b: u8, label: ELabel) -> &mut Self {
+        assert!(a != b, "self-loops are not allowed in query graphs");
+        assert!((a as usize) < self.labels.len() && (b as usize) < self.labels.len());
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        assert!(
+            !self.edges.iter().any(|e| e.u == u && e.v == v),
+            "duplicate query edge ({u}, {v})"
+        );
+        self.edges.push(QEdge { u, v, label });
+        self
+    }
+
+    /// Finishes the query graph.
+    ///
+    /// # Panics
+    /// Panics if the query is empty or not connected (the matching
+    /// algorithms in this workspace require connected patterns, as does the
+    /// paper's matching-order construction).
+    pub fn build(&self) -> QueryGraph {
+        assert!(!self.labels.is_empty(), "empty query graph");
+        let q = QueryGraph::from_parts(self.labels.clone(), self.edges.clone());
+        assert!(q.is_connected(), "query graphs must be connected");
+        q
+    }
+}
+
+impl QueryGraph {
+    /// Starts building a query graph.
+    pub fn builder() -> QueryGraphBuilder {
+        QueryGraphBuilder::default()
+    }
+
+    /// Builds from raw parts without the connectivity check (crate-internal;
+    /// used for induced subgraphs which may legitimately be disconnected).
+    pub(crate) fn from_parts(labels: Vec<VLabel>, mut edges: Vec<QEdge>) -> Self {
+        edges.sort_by_key(|e| (e.u, e.v));
+        let n = labels.len();
+        let mut adj: Vec<Vec<(u8, ELabel)>> = vec![Vec::new(); n];
+        let mut adj_mask = vec![0u16; n];
+        for e in &edges {
+            adj[e.u as usize].push((e.v, e.label));
+            adj[e.v as usize].push((e.u, e.label));
+            adj_mask[e.u as usize] |= 1 << e.v;
+            adj_mask[e.v as usize] |= 1 << e.u;
+        }
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(n, _)| n);
+        }
+        let nlf = (0..n)
+            .map(|u| {
+                let mut counts: Vec<(VLabel, u8)> = Vec::new();
+                for &(v, _) in &adj[u] {
+                    let l = labels[v as usize];
+                    match counts.binary_search_by_key(&l, |&(cl, _)| cl) {
+                        Ok(i) => counts[i].1 = counts[i].1.saturating_add(1),
+                        Err(i) => counts.insert(i, (l, 1)),
+                    }
+                }
+                counts
+            })
+            .collect();
+        Self {
+            labels,
+            adj,
+            adj_mask,
+            edges,
+            nlf,
+        }
+    }
+
+    /// Number of query vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of query edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Label of query vertex `u`.
+    #[inline]
+    pub fn label(&self, u: u8) -> VLabel {
+        self.labels[u as usize]
+    }
+
+    /// All vertex labels.
+    #[inline]
+    pub fn labels(&self) -> &[VLabel] {
+        &self.labels
+    }
+
+    /// Sorted neighbor list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u8) -> &[(u8, ELabel)] {
+        &self.adj[u as usize]
+    }
+
+    /// Bitmask of `u`'s neighbors.
+    #[inline]
+    pub fn adj_mask(&self, u: u8) -> u16 {
+        self.adj_mask[u as usize]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: u8) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Canonical edge list (sorted by `(u, v)`).
+    #[inline]
+    pub fn edges(&self) -> &[QEdge] {
+        &self.edges
+    }
+
+    /// Whether `a` and `b` are adjacent.
+    #[inline]
+    pub fn has_edge(&self, a: u8, b: u8) -> bool {
+        self.adj_mask[a as usize] & (1 << b) != 0
+    }
+
+    /// Label of edge `(a, b)` if present.
+    pub fn edge_label(&self, a: u8, b: u8) -> Option<ELabel> {
+        let list = &self.adj[a as usize];
+        list.binary_search_by_key(&b, |&(n, _)| n)
+            .ok()
+            .map(|i| list[i].1)
+    }
+
+    /// NLF signature of `u`: sorted `(neighbor label, count)` pairs.
+    #[inline]
+    pub fn nlf(&self, u: u8) -> &[(VLabel, u8)] {
+        &self.nlf[u as usize]
+    }
+
+    /// `|N_l(u)|` for a specific label.
+    pub fn nl_count(&self, u: u8, l: VLabel) -> u8 {
+        self.nlf[u as usize]
+            .binary_search_by_key(&l, |&(cl, _)| cl)
+            .map(|i| self.nlf[u as usize][i].1)
+            .unwrap_or(0)
+    }
+
+    /// Average degree `2|E|/|V|`; the paper classifies queries as Dense
+    /// (≥ 3), Sparse (< 3) or Tree (`|E| = |V| - 1`).
+    pub fn avg_degree(&self) -> f64 {
+        2.0 * self.edges.len() as f64 / self.labels.len() as f64
+    }
+
+    /// Whether the query is a tree.
+    pub fn is_tree(&self) -> bool {
+        self.edges.len() + 1 == self.labels.len() && self.is_connected()
+    }
+
+    /// Connectivity check (BFS over adjacency masks).
+    pub fn is_connected(&self) -> bool {
+        if self.labels.is_empty() {
+            return false;
+        }
+        let mut seen: u16 = 1;
+        let mut frontier: u16 = 1;
+        while frontier != 0 {
+            let mut next = 0u16;
+            let mut f = frontier;
+            while f != 0 {
+                let u = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= self.adj_mask[u] & !seen;
+            }
+            seen |= next;
+            frontier = next;
+        }
+        seen.count_ones() as usize == self.labels.len()
+    }
+
+    /// The subgraph induced by the vertex set `mask` (bit `i` set keeps
+    /// query vertex `i`). Returns the subgraph and the map from new vertex
+    /// index to original index.
+    ///
+    /// The result may be disconnected; it is used for automorphic-subgraph
+    /// discovery (coalesced search), not as a standalone query.
+    pub fn induced(&self, mask: u16) -> (QueryGraph, Vec<u8>) {
+        let kept: Vec<u8> = (0..self.labels.len() as u8)
+            .filter(|&u| mask & (1 << u) != 0)
+            .collect();
+        let mut back = [u8::MAX; MAX_QUERY_VERTICES];
+        for (new, &old) in kept.iter().enumerate() {
+            back[old as usize] = new as u8;
+        }
+        let labels = kept.iter().map(|&u| self.labels[u as usize]).collect();
+        let edges = self
+            .edges
+            .iter()
+            .filter(|e| mask & (1 << e.u) != 0 && mask & (1 << e.v) != 0)
+            .map(|e| QEdge {
+                u: back[e.u as usize],
+                v: back[e.v as usize],
+                label: e.label,
+            })
+            .collect();
+        (QueryGraph::from_parts(labels, edges), kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 query: u0(A) – u1(B), u0 – u2(B), u1 – u2,
+    /// u1 – u3(C).
+    pub(crate) fn fig1_query() -> QueryGraph {
+        let mut b = QueryGraph::builder();
+        let u0 = b.vertex(0); // A
+        let u1 = b.vertex(1); // B
+        let u2 = b.vertex(1); // B
+        let u3 = b.vertex(2); // C
+        b.edge(u0, u1).edge(u0, u2).edge(u1, u2).edge(u1, u3);
+        b.build()
+    }
+
+    #[test]
+    fn fig1_shape() {
+        let q = fig1_query();
+        assert_eq!(q.num_vertices(), 4);
+        assert_eq!(q.num_edges(), 4);
+        assert_eq!(q.degree(1), 3);
+        assert_eq!(q.label(3), 2);
+        assert!(q.has_edge(0, 1));
+        assert!(q.has_edge(2, 1));
+        assert!(!q.has_edge(0, 3));
+        assert!(!q.is_tree());
+        assert!(q.is_connected());
+    }
+
+    #[test]
+    fn nlf_signature() {
+        let q = fig1_query();
+        // u1(B) has neighbors A, B, C.
+        assert_eq!(q.nlf(1), &[(0, 1), (1, 1), (2, 1)]);
+        // u0(A) has two B neighbors.
+        assert_eq!(q.nlf(0), &[(1, 2)]);
+        assert_eq!(q.nl_count(0, 1), 2);
+        assert_eq!(q.nl_count(0, 2), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_maps_back() {
+        let q = fig1_query();
+        // Keep {u0, u1, u2}: the automorphic triangle-minus-tail.
+        let (sub, back) = q.induced(0b0111);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(back, vec![0, 1, 2]);
+        // Keep {u0, u3}: disconnected pair, no edges.
+        let (sub, back) = q.induced(0b1001);
+        assert_eq!(sub.num_edges(), 0);
+        assert_eq!(back, vec![0, 3]);
+        assert!(!sub.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be connected")]
+    fn disconnected_build_panics() {
+        let mut b = QueryGraph::builder();
+        b.vertex(0);
+        b.vertex(1);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate query edge")]
+    fn duplicate_edge_panics() {
+        let mut b = QueryGraph::builder();
+        let a = b.vertex(0);
+        let c = b.vertex(1);
+        b.edge(a, c).edge(c, a);
+    }
+
+    #[test]
+    fn density_classes() {
+        let q = fig1_query();
+        assert!((q.avg_degree() - 2.0).abs() < 1e-9);
+        let mut b = QueryGraph::builder();
+        let a = b.vertex(0);
+        let c = b.vertex(0);
+        let d = b.vertex(0);
+        b.edge(a, c).edge(c, d);
+        let path = b.build();
+        assert!(path.is_tree());
+    }
+
+    #[test]
+    fn edge_label_lookup() {
+        let mut b = QueryGraph::builder();
+        let a = b.vertex(0);
+        let c = b.vertex(1);
+        b.edge_labeled(a, c, 9);
+        let q = b.build();
+        assert_eq!(q.edge_label(0, 1), Some(9));
+        assert_eq!(q.edge_label(1, 0), Some(9));
+        assert_eq!(q.edges()[0], QEdge { u: 0, v: 1, label: 9 });
+    }
+}

@@ -1,0 +1,265 @@
+//! Graph update streams and batch canonicalization (Definition 1).
+
+use crate::{DynamicGraph, ELabel, VertexId, NO_ELABEL};
+
+/// Insertion or deletion (the paper's `⊕ ∈ {+, -}`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Edge insertion (`+`).
+    Insert,
+    /// Edge deletion (`-`).
+    Delete,
+}
+
+/// A single edge update `Δe = (⊕, e)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Update {
+    /// Insertion or deletion.
+    pub op: Op,
+    /// One endpoint.
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+    /// Edge label (meaningful for insertions; ignored for deletions).
+    pub label: ELabel,
+}
+
+impl Update {
+    /// An unlabeled insertion.
+    pub fn insert(u: VertexId, v: VertexId) -> Self {
+        Self { op: Op::Insert, u, v, label: NO_ELABEL }
+    }
+
+    /// A labeled insertion.
+    pub fn insert_labeled(u: VertexId, v: VertexId, label: ELabel) -> Self {
+        Self { op: Op::Insert, u, v, label }
+    }
+
+    /// A deletion.
+    pub fn delete(u: VertexId, v: VertexId) -> Self {
+        Self { op: Op::Delete, u, v, label: NO_ELABEL }
+    }
+
+    /// Canonical `(min, max)` endpoint pair.
+    #[inline]
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        if self.u <= self.v {
+            (self.u, self.v)
+        } else {
+            (self.v, self.u)
+        }
+    }
+
+    /// Canonical 64-bit key of the undirected edge.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        let (a, b) = self.endpoints();
+        edge_key(a, b)
+    }
+}
+
+/// Packs an undirected edge into a canonical sortable `u64` key.
+#[inline]
+pub fn edge_key(u: VertexId, v: VertexId) -> u64 {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+/// Inverse of [`edge_key`].
+#[inline]
+pub fn split_edge_key(key: u64) -> (VertexId, VertexId) {
+    ((key >> 32) as VertexId, key as VertexId)
+}
+
+/// A canonicalized update batch `ΔB`.
+///
+/// BDSM "disregards the order of updates, focusing solely on the matches
+/// post-batch update" (Example 1), so a raw update sequence is first reduced
+/// against the current graph to *net* effects:
+///
+/// * `inserts`: edges present in `G'` but not `G`;
+/// * `deletes`: edges present in `G` but not `G'`.
+///
+/// Churn inside a batch (insert-then-delete of a new edge, or delete-then-
+/// reinsert of an existing one with the same label) cancels out entirely —
+/// this is exactly how the paper's Example 1 discards the `(v1,v4)+` /
+/// `(v4,v5)−` redundancy. A delete-then-reinsert with a *different* label
+/// appears as a delete plus an insert.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// Net insertions, sorted by canonical key, labels attached.
+    pub inserts: Vec<Update>,
+    /// Net deletions, sorted by canonical key, labels filled from `G`.
+    pub deletes: Vec<Update>,
+}
+
+impl UpdateBatch {
+    /// Canonicalizes a raw update sequence against graph `g` (which must be
+    /// the pre-batch graph). Later updates to the same edge override earlier
+    /// ones, mirroring sequential application.
+    pub fn canonicalize(g: &DynamicGraph, raw: &[Update]) -> Self {
+        use std::collections::BTreeMap;
+        // Final intended state per touched edge: Some(label) = present.
+        let mut last: BTreeMap<u64, Option<ELabel>> = BTreeMap::new();
+        for up in raw {
+            let (a, b) = up.endpoints();
+            if a == b {
+                continue;
+            }
+            match up.op {
+                Op::Insert => last.insert(edge_key(a, b), Some(up.label)),
+                Op::Delete => last.insert(edge_key(a, b), None),
+            };
+        }
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        for (key, final_state) in last {
+            let (a, b) = split_edge_key(key);
+            let before = g.edge_label(a, b);
+            match (before, final_state) {
+                (None, Some(l)) => inserts.push(Update::insert_labeled(a, b, l)),
+                (Some(l), None) => deletes.push(Update {
+                    op: Op::Delete,
+                    u: a,
+                    v: b,
+                    label: l,
+                }),
+                (Some(lb), Some(la)) if lb != la => {
+                    // Relabel = delete old + insert new.
+                    deletes.push(Update { op: Op::Delete, u: a, v: b, label: lb });
+                    inserts.push(Update::insert_labeled(a, b, la));
+                }
+                _ => {} // no net change
+            }
+        }
+        Self { inserts, deletes }
+    }
+
+    /// Total number of net updates.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// Whether the batch nets out to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Applies the batch to `g` (deletes then inserts).
+    pub fn apply(&self, g: &mut DynamicGraph) {
+        for d in &self.deletes {
+            let removed = g.delete_edge(d.u, d.v);
+            debug_assert!(removed.is_some(), "canonical delete of a missing edge");
+        }
+        for i in &self.inserts {
+            let ok = g.insert_edge(i.u, i.v, i.label);
+            debug_assert!(ok, "canonical insert of an existing edge");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g_with_edges(n: usize, edges: &[(u32, u32)]) -> DynamicGraph {
+        let mut g = DynamicGraph::with_vertices(n);
+        for &(u, v) in edges {
+            g.insert_edge(u, v, NO_ELABEL);
+        }
+        g
+    }
+
+    #[test]
+    fn example1_churn_cancels() {
+        // G has (v4, v5); batch inserts (v0,v2), inserts (v1,v4), deletes (v4,v5).
+        let g = g_with_edges(6, &[(4, 5)]);
+        let raw = [
+            Update::insert(0, 2),
+            Update::insert(1, 4),
+            Update::delete(4, 5),
+        ];
+        let b = UpdateBatch::canonicalize(&g, &raw);
+        assert_eq!(b.inserts.len(), 2);
+        assert_eq!(b.deletes.len(), 1);
+
+        // Insert-then-delete of a *new* edge nets to nothing.
+        let raw = [Update::insert(1, 4), Update::delete(1, 4)];
+        let b = UpdateBatch::canonicalize(&g, &raw);
+        assert!(b.is_empty());
+
+        // Delete-then-reinsert of an existing edge nets to nothing.
+        let raw = [Update::delete(4, 5), Update::insert(4, 5)];
+        let b = UpdateBatch::canonicalize(&g, &raw);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn duplicate_inserts_collapse() {
+        let g = g_with_edges(4, &[]);
+        let raw = [
+            Update::insert(0, 1),
+            Update::insert(1, 0),
+            Update::insert(0, 1),
+        ];
+        let b = UpdateBatch::canonicalize(&g, &raw);
+        assert_eq!(b.inserts.len(), 1);
+        assert_eq!(b.inserts[0].endpoints(), (0, 1));
+    }
+
+    #[test]
+    fn insert_existing_edge_is_noop() {
+        let g = g_with_edges(3, &[(0, 1)]);
+        let b = UpdateBatch::canonicalize(&g, &[Update::insert(0, 1)]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn delete_missing_edge_is_noop() {
+        let g = g_with_edges(3, &[]);
+        let b = UpdateBatch::canonicalize(&g, &[Update::delete(0, 1)]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn relabel_becomes_delete_plus_insert() {
+        let mut g = DynamicGraph::with_vertices(3);
+        g.insert_edge(0, 1, 3);
+        let b = UpdateBatch::canonicalize(&g, &[Update::insert_labeled(0, 1, 5)]);
+        assert_eq!(b.deletes.len(), 1);
+        assert_eq!(b.inserts.len(), 1);
+        assert_eq!(b.deletes[0].label, 3);
+        assert_eq!(b.inserts[0].label, 5);
+    }
+
+    #[test]
+    fn apply_roundtrip() {
+        let mut g = g_with_edges(6, &[(4, 5), (2, 3)]);
+        let raw = [
+            Update::insert(0, 2),
+            Update::delete(4, 5),
+            Update::insert(1, 4),
+        ];
+        let b = UpdateBatch::canonicalize(&g, &raw);
+        b.apply(&mut g);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 4));
+        assert!(!g.has_edge(4, 5));
+        assert!(g.has_edge(2, 3));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = g_with_edges(3, &[]);
+        let b = UpdateBatch::canonicalize(&g, &[Update::insert(1, 1)]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn edge_key_roundtrip() {
+        let k = edge_key(7, 3);
+        assert_eq!(k, edge_key(3, 7));
+        assert_eq!(split_edge_key(k), (3, 7));
+    }
+}

@@ -1,0 +1,168 @@
+//! Compact embedding records.
+
+use crate::query::MAX_QUERY_VERTICES;
+use crate::VertexId;
+
+/// An embedding (match) of a query graph: `map[u]` is the data vertex that
+/// query vertex `u` maps to. Fixed-size and `Copy` so the kernels can stack-
+/// allocate partial matches (the paper's `M`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VMatch {
+    len: u8,
+    map: [VertexId; MAX_QUERY_VERTICES],
+}
+
+impl VMatch {
+    /// An empty (zero-length) match.
+    pub const EMPTY: VMatch = VMatch {
+        len: 0,
+        map: [VertexId::MAX; MAX_QUERY_VERTICES],
+    };
+
+    /// Builds a match from a full assignment slice.
+    pub fn from_slice(assignment: &[VertexId]) -> Self {
+        assert!(assignment.len() <= MAX_QUERY_VERTICES);
+        let mut m = Self::EMPTY;
+        m.len = assignment.len() as u8;
+        m.map[..assignment.len()].copy_from_slice(assignment);
+        m
+    }
+
+    /// Number of mapped query vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no vertex is mapped yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The data vertex mapped to query vertex `u`, if assigned.
+    ///
+    /// Unassigned slots read as `None` (slots are only valid below
+    /// `len` for matches built via push, but arbitrary-order assignment via
+    /// [`VMatch::set`] is also supported for permutation generation).
+    #[inline]
+    pub fn get(&self, u: u8) -> Option<VertexId> {
+        let v = self.map[u as usize];
+        (v != VertexId::MAX).then_some(v)
+    }
+
+    /// Direct indexed read; panics in debug builds if unassigned.
+    #[inline]
+    pub fn at(&self, u: u8) -> VertexId {
+        debug_assert_ne!(self.map[u as usize], VertexId::MAX, "unassigned slot {u}");
+        self.map[u as usize]
+    }
+
+    /// Assigns query vertex `u` to data vertex `v` (slot-addressed).
+    #[inline]
+    pub fn set(&mut self, u: u8, v: VertexId) {
+        if self.map[u as usize] == VertexId::MAX && v != VertexId::MAX {
+            self.len += 1;
+        } else if self.map[u as usize] != VertexId::MAX && v == VertexId::MAX {
+            self.len -= 1;
+        }
+        self.map[u as usize] = v;
+    }
+
+    /// Clears the assignment of query vertex `u`.
+    #[inline]
+    pub fn unset(&mut self, u: u8) {
+        self.set(u, VertexId::MAX);
+    }
+
+    /// Whether data vertex `v` is already used by the (injective) match.
+    #[inline]
+    pub fn uses(&self, v: VertexId) -> bool {
+        self.map.iter().any(|&m| m == v)
+    }
+
+    /// View of the raw slot array (slots with `VertexId::MAX` are free).
+    #[inline]
+    pub fn slots(&self) -> &[VertexId; MAX_QUERY_VERTICES] {
+        &self.map
+    }
+
+    /// The assignments as `(query vertex, data vertex)` pairs, in query-
+    /// vertex order.
+    pub fn pairs(&self) -> impl Iterator<Item = (u8, VertexId)> + '_ {
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != VertexId::MAX)
+            .map(|(u, &v)| (u as u8, v))
+    }
+
+    /// Restricted to the first `n` query vertices, as a vector (testing aid).
+    pub fn to_vec(&self, n: usize) -> Vec<VertexId> {
+        self.map[..n].to_vec()
+    }
+}
+
+impl std::fmt::Debug for VMatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, (u, v)) in self.pairs().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "u{u}→v{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut m = VMatch::EMPTY;
+        assert!(m.is_empty());
+        m.set(0, 10);
+        m.set(3, 12);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0), Some(10));
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.at(3), 12);
+        assert!(m.uses(12));
+        assert!(!m.uses(11));
+        m.unset(0);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(0), None);
+    }
+
+    #[test]
+    fn from_slice_and_pairs() {
+        let m = VMatch::from_slice(&[5, 6, 7]);
+        assert_eq!(m.len(), 3);
+        let pairs: Vec<_> = m.pairs().collect();
+        assert_eq!(pairs, vec![(0, 5), (1, 6), (2, 7)]);
+        assert_eq!(m.to_vec(3), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn equality_ignores_order_of_assignment() {
+        let mut a = VMatch::EMPTY;
+        a.set(1, 4);
+        a.set(0, 3);
+        let mut b = VMatch::EMPTY;
+        b.set(0, 3);
+        b.set(1, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reassigning_slot_keeps_len() {
+        let mut m = VMatch::EMPTY;
+        m.set(2, 9);
+        m.set(2, 11);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.at(2), 11);
+    }
+}

@@ -1,0 +1,194 @@
+//! Property tests for the graph substrate: dynamic-graph/reference
+//! equivalence, automorphism group laws, k-core monotonicity, and batch
+//! canonicalization semantics.
+
+use std::collections::BTreeMap;
+
+use gamma_graph::{
+    automorphisms, core_numbers, DynamicGraph, Op, QueryGraph, Update, UpdateBatch, NO_ELABEL,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dynamic_graph_matches_reference(ops in prop::collection::vec(
+        (0u32..20, 0u32..20, prop::bool::ANY), 0..200))
+    {
+        let mut g = DynamicGraph::with_vertices(20);
+        let mut reference: BTreeMap<(u32, u32), u16> = BTreeMap::new();
+        for (u, v, insert) in ops {
+            if u == v { continue; }
+            let k = (u.min(v), u.max(v));
+            if insert {
+                let did = g.insert_edge(u, v, 1);
+                prop_assert_eq!(did, !reference.contains_key(&k));
+                reference.entry(k).or_insert(1);
+            } else {
+                let did = g.delete_edge(u, v);
+                prop_assert_eq!(did.is_some(), reference.remove(&k).is_some());
+            }
+            prop_assert_eq!(g.num_edges(), reference.len());
+        }
+        // Degrees + adjacency agree with the reference.
+        for v in 0..20u32 {
+            let expected: Vec<u32> = reference
+                .keys()
+                .filter_map(|&(a, b)| {
+                    if a == v { Some(b) } else if b == v { Some(a) } else { None }
+                })
+                .collect();
+            let actual: Vec<u32> = g.neighbors(v).iter().map(|&(n, _)| n).collect();
+            prop_assert_eq!(actual, expected);
+        }
+    }
+
+    #[test]
+    fn automorphism_group_laws(seed in 0u64..20_000) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random connected query of 3..7 vertices: a random tree skeleton
+        // plus a few random extra edges (tracked to avoid duplicates).
+        let n = rng.random_range(3..7usize);
+        let mut b = QueryGraph::builder();
+        for _ in 0..n {
+            b.vertex(rng.random_range(0..2u16));
+        }
+        let mut present = std::collections::BTreeSet::new();
+        for i in 1..n as u8 {
+            let j = rng.random_range(0..i);
+            b.edge(i, j);
+            present.insert((j.min(i), j.max(i)));
+        }
+        for _ in 0..rng.random_range(0..3usize) {
+            let x = rng.random_range(0..n as u8);
+            let y = rng.random_range(0..n as u8);
+            if x != y && present.insert((x.min(y), x.max(y))) {
+                b.edge(x, y);
+            }
+        }
+        let q = b.build();
+        let autos = automorphisms(&q);
+        // Identity present and first.
+        let id: Vec<u8> = (0..n as u8).collect();
+        prop_assert_eq!(&autos[0], &id);
+        // Closure under composition and inverse; each is an automorphism.
+        for p in &autos {
+            // Permutation sanity.
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &id);
+            // Label & edge preservation.
+            for u in 0..n as u8 {
+                prop_assert_eq!(q.label(u), q.label(p[u as usize]));
+                for v in 0..n as u8 {
+                    prop_assert_eq!(
+                        q.edge_label(u, v),
+                        q.edge_label(p[u as usize], p[v as usize])
+                    );
+                }
+            }
+            // Inverse is in the group.
+            let mut inv = vec![0u8; n];
+            for (w, &img) in p.iter().enumerate() {
+                inv[img as usize] = w as u8;
+            }
+            prop_assert!(autos.contains(&inv), "inverse missing");
+        }
+        // Composition closure (sampled to keep the test fast).
+        for p in autos.iter().take(4) {
+            for r in autos.iter().take(4) {
+                let comp: Vec<u8> = (0..n).map(|i| p[r[i] as usize]).collect();
+                prop_assert!(autos.contains(&comp), "composition missing");
+            }
+        }
+    }
+
+    #[test]
+    fn kcore_is_monotone_under_edge_removal(seed in 0u64..20_000) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(5..25usize);
+        let mut g = DynamicGraph::with_vertices(n);
+        for _ in 0..rng.random_range(n..4 * n) {
+            let u = rng.random_range(0..n) as u32;
+            let v = rng.random_range(0..n) as u32;
+            if u != v {
+                g.insert_edge(u, v, NO_ELABEL);
+            }
+        }
+        let before = core_numbers(&g);
+        // Core number of v is at most its degree.
+        for v in 0..n as u32 {
+            prop_assert!(before[v as usize] as usize <= g.degree(v));
+        }
+        // Removing an edge never increases any core number.
+        let first_edge = g.edges().next();
+        if let Some((u, v, _)) = first_edge {
+            g.delete_edge(u, v);
+            let after = core_numbers(&g);
+            for i in 0..n {
+                prop_assert!(after[i] <= before[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalized_batch_equals_sequential_application(
+        seed in 0u64..20_000,
+        ops in prop::collection::vec((0u32..12, 0u32..12, prop::bool::ANY), 1..30),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DynamicGraph::with_vertices(12);
+        for _ in 0..20 {
+            let u = rng.random_range(0..12u32);
+            let v = rng.random_range(0..12u32);
+            if u != v {
+                g.insert_edge(u, v, NO_ELABEL);
+            }
+        }
+        let raw: Vec<Update> = ops
+            .into_iter()
+            .map(|(u, v, ins)| Update {
+                op: if ins { Op::Insert } else { Op::Delete },
+                u,
+                v,
+                label: NO_ELABEL,
+            })
+            .collect();
+        // Sequential application.
+        let mut seq = g.clone();
+        for up in &raw {
+            match up.op {
+                Op::Insert => {
+                    if up.u != up.v {
+                        seq.insert_edge(up.u, up.v, up.label);
+                    }
+                }
+                Op::Delete => {
+                    seq.delete_edge(up.u, up.v);
+                }
+            }
+        }
+        // Canonicalized batch application.
+        let batch = UpdateBatch::canonicalize(&g, &raw);
+        let mut bat = g.clone();
+        batch.apply(&mut bat);
+        prop_assert_eq!(seq.num_edges(), bat.num_edges());
+        let se: Vec<_> = seq.edges().collect();
+        let be: Vec<_> = bat.edges().collect();
+        prop_assert_eq!(se, be);
+        // Net updates reference the original graph correctly.
+        for d in &batch.deletes {
+            prop_assert!(g.has_edge(d.u, d.v));
+        }
+        for i in &batch.inserts {
+            prop_assert!(!g.has_edge(i.u, i.v));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Netflow-style monitoring with edge-labeled flows (the paper's NF
+//! dataset shape: one vertex label, several highly skewed edge labels).
+//!
+//! Hosts are vertices; flows are edges labeled by protocol. The monitored
+//! motif is a lateral-movement chain: an SSH hop followed by an RDP hop
+//! followed by an exfiltration-sized HTTPS flow. Flow tables are windowed,
+//! so every batch both inserts fresh flows and expires old ones — the
+//! mixed-workload regime of Figure 11.
+//!
+//! Run with: `cargo run --release --example network_monitoring`
+
+use gamma::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const HOST: u16 = 0;
+const SSH: u16 = 1;
+const RDP: u16 = 2;
+const HTTPS: u16 = 3;
+const DNS: u16 = 4;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let n_hosts = 1500usize;
+    let mut g = DynamicGraph::new();
+    for _ in 0..n_hosts {
+        g.add_vertex(HOST);
+    }
+    // Background traffic, protocol mix skewed toward DNS/HTTPS.
+    let proto = |rng: &mut StdRng| -> u16 {
+        match rng.random_range(0..10) {
+            0 => SSH,
+            1 => RDP,
+            2..=5 => HTTPS,
+            _ => DNS,
+        }
+    };
+    for _ in 0..4000 {
+        let u = rng.random_range(0..n_hosts) as u32;
+        let v = rng.random_range(0..n_hosts) as u32;
+        if u != v {
+            let p = proto(&mut rng);
+            g.insert_edge(u, v, p);
+        }
+    }
+    println!("flow graph: {} hosts, {} live flows", g.num_vertices(), g.num_edges());
+
+    // Motif: h0 -SSH-> h1 -RDP-> h2 -HTTPS-> h3 (undirected flows).
+    let mut b = QueryGraph::builder();
+    let h0 = b.vertex(HOST);
+    let h1 = b.vertex(HOST);
+    let h2 = b.vertex(HOST);
+    let h3 = b.vertex(HOST);
+    b.edge_labeled(h0, h1, SSH)
+        .edge_labeled(h1, h2, RDP)
+        .edge_labeled(h2, h3, HTTPS);
+    let chain = b.build();
+
+    let mut cfg = GammaConfig::default();
+    cfg.device.warps_per_block = 16;
+    let mut engine = GammaEngine::new(g, &chain, cfg);
+
+    let mut window: Vec<(u32, u32)> = Vec::new();
+    let mut alerts = 0u64;
+    for tick in 1..=6 {
+        let mut batch: Vec<Update> = Vec::new();
+        // Expire the oldest window.
+        for (u, v) in window.drain(..) {
+            batch.push(Update::delete(u, v));
+        }
+        // Fresh flows.
+        for _ in 0..300 {
+            let u = rng.random_range(0..n_hosts) as u32;
+            let v = rng.random_range(0..n_hosts) as u32;
+            if u == v {
+                continue;
+            }
+            let p = proto(&mut rng);
+            batch.push(Update::insert_labeled(u, v, p));
+            window.push((u, v));
+        }
+        // Tick 4 carries an attack chain.
+        if tick == 4 {
+            batch.push(Update::insert_labeled(10, 11, SSH));
+            batch.push(Update::insert_labeled(11, 12, RDP));
+            batch.push(Update::insert_labeled(12, 13, HTTPS));
+            window.push((10, 11));
+            window.push((11, 12));
+            window.push((12, 13));
+            println!("  (tick 4 carries a planted chain 10→11→12→13)");
+        }
+
+        let r = engine.apply_batch(&batch);
+        alerts += r.positive_count;
+        println!(
+            "tick {tick}: {:>4} updates → {:>4} new chains, {:>4} expired chains \
+             (device {:.2} sim-ms, preprocess {:.2} host-ms)",
+            batch.len(),
+            r.positive_count,
+            r.negative_count,
+            r.stats.device_seconds(engine.config().device.clock_ghz) * 1e3,
+            r.stats.preprocess_seconds * 1e3,
+        );
+        if tick == 4 {
+            let planted = r.positive.iter().any(|m| {
+                let vs: Vec<u32> = m.pairs().map(|(_, v)| v).collect();
+                vs.contains(&10) && vs.contains(&13)
+            });
+            assert!(planted, "planted chain must surface in its tick");
+            println!("  >> lateral-movement chain detected");
+        }
+    }
+    println!("\ntotal chain alerts: {alerts}");
+}

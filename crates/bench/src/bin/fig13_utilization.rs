@@ -11,11 +11,17 @@ fn variants() -> [(&'static str, GammaVariant); 2] {
     [
         (
             "GAMMA",
-            GammaVariant { coalesced: true, stealing: StealingMode::Active },
+            GammaVariant {
+                coalesced: true,
+                stealing: StealingMode::Active,
+            },
         ),
         (
             "GAMMA w/o ws",
-            GammaVariant { coalesced: true, stealing: StealingMode::Off },
+            GammaVariant {
+                coalesced: true,
+                stealing: StealingMode::Off,
+            },
         ),
     ]
 }
@@ -28,7 +34,11 @@ fn main() {
     );
 
     for preset in [DatasetPreset::GH, DatasetPreset::ST] {
-        println!("\n## {} — utilization vs |V(Q)| (Ir={:.0}%)\n", preset.name(), base.insert_rate * 100.0);
+        println!(
+            "\n## {} — utilization vs |V(Q)| (Ir={:.0}%)\n",
+            preset.name(),
+            base.insert_rate * 100.0
+        );
         print_header(&["class", "|V(Q)|", "GAMMA", "GAMMA w/o ws", "gain", "steals"]);
         for class in QueryClass::ALL {
             for size in [4usize, 6, 8, 10] {
@@ -69,7 +79,11 @@ fn main() {
             }
         }
 
-        println!("\n## {} — utilization vs Ir (|V(Q)|={})\n", preset.name(), base.query_size);
+        println!(
+            "\n## {} — utilization vs Ir (|V(Q)|={})\n",
+            preset.name(),
+            base.query_size
+        );
         print_header(&["class", "Ir", "GAMMA", "GAMMA w/o ws", "gain"]);
         for class in QueryClass::ALL {
             for rate_pct in [2u32, 4, 6, 8, 10] {

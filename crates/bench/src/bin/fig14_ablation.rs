@@ -19,10 +19,34 @@ fn main() {
     );
 
     let variants = [
-        ("WBM", GammaVariant { coalesced: false, stealing: StealingMode::Off }),
-        ("WBM+cs", GammaVariant { coalesced: true, stealing: StealingMode::Off }),
-        ("WBM+ws", GammaVariant { coalesced: false, stealing: StealingMode::Active }),
-        ("WBM+cs+ws", GammaVariant { coalesced: true, stealing: StealingMode::Active }),
+        (
+            "WBM",
+            GammaVariant {
+                coalesced: false,
+                stealing: StealingMode::Off,
+            },
+        ),
+        (
+            "WBM+cs",
+            GammaVariant {
+                coalesced: true,
+                stealing: StealingMode::Off,
+            },
+        ),
+        (
+            "WBM+ws",
+            GammaVariant {
+                coalesced: false,
+                stealing: StealingMode::Active,
+            },
+        ),
+        (
+            "WBM+cs+ws",
+            GammaVariant {
+                coalesced: true,
+                stealing: StealingMode::Active,
+            },
+        ),
     ];
 
     for class in QueryClass::ALL {

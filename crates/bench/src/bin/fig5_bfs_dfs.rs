@@ -26,7 +26,15 @@ fn main() {
     );
 
     println!("## (b) time breakdown: computation vs communication cycles\n");
-    print_header(&["class", "mode", "comp cycles", "comm cycles", "comm share", "peak mem", "matches"]);
+    print_header(&[
+        "class",
+        "mode",
+        "comp cycles",
+        "comm cycles",
+        "comm share",
+        "peak mem",
+        "matches",
+    ]);
 
     let mut bfs_samples: Vec<(&str, Vec<f64>)> = Vec::new();
     for class in QueryClass::ALL {
@@ -73,8 +81,7 @@ fn main() {
         let r = engine.apply_batch(&inst.batch);
         // DFS device memory: one frame stack per resident warp.
         let warps = 16 * 8;
-        let dfs_stack_bytes =
-            warps as u64 * (q.num_vertices() as u64) * 64 * 4; // frames x candidates x 4B
+        let dfs_stack_bytes = warps as u64 * (q.num_vertices() as u64) * 64 * 4; // frames x candidates x 4B
         print_row(&[
             class.name().to_string(),
             "DFS".into(),

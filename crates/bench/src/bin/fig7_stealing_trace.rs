@@ -38,7 +38,10 @@ fn main() {
         cfg.max_degenerate_k,
     ));
 
-    for (label, stealing) in [("before work stealing", Stealing::Off), ("after work stealing", Stealing::Active)] {
+    for (label, stealing) in [
+        ("before work stealing", Stealing::Off),
+        ("after work stealing", Stealing::Active),
+    ] {
         let shared = Arc::new(wbm::KernelShared {
             gpma: Gpma::from_graph(&g2, GpmaConfig::default()),
             meta: Arc::clone(&meta),
@@ -65,7 +68,12 @@ fn main() {
         let out = run_block(tasks, &dev_cfg);
         let s = &out.stats;
         println!("## {label}\n");
-        println!("block makespan: {} cycles; steals: {}; utilization {:.1}%", s.makespan_cycles, s.steals, s.utilization() * 100.0);
+        println!(
+            "block makespan: {} cycles; steals: {}; utilization {:.1}%",
+            s.makespan_cycles,
+            s.steals,
+            s.utilization() * 100.0
+        );
         for (i, (&busy, &clock)) in s.warp_busy.iter().zip(&s.warp_clock).enumerate() {
             let bar = "#".repeat(((busy as f64 / s.makespan_cycles as f64) * 50.0) as usize);
             println!("  warp {i}: busy {busy:>9} cycles |{bar}");

@@ -42,7 +42,13 @@ fn main() {
             let mut cells: Vec<Cell> = vec![Cell::default(); BASELINES.len() + 1];
             for q in &inst.queries {
                 for (i, name) in BASELINES.iter().enumerate() {
-                    cells[i].push(run_baseline(name, &inst.graph, q, &inst.batch, params.timeout));
+                    cells[i].push(run_baseline(
+                        name,
+                        &inst.graph,
+                        q,
+                        &inst.batch,
+                        params.timeout,
+                    ));
                 }
                 cells[BASELINES.len()].push(run_gamma(
                     &inst.graph,

@@ -20,9 +20,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use gamma_core::{GammaConfig, GammaEngine, StealingMode};
-use gamma_csm::{
-    CsmEngine, GraphflowLite, IncIsoMatLite, RapidFlowLite, SymBiLite, TurboFluxLite,
-};
+use gamma_csm::{CsmEngine, GraphflowLite, IncIsoMatLite, RapidFlowLite, SymBiLite, TurboFluxLite};
 use gamma_datasets::{generate_queries, DatasetPreset, QueryClass};
 use gamma_graph::{DynamicGraph, QueryGraph, Update};
 
@@ -290,11 +288,7 @@ pub struct Instance {
 }
 
 /// Assembles an [`Instance`] for `(preset, class)` under `params`.
-pub fn build_instance(
-    preset: DatasetPreset,
-    class: QueryClass,
-    params: &BenchParams,
-) -> Instance {
+pub fn build_instance(preset: DatasetPreset, class: QueryClass, params: &BenchParams) -> Instance {
     let d = preset.build(params.scale, params.seed);
     let queries = generate_queries(
         &d.graph,

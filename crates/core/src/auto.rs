@@ -87,7 +87,8 @@ impl CoalescedPlan {
         let full: u16 = if n >= 16 { u16::MAX } else { (1u16 << n) - 1 };
         // Candidate entries: (k, |orbit|, vk_mask, orbit edges, perms).
         let mut entries: Vec<(usize, u16, Vec<Vec<u8>>)> = Vec::new();
-        let max_k = max_k.min(n.saturating_sub(3)); // keep ≥ 3 vertices (an edge orbit needs structure)
+        // Keep ≥ 3 vertices (an edge orbit needs structure).
+        let max_k = max_k.min(n.saturating_sub(3));
         // Removal candidates are restricted to degree-1 query vertices, per
         // the paper's Remark (§V-B): removing higher-degree vertices strips
         // too many label constraints from `V^k`, exploding the candidate
@@ -146,14 +147,7 @@ impl CoalescedPlan {
                 if orbit.len() < 2 {
                     continue;
                 }
-                orbit_entries.push((
-                    *k,
-                    orbit.len(),
-                    *mask,
-                    Vec::new(),
-                    orbit,
-                    lifted.clone(),
-                ));
+                orbit_entries.push((*k, orbit.len(), *mask, Vec::new(), orbit, lifted.clone()));
             }
         }
         orbit_entries.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
@@ -259,13 +253,7 @@ fn dominance_score(q: &QueryGraph, e: (u8, u8)) -> u32 {
 fn subsets_of_size(full: u16, n: usize, size: usize) -> Vec<u16> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(size);
-    fn rec(
-        bits: &[u8],
-        size: usize,
-        start: usize,
-        current: &mut Vec<u8>,
-        out: &mut Vec<u16>,
-    ) {
+    fn rec(bits: &[u8], size: usize, start: usize, current: &mut Vec<u8>, out: &mut Vec<u16>) {
         if current.len() == size {
             let mask = current.iter().fold(0u16, |m, &b| m | (1 << b));
             out.push(mask);
@@ -357,7 +345,10 @@ mod tests {
         // into one class.
         let mut b = QueryGraph::builder();
         let v: Vec<u8> = (0..4).map(|_| b.vertex(0)).collect();
-        b.edge(v[0], v[1]).edge(v[1], v[2]).edge(v[2], v[3]).edge(v[0], v[3]);
+        b.edge(v[0], v[1])
+            .edge(v[1], v[2])
+            .edge(v[2], v[3])
+            .edge(v[0], v[3]);
         let q = b.build();
         let plan = CoalescedPlan::build(&q, 2);
         let class = &plan.classes[0];
@@ -378,7 +369,10 @@ mod tests {
         // The square is claimed at k=0; no k=1 entry may re-claim its edges.
         let mut b = QueryGraph::builder();
         let v: Vec<u8> = (0..4).map(|_| b.vertex(0)).collect();
-        b.edge(v[0], v[1]).edge(v[1], v[2]).edge(v[2], v[3]).edge(v[0], v[3]);
+        b.edge(v[0], v[1])
+            .edge(v[1], v[2])
+            .edge(v[2], v[3])
+            .edge(v[0], v[3]);
         let q = b.build();
         let plan = CoalescedPlan::build(&q, 2);
         assert_eq!(plan.classes.len(), 1);

@@ -105,14 +105,10 @@ pub fn run_bfs_phase(
                         }
                         let (bv, bel, bdeg) = base.expect("connected order");
                         gpma.neighbors_into(bv, &mut nbr_buf);
-                        report.comp_cycles +=
-                            cost.coalesced_read(bdeg as u64 * 2, 32);
+                        report.comp_cycles += cost.coalesced_read(bdeg as u64 * 2, 32);
                         'cand: for &(cand, el) in nbr_buf.iter() {
                             report.comp_cycles += cost.compute;
-                            if el != bel
-                                || !table.is_candidate(cand, qv)
-                                || m.uses(cand)
-                            {
+                            if el != bel || !table.is_candidate(cand, qv) || m.uses(cand) {
                                 continue;
                             }
                             if let Some(&o) = update_order.get(&gamma_graph::edge_key(cand, bv)) {
@@ -123,8 +119,8 @@ pub fn run_bfs_phase(
                             for &(ov, oel) in &others {
                                 match gpma.edge_label(cand, ov) {
                                     Some(l) if l == oel => {
-                                        if let Some(&o) = update_order
-                                            .get(&gamma_graph::edge_key(cand, ov))
+                                        if let Some(&o) =
+                                            update_order.get(&gamma_graph::edge_key(cand, ov))
                                         {
                                             if o < order_idx as u32 {
                                                 continue 'cand;
@@ -139,11 +135,8 @@ pub fn run_bfs_phase(
                             next.push(m2);
                         }
                         for &(ov, _) in &others {
-                            report.comp_cycles += cost.coop_intersect(
-                                bdeg as u64,
-                                gpma.degree(ov).max(1) as u64,
-                                32,
-                            );
+                            report.comp_cycles +=
+                                cost.coop_intersect(bdeg as u64, gpma.degree(ov).max(1) as u64, 32);
                         }
                     }
                     // Level barrier: all warps synchronize before the next

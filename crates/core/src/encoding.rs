@@ -30,7 +30,7 @@ impl EncodingScheme {
     /// Builds the layout for a query. `counter_bits` is the paper's `M`
     /// (2 in Figure 4).
     pub fn new(q: &QueryGraph, counter_bits: u32) -> Self {
-        assert!(counter_bits >= 1 && counter_bits <= 8);
+        assert!((1..=8).contains(&counter_bits));
         let mut labels: Vec<VLabel> = q.labels().to_vec();
         labels.sort_unstable();
         labels.dedup();
@@ -57,7 +57,6 @@ impl EncodingScheme {
     pub fn saturation(&self) -> u32 {
         self.counter_bits
     }
-
 
     /// Thermometer bits for a count: `min(count, M)` ones.
     #[inline]
@@ -161,12 +160,7 @@ impl CandidateTable {
 
     /// Refreshes the rows of `dirty` vertices after their encodings
     /// changed; returns how many rows actually changed.
-    pub fn refresh(
-        &mut self,
-        dirty: &[VertexId],
-        encodings: &[u64],
-        qcodes: &[u64],
-    ) -> usize {
+    pub fn refresh(&mut self, dirty: &[VertexId], encodings: &[u64], qcodes: &[u64]) -> usize {
         let mut changed = 0;
         for &v in dirty {
             if v as usize >= self.rows.len() {
@@ -318,7 +312,10 @@ mod tests {
         }
         let uh = scheme.encode_query_vertex(&q, hub);
         let vh = scheme.encode_data_vertex(&g, h);
-        assert!(EncodingScheme::is_candidate(uh, vh), "saturating filter must not prune");
+        assert!(
+            EncodingScheme::is_candidate(uh, vh),
+            "saturating filter must not prune"
+        );
         // With M=3 the filter becomes exact and prunes.
         let scheme3 = EncodingScheme::new(&q, 3);
         let uh3 = scheme3.encode_query_vertex(&q, hub);

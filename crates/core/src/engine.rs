@@ -236,10 +236,11 @@ impl GammaEngine {
         touched.dedup();
         let dirty = self.encoder.reencode(&self.graph, &touched);
         result.stats.dirty_vertices = dirty.len();
-        self.table
-            .as_mut()
-            .expect("table")
-            .refresh(&dirty, &self.encoder.encodings, &self.encoder.qcodes);
+        self.table.as_mut().expect("table").refresh(
+            &dirty,
+            &self.encoder.encodings,
+            &self.encoder.qcodes,
+        );
         let preprocess = pre_t.elapsed().as_secs_f64();
 
         // Phase 4: positive matches on the post-update graph, anchored at

@@ -224,10 +224,8 @@ mod tests {
 
         // Synchronous reference.
         let mut sync_engine = GammaEngine::new(g.clone(), &q, GammaConfig::default());
-        let sync_results: Vec<BatchResult> = batches
-            .iter()
-            .map(|b| sync_engine.apply_batch(b))
-            .collect();
+        let sync_results: Vec<BatchResult> =
+            batches.iter().map(|b| sync_engine.apply_batch(b)).collect();
 
         // Pipelined run.
         let mut pipe = PipelinedEngine::new(g, &q, GammaConfig::default(), 2);

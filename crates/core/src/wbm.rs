@@ -279,12 +279,7 @@ impl WbmTask {
         match seed.class {
             Some(ci) if level < seed.vk_size => {
                 let ucode = self.shared.meta.class_vk_codes[ci][qv as usize];
-                let vcode = self
-                    .shared
-                    .encodings
-                    .get(v as usize)
-                    .copied()
-                    .unwrap_or(0);
+                let vcode = self.shared.encodings.get(v as usize).copied().unwrap_or(0);
                 crate::encoding::EncodingScheme::is_candidate(ucode, vcode)
             }
             _ => self.shared.table.is_candidate(v, qv),
@@ -656,7 +651,10 @@ impl WarpTask for WbmTask {
                     seed: st.seed,
                     base_level: level,
                     m,
-                    frames: vec![Frame { cands: stolen, p: 0 }],
+                    frames: vec![Frame {
+                        cands: stolen,
+                        p: 0,
+                    }],
                     warm: false,
                 };
                 return Some(Box::new(WbmTask {
@@ -746,7 +744,13 @@ pub fn run_phase(
     collect: bool,
     match_limit: u64,
     abort: Arc<AtomicBool>,
-) -> (Gpma, CandidateTable, Vec<VMatch>, u64, gamma_gpu::KernelStats) {
+) -> (
+    Gpma,
+    CandidateTable,
+    Vec<VMatch>,
+    u64,
+    gamma_gpu::KernelStats,
+) {
     let shared = Arc::new(KernelShared {
         gpma,
         meta,

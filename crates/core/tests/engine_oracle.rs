@@ -4,10 +4,10 @@
 
 use gamma_core::{GammaConfig, GammaEngine, StealingMode};
 use gamma_datasets::{generate_queries, DatasetPreset, QueryClass};
+use gamma_gpu::DeviceConfig;
 use gamma_graph::{
     enumerate_matches, DynamicGraph, QueryGraph, Update, UpdateBatch, VMatch, NO_ELABEL,
 };
-use gamma_gpu::DeviceConfig;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -288,9 +288,9 @@ fn add_vertex_then_connect() {
     let g = fig1_graph();
     let q = fig1_query();
     let mut engine = GammaEngine::new(g.clone(), &q, GammaConfig::default());
-    let nv = engine.add_vertex(2); // a fresh C vertex
-    // Connect it to v5 (B): creates a new match using the new vertex?
-    // v5's tail options grow; oracle check on the extended graph.
+    // A fresh C vertex; connecting it to v5 (B) grows v5's tail options.
+    // Oracle check on the extended graph.
+    let nv = engine.add_vertex(2);
     let mut g2 = g.clone();
     let nv2 = g2.add_vertex(2);
     assert_eq!(nv, nv2);
@@ -322,21 +322,16 @@ fn random_instance(seed: u64) -> (DynamicGraph, QueryGraph, Vec<Update>) {
     }
     // Query: random connected pattern of 3..6 vertices extracted from g
     // when possible, else a labeled triangle.
-    let q = gamma_datasets::generate_query(
-        &g,
-        QueryClass::Tree,
-        rng.random_range(3..6),
-        &mut rng,
-    )
-    .or_else(|| gamma_datasets::generate_query(&g, QueryClass::Sparse, 4, &mut rng))
-    .unwrap_or_else(|| {
-        let mut b = QueryGraph::builder();
-        let x = b.vertex(0);
-        let y = b.vertex(0);
-        let z = b.vertex(0);
-        b.edge(x, y).edge(y, z).edge(x, z);
-        b.build()
-    });
+    let q = gamma_datasets::generate_query(&g, QueryClass::Tree, rng.random_range(3..6), &mut rng)
+        .or_else(|| gamma_datasets::generate_query(&g, QueryClass::Sparse, 4, &mut rng))
+        .unwrap_or_else(|| {
+            let mut b = QueryGraph::builder();
+            let x = b.vertex(0);
+            let y = b.vertex(0);
+            let z = b.vertex(0);
+            b.edge(x, y).edge(y, z).edge(x, z);
+            b.build()
+        });
     // Batch: random inserts + deletes.
     let mut raw = Vec::new();
     for _ in 0..rng.random_range(1..10) {

@@ -35,7 +35,7 @@ impl SearchBudget {
             None => false,
             Some(d) => {
                 *ticks += 1;
-                if *ticks % DEADLINE_STRIDE == 0 {
+                if (*ticks).is_multiple_of(DEADLINE_STRIDE) {
                     Instant::now() >= d
                 } else {
                     false
@@ -153,7 +153,9 @@ pub fn extend_edge_anchored<F: Fn(VertexId, u8) -> bool>(
     m.set(a, x);
     m.set(b, y);
     let mut ticks = 0u32;
-    rec(g, q, order, 2, &mut m, filter, out, limit, budget, &mut ticks);
+    rec(
+        g, q, order, 2, &mut m, filter, out, limit, budget, &mut ticks,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -191,11 +193,7 @@ fn rec<F: Fn(VertexId, u8) -> bool>(
         if budget.expired(ticks) {
             return false;
         }
-        if el != bel
-            || g.label(cand) != q.label(qv)
-            || m.uses(cand)
-            || !filter(cand, qv)
-        {
+        if el != bel || g.label(cand) != q.label(qv) || m.uses(cand) || !filter(cand, qv) {
             continue;
         }
         // All matched backward neighbors must connect with right labels.
@@ -271,9 +269,7 @@ pub fn apply_update_generic<F: Fn(&DynamicGraph, VertexId, u8) -> bool>(
             );
         }
         Op::Delete => {
-            if (update.u as usize) >= g.num_vertices()
-                || (update.v as usize) >= g.num_vertices()
-            {
+            if (update.u as usize) >= g.num_vertices() || (update.v as usize) >= g.num_vertices() {
                 return res;
             }
             let Some(el) = g.edge_label(update.u, update.v) else {
@@ -335,7 +331,13 @@ mod tests {
     #[test]
     fn insert_v0v2_yields_four_matches() {
         let (mut g, q) = fig1();
-        let r = apply_update_generic(&mut g, &q, Update::insert(0, 2), |_, _, _| true, SearchBudget::UNLIMITED);
+        let r = apply_update_generic(
+            &mut g,
+            &q,
+            Update::insert(0, 2),
+            |_, _, _| true,
+            SearchBudget::UNLIMITED,
+        );
         assert_eq!(r.positive.len(), 4, "{:?}", r.positive);
         assert!(r.negative.is_empty());
         assert!(g.has_edge(0, 2));
@@ -345,7 +347,13 @@ mod tests {
     fn delete_recovers_same_matches() {
         let (mut g, q) = fig1();
         g.insert_edge(0, 2, NO_ELABEL);
-        let r = apply_update_generic(&mut g, &q, Update::delete(0, 2), |_, _, _| true, SearchBudget::UNLIMITED);
+        let r = apply_update_generic(
+            &mut g,
+            &q,
+            Update::delete(0, 2),
+            |_, _, _| true,
+            SearchBudget::UNLIMITED,
+        );
         assert_eq!(r.negative.len(), 4);
         assert!(!g.has_edge(0, 2));
     }
@@ -353,21 +361,39 @@ mod tests {
     #[test]
     fn duplicate_insert_noop() {
         let (mut g, q) = fig1();
-        let r = apply_update_generic(&mut g, &q, Update::insert(1, 5), |_, _, _| true, SearchBudget::UNLIMITED);
+        let r = apply_update_generic(
+            &mut g,
+            &q,
+            Update::insert(1, 5),
+            |_, _, _| true,
+            SearchBudget::UNLIMITED,
+        );
         assert!(r.is_empty());
     }
 
     #[test]
     fn missing_delete_noop() {
         let (mut g, q) = fig1();
-        let r = apply_update_generic(&mut g, &q, Update::delete(0, 9), |_, _, _| true, SearchBudget::UNLIMITED);
+        let r = apply_update_generic(
+            &mut g,
+            &q,
+            Update::delete(0, 9),
+            |_, _, _| true,
+            SearchBudget::UNLIMITED,
+        );
         assert!(r.is_empty());
     }
 
     #[test]
     fn no_duplicate_matches_within_update() {
         let (mut g, q) = fig1();
-        let r = apply_update_generic(&mut g, &q, Update::insert(0, 2), |_, _, _| true, SearchBudget::UNLIMITED);
+        let r = apply_update_generic(
+            &mut g,
+            &q,
+            Update::insert(0, 2),
+            |_, _, _| true,
+            SearchBudget::UNLIMITED,
+        );
         let mut ms = r.positive.clone();
         ms.sort_unstable();
         ms.dedup();

@@ -34,7 +34,9 @@ impl CsmEngine for GraphflowLite {
     }
 
     fn apply_update(&mut self, update: Update) -> IncrementalResult {
-        let budget = SearchBudget { deadline: self.deadline };
+        let budget = SearchBudget {
+            deadline: self.deadline,
+        };
         apply_update_generic(&mut self.graph, &self.query, update, |_, _, _| true, budget)
     }
 

@@ -65,7 +65,7 @@ impl IncIsoMatLite {
         let mut sink = |m: &VMatch| {
             if let Some(d) = deadline {
                 ticks += 1;
-                if ticks % 1024 == 0 && Instant::now() >= d {
+                if ticks.is_multiple_of(1024) && Instant::now() >= d {
                     return false;
                 }
             }
@@ -117,8 +117,7 @@ impl CsmEngine for IncIsoMatLite {
     fn apply_update(&mut self, update: Update) -> IncrementalResult {
         let mut res = IncrementalResult::default();
         let (u, v) = (update.u, update.v);
-        if (u as usize) >= self.graph.num_vertices() || (v as usize) >= self.graph.num_vertices()
-        {
+        if (u as usize) >= self.graph.num_vertices() || (v as usize) >= self.graph.num_vertices() {
             return res;
         }
         match update.op {

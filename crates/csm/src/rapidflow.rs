@@ -197,7 +197,9 @@ impl RapidFlowLite {
                     &|v, u| index.get(v as usize).is_some_and(|r| r & (1 << u) != 0),
                     &mut cores,
                     None,
-                    SearchBudget { deadline: self.deadline },
+                    SearchBudget {
+                        deadline: self.deadline,
+                    },
                 );
                 for core in cores {
                     let mut m = core;

@@ -41,7 +41,9 @@ impl SymBiLite {
     /// layers it by BFS depth, and computes the initial flag tables.
     pub fn new(graph: DynamicGraph, query: &QueryGraph) -> Self {
         let n = query.num_vertices();
-        let root = (0..n as u8).max_by_key(|&u| query.degree(u)).expect("nonempty");
+        let root = (0..n as u8)
+            .max_by_key(|&u| query.degree(u))
+            .expect("nonempty");
         // BFS depths.
         let mut depth = vec![usize::MAX; n];
         depth[root as usize] = 0;
@@ -169,10 +171,7 @@ impl SymBiLite {
     /// The dynamic-candidate test: both flags set.
     fn is_candidate(&self, v: VertexId, u: u8) -> bool {
         let bit = 1u16 << u;
-        self.d1
-            .get(v as usize)
-            .is_some_and(|&r| r & bit != 0)
-            && self.d2[v as usize] & bit != 0
+        self.d1.get(v as usize).is_some_and(|&r| r & bit != 0) && self.d2[v as usize] & bit != 0
     }
 }
 
@@ -202,7 +201,9 @@ impl CsmEngine for SymBiLite {
                     update.label,
                     &|v, u| self.is_candidate(v, u),
                     &mut res.positive,
-                    SearchBudget { deadline: self.deadline },
+                    SearchBudget {
+                        deadline: self.deadline,
+                    },
                 );
             }
             Op::Delete => {
@@ -217,7 +218,9 @@ impl CsmEngine for SymBiLite {
                     el,
                     &|v, u| self.is_candidate(v, u),
                     &mut res.negative,
-                    SearchBudget { deadline: self.deadline },
+                    SearchBudget {
+                        deadline: self.deadline,
+                    },
                 );
                 self.graph.delete_edge(update.u, update.v);
                 self.repair(update.u, update.v);
@@ -277,7 +280,9 @@ mod tests {
         for u in 0..q.num_vertices() {
             edge_count += eng.children[u].len();
             for &(c, _) in &eng.children[u] {
-                assert!(eng.parents[c as usize].iter().any(|&(p, _)| p as usize == u));
+                assert!(eng.parents[c as usize]
+                    .iter()
+                    .any(|&(p, _)| p as usize == u));
             }
         }
         assert_eq!(edge_count, q.num_edges());

@@ -101,7 +101,9 @@ impl CsmEngine for TurboFluxLite {
                     update.label,
                     &|v, u| index.get(v as usize).is_some_and(|r| r & (1 << u) != 0),
                     &mut res.positive,
-                    SearchBudget { deadline: self.deadline },
+                    SearchBudget {
+                        deadline: self.deadline,
+                    },
                 );
             }
             gamma_graph::Op::Delete => {
@@ -119,7 +121,9 @@ impl CsmEngine for TurboFluxLite {
                     el,
                     &|v, u| index.get(v as usize).is_some_and(|r| r & (1 << u) != 0),
                     &mut res.negative,
-                    SearchBudget { deadline: self.deadline },
+                    SearchBudget {
+                        deadline: self.deadline,
+                    },
                 );
                 self.graph.delete_edge(update.u, update.v);
                 self.refresh(update.u, update.v);

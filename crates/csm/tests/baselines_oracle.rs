@@ -86,7 +86,12 @@ fn check_engine(mut engine: Box<dyn CsmEngine>, g0: &DynamicGraph, q: &QueryGrap
             "{}: positive mismatch on {up:?} (applied={applied})",
             engine.name()
         );
-        assert_eq!(gn, oracle_neg, "{}: negative mismatch on {up:?}", engine.name());
+        assert_eq!(
+            gn,
+            oracle_neg,
+            "{}: negative mismatch on {up:?}",
+            engine.name()
+        );
         assert_eq!(engine.graph().num_edges(), shadow.num_edges());
     }
 }

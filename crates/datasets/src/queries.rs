@@ -46,7 +46,7 @@ pub fn generate_query(
     size: usize,
     rng: &mut StdRng,
 ) -> Option<QueryGraph> {
-    assert!(size >= 2 && size <= gamma_graph::MAX_QUERY_VERTICES);
+    assert!((2..=gamma_graph::MAX_QUERY_VERTICES).contains(&size));
     let n = g.num_vertices();
     if n < size {
         return None;
@@ -165,7 +165,11 @@ pub fn generate_query(
 
 /// Random spanning tree over the `size` vertices using only `edges`;
 /// `None` if the induced subgraph is disconnected.
-fn spanning_tree(size: usize, edges: &[(u8, u8, u16)], rng: &mut StdRng) -> Option<Vec<(u8, u8, u16)>> {
+fn spanning_tree(
+    size: usize,
+    edges: &[(u8, u8, u16)],
+    rng: &mut StdRng,
+) -> Option<Vec<(u8, u8, u16)>> {
     let mut order: Vec<usize> = (0..edges.len()).collect();
     for i in (1..order.len()).rev() {
         let j = rng.random_range(0..=i);

@@ -44,8 +44,7 @@ pub fn sample_deletion_workload(g: &DynamicGraph, rate: f64, seed: u64) -> Vec<U
 /// interleaves both kinds.
 pub fn mixed_workload(g: &mut DynamicGraph, rate: f64, seed: u64) -> Vec<Update> {
     let ins_rate = rate * 2.0 / 3.0;
-    let del_rate_of_remaining =
-        (rate / 3.0) * (1.0 / (1.0 - ins_rate)).min(1.0);
+    let del_rate_of_remaining = (rate / 3.0) * (1.0 / (1.0 - ins_rate)).min(1.0);
     let mut ins = split_insertion_workload(g, ins_rate, seed);
     let del = sample_deletion_workload(g, del_rate_of_remaining.min(1.0), seed ^ 0x5eed);
     // Interleave 2 inserts : 1 delete to mimic a mixed stream.
@@ -103,10 +102,14 @@ pub fn kcore_insertion_workload(
 ///   mirroring the paper's `e(v0, v102)` / `e(v1, v102)` example.
 /// * query: the A–B edge extended to a B and a C (4-vertex path/star),
 ///   whose match counts differ wildly between the two updates.
-pub fn skewed_star_workload(spokes_small: usize, spokes_large: usize) -> (DynamicGraph, Vec<Update>, QueryGraph) {
+pub fn skewed_star_workload(
+    spokes_small: usize,
+    spokes_large: usize,
+) -> (DynamicGraph, Vec<Update>, QueryGraph) {
     let mut g = DynamicGraph::new();
     let v0 = g.add_vertex(0); // A, small side
     let v1 = g.add_vertex(0); // A, large side
+
     // Shared bridge vertex the updates attach: label B.
     let bridge = g.add_vertex(1);
     let c_tail = g.add_vertex(2); // C
@@ -199,8 +202,8 @@ mod tests {
     fn kcore_insertions_in_core() {
         let mut d = DatasetPreset::LS.build(0.3, 24);
         let g_before = d.graph.clone();
-        let ups = kcore_insertion_workload(&mut d.graph, 0.02, 4, 8)
-            .expect("LS-like graph has a 4-core");
+        let ups =
+            kcore_insertion_workload(&mut d.graph, 0.02, 4, 8).expect("LS-like graph has a 4-core");
         let core = core_numbers(&g_before);
         for u in &ups {
             assert!(core[u.u as usize] >= 4 && core[u.v as usize] >= 4);

@@ -95,7 +95,10 @@ pub struct Gpma {
 impl Gpma {
     /// Creates an empty store able to address `num_vertices` vertices.
     pub fn new(num_vertices: usize, cfg: GpmaConfig) -> Self {
-        assert!(cfg.seg_size.is_power_of_two(), "seg_size must be a power of two");
+        assert!(
+            cfg.seg_size.is_power_of_two(),
+            "seg_size must be a power of two"
+        );
         let capacity = cfg.seg_size;
         Self {
             keys: vec![EMPTY; capacity],
@@ -236,8 +239,15 @@ impl Gpma {
                 hi = mid;
             }
         }
-        // The element, if present, is in `lo` or earlier empty-segment runs
-        // collapse to `lo` anyway; search inside `lo`'s compacted prefix.
+        // An empty segment inherits its effective first key from the
+        // nearest non-empty segment on its left, so the binary search can
+        // land inside a run of empty segments *after* the one actually
+        // holding `key`. Walk left to that segment before the in-segment
+        // search — otherwise `find` misses live entries (and inserts could
+        // land out of global order).
+        while lo > 0 && self.seg_counts[lo] == 0 {
+            lo -= 1;
+        }
         let base = lo * self.seg_size();
         let cnt = self.seg_counts[lo] as usize;
         let off = self.keys[base..base + cnt].partition_point(|&k| k < key);
@@ -350,8 +360,7 @@ impl Gpma {
     pub fn delete_edges(&mut self, edges: &[(VertexId, VertexId)]) -> usize {
         let mut keys = Vec::with_capacity(edges.len() * 2);
         for &(u, v) in edges {
-            if u == v || (u as usize) >= self.degrees.len() || (v as usize) >= self.degrees.len()
-            {
+            if u == v || (u as usize) >= self.degrees.len() || (v as usize) >= self.degrees.len() {
                 continue;
             }
             keys.push((u as u64) << 32 | v as u64);
@@ -417,8 +426,7 @@ impl Gpma {
                     let parent = node / 2;
                     match next.last_mut() {
                         Some((p, g)) if *p == parent => {
-                            let mut merged =
-                                Vec::with_capacity(g.len() + group.len());
+                            let mut merged = Vec::with_capacity(g.len() + group.len());
                             merge_sorted(g, &group, &mut merged);
                             *g = merged;
                         }
@@ -462,8 +470,8 @@ impl Gpma {
             let cnt = self.seg_counts[seg] as usize;
             let seg_hi_key = {
                 // All keys of this batch that fall in this segment.
-                let last = self.keys[base + cnt - 1];
-                last
+
+                self.keys[base + cnt - 1]
             };
             let mut j = i;
             while j < keys.len() && keys[j] <= seg_hi_key {
@@ -585,7 +593,7 @@ impl Gpma {
         let nsegs = s1 - s0;
         let base_cnt = items.len() / nsegs;
         let extra = items.len() % nsegs;
-        debug_assert!(base_cnt + 1 <= self.seg_size(), "redistribute overflow");
+        debug_assert!(base_cnt < self.seg_size(), "redistribute overflow");
         let mut idx = 0usize;
         for s in 0..nsegs {
             let take = base_cnt + usize::from(s < extra);
@@ -600,8 +608,8 @@ impl Gpma {
     /// hit the bulk fill target.
     fn rebuild_with(&mut self, items: Vec<(u64, ELabel)>) {
         debug_assert!(items.windows(2).all(|w| w[0].0 < w[1].0));
-        let needed = ((items.len() as f64 / self.cfg.bulk_fill).ceil() as usize)
-            .max(self.cfg.seg_size);
+        let needed =
+            ((items.len() as f64 / self.cfg.bulk_fill).ceil() as usize).max(self.cfg.seg_size);
         let mut capacity = self.cfg.seg_size;
         while capacity < needed {
             capacity *= 2;
@@ -902,8 +910,7 @@ mod tests {
     #[test]
     fn shrink_after_mass_delete() {
         let mut pma = Gpma::new(0, GpmaConfig::default());
-        let edges: Vec<(u32, u32, ELabel)> =
-            (0..400u32).map(|i| (i, i + 500, NO_ELABEL)).collect();
+        let edges: Vec<(u32, u32, ELabel)> = (0..400u32).map(|i| (i, i + 500, NO_ELABEL)).collect();
         pma.insert_edges(&edges);
         let big = pma.capacity();
         let dels: Vec<(u32, u32)> = (0..396u32).map(|i| (i, i + 500)).collect();
@@ -924,8 +931,7 @@ mod tests {
         pma.insert_edges(&[(0, 1, 0)]);
         let c1 = pma.stats().sim_cycles;
         assert!(c1 > c0);
-        let edges: Vec<(u32, u32, ELabel)> =
-            (0..200u32).map(|i| (i, i + 300, NO_ELABEL)).collect();
+        let edges: Vec<(u32, u32, ELabel)> = (0..200u32).map(|i| (i, i + 300, NO_ELABEL)).collect();
         pma.insert_edges(&edges);
         assert!(pma.stats().sim_cycles > c1);
         assert!(pma.stats().locate_cycles > 0);
@@ -947,7 +953,10 @@ mod tests {
             pma.delete_edges(&probe);
             pma.stats().locate_cycles
         };
-        assert!(run(4) < run(0), "shared-memory cache should cut locate cost");
+        assert!(
+            run(4) < run(0),
+            "shared-memory cache should cut locate cost"
+        );
     }
 
     #[test]
@@ -970,6 +979,9 @@ mod tests {
             }
             pma.stats().rebalance_cycles
         };
-        assert!(run(true) < run(false), "CG sub-warps should cut rebalance cost");
+        assert!(
+            run(true) < run(false),
+            "CG sub-warps should cut rebalance cost"
+        );
     }
 }

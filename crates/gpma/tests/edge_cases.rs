@@ -1,0 +1,309 @@
+//! GPMA edge-case tests: insert-then-delete round-trips, duplicate-edge
+//! idempotence, and re-segmentation at capacity boundaries.
+//!
+//! These complement the randomized reference-set equivalence in
+//! `pma_props.rs` with deterministic sequences aimed at the store's
+//! structural seams: exact segment fills, root overflow growth, and
+//! drain-to-empty shrink paths.
+
+use gamma_gpma::{Gpma, GpmaConfig};
+
+fn cfg(seg_size: usize) -> GpmaConfig {
+    GpmaConfig {
+        seg_size,
+        ..GpmaConfig::default()
+    }
+}
+
+/// A deterministic edge list: a ring plus chords, no duplicates, no
+/// self-loops, labels varying with the index.
+fn edge_list(n: u32, count: usize) -> Vec<(u32, u32, u16)> {
+    let mut out = Vec::with_capacity(count);
+    let mut k = 0u32;
+    'outer: for stride in 1..n {
+        for u in 0..n {
+            let v = (u + stride) % n;
+            if u < v {
+                out.push((u, v, (k % 5) as u16));
+                k += 1;
+                if out.len() == count {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_eq!(out.len(), count, "graph too small for requested edge count");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Insert-then-delete round-trips
+// ---------------------------------------------------------------------------
+
+#[test]
+fn insert_then_delete_restores_empty_store() {
+    for seg in [4, 8, 32] {
+        let edges = edge_list(24, 60);
+        let mut pma = Gpma::new(24, cfg(seg));
+        assert_eq!(pma.insert_edges(&edges), 60, "seg={seg}");
+        pma.assert_consistent();
+
+        let keys: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        assert_eq!(pma.delete_edges(&keys), 60, "seg={seg}");
+        pma.assert_consistent();
+
+        assert_eq!(pma.num_edges(), 0);
+        for v in 0..24u32 {
+            assert_eq!(pma.degree(v), 0, "seg={seg} v={v}");
+        }
+        for &(u, v, _) in &edges {
+            assert!(!pma.has_edge(u, v));
+            assert_eq!(pma.edge_label(u, v), None);
+        }
+
+        // The emptied store must remain fully usable.
+        assert_eq!(pma.insert_edges(&edges), 60);
+        pma.assert_consistent();
+        assert_eq!(pma.num_edges(), 60);
+    }
+}
+
+#[test]
+fn round_trip_preserves_untouched_edges() {
+    let all = edge_list(20, 40);
+    let (keep, churn) = all.split_at(25);
+    let mut pma = Gpma::new(20, cfg(8));
+    pma.insert_edges(&all);
+
+    let churn_keys: Vec<(u32, u32)> = churn.iter().map(|&(u, v, _)| (u, v)).collect();
+    for round in 0..5 {
+        assert_eq!(pma.delete_edges(&churn_keys), churn.len(), "round {round}");
+        pma.assert_consistent();
+        assert_eq!(pma.num_edges(), keep.len());
+        for &(u, v, l) in keep {
+            assert_eq!(
+                pma.edge_label(u, v),
+                Some(l),
+                "round {round}: kept edge lost"
+            );
+        }
+        assert_eq!(pma.insert_edges(churn), churn.len(), "round {round}");
+        pma.assert_consistent();
+        assert_eq!(pma.num_edges(), all.len());
+        for &(u, v, l) in churn {
+            assert_eq!(
+                pma.edge_label(u, v),
+                Some(l),
+                "round {round}: churn edge wrong"
+            );
+        }
+    }
+}
+
+#[test]
+fn alternating_single_edge_round_trip() {
+    // Insert/delete the same edge many times: exercises the same slots and
+    // the low-density repair path repeatedly.
+    let mut pma = Gpma::new(4, cfg(4));
+    pma.insert_edges(&[(0, 1, 7), (2, 3, 1)]);
+    for i in 0..50 {
+        assert_eq!(pma.delete_edges(&[(0, 1)]), 1, "iter {i}");
+        assert!(!pma.has_edge(0, 1));
+        assert_eq!(pma.num_edges(), 1);
+        pma.assert_consistent();
+        assert_eq!(pma.insert_edges(&[(0, 1, 7)]), 1, "iter {i}");
+        assert_eq!(pma.edge_label(0, 1), Some(7));
+        assert_eq!(
+            pma.edge_label(2, 3),
+            Some(1),
+            "bystander edge lost at iter {i}"
+        );
+        pma.assert_consistent();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate-edge idempotence
+// ---------------------------------------------------------------------------
+
+#[test]
+fn duplicate_inserts_within_batch_count_once() {
+    let mut pma = Gpma::new(8, cfg(8));
+    // The same edge four times in one batch, in both orientations and with
+    // conflicting labels: one logical edge, first label wins.
+    let n = pma.insert_edges(&[(1, 2, 5), (2, 1, 9), (1, 2, 3), (2, 1, 5)]);
+    assert_eq!(n, 1);
+    assert_eq!(pma.num_edges(), 1);
+    assert_eq!(pma.edge_label(1, 2), Some(5));
+    assert_eq!(pma.edge_label(2, 1), Some(5));
+    assert_eq!(pma.degree(1), 1);
+    assert_eq!(pma.degree(2), 1);
+    pma.assert_consistent();
+}
+
+#[test]
+fn reinserting_existing_edges_is_a_noop() {
+    let edges = edge_list(16, 30);
+    let mut pma = Gpma::new(16, cfg(8));
+    assert_eq!(pma.insert_edges(&edges), 30);
+    let before_cap = pma.capacity();
+
+    // Re-insert everything with different labels: no new edges, original
+    // labels retained, no structural churn needed.
+    let relabeled: Vec<(u32, u32, u16)> = edges.iter().map(|&(u, v, l)| (u, v, l + 7)).collect();
+    assert_eq!(pma.insert_edges(&relabeled), 0);
+    assert_eq!(pma.num_edges(), 30);
+    assert_eq!(pma.capacity(), before_cap, "idempotent insert re-segmented");
+    for &(u, v, l) in &edges {
+        assert_eq!(
+            pma.edge_label(u, v),
+            Some(l),
+            "label overwritten on re-insert"
+        );
+    }
+    pma.assert_consistent();
+}
+
+#[test]
+fn duplicate_deletes_count_once() {
+    let mut pma = Gpma::new(8, cfg(8));
+    pma.insert_edges(&[(0, 1, 1), (1, 2, 2), (2, 3, 3)]);
+    // Same edge repeated in one delete batch, both orientations.
+    assert_eq!(pma.delete_edges(&[(1, 0), (0, 1), (1, 0)]), 1);
+    assert_eq!(pma.num_edges(), 2);
+    // Deleting already-gone or never-present edges is a no-op.
+    assert_eq!(pma.delete_edges(&[(0, 1), (5, 6)]), 0);
+    assert_eq!(pma.num_edges(), 2);
+    pma.assert_consistent();
+}
+
+#[test]
+fn self_loops_are_rejected() {
+    let mut pma = Gpma::new(8, cfg(8));
+    assert_eq!(pma.insert_edges(&[(3, 3, 1), (0, 1, 2), (5, 5, 0)]), 1);
+    assert_eq!(pma.num_edges(), 1);
+    assert!(!pma.has_edge(3, 3));
+    assert_eq!(pma.degree(3), 0);
+    pma.assert_consistent();
+}
+
+// ---------------------------------------------------------------------------
+// Re-segmentation at capacity boundaries
+// ---------------------------------------------------------------------------
+
+#[test]
+fn capacity_grows_through_exact_boundaries() {
+    // seg_size 4 → the store starts at 4 slots and must re-segment many
+    // times on the way to 120 edges (240 stored directed items). Inserting
+    // one edge at a time hits every intermediate density boundary.
+    let edges = edge_list(40, 120);
+    let mut pma = Gpma::new(40, cfg(4));
+    let mut last_cap = pma.capacity();
+    assert_eq!(last_cap, 4);
+    let mut grew = 0;
+    for (i, &e) in edges.iter().enumerate() {
+        assert_eq!(pma.insert_edges(&[e]), 1, "edge {i}");
+        pma.assert_consistent();
+        assert_eq!(pma.num_edges(), i + 1);
+        let cap = pma.capacity();
+        assert!(
+            cap.is_multiple_of(4),
+            "capacity {cap} not a segment multiple"
+        );
+        assert!(
+            cap >= last_cap || cap >= 2 * (i + 1),
+            "capacity shrank under growth"
+        );
+        if cap > last_cap {
+            grew += 1;
+            last_cap = cap;
+        }
+    }
+    assert!(grew >= 4, "expected several re-segmentations, saw {grew}");
+    assert!(
+        pma.capacity() >= 240,
+        "240 items cannot fit in {}",
+        pma.capacity()
+    );
+    // Content survives every re-segmentation.
+    for &(u, v, l) in &edges {
+        assert_eq!(pma.edge_label(u, v), Some(l));
+    }
+}
+
+#[test]
+fn bulk_insert_at_exact_segment_fill() {
+    // Exactly fill an even number of segments (2 items per edge), then add
+    // one more edge to force an overflow re-segmentation.
+    for seg in [4, 8] {
+        let fill_edges = seg; // 2*seg items = 2 segments exactly
+        let edges = edge_list(16, fill_edges + 1);
+        let mut pma = Gpma::new(16, cfg(seg));
+        assert_eq!(pma.insert_edges(&edges[..fill_edges]), fill_edges);
+        pma.assert_consistent();
+        let cap_at_fill = pma.capacity();
+        assert_eq!(pma.insert_edges(&[edges[fill_edges]]), 1);
+        pma.assert_consistent();
+        assert!(
+            pma.capacity() >= cap_at_fill,
+            "seg={seg}: overflow insert lost capacity"
+        );
+        assert_eq!(pma.num_edges(), fill_edges + 1);
+        for &(u, v, l) in &edges {
+            assert_eq!(pma.edge_label(u, v), Some(l), "seg={seg}");
+        }
+    }
+}
+
+#[test]
+fn drain_to_empty_one_edge_at_a_time() {
+    let edges = edge_list(30, 80);
+    let mut pma = Gpma::new(30, cfg(4));
+    pma.insert_edges(&edges);
+    pma.assert_consistent();
+    for (i, &(u, v, _)) in edges.iter().enumerate() {
+        assert_eq!(pma.delete_edges(&[(u, v)]), 1, "edge {i}");
+        pma.assert_consistent();
+        assert_eq!(pma.num_edges(), edges.len() - i - 1);
+        // Every surviving edge stays reachable after each rebalance.
+        if i % 16 == 0 {
+            for &(a, b, l) in &edges[i + 1..] {
+                assert_eq!(pma.edge_label(a, b), Some(l), "survivor lost at step {i}");
+            }
+        }
+    }
+    assert_eq!(pma.num_edges(), 0);
+    assert!(
+        pma.capacity() >= 4,
+        "capacity must stay at least one segment"
+    );
+}
+
+#[test]
+fn grow_shrink_grow_cycle_stays_consistent() {
+    let edges = edge_list(36, 100);
+    let keys: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+    let mut pma = Gpma::new(36, cfg(8));
+    for cycle in 0..4 {
+        assert_eq!(pma.insert_edges(&edges), 100, "cycle {cycle}");
+        pma.assert_consistent();
+        assert_eq!(pma.num_edges(), 100);
+        assert_eq!(pma.delete_edges(&keys), 100, "cycle {cycle}");
+        pma.assert_consistent();
+        assert_eq!(pma.num_edges(), 0);
+    }
+    // Neighbor scans on the final populated store are sorted and complete.
+    pma.insert_edges(&edges);
+    let mut buf = Vec::new();
+    let mut total = 0;
+    for v in 0..36u32 {
+        pma.neighbors_into(v, &mut buf);
+        assert!(
+            buf.windows(2).all(|w| w[0].0 < w[1].0),
+            "unsorted scan at v{v}"
+        );
+        assert_eq!(buf.len(), pma.degree(v));
+        total += buf.len();
+    }
+    assert_eq!(total, 200, "directed item count after cycles");
+}

@@ -112,8 +112,7 @@ pub fn run_block(tasks: Vec<Box<dyn WarpTask>>, cfg: &DeviceConfig) -> BlockOutc
                     if let Some(ti) = idle.pop() {
                         let hint = warps[wi].task.as_ref().expect("busy").remaining_hint();
                         if hint >= cfg.min_steal_hint {
-                            if let Some(split) =
-                                warps[wi].task.as_mut().expect("busy").try_split()
+                            if let Some(split) = warps[wi].task.as_mut().expect("busy").try_split()
                             {
                                 // Copying the stolen candidate range + match
                                 // prefix through shared memory.
@@ -262,17 +261,37 @@ mod tests {
             .collect();
         let out = run_block(tasks, &cfg(Stealing::Active));
         assert_eq!(out.stats.tasks_completed, 4);
-        assert!(out.stats.utilization() > 0.95, "{}", out.stats.utilization());
+        assert!(
+            out.stats.utilization() > 0.95,
+            "{}",
+            out.stats.utilization()
+        );
     }
 
     #[test]
     fn skewed_tasks_active_stealing_cuts_makespan() {
         let mk = |steal: Stealing| {
             let tasks: Vec<Box<dyn WarpTask>> = vec![
-                Box::new(Chunk { units: 1000, cycles_per_unit: 100, splittable: true }),
-                Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
-                Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
-                Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
+                Box::new(Chunk {
+                    units: 1000,
+                    cycles_per_unit: 100,
+                    splittable: true,
+                }),
+                Box::new(Chunk {
+                    units: 2,
+                    cycles_per_unit: 100,
+                    splittable: true,
+                }),
+                Box::new(Chunk {
+                    units: 2,
+                    cycles_per_unit: 100,
+                    splittable: true,
+                }),
+                Box::new(Chunk {
+                    units: 2,
+                    cycles_per_unit: 100,
+                    splittable: true,
+                }),
             ];
             run_block(tasks, &cfg(steal)).stats
         };
@@ -293,8 +312,16 @@ mod tests {
     fn passive_stealing_also_balances() {
         let mk = |steal: Stealing| {
             let tasks: Vec<Box<dyn WarpTask>> = vec![
-                Box::new(Chunk { units: 4000, cycles_per_unit: 100, splittable: true }),
-                Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
+                Box::new(Chunk {
+                    units: 4000,
+                    cycles_per_unit: 100,
+                    splittable: true,
+                }),
+                Box::new(Chunk {
+                    units: 2,
+                    cycles_per_unit: 100,
+                    splittable: true,
+                }),
             ];
             let mut c = cfg(steal);
             c.passive_poll_interval = 16;
@@ -309,8 +336,16 @@ mod tests {
     #[test]
     fn unsplittable_tasks_never_stolen() {
         let tasks: Vec<Box<dyn WarpTask>> = vec![
-            Box::new(Chunk { units: 100, cycles_per_unit: 10, splittable: false }),
-            Box::new(Chunk { units: 1, cycles_per_unit: 10, splittable: false }),
+            Box::new(Chunk {
+                units: 100,
+                cycles_per_unit: 10,
+                splittable: false,
+            }),
+            Box::new(Chunk {
+                units: 1,
+                cycles_per_unit: 10,
+                splittable: false,
+            }),
         ];
         let out = run_block(tasks, &cfg(Stealing::Active));
         assert_eq!(out.stats.steals, 0);
@@ -351,10 +386,26 @@ mod tests {
         // overhead adds, never removes, work).
         let payload = 1000 * 100 + 3 * 2 * 100;
         let tasks: Vec<Box<dyn WarpTask>> = vec![
-            Box::new(Chunk { units: 1000, cycles_per_unit: 100, splittable: true }),
-            Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
-            Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
-            Box::new(Chunk { units: 2, cycles_per_unit: 100, splittable: true }),
+            Box::new(Chunk {
+                units: 1000,
+                cycles_per_unit: 100,
+                splittable: true,
+            }),
+            Box::new(Chunk {
+                units: 2,
+                cycles_per_unit: 100,
+                splittable: true,
+            }),
+            Box::new(Chunk {
+                units: 2,
+                cycles_per_unit: 100,
+                splittable: true,
+            }),
+            Box::new(Chunk {
+                units: 2,
+                cycles_per_unit: 100,
+                splittable: true,
+            }),
         ];
         let out = run_block(tasks, &cfg(Stealing::Active));
         assert!(out.stats.busy_cycles >= payload);

@@ -64,14 +64,14 @@ impl Device {
             ..Default::default()
         });
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _sm in 0..workers {
                 let next = &next;
                 let block_queue = &block_queue;
                 let agg = &agg;
                 let max_block_cycles = &max_block_cycles;
                 let cfg = &self.config;
-                scope.spawn(move |_| loop {
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= block_queue.len() {
                         break;
@@ -92,8 +92,7 @@ impl Device {
                     a.shared_accesses += s.shared_accesses;
                 });
             }
-        })
-        .expect("SM worker panicked");
+        });
 
         let mut stats = agg.into_inner();
         // Device makespan: with many blocks in flight the hardware block

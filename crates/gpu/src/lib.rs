@@ -47,10 +47,10 @@ pub mod stats;
 pub mod task;
 
 pub use block::{run_block, BlockOutcome};
-pub use primitives::{ballot, coop_intersect_sorted, exclusive_scan, reduce_sum};
 pub use cost::CostModel;
 pub use device::Device;
 pub use memory::MemoryTracker;
+pub use primitives::{ballot, coop_intersect_sorted, exclusive_scan, reduce_sum};
 pub use stats::{BlockStats, KernelStats};
 pub use task::{StepResult, WarpCtx, WarpTask};
 

@@ -42,7 +42,12 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 
 /// Writes a data graph in the `v`/`e` format.
 pub fn write_graph<W: Write>(g: &DynamicGraph, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "# gamma graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# gamma graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for v in 0..g.num_vertices() as VertexId {
         writeln!(w, "v {} {}", v, g.label(v))?;
     }
@@ -73,7 +78,10 @@ pub fn read_graph<R: BufRead>(r: R) -> Result<DynamicGraph, ParseError> {
                 let id: VertexId = parse_field(&mut it, lineno, "vertex id")?;
                 let label: VLabel = parse_field(&mut it, lineno, "vertex label")?;
                 if id != expected_id {
-                    return Err(err(lineno, format!("non-dense vertex id {id}, expected {expected_id}")));
+                    return Err(err(
+                        lineno,
+                        format!("non-dense vertex id {id}, expected {expected_id}"),
+                    ));
                 }
                 expected_id += 1;
                 g.add_vertex(label);
@@ -101,7 +109,12 @@ pub fn read_graph<R: BufRead>(r: R) -> Result<DynamicGraph, ParseError> {
 
 /// Writes a query graph (same format as graphs).
 pub fn write_query<W: Write>(q: &QueryGraph, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "# gamma query: {} vertices, {} edges", q.num_vertices(), q.num_edges())?;
+    writeln!(
+        w,
+        "# gamma query: {} vertices, {} edges",
+        q.num_vertices(),
+        q.num_edges()
+    )?;
     for u in 0..q.num_vertices() as u8 {
         writeln!(w, "v {} {}", u, q.label(u))?;
     }

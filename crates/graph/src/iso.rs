@@ -276,7 +276,10 @@ mod tests {
     fn count_equals_enumerate() {
         let g = fig1_data();
         let q = fig1_query();
-        assert_eq!(count_matches(&g, &q) as usize, enumerate_matches(&g, &q, None).len());
+        assert_eq!(
+            count_matches(&g, &q) as usize,
+            enumerate_matches(&g, &q, None).len()
+        );
     }
 
     #[test]

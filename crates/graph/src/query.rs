@@ -362,6 +362,13 @@ mod tests {
         let q = b.build();
         assert_eq!(q.edge_label(0, 1), Some(9));
         assert_eq!(q.edge_label(1, 0), Some(9));
-        assert_eq!(q.edges()[0], QEdge { u: 0, v: 1, label: 9 });
+        assert_eq!(
+            q.edges()[0],
+            QEdge {
+                u: 0,
+                v: 1,
+                label: 9
+            }
+        );
     }
 }

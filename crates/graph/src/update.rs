@@ -27,17 +27,32 @@ pub struct Update {
 impl Update {
     /// An unlabeled insertion.
     pub fn insert(u: VertexId, v: VertexId) -> Self {
-        Self { op: Op::Insert, u, v, label: NO_ELABEL }
+        Self {
+            op: Op::Insert,
+            u,
+            v,
+            label: NO_ELABEL,
+        }
     }
 
     /// A labeled insertion.
     pub fn insert_labeled(u: VertexId, v: VertexId, label: ELabel) -> Self {
-        Self { op: Op::Insert, u, v, label }
+        Self {
+            op: Op::Insert,
+            u,
+            v,
+            label,
+        }
     }
 
     /// A deletion.
     pub fn delete(u: VertexId, v: VertexId) -> Self {
-        Self { op: Op::Delete, u, v, label: NO_ELABEL }
+        Self {
+            op: Op::Delete,
+            u,
+            v,
+            label: NO_ELABEL,
+        }
     }
 
     /// Canonical `(min, max)` endpoint pair.
@@ -126,7 +141,12 @@ impl UpdateBatch {
                 }),
                 (Some(lb), Some(la)) if lb != la => {
                     // Relabel = delete old + insert new.
-                    deletes.push(Update { op: Op::Delete, u: a, v: b, label: lb });
+                    deletes.push(Update {
+                        op: Op::Delete,
+                        u: a,
+                        v: b,
+                        label: lb,
+                    });
                     inserts.push(Update::insert_labeled(a, b, la));
                 }
                 _ => {} // no net change

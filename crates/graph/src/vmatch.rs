@@ -78,7 +78,7 @@ impl VMatch {
     /// Whether data vertex `v` is already used by the (injective) match.
     #[inline]
     pub fn uses(&self, v: VertexId) -> bool {
-        self.map.iter().any(|&m| m == v)
+        self.map.contains(&v)
     }
 
     /// View of the raw slot array (slots with `VertexId::MAX` are free).

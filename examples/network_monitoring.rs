@@ -43,7 +43,11 @@ fn main() {
             g.insert_edge(u, v, p);
         }
     }
-    println!("flow graph: {} hosts, {} live flows", g.num_vertices(), g.num_edges());
+    println!(
+        "flow graph: {} hosts, {} live flows",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // Motif: h0 -SSH-> h1 -RDP-> h2 -HTTPS-> h3 (undirected flows).
     let mut b = QueryGraph::builder();

@@ -47,8 +47,17 @@ fn main() {
     b.edge(u0, u1).edge(u0, u2).edge(u1, u2).edge(u1, u3);
     let q = b.build();
 
-    println!("data graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
-    println!("query:      {} vertices, {} edges (dense: {})", q.num_vertices(), q.num_edges(), q.avg_degree() >= 3.0);
+    println!(
+        "data graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!(
+        "query:      {} vertices, {} edges (dense: {})",
+        q.num_vertices(),
+        q.num_edges(),
+        q.avg_degree() >= 3.0
+    );
 
     // The engine: preprocessing (NLF encoding + candidate table), GPMA
     // bulk load, matching orders and the coalesced-search plan all happen
@@ -74,7 +83,10 @@ fn main() {
     let result = engine.apply_batch(&batch);
 
     println!("\nBDSM results for the batch {{+(v0,v2), +(v1,v4), -(v4,v5)}}:");
-    println!("  net updates after canonicalization: {}", result.stats.net_updates);
+    println!(
+        "  net updates after canonicalization: {}",
+        result.stats.net_updates
+    );
     println!("  positive matches: {}", result.positive_count);
     for m in &result.positive {
         println!("    {m:?}");
@@ -86,7 +98,10 @@ fn main() {
     println!("\nkernel statistics:");
     println!("  warp tasks:        {}", result.stats.kernel.num_tasks);
     println!("  device cycles:     {}", result.stats.kernel.device_cycles);
-    println!("  GPU utilization:   {:.1}%", result.stats.kernel.utilization() * 100.0);
+    println!(
+        "  GPU utilization:   {:.1}%",
+        result.stats.kernel.utilization() * 100.0
+    );
     println!("  steals:            {}", result.stats.kernel.steals);
     println!("  GPMA update cycles: {}", result.stats.update_cycles);
 

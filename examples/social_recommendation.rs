@@ -12,8 +12,8 @@
 
 use std::time::Instant;
 
-use gamma::prelude::*;
 use gamma::csm::CsmEngine;
+use gamma::prelude::*;
 
 fn main() {
     let dataset = DatasetPreset::GH.build(1.5, 99);
@@ -66,7 +66,8 @@ fn main() {
 
     println!("new co-engagement groups found: {}", br.positive_count);
     println!();
-    println!("GAMMA      : {:>9.2} ms wall  ({} warp tasks over {} blocks, util {:.0}%, {} steals)",
+    println!(
+        "GAMMA      : {:>9.2} ms wall  ({} warp tasks over {} blocks, util {:.0}%, {} steals)",
         gamma_wall.as_secs_f64() * 1e3,
         br.stats.kernel.num_tasks,
         br.stats.kernel.num_blocks,

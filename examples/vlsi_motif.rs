@@ -40,7 +40,11 @@ fn main() {
             }
         }
     }
-    println!("netlist: {} cells, {} nets", g.num_vertices(), g.num_edges());
+    println!(
+        "netlist: {} cells, {} nets",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // Motif: INV -> INV -> NAND with a DFF consumer (4 cells).
     let mut b = QueryGraph::builder();
@@ -67,9 +71,7 @@ fn main() {
         r1.positive_count
     );
     assert!(
-        r1.positive
-            .iter()
-            .any(|m| m.pairs().any(|(_, v)| v == a)),
+        r1.positive.iter().any(|m| m.pairs().any(|(_, v)| v == a)),
         "the planted chain must be among the new instances"
     );
 

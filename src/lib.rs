@@ -36,7 +36,7 @@
 //! // Run a batch through the GAMMA engine.
 //! let mut engine = GammaEngine::new(g, &q, GammaConfig::default());
 //! let result = engine.apply_batch(&[Update::insert(0, 2)]);
-//! assert_eq!(result.positive.len(), 4); // M1..M4 from the paper's Figure 1
+//! assert_eq!(result.positive_count, 4); // M1..M4 from the paper's Figure 1
 //! ```
 
 pub use gamma_core as engine;
@@ -48,9 +48,7 @@ pub use gamma_graph as graph;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use gamma_core::{
-        BatchResult, GammaConfig, GammaEngine, PipelinedEngine, StealingMode,
-    };
+    pub use gamma_core::{BatchResult, GammaConfig, GammaEngine, PipelinedEngine, StealingMode};
     pub use gamma_csm::{CsmEngine, IncrementalResult};
     pub use gamma_datasets::{DatasetPreset, QueryClass};
     pub use gamma_gpu::DeviceConfig;

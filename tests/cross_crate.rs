@@ -2,9 +2,9 @@
 //! oracle, on generated datasets, exercising the full public API surface
 //! through the `gamma` façade.
 
-use gamma::prelude::*;
 use gamma::engine::wbm::QueryMeta;
 use gamma::graph::{enumerate_matches, UpdateBatch};
+use gamma::prelude::*;
 
 /// Canonicalized-batch equivalence: GAMMA's batch output must equal the
 /// *net* effect that any baseline reaches by sequential application,
@@ -137,7 +137,10 @@ fn coalesced_plans_on_dataset_queries() {
     }
     // Dense unlabeled-ish extracted queries almost always have symmetry;
     // if none had, the planner would be suspect.
-    assert!(any_class, "no automorphic structure found in any dense query");
+    assert!(
+        any_class,
+        "no automorphic structure found in any dense query"
+    );
 }
 
 /// End-to-end shape check: on the skewed star workload, work stealing
@@ -238,8 +241,14 @@ fn facade_end_to_end_mixed_batch() {
         m.sort_unstable();
         m
     };
-    let pos = after.iter().filter(|m| before.binary_search(m).is_err()).count() as u64;
-    let neg = before.iter().filter(|m| after.binary_search(m).is_err()).count() as u64;
+    let pos = after
+        .iter()
+        .filter(|m| before.binary_search(m).is_err())
+        .count() as u64;
+    let neg = before
+        .iter()
+        .filter(|m| after.binary_search(m).is_err())
+        .count() as u64;
 
     let mut engine = GammaEngine::new(g, q, Default::default());
     let r = engine.apply_batch(&ups);

@@ -1,10 +1,10 @@
 //! Integration tests for the I/O formats and the asynchronous pipeline on
 //! dataset-scale workloads, plus metrics validation of the preset shapes.
 
-use gamma::prelude::*;
 use gamma::engine::PipelinedEngine;
 use gamma::graph::io;
 use gamma::graph::{metrics, CsrGraph};
+use gamma::prelude::*;
 
 #[test]
 fn dataset_roundtrips_through_text_format() {
@@ -56,8 +56,17 @@ fn preset_metrics_match_table2_shapes() {
         assert!(m.label_histogram.len() <= vlabels, "{}", preset.name());
         assert!(m.edge_label_histogram.len() <= elabels, "{}", preset.name());
         // Power-law skew present: hubs well above average.
-        assert!(m.max_degree as f64 > 3.0 * m.avg_degree, "{}", preset.name());
-        assert!(m.degree_gini > 0.2, "{}: gini {}", preset.name(), m.degree_gini);
+        assert!(
+            m.max_degree as f64 > 3.0 * m.avg_degree,
+            "{}",
+            preset.name()
+        );
+        assert!(
+            m.degree_gini > 0.2,
+            "{}: gini {}",
+            preset.name(),
+            m.degree_gini
+        );
     }
 }
 

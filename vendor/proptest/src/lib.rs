@@ -1,0 +1,487 @@
+//! Workspace-local mini property-testing harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the slice of the `proptest` API the workspace actually
+//! uses — enough to compile and run every `proptest!` block unchanged:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, integer-range strategies,
+//!   tuple strategies, [`prop::collection::vec`], [`prop::bool::ANY`] and
+//!   [`strategy::Union`] (behind [`prop_oneof!`]).
+//! * [`test_runner::ProptestConfig`] (`with_cases`) and
+//!   [`test_runner::TestCaseError`].
+//! * The [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`] and [`prop_oneof!`] macros.
+//!
+//! Unlike real proptest there is no shrinking: on failure the harness
+//! reports the deterministic seed (test-name hash + case index) so a
+//! failing case replays exactly. Every run draws the same cases, which is
+//! the right trade-off for CI on this repo.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test-case values. `generate` must be deterministic in
+    /// the RNG stream.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`).
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy so heterogeneous strategies can share a
+        /// [`Union`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy (`dyn Strategy` behind a box).
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between strategies of a common value type
+    /// (the engine behind [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rng.random_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `Just`-style constant strategy.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Strategy for `Vec<T>` with a length drawn from a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize, // exclusive
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.min_len + 1 >= self.max_len {
+                self.min_len
+            } else {
+                rng.random_range(self.min_len..self.max_len)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Accepted size specifications for [`vec`].
+    pub trait IntoSizeRange {
+        fn into_size_range(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty proptest size range");
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn into_size_range(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    pub(crate) fn vec_strategy<S: Strategy>(
+        element: S,
+        size: impl IntoSizeRange,
+    ) -> VecStrategy<S> {
+        let (min_len, max_len) = size.into_size_range();
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+
+    /// Uniform boolean (behind `prop::bool::ANY`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random()
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::{IntoSizeRange, Strategy, VecStrategy};
+
+        /// Strategy for vectors with element strategy `element` and a length
+        /// in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            crate::strategy::vec_strategy(element, size)
+        }
+    }
+
+    pub mod bool {
+        use crate::strategy::BoolAny;
+
+        /// Uniformly random boolean.
+        pub const ANY: BoolAny = BoolAny;
+    }
+}
+
+pub mod test_runner {
+    /// Subset of proptest's runner configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property observation (no shrinking in this shim).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Stable seed derivation: FNV-1a over the test name, mixed with the
+    /// case index. Keeps every property deterministic across runs while
+    /// decorrelating the streams of different tests.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^ ((case as u64) << 32 | case as u64)
+    }
+}
+
+// The `proptest!` expansion needs an RNG even in crates that do not depend
+// on `rand` themselves; reach it through this re-export.
+#[doc(hidden)]
+pub use ::rand as __rand;
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the enclosing property if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property if the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}: {:?} != {:?}",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fails the enclosing property if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The property-test block macro. Each contained `#[test] fn name(arg in
+/// strategy, ...) { body }` expands to a normal `#[test]` that replays
+/// `cases` deterministic draws, reporting the failing case index + seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::__rand::SeedableRng as _;
+            let config: $crate::test_runner::ProptestConfig = $config;
+            // Strategies are built once and reused across cases.
+            $crate::__proptest_bind!(strategies, ($($strategy),+));
+            for case in 0..config.cases {
+                let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                let mut rng = $crate::__rand::rngs::StdRng::seed_from_u64(seed);
+                let result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $crate::__proptest_draw!(rng, strategies, ($($arg),+));
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest property {} failed at case {}/{} (seed {:#x}): {}",
+                        stringify!($name), case, config.cases, seed, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($bind:ident, ($($strategy:expr),+)) => {
+        let $bind = ($($strategy,)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_draw {
+    ($rng:ident, $bind:ident, ($a:pat)) => {
+        let $a = $crate::strategy::Strategy::generate(&$bind.0, &mut $rng);
+    };
+    ($rng:ident, $bind:ident, ($a:pat, $b:pat)) => {
+        let $a = $crate::strategy::Strategy::generate(&$bind.0, &mut $rng);
+        let $b = $crate::strategy::Strategy::generate(&$bind.1, &mut $rng);
+    };
+    ($rng:ident, $bind:ident, ($a:pat, $b:pat, $c:pat)) => {
+        let $a = $crate::strategy::Strategy::generate(&$bind.0, &mut $rng);
+        let $b = $crate::strategy::Strategy::generate(&$bind.1, &mut $rng);
+        let $c = $crate::strategy::Strategy::generate(&$bind.2, &mut $rng);
+    };
+    ($rng:ident, $bind:ident, ($a:pat, $b:pat, $c:pat, $d:pat)) => {
+        let $a = $crate::strategy::Strategy::generate(&$bind.0, &mut $rng);
+        let $b = $crate::strategy::Strategy::generate(&$bind.1, &mut $rng);
+        let $c = $crate::strategy::Strategy::generate(&$bind.2, &mut $rng);
+        let $d = $crate::strategy::Strategy::generate(&$bind.3, &mut $rng);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0u8..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for e in &v {
+                prop_assert!(*e < 10);
+            }
+        }
+
+        #[test]
+        fn tuples_and_bools(pair in (0u32..5, prop::bool::ANY)) {
+            prop_assert!(pair.0 < 5);
+            let _: bool = pair.1;
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            tagged in prop_oneof![
+                (0u32..10).prop_map(|v| (false, v)),
+                (10u32..20).prop_map(|v| (true, v)),
+            ]
+        ) {
+            let (high, v) = tagged;
+            prop_assert_eq!(high, v >= 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest property")]
+    fn failure_reports_case_and_seed() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -46,7 +46,7 @@ fn main() {
             gpma: Gpma::from_graph(&g2, GpmaConfig::default()),
             meta: Arc::clone(&meta),
             table: table.clone(),
-            encodings: Arc::new(enc.encodings.clone()),
+            encodings: Arc::clone(&enc.encodings),
             update_order: wbm::build_update_order(&batch.inserts),
             sink: Mutex::new(Vec::new()),
             match_count: std::sync::atomic::AtomicU64::new(0),

@@ -1,0 +1,377 @@
+//! End-to-end throughput suite: the perf trajectory anchor for the repo.
+//!
+//! Unlike the `figN_*` binaries (which reproduce individual paper plots),
+//! this suite measures **host wall-clock throughput** of the full engine —
+//! the quantity successive PRs are judged against. It sweeps preset
+//! datasets × query classes × three batch workloads:
+//!
+//! * `insert` — batched edge insertions (positive kernel only),
+//! * `delete` — batched edge deletions (negative kernel only),
+//! * `churn`  — alternating delete/re-insert rounds over the same edge
+//!   set, the steady-state workload that exercises both kernel phases,
+//!   the GPMA delete *and* insert paths, and the re-encoding pipeline
+//!   every round.
+//!
+//! For every (dataset, class, workload, engine) cell it prints updates/sec
+//! (net structural updates over host wall time), matches/sec, and the
+//! simulated device-cycle total, then writes a machine-readable JSON
+//! summary (default `BENCH_PR4.json`, the start of the perf trajectory).
+//!
+//! ```text
+//! cargo run --release -p gamma-bench --bin perf_suite             # full
+//! cargo run --release -p gamma-bench --bin perf_suite -- --smoke  # CI
+//! ```
+//!
+//! `--baseline-churn=<updates/sec>` embeds a previously measured pre-PR
+//! churn throughput into the JSON so the speedup is recorded alongside the
+//! new number.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gamma_bench::{fmt_secs, print_header, print_row, GammaVariant};
+use gamma_core::GammaEngine;
+use gamma_datasets::{
+    generate_queries, sample_deletion_workload, split_insertion_workload, DatasetPreset, QueryClass,
+};
+use gamma_graph::{DynamicGraph, QueryGraph, Update};
+
+/// One measured cell of the suite.
+#[derive(Clone, Debug)]
+struct Sample {
+    dataset: &'static str,
+    class: &'static str,
+    workload: &'static str,
+    engine: &'static str,
+    /// Net structural updates applied across all batches.
+    updates: u64,
+    /// Incremental matches reported (positive + negative).
+    matches: u64,
+    /// Host wall-clock seconds across all `apply_batch` calls.
+    wall_seconds: f64,
+    /// Simulated device cycles (GPMA update + kernels).
+    sim_cycles: u64,
+    /// Batches applied.
+    batches: u64,
+}
+
+impl Sample {
+    fn updates_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.updates as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn matches_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.matches as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+struct SuiteParams {
+    smoke: bool,
+    scale: f64,
+    query_size: usize,
+    rounds: usize,
+    batch_rate: f64,
+    seed: u64,
+    out: String,
+    baseline_churn: Option<f64>,
+}
+
+impl SuiteParams {
+    fn from_args() -> Self {
+        let mut map: HashMap<String, String> = HashMap::new();
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--smoke" {
+                smoke = true;
+            } else if let Some(rest) = arg.strip_prefix("--") {
+                if let Some((k, v)) = rest.split_once('=') {
+                    map.insert(k.to_string(), v.to_string());
+                }
+            }
+        }
+        let mut p = Self {
+            smoke,
+            scale: if smoke { 0.05 } else { 0.35 },
+            query_size: 6,
+            rounds: if smoke { 2 } else { 6 },
+            batch_rate: 0.04,
+            seed: 42,
+            out: "BENCH_PR4.json".to_string(),
+            baseline_churn: None,
+        };
+        if let Some(v) = map.get("scale") {
+            p.scale = v.parse().expect("--scale");
+        }
+        if let Some(v) = map.get("size") {
+            p.query_size = v.parse().expect("--size");
+        }
+        if let Some(v) = map.get("rounds") {
+            p.rounds = v.parse().expect("--rounds");
+        }
+        if let Some(v) = map.get("rate") {
+            p.batch_rate = v.parse().expect("--rate");
+        }
+        if let Some(v) = map.get("seed") {
+            p.seed = v.parse().expect("--seed");
+        }
+        if let Some(v) = map.get("out") {
+            p.out = v.clone();
+        }
+        if let Some(v) = map.get("baseline-churn") {
+            p.baseline_churn = Some(v.parse().expect("--baseline-churn"));
+        }
+        p
+    }
+}
+
+/// Applies `batches` to a fresh engine, accumulating throughput numbers.
+fn run_engine(
+    g0: &DynamicGraph,
+    q: &QueryGraph,
+    batches: &[Vec<Update>],
+    variant: GammaVariant,
+    names: (&'static str, &'static str, &'static str, &'static str),
+) -> Sample {
+    let mut cfg = variant.config(120.0);
+    cfg.collect_matches = false;
+    let mut engine = GammaEngine::new(g0.clone(), q, cfg);
+    let mut s = Sample {
+        dataset: names.0,
+        class: names.1,
+        workload: names.2,
+        engine: names.3,
+        updates: 0,
+        matches: 0,
+        wall_seconds: 0.0,
+        sim_cycles: 0,
+        batches: 0,
+    };
+    for batch in batches {
+        let t0 = Instant::now();
+        let r = engine.apply_batch(batch);
+        s.wall_seconds += t0.elapsed().as_secs_f64();
+        s.updates += r.stats.net_updates as u64;
+        s.matches += r.positive_count + r.negative_count;
+        s.sim_cycles += r.stats.update_cycles + r.stats.kernel.device_cycles;
+        s.batches += 1;
+    }
+    s
+}
+
+/// Splits `updates` into `n` roughly equal consecutive batches.
+fn chunk(updates: Vec<Update>, n: usize) -> Vec<Vec<Update>> {
+    let n = n.max(1);
+    let per = updates.len().div_ceil(n).max(1);
+    updates.chunks(per).map(|c| c.to_vec()).collect()
+}
+
+/// Builds the workloads for one (preset, class) instance. Returns the
+/// query plus `(workload name, pre-batch start graph, batches)` triples —
+/// the insert workload starts from the stripped graph, churn and delete
+/// from the full one.
+#[allow(clippy::type_complexity)]
+fn build_workloads(
+    preset: DatasetPreset,
+    class: QueryClass,
+    p: &SuiteParams,
+) -> Option<(
+    QueryGraph,
+    Vec<(&'static str, DynamicGraph, Vec<Vec<Update>>)>,
+)> {
+    let d = preset.build(p.scale, p.seed);
+    let queries = generate_queries(&d.graph, class, p.query_size, 1, p.seed ^ 0xbeef);
+    let q = queries.into_iter().next()?;
+
+    // Churn workload: alternately delete and re-insert the same edge set,
+    // `rounds` times — the steady-state regime.
+    let churn_set = sample_deletion_workload(&d.graph, p.batch_rate, p.seed ^ 0x3);
+    let churn_inserts: Vec<Update> = {
+        let mut v = Vec::with_capacity(churn_set.len());
+        for up in &churn_set {
+            let label = d.graph.edge_label(up.u, up.v).unwrap_or(0);
+            v.push(Update::insert_labeled(up.u, up.v, label));
+        }
+        v
+    };
+    let mut churn_batches = Vec::with_capacity(2 * p.rounds);
+    for _ in 0..p.rounds {
+        churn_batches.push(churn_set.clone());
+        churn_batches.push(churn_inserts.clone());
+    }
+
+    let mut out = vec![("churn", d.graph.clone(), churn_batches)];
+    if !p.smoke {
+        // Insert workload: split real edges out (stripping `g_ins`), then
+        // re-insert them in batches starting from the stripped graph.
+        let mut g_ins = d.graph.clone();
+        let ins = split_insertion_workload(&mut g_ins, p.batch_rate, p.seed ^ 0x1);
+        out.push(("insert", g_ins, chunk(ins, p.rounds)));
+
+        // Delete workload: remove live edges in batches.
+        let del = sample_deletion_workload(&d.graph, p.batch_rate, p.seed ^ 0x2);
+        out.push(("delete", d.graph, chunk(del, p.rounds)));
+    }
+    Some((q, out))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, samples: &[Sample], p: &SuiteParams) -> std::io::Result<()> {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"suite\": \"perf_suite\",");
+    let _ = writeln!(j, "  \"pr\": 4,");
+    let _ = writeln!(j, "  \"smoke\": {},", p.smoke);
+    let _ = writeln!(j, "  \"scale\": {},", p.scale);
+    let _ = writeln!(j, "  \"query_size\": {},", p.query_size);
+    let _ = writeln!(j, "  \"rounds\": {},", p.rounds);
+    let _ = writeln!(j, "  \"batch_rate\": {},", p.batch_rate);
+    let _ = writeln!(j, "  \"seed\": {},", p.seed);
+
+    // Aggregate churn throughput for the full engine (the headline number).
+    let churn: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.workload == "churn" && s.engine == "GAMMA")
+        .collect();
+    let churn_updates: u64 = churn.iter().map(|s| s.updates).sum();
+    let churn_wall: f64 = churn.iter().map(|s| s.wall_seconds).sum();
+    let churn_matches: u64 = churn.iter().map(|s| s.matches).sum();
+    let churn_ups = if churn_wall > 0.0 {
+        churn_updates as f64 / churn_wall
+    } else {
+        0.0
+    };
+    let churn_mps = if churn_wall > 0.0 {
+        churn_matches as f64 / churn_wall
+    } else {
+        0.0
+    };
+    j.push_str("  \"churn\": {\n");
+    let _ = writeln!(j, "    \"updates_per_sec\": {churn_ups:.1},");
+    let _ = writeln!(j, "    \"matches_per_sec\": {churn_mps:.1},");
+    let _ = writeln!(j, "    \"wall_seconds\": {churn_wall:.4},");
+    match p.baseline_churn {
+        Some(b) => {
+            let _ = writeln!(j, "    \"pre_pr_updates_per_sec\": {b:.1},");
+            let speedup = if b > 0.0 { churn_ups / b } else { 0.0 };
+            let _ = writeln!(j, "    \"speedup_vs_pre_pr\": {speedup:.2}");
+        }
+        None => {
+            let _ = writeln!(j, "    \"pre_pr_updates_per_sec\": null,");
+            let _ = writeln!(j, "    \"speedup_vs_pre_pr\": null");
+        }
+    }
+    j.push_str("  },\n");
+
+    j.push_str("  \"cells\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"dataset\": \"{}\", \"class\": \"{}\", \"workload\": \"{}\", \"engine\": \"{}\", \
+             \"updates\": {}, \"matches\": {}, \"batches\": {}, \"wall_seconds\": {:.6}, \
+             \"updates_per_sec\": {:.1}, \"matches_per_sec\": {:.1}, \"sim_cycles\": {}}}{}",
+            json_escape(s.dataset),
+            json_escape(s.class),
+            json_escape(s.workload),
+            json_escape(s.engine),
+            s.updates,
+            s.matches,
+            s.batches,
+            s.wall_seconds,
+            s.updates_per_sec(),
+            s.matches_per_sec(),
+            s.sim_cycles,
+            comma
+        );
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(path, j)
+}
+
+fn main() {
+    let p = SuiteParams::from_args();
+    let presets: Vec<DatasetPreset> = if p.smoke {
+        vec![DatasetPreset::GH]
+    } else {
+        vec![DatasetPreset::GH, DatasetPreset::AZ, DatasetPreset::NF]
+    };
+    let classes: Vec<QueryClass> = if p.smoke {
+        vec![QueryClass::Tree]
+    } else {
+        QueryClass::ALL.to_vec()
+    };
+    let engines: Vec<(&'static str, GammaVariant)> = if p.smoke {
+        vec![("GAMMA", GammaVariant::FULL)]
+    } else {
+        vec![("GAMMA", GammaVariant::FULL), ("WBM", GammaVariant::WBM)]
+    };
+
+    println!(
+        "# perf_suite (scale={}, size={}, rounds={}, rate={:.0}%{})\n",
+        p.scale,
+        p.query_size,
+        p.rounds,
+        p.batch_rate * 100.0,
+        if p.smoke { ", smoke" } else { "" }
+    );
+    print_header(&[
+        "dataset",
+        "class",
+        "workload",
+        "engine",
+        "updates",
+        "matches",
+        "upd/s",
+        "match/s",
+        "wall",
+        "sim-cycles",
+    ]);
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for &preset in &presets {
+        for &class in &classes {
+            let Some((q, workloads)) = build_workloads(preset, class, &p) else {
+                continue;
+            };
+            for (wname, g0, batches) in &workloads {
+                for &(ename, variant) in &engines {
+                    let s = run_engine(
+                        g0,
+                        &q,
+                        batches,
+                        variant,
+                        (preset.name(), class.name(), wname, ename),
+                    );
+                    print_row(&[
+                        s.dataset.to_string(),
+                        s.class.to_string(),
+                        s.workload.to_string(),
+                        s.engine.to_string(),
+                        s.updates.to_string(),
+                        s.matches.to_string(),
+                        format!("{:.0}", s.updates_per_sec()),
+                        format!("{:.0}", s.matches_per_sec()),
+                        fmt_secs(s.wall_seconds),
+                        s.sim_cycles.to_string(),
+                    ]);
+                    samples.push(s);
+                }
+            }
+        }
+    }
+
+    write_json(&p.out, &samples, &p).expect("write JSON summary");
+    println!("\nwrote {}", p.out);
+}

@@ -7,14 +7,12 @@
 //! This module exists for the comparison experiment only; the production
 //! kernel is [`crate::wbm`].
 
-use std::collections::HashMap;
-
 use gamma_gpma::Gpma;
 use gamma_gpu::{CostModel, MemoryTracker};
 use gamma_graph::{Update, VMatch, VertexId};
 
 use crate::encoding::CandidateTable;
-use crate::wbm::{build_update_order, QueryMeta};
+use crate::wbm::{build_update_order, QueryMeta, UpdateOrder};
 
 /// Outcome of a BFS-variant run.
 #[derive(Clone, Debug, Default)]
@@ -50,7 +48,7 @@ pub fn run_bfs_phase(
     device_memory_bytes: u64,
     pcie_bytes_per_cycle: f64,
 ) -> BfsReport {
-    let update_order: HashMap<u64, u32> = build_update_order(anchors);
+    let update_order: UpdateOrder = build_update_order(anchors);
     let mut report = BfsReport::default();
     let mut mem = MemoryTracker::new(device_memory_bytes, pcie_bytes_per_cycle);
     let mut nbr_buf: Vec<(VertexId, u16)> = Vec::new();
@@ -111,7 +109,7 @@ pub fn run_bfs_phase(
                             if el != bel || !table.is_candidate(cand, qv) || m.uses(cand) {
                                 continue;
                             }
-                            if let Some(&o) = update_order.get(&gamma_graph::edge_key(cand, bv)) {
+                            if let Some(o) = update_order.get(gamma_graph::edge_key(cand, bv)) {
                                 if o < order_idx as u32 {
                                     continue;
                                 }
@@ -119,8 +117,8 @@ pub fn run_bfs_phase(
                             for &(ov, oel) in &others {
                                 match gpma.edge_label(cand, ov) {
                                     Some(l) if l == oel => {
-                                        if let Some(&o) =
-                                            update_order.get(&gamma_graph::edge_key(cand, ov))
+                                        if let Some(o) =
+                                            update_order.get(gamma_graph::edge_key(cand, ov))
                                         {
                                             if o < order_idx as u32 {
                                                 continue 'cand;

@@ -14,6 +14,8 @@
 //! whose saturating counters actually changed — before refreshing their
 //! candidate-table rows.
 
+use std::sync::Arc;
+
 use gamma_graph::{DynamicGraph, QueryGraph, VLabel, VertexId};
 
 /// The per-query encoding layout: which labels are encoded and how wide the
@@ -194,8 +196,12 @@ pub struct IncrementalEncoder {
     scheme: EncodingScheme,
     /// Query-vertex codes (fixed per query).
     pub qcodes: Vec<u64>,
-    /// Data-vertex codes, index = vertex id.
-    pub encodings: Vec<u64>,
+    /// Data-vertex codes, index = vertex id. Held behind an `Arc` so
+    /// kernel launches share the table without an O(|V|) copy per phase;
+    /// [`IncrementalEncoder::reencode`] copies-on-write only when a batch
+    /// actually dirties codes (and between batches the launch's reference
+    /// is already gone, so even that clone is almost always elided).
+    pub encodings: Arc<Vec<u64>>,
 }
 
 impl IncrementalEncoder {
@@ -210,7 +216,7 @@ impl IncrementalEncoder {
             Self {
                 scheme,
                 qcodes,
-                encodings,
+                encodings: Arc::new(encodings),
             },
             table,
         )
@@ -226,15 +232,27 @@ impl IncrementalEncoder {
     /// whose code actually changed — the "dirty" vertices whose candidate
     /// rows must be refreshed and shipped to the device.
     pub fn reencode(&mut self, g: &DynamicGraph, touched: &[VertexId]) -> Vec<VertexId> {
+        // Diff against the shared snapshot first: an all-clean batch must
+        // not clone the (potentially shared) table at all.
         let mut dirty = Vec::new();
+        let mut changes: Vec<(usize, u64)> = Vec::new();
+        let mut need_len = self.encodings.len();
         for &v in touched {
-            if v as usize >= self.encodings.len() {
-                self.encodings.resize(v as usize + 1, 0);
-            }
+            let vi = v as usize;
+            need_len = need_len.max(vi + 1);
             let new_code = self.scheme.encode_data_vertex(g, v);
-            if self.encodings[v as usize] != new_code {
-                self.encodings[v as usize] = new_code;
+            if self.encodings.get(vi).copied().unwrap_or(0) != new_code {
+                changes.push((vi, new_code));
                 dirty.push(v);
+            }
+        }
+        if !changes.is_empty() || need_len > self.encodings.len() {
+            let enc = Arc::make_mut(&mut self.encodings);
+            if need_len > enc.len() {
+                enc.resize(need_len, 0);
+            }
+            for (vi, code) in changes {
+                enc[vi] = code;
             }
         }
         dirty

@@ -267,7 +267,10 @@ impl GammaEngine {
     ) -> (Vec<VMatch>, u64, KernelStats) {
         let gpma = self.gpma.take().expect("gpma present");
         let table = self.table.take().expect("table present");
-        let encodings = Arc::new(self.encoder.encodings.clone());
+        // Share the encoding table with the launch — no O(|V|) copy; the
+        // encoder clones-on-write only if a later batch dirties codes
+        // while a reference is still alive (it never is between batches).
+        let encodings = Arc::clone(&self.encoder.encodings);
         let (gpma, table, matches, count, stats) = run_phase(
             &self.device,
             gpma,

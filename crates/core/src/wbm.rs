@@ -17,15 +17,26 @@
 //! update of the current phase with order < o is rejected, so every
 //! incremental match is attributed to exactly one (its lowest-order)
 //! anchor.
+//!
+//! # Hot-path discipline
+//!
+//! `GenCandidates` is the innermost loop of the whole system and is kept
+//! **allocation-free in steady state**: the base adjacency is scanned
+//! straight off the GPMA vertex-directory run ([`Gpma::neighbor_run`],
+//! zero-copy), backward-edge checks are monotone galloping probes into the
+//! other matched vertices' runs ([`gamma_gpma::RunCursor`]) instead of
+//! per-candidate root descents, candidate buffers are recycled through a
+//! task-local pool (reuse is reported via `KernelStats::buf_reuse` /
+//! `buf_alloc`), and the anchor-order dedup map is a sorted array probed
+//! by binary search rather than a hashed map.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use gamma_gpma::Gpma;
+use gamma_gpma::{Gpma, RunCursor};
 use gamma_gpu::{StepResult, WarpCtx, WarpTask};
-use gamma_graph::{edge_key, ELabel, QueryGraph, Update, VMatch, VertexId};
+use gamma_graph::{ELabel, QueryGraph, Update, VMatch, VertexId};
 use parking_lot::Mutex;
 
 use crate::auto::{permute_partial, CoalescedPlan};
@@ -155,7 +166,7 @@ pub struct KernelShared {
     pub encodings: Arc<Vec<u64>>,
     /// Canonical edge key → anchor order, for the dedup rule. Contains the
     /// current phase's update edges only.
-    pub update_order: HashMap<u64, u32>,
+    pub update_order: UpdateOrder,
     /// Collected matches (when `collect` is set).
     pub sink: Mutex<Vec<VMatch>>,
     /// Total matches found (always maintained).
@@ -182,6 +193,13 @@ impl KernelShared {
 struct Frame {
     cands: Vec<VertexId>,
     p: usize,
+    /// Count-only memo: the sorted candidate set of the **last** DFS level
+    /// when it is independent of this frame's own assignment (i.e. the
+    /// last query vertex has no backward edge to this level's vertex).
+    /// Every sibling then resolves in one binary search — membership of
+    /// the sibling's own vertex is the only per-sibling difference — in
+    /// place of a full rescan of the base run.
+    memo_last: Option<Vec<VertexId>>,
 }
 
 /// A pending `V^k` partial match produced by permutation, awaiting
@@ -222,7 +240,13 @@ pub struct WbmTask {
     state: Option<DfsState>,
     local: Vec<VMatch>,
     local_count: u64,
-    nbr_buf: Vec<(VertexId, ELabel)>,
+    /// Recycled candidate buffers: every popped DFS frame returns its
+    /// vector here and every new frame draws from here, so steady-state
+    /// quanta perform no heap allocation.
+    pool: Vec<Vec<VertexId>>,
+    /// Reusable backward-edge scratch: `(matched vertex, required label,
+    /// galloping cursor into its run, its incident update edges)`.
+    others_buf: Vec<(VertexId, ELabel, RunCursor, IncidentRange)>,
 }
 
 impl WbmTask {
@@ -245,8 +269,31 @@ impl WbmTask {
             state: None,
             local: Vec::new(),
             local_count: 0,
-            nbr_buf: Vec::new(),
+            pool: Vec::new(),
+            others_buf: Vec::new(),
         }
+    }
+
+    /// Draws a candidate buffer from the task-local pool (warm-up
+    /// allocates; steady state recycles), reporting which to the stats.
+    fn take_buf(&mut self, ctx: &mut WarpCtx) -> Vec<VertexId> {
+        match self.pool.pop() {
+            Some(mut b) => {
+                ctx.note_buffer(true);
+                b.clear();
+                b
+            }
+            None => {
+                ctx.note_buffer(false);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a frame's candidate buffer to the pool.
+    #[inline]
+    fn recycle(&mut self, buf: Vec<VertexId>) {
+        self.pool.push(buf);
     }
 
     fn flush(&mut self) {
@@ -318,6 +365,14 @@ impl WbmTask {
 
     /// `GenCandidates` (Algorithm 1, lines 23–29): candidates for the query
     /// vertex at `level` of `seed`'s order, given partial match `m`.
+    ///
+    /// Allocation-free in steady state: the base run is iterated in place
+    /// (vertex directory, no descent, no copy) and each remaining backward
+    /// neighbor keeps a forward-only galloping cursor into its own run —
+    /// candidates arrive in ascending order, so every membership probe
+    /// resumes where the previous one stopped (the warp-cooperative
+    /// binary-search intersection of §IV-C, now also realized on the
+    /// host).
     fn gen_candidates(
         &mut self,
         seed: &SeedPlan,
@@ -325,84 +380,133 @@ impl WbmTask {
         m: &VMatch,
         ctx: &mut WarpCtx,
     ) -> Vec<VertexId> {
-        let meta = Arc::clone(&self.shared.meta);
-        let q = &meta.q;
+        let mut out = self.take_buf(ctx);
+        self.scan_candidates(seed, level, m, ctx, |c| out.push(c));
+        out
+    }
+
+    /// [`WbmTask::gen_candidates`] without materialization: the number of
+    /// valid candidates only. Used by the count-only fast path at the last
+    /// DFS level, where the candidate set would be consumed solely to be
+    /// counted.
+    fn count_candidates(
+        &mut self,
+        seed: &SeedPlan,
+        level: usize,
+        m: &VMatch,
+        ctx: &mut WarpCtx,
+    ) -> u64 {
+        let mut n = 0u64;
+        self.scan_candidates(seed, level, m, ctx, |_| n += 1);
+        n
+    }
+
+    /// The scan core shared by [`WbmTask::gen_candidates`] and
+    /// [`WbmTask::count_candidates`]: streams every valid candidate into
+    /// `sink`, in ascending vertex order.
+    fn scan_candidates(
+        &mut self,
+        seed: &SeedPlan,
+        level: usize,
+        m: &VMatch,
+        ctx: &mut WarpCtx,
+        mut sink: impl FnMut(VertexId),
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let q = &shared.meta.q;
         let qv = seed.order[level];
         // Matched backward neighbors of qv; the smallest adjacency list
-        // seeds the scan, the rest are checked by warp-cooperative binary
-        // search (the paper's parallel-binary-search intersection).
+        // seeds the scan, the rest are probed by galloping cursors.
         let mut base: Option<(VertexId, ELabel, usize)> = None; // (vertex, required elabel, degree)
-        let mut others: Vec<(VertexId, ELabel)> = Vec::new();
+        let mut others = std::mem::take(&mut self.others_buf);
+        others.clear();
+        let gpma = &shared.gpma;
+        let uord = &shared.update_order;
         for &(un, el) in q.neighbors(qv) {
             if let Some(dv) = m.get(un) {
-                let deg = self.shared.gpma.degree(dv);
+                let deg = gpma.degree(dv);
                 match base {
                     None => base = Some((dv, el, deg)),
                     Some((bv, bel, bdeg)) => {
                         if deg < bdeg {
-                            others.push((bv, bel));
+                            others.push((bv, bel, gpma.run_cursor(bv), uord.incident(bv)));
                             base = Some((dv, el, deg));
                         } else {
-                            others.push((dv, el));
+                            others.push((dv, el, gpma.run_cursor(dv), uord.incident(dv)));
                         }
                     }
                 }
             }
         }
         let (bv, bel, bdeg) = base.expect("connected matching order");
-        // Warp-coalesced read of the base adjacency from the PMA.
-        let mut nbrs = std::mem::take(&mut self.nbr_buf);
-        self.shared.gpma.neighbors_into(bv, &mut nbrs);
+        let bv_incident = uord.incident(bv);
+        // Hoisted candidate gate — fixed for the whole scan (the per-level
+        // branch of `candidate_ok`, resolved once instead of per
+        // candidate).
+        let vk_code: Option<u64> = match seed.class {
+            Some(ci) if level < seed.vk_size => Some(shared.meta.class_vk_codes[ci][qv as usize]),
+            _ => None,
+        };
+        let table = &shared.table;
+        let encodings: &[u64] = &shared.encodings;
+        let anchor_order = self.anchor_order;
+        // Directory fetch of the base run head, then one warp-coalesced
+        // read of the run itself.
+        ctx.dir_locate();
         ctx.global_read_coalesced(bdeg as u64 * 2);
         // Candidate-table rows for the scanned vertices.
         ctx.global_read_coalesced(bdeg as u64);
-        let mut out = Vec::new();
-        'cand: for &(cand, el) in nbrs.iter() {
-            ctx.compute(1);
+        ctx.compute(bdeg as u64);
+        gpma.for_each_neighbor(bv, |cand, el| {
             if el != bel {
-                continue;
+                return;
             }
-            if !self.candidate_ok(seed, level, qv, cand) {
-                continue;
+            let ok = match vk_code {
+                Some(uc) => crate::encoding::EncodingScheme::is_candidate(
+                    uc,
+                    encodings.get(cand as usize).copied().unwrap_or(0),
+                ),
+                None => table.is_candidate(cand, qv),
+            };
+            if !ok {
+                return;
             }
             if m.uses(cand) {
-                continue;
+                return;
             }
-            // Dedup rule for the base back-edge.
-            if self.edge_breaks_order(cand, bv) {
-                continue;
-            }
-            // Remaining backward neighbors: adjacency + label + order rule.
-            for &(ov, oel) in &others {
-                match self.shared.gpma.edge_label(cand, ov) {
-                    Some(l) if l == oel => {
-                        if self.edge_breaks_order(cand, ov) {
-                            continue 'cand;
-                        }
+            // Dedup rule for the base back-edge: almost every base has no
+            // incident update edge, making this one length test.
+            if !bv_incident.is_empty() {
+                if let Some(o) = uord.order_within(bv_incident, cand) {
+                    if o < anchor_order {
+                        return;
                     }
-                    _ => continue 'cand,
                 }
             }
-            out.push(cand);
-        }
+            // Remaining backward neighbors: adjacency + label + order rule,
+            // each a monotone galloping probe into that vertex's run.
+            for (_ov, oel, cur, oinc) in others.iter_mut() {
+                match gpma.run_seek(cur, cand) {
+                    Some(l) if l == *oel => {
+                        if !oinc.is_empty() {
+                            if let Some(o) = uord.order_within(*oinc, cand) {
+                                if o < anchor_order {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    _ => return,
+                }
+            }
+            sink(cand);
+        });
         // Cost of the cooperative intersections against the other lists.
-        for &(ov, _) in &others {
-            let odeg = self.shared.gpma.degree(ov) as u64;
+        for &(ov, _, _, _) in others.iter() {
+            let odeg = gpma.degree(ov) as u64;
             ctx.coop_intersect(bdeg as u64, odeg.max(1));
         }
-        nbrs.clear();
-        self.nbr_buf = nbrs;
-        out
-    }
-
-    /// The anchor-order dedup rule: data edge `(a, b)` must not be an
-    /// update edge of this phase with order lower than ours.
-    #[inline]
-    fn edge_breaks_order(&self, a: VertexId, b: VertexId) -> bool {
-        match self.shared.update_order.get(&edge_key(a, b)) {
-            Some(&o) => o < self.anchor_order,
-            None => false,
-        }
+        self.others_buf = others;
     }
 
     /// On completing a `V^k` assignment under a class representative seed,
@@ -457,9 +561,14 @@ impl WbmTask {
             }
             let cands = self.gen_candidates(seed, st.base_level, &st.m, ctx);
             if cands.is_empty() {
+                self.recycle(cands);
                 return false;
             }
-            st.frames.push(Frame { cands, p: 0 });
+            st.frames.push(Frame {
+                cands,
+                p: 0,
+                memo_last: None,
+            });
             self.state = Some(st);
             return true;
         }
@@ -472,6 +581,33 @@ impl WbmTask {
             let level = st.base_level + top_idx;
             let last = level == n - 1;
             if last {
+                // Count-only fast path: every candidate in the frame was
+                // fully validated by `GenCandidates`, so when matches are
+                // not materialized (and no coalesced-search permutation
+                // rides on the final assignment) the frame collapses into
+                // one bulk-counted emit — the per-match join loop is pure
+                // overhead in benchmarking mode.
+                if !(self.shared.collect || seed.class.is_some() && seed.vk_size == n) {
+                    let f = &mut st.frames[top_idx];
+                    let remaining = f.cands.len() - f.p;
+                    f.p = f.cands.len();
+                    ctx.compute(remaining as u64);
+                    self.local_count += remaining as u64;
+                    if self.local_count >= FLUSH_THRESHOLD as u64 {
+                        self.flush();
+                    }
+                    if let Some(f) = st.frames.pop() {
+                        self.recycle(f.cands);
+                        if let Some(s) = f.memo_last {
+                            self.recycle(s);
+                        }
+                    }
+                    if !self.backtrack(&mut st, seed) {
+                        return false;
+                    }
+                    budget = budget.saturating_sub(remaining.max(1));
+                    continue;
+                }
                 // Lines 9–11: join every remaining candidate with M.
                 let mut emitted = 0;
                 while emitted < EMITS_PER_STEP {
@@ -497,7 +633,12 @@ impl WbmTask {
                 let f = &st.frames[top_idx];
                 if f.p >= f.cands.len() {
                     // Lines 12–13: backtrack.
-                    st.frames.pop();
+                    if let Some(f) = st.frames.pop() {
+                        self.recycle(f.cands);
+                        if let Some(s) = f.memo_last {
+                            self.recycle(s);
+                        }
+                    }
                     if !self.backtrack(&mut st, seed) {
                         return false;
                     }
@@ -510,7 +651,12 @@ impl WbmTask {
             // candidate set is nonempty.
             let f = &mut st.frames[top_idx];
             if f.p >= f.cands.len() {
-                st.frames.pop();
+                if let Some(f) = st.frames.pop() {
+                    self.recycle(f.cands);
+                    if let Some(s) = f.memo_last {
+                        self.recycle(s);
+                    }
+                }
                 if !self.backtrack(&mut st, seed) {
                     return false;
                 }
@@ -523,13 +669,61 @@ impl WbmTask {
             // Entering level+1; if that crosses the V^k boundary, fire the
             // coalesced permutations for the just-completed V^k partial.
             let crossing_vk = seed.class.is_some() && level + 1 == seed.vk_size;
+            // Count-only fast path: when the next level is the last, its
+            // candidate set would be materialized only to be counted —
+            // stream-count it instead and never build the frame.
+            if level + 2 == n
+                && !self.shared.collect
+                && !(seed.class.is_some() && seed.vk_size == n)
+            {
+                let qv_last = seed.order[level + 1];
+                // When the last query vertex has no backward edge to *this*
+                // level's vertex, its candidate set is identical across all
+                // siblings here (only injectivity against `c` differs):
+                // memoize it on the parent frame and answer each sibling
+                // with one binary search instead of a rescan.
+                let independent = !meta.q.neighbors(qv_last).iter().any(|&(un, _)| un == qv);
+                let count = if independent {
+                    if st.frames[top_idx].memo_last.is_none() {
+                        st.m.unset(qv);
+                        let mut s = self.take_buf(ctx);
+                        self.scan_candidates(seed, level + 1, &st.m, ctx, |v| s.push(v));
+                        st.m.set(qv, c);
+                        st.frames[top_idx].memo_last = Some(s);
+                    }
+                    let s = st.frames[top_idx].memo_last.as_ref().expect("just filled");
+                    // Binary probe of the memoized set parked in shared
+                    // memory (like the C[l] arrays).
+                    ctx.shared_access((64 - (s.len() as u64).leading_zeros() as u64).max(1));
+                    (s.len() - usize::from(s.binary_search(&c).is_ok())) as u64
+                } else {
+                    self.count_candidates(seed, level + 1, &st.m, ctx)
+                };
+                if crossing_vk {
+                    let m = st.m;
+                    self.spawn_permutations(st.seed, &m, ctx);
+                }
+                ctx.compute(count);
+                self.local_count += count;
+                if self.local_count >= FLUSH_THRESHOLD as u64 {
+                    self.flush();
+                }
+                st.m.unset(qv);
+                st.frames[top_idx].p += 1;
+                budget -= 1;
+                continue;
+            }
             let next = self.gen_candidates(seed, level + 1, &st.m, ctx);
             if !next.is_empty() {
                 if crossing_vk {
                     let m = st.m;
                     self.spawn_permutations(st.seed, &m, ctx);
                 }
-                st.frames.push(Frame { cands: next, p: 0 });
+                st.frames.push(Frame {
+                    cands: next,
+                    p: 0,
+                    memo_last: None,
+                });
             } else {
                 if crossing_vk {
                     // The V^k partial itself is complete even if it cannot
@@ -537,6 +731,7 @@ impl WbmTask {
                     let m = st.m;
                     self.spawn_permutations(st.seed, &m, ctx);
                 }
+                self.recycle(next);
                 st.m.unset(qv);
                 st.frames[top_idx].p += 1;
             }
@@ -550,7 +745,7 @@ impl WbmTask {
     /// clear its assignment). Returns `false` when the whole state is done.
     /// On `true`, the new top frame's candidate at `p` is *unassigned*
     /// (regular top-frame semantics) and the caller's loop resumes there.
-    fn backtrack(&self, st: &mut DfsState, seed: &SeedPlan) -> bool {
+    fn backtrack(&mut self, st: &mut DfsState, seed: &SeedPlan) -> bool {
         loop {
             let Some(top_idx) = st.frames.len().checked_sub(1) else {
                 return false;
@@ -563,7 +758,12 @@ impl WbmTask {
             if f.p < f.cands.len() {
                 return true;
             }
-            st.frames.pop();
+            if let Some(f) = st.frames.pop() {
+                self.recycle(f.cands);
+                if let Some(s) = f.memo_last {
+                    self.recycle(s);
+                }
+            }
         }
     }
 }
@@ -654,6 +854,7 @@ impl WarpTask for WbmTask {
                     frames: vec![Frame {
                         cands: stolen,
                         p: 0,
+                        memo_last: None,
                     }],
                     warm: false,
                 };
@@ -668,7 +869,8 @@ impl WarpTask for WbmTask {
                     state: Some(thief_state),
                     local: Vec::new(),
                     local_count: 0,
-                    nbr_buf: Vec::new(),
+                    pool: Vec::new(),
+                    others_buf: Vec::new(),
                 }));
             }
         }
@@ -688,7 +890,8 @@ impl WarpTask for WbmTask {
                 state: None,
                 local: Vec::new(),
                 local_count: 0,
-                nbr_buf: Vec::new(),
+                pool: Vec::new(),
+                others_buf: Vec::new(),
             }));
         }
         // Priority 3: hand over half of the unstarted seeds.
@@ -707,7 +910,8 @@ impl WarpTask for WbmTask {
                 state: None,
                 local: Vec::new(),
                 local_count: 0,
-                nbr_buf: Vec::new(),
+                pool: Vec::new(),
+                others_buf: Vec::new(),
             }));
         }
         None
@@ -721,13 +925,144 @@ impl Drop for WbmTask {
     }
 }
 
+/// The per-phase anchor-order map of the dedup rule: canonical edge key →
+/// anchor order, held as a sorted array probed by binary search. The hot
+/// loop queries it once per scanned candidate edge, so the per-probe
+/// SipHash of a `HashMap` was a measurable constant factor; a sorted
+/// `Vec` probe is a handful of well-predicted comparisons and no hashing.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateOrder {
+    entries: Vec<(u64, u32)>,
+    /// `(endpoint, other endpoint, order)`, sorted — both directions of
+    /// every update edge. Lets the scan loop resolve "is this data edge an
+    /// update edge?" against just the *base vertex's* incident slice,
+    /// which is empty for almost every base, so the per-candidate dedup
+    /// check is one length test instead of a full binary search.
+    by_endpoint: Vec<(VertexId, VertexId, u32)>,
+    /// Optional dense per-vertex index into `by_endpoint` (built per
+    /// kernel launch via [`UpdateOrder::index_vertices`]): makes
+    /// [`UpdateOrder::incident`] a single array load, which matters on
+    /// low-degree graphs where scan setup rivals the scan itself.
+    per_vertex: Vec<IncidentRange>,
+}
+
+/// Half-open range into [`UpdateOrder::by_endpoint`]: the update edges
+/// incident to one vertex. Plain indices (`Copy`) so scan state can hold
+/// one per backward edge without borrowing the map.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IncidentRange {
+    lo: u32,
+    hi: u32,
+}
+
+impl IncidentRange {
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+impl UpdateOrder {
+    /// Builds the map from the phase's anchors. Duplicate keys keep their
+    /// lowest order, matching the lowest-order attribution rule.
+    pub fn build(anchors: &[Update]) -> Self {
+        let mut entries: Vec<(u64, u32)> = anchors
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.key(), i as u32))
+            .collect();
+        entries.sort_unstable();
+        entries.dedup_by_key(|e| e.0);
+        let mut by_endpoint = Vec::with_capacity(entries.len() * 2);
+        for &(key, order) in &entries {
+            let (a, b) = gamma_graph::split_edge_key(key);
+            by_endpoint.push((a, b, order));
+            by_endpoint.push((b, a, order));
+        }
+        by_endpoint.sort_unstable();
+        Self {
+            entries,
+            by_endpoint,
+            per_vertex: Vec::new(),
+        }
+    }
+
+    /// Builds the dense per-vertex incident index for vertex ids
+    /// `< num_vertices` (one pass over the endpoint table).
+    pub fn index_vertices(&mut self, num_vertices: usize) {
+        let mut per_vertex = vec![IncidentRange::default(); num_vertices];
+        let mut i = 0usize;
+        while i < self.by_endpoint.len() {
+            let v = self.by_endpoint[i].0 as usize;
+            let lo = i;
+            while i < self.by_endpoint.len() && self.by_endpoint[i].0 as usize == v {
+                i += 1;
+            }
+            if v < per_vertex.len() {
+                per_vertex[v] = IncidentRange {
+                    lo: lo as u32,
+                    hi: i as u32,
+                };
+            }
+        }
+        self.per_vertex = per_vertex;
+    }
+
+    /// The anchor order of `key`, if it is an update edge of this phase.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        self.entries
+            .binary_search_by_key(&key, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// The update edges incident to `v`, as a reusable index range.
+    #[inline]
+    pub fn incident(&self, v: VertexId) -> IncidentRange {
+        if let Some(&r) = self.per_vertex.get(v as usize) {
+            return r;
+        }
+        if !self.per_vertex.is_empty() {
+            // Indexed, but `v` is beyond the indexed range ⇒ no updates.
+            return IncidentRange::default();
+        }
+        let lo = self.by_endpoint.partition_point(|e| e.0 < v);
+        let mut hi = lo;
+        while hi < self.by_endpoint.len() && self.by_endpoint[hi].0 == v {
+            hi += 1;
+        }
+        IncidentRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+
+    /// The anchor order of update edge `(v, other)` within `v`'s
+    /// pre-resolved incident range.
+    #[inline]
+    fn order_within(&self, r: IncidentRange, other: VertexId) -> Option<u32> {
+        let slice = &self.by_endpoint[r.lo as usize..r.hi as usize];
+        slice
+            .binary_search_by_key(&other, |e| e.1)
+            .ok()
+            .map(|i| slice[i].2)
+    }
+
+    /// Number of distinct update edges in the phase.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the phase has no update edges.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Builds the per-phase anchor-order map used by the dedup rule.
-pub fn build_update_order(anchors: &[Update]) -> HashMap<u64, u32> {
-    anchors
-        .iter()
-        .enumerate()
-        .map(|(i, u)| (u.key(), i as u32))
-        .collect()
+pub fn build_update_order(anchors: &[Update]) -> UpdateOrder {
+    UpdateOrder::build(anchors)
 }
 
 /// Convenience: launches one kernel phase over `anchors` and returns
@@ -751,12 +1086,17 @@ pub fn run_phase(
     u64,
     gamma_gpu::KernelStats,
 ) {
+    let update_order = {
+        let mut uo = UpdateOrder::build(anchors);
+        uo.index_vertices(gpma.num_vertices());
+        uo
+    };
     let shared = Arc::new(KernelShared {
         gpma,
         meta,
         table,
         encodings,
-        update_order: build_update_order(anchors),
+        update_order,
         sink: Mutex::new(Vec::new()),
         match_count: AtomicU64::new(0),
         collect,

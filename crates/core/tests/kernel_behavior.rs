@@ -27,7 +27,7 @@ fn run_raw_block(
         gpma: Gpma::from_graph(g2, GpmaConfig::default()),
         meta,
         table,
-        encodings: Arc::new(enc.encodings.clone()),
+        encodings: Arc::clone(&enc.encodings),
         update_order: build_update_order(anchors),
         sink: Mutex::new(Vec::new()),
         match_count: std::sync::atomic::AtomicU64::new(0),
@@ -190,6 +190,76 @@ fn per_warp_skew_is_visible_without_stealing() {
     assert!(
         large > 5 * small,
         "expected heavy skew: small={small} large={large}"
+    );
+}
+
+#[test]
+fn count_only_mode_counts_exactly_like_collection() {
+    // The count-only fast paths (bulk last-level emit, stream counting,
+    // sibling memoization) must report bit-identical totals to full
+    // materialization.
+    for preset in [DatasetPreset::GH, DatasetPreset::AZ] {
+        let d = preset.build(0.08, 61);
+        for class in QueryClass::ALL {
+            for q in generate_queries(&d.graph, class, 6, 2, 62) {
+                let mut g = d.graph.clone();
+                let ups = gamma_datasets::split_insertion_workload(&mut g, 0.08, 63);
+                let run = |collect: bool| {
+                    let mut cfg = GammaConfig::default();
+                    cfg.collect_matches = collect;
+                    let mut engine = GammaEngine::new(g.clone(), &q, cfg);
+                    let r = engine.apply_batch(&ups);
+                    (
+                        r.positive_count,
+                        r.negative_count,
+                        r.positive.len(),
+                        r.stats.kernel.buf_reuse,
+                        r.stats.kernel.buf_alloc,
+                        r.stats.kernel.num_tasks,
+                    )
+                };
+                let (cp, cn, c_len, _, _, _) = run(true);
+                let (kp, kn, k_len, reuse, alloc, tasks) = run(false);
+                assert_eq!(cp, kp, "positive count drift ({class:?})");
+                assert_eq!(cn, kn, "negative count drift ({class:?})");
+                assert_eq!(cp as usize, c_len, "collection incomplete");
+                assert_eq!(k_len, 0, "count-only mode must not materialize");
+                // Zero-allocation steady state: pool misses are warm-up
+                // only — bounded by live frames per task (≤ 2·|V(Q)| each:
+                // one per DFS level plus a memo), never by quanta.
+                let warmup_bound = tasks as u64 * 2 * q.num_vertices() as u64;
+                assert!(
+                    alloc <= warmup_bound,
+                    "buffer allocations scale past warm-up: {alloc} > {warmup_bound}"
+                );
+                let _ = reuse;
+            }
+        }
+    }
+}
+
+#[test]
+fn buffer_pool_reuses_in_steady_state() {
+    // A deep DFS workload (8-vertex queries, several materialized levels)
+    // must hit the pool far more often than the allocator once warm.
+    let d = DatasetPreset::GH.build(0.12, 71);
+    let q = generate_queries(&d.graph, QueryClass::Tree, 8, 1, 72)
+        .into_iter()
+        .next()
+        .expect("tree query");
+    let mut g = d.graph.clone();
+    let ups = gamma_datasets::split_insertion_workload(&mut g, 0.10, 73);
+    let mut cfg = GammaConfig::default();
+    cfg.collect_matches = false;
+    let mut engine = GammaEngine::new(g, &q, cfg);
+    let r = engine.apply_batch(&ups);
+    let k = &r.stats.kernel;
+    assert!(k.buf_reuse > 0, "pool never reused");
+    assert!(
+        k.buf_reuse >= 4 * k.buf_alloc,
+        "steady state not allocation-free: reuse={} alloc={}",
+        k.buf_reuse,
+        k.buf_alloc
     );
 }
 

@@ -26,12 +26,17 @@
 //!     warp are packed onto power-of-two sub-groups, improving thread
 //!     utilization for small segments.
 //!
-//! The store also maintains per-vertex degrees and exposes sorted neighbor
-//! scans, which is what the WBM kernel's `GenCandidates` intersects.
+//! The store also maintains per-vertex degrees and a **vertex directory**
+//! — a per-vertex `(segment, offset)` index of each adjacency run's head —
+//! so sorted neighbor scans ([`Gpma::neighbor_run`],
+//! [`Gpma::for_each_neighbor`]) and bounded galloping membership probes
+//! ([`Gpma::run_seek`] via [`RunCursor`]) run without any segment-tree
+//! descent. This is what the WBM kernel's `GenCandidates` scans and
+//! intersects; see `store`'s module docs for the maintenance invariants.
 
 pub mod store;
 
-pub use store::{Gpma, GpmaConfig, GpmaStats};
+pub use store::{Gpma, GpmaConfig, GpmaStats, NeighborRun, RunCursor};
 
 /// The sentinel key marking an empty PMA slot.
 pub(crate) const EMPTY: u64 = u64::MAX;

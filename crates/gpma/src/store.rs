@@ -1,4 +1,45 @@
-//! The PMA store itself.
+//! The PMA store itself, with a **vertex directory** index over it.
+//!
+//! # The vertex directory
+//!
+//! Entries are keyed `(src << 32) | dst`, so a vertex's neighborhood is one
+//! contiguous *run* of live slots in global key order (possibly spanning
+//! several segments, with segment-tail gaps in between). The directory
+//! holds, per vertex, the `(segment, offset)` of the run's **first** live
+//! slot; together with the degree cache that pins down the whole run, so
+//!
+//! * [`Gpma::neighbors_into`] / [`Gpma::for_each_neighbor`] /
+//!   [`Gpma::neighbor_run`] scan the run directly — **no segment-tree
+//!   descent** — in O(deg) with zero copies for the iterator forms;
+//! * [`Gpma::edge_label`] / [`Gpma::has_edge`] resolve through a bounded
+//!   galloping search *inside* the smaller endpoint's run
+//!   ([`RunCursor`]) instead of a root-to-leaf binary descent;
+//! * batch updates filter already-present / missing keys at directory cost
+//!   (`O(1)` + run search) and only pay full descents to position **new**
+//!   keys, which is reflected in the split `dir_hits` / `descents`
+//!   accounting of [`GpmaStats`].
+//!
+//! ## Maintenance invariants
+//!
+//! The directory entry of vertex `u` is meaningful only while
+//! `degrees[u] > 0`; it then names the slot of `u`'s smallest directed key,
+//! i.e. the slot is live, holds a key with source `u`, and its predecessor
+//! (previous live slot in segment order) belongs to a different source.
+//! Every structural mutation restores this invariant before returning:
+//!
+//! * [`redistribute`](Gpma::redistribute) (and therefore every insert
+//!   merge, grow, shrink and bulk load, which all funnel through it)
+//!   re-derives the entries of every run *starting* inside the rewritten
+//!   segment range via one linear sweep; runs that merely extend into the
+//!   range keep their (untouched) entry, which the sweep detects by
+//!   seeding its source tracker with the last live key left of the range.
+//! * `batch_delete` refreshes each left-compacted segment the same way and
+//!   then *repairs* the entries of deletion-touched sources whose run head
+//!   moved past a rewritten segment (checked by `dir_valid`, re-located by
+//!   one descent only when actually stale).
+//!
+//! `assert_consistent` cross-checks the whole directory against a full
+//! scan.
 
 use gamma_gpu::CostModel;
 use gamma_graph::{DynamicGraph, ELabel, VertexId};
@@ -72,6 +113,11 @@ pub struct GpmaStats {
     pub locate_cycles: u64,
     /// Portion of `sim_cycles` spent merging/redistributing.
     pub rebalance_cycles: u64,
+    /// Key lookups resolved through the vertex directory (constant cost).
+    pub dir_hits: u64,
+    /// Full segment-tree descents (fresh-key positioning, stale-entry
+    /// repair) — the height-dependent cost the directory avoids.
+    pub descents: u64,
 }
 
 /// A packed-memory-array edge store over directed entries
@@ -88,9 +134,69 @@ pub struct Gpma {
     seg_counts: Vec<u32>,
     num_elems: usize,
     degrees: Vec<u32>,
+    /// Vertex directory: position of each vertex's first directed entry
+    /// (meaningful only while the vertex's degree is non-zero; see the
+    /// module docs for the maintenance invariants).
+    dir: Vec<DirEnt>,
     cfg: GpmaConfig,
     stats: GpmaStats,
 }
+
+/// One vertex-directory slot: `(segment, offset)` of the run head.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct DirEnt {
+    seg: u32,
+    off: u32,
+}
+
+/// A resumable, forward-only cursor into one vertex's neighbor run, used
+/// for monotone membership probes (galloping intersection). Plain indices —
+/// `Copy`, no borrow of the store — so callers can keep one per backward
+/// edge on the stack; all methods live on [`Gpma`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunCursor {
+    seg: u32,
+    off: u32,
+    /// Entries of the run at or after `(seg, off)`.
+    rem: u32,
+}
+
+/// Zero-copy iterator over a vertex's sorted neighbor run (see
+/// [`Gpma::neighbor_run`]).
+pub struct NeighborRun<'a> {
+    keys: &'a [u64],
+    vals: &'a [ELabel],
+    seg_counts: &'a [u32],
+    seg_size: usize,
+    seg: usize,
+    off: usize,
+    rem: usize,
+}
+
+impl Iterator for NeighborRun<'_> {
+    type Item = (VertexId, ELabel);
+
+    #[inline]
+    fn next(&mut self) -> Option<(VertexId, ELabel)> {
+        if self.rem == 0 {
+            return None;
+        }
+        while self.off >= self.seg_counts[self.seg] as usize {
+            self.seg += 1;
+            self.off = 0;
+        }
+        let idx = self.seg * self.seg_size + self.off;
+        self.off += 1;
+        self.rem -= 1;
+        Some((self.keys[idx] as VertexId, self.vals[idx]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.rem, Some(self.rem))
+    }
+}
+
+impl ExactSizeIterator for NeighborRun<'_> {}
 
 impl Gpma {
     /// Creates an empty store able to address `num_vertices` vertices.
@@ -106,6 +212,7 @@ impl Gpma {
             seg_counts: vec![0; 1],
             num_elems: 0,
             degrees: vec![0; num_vertices],
+            dir: vec![DirEnt::default(); num_vertices],
             cfg,
             stats: GpmaStats::default(),
         }
@@ -128,6 +235,7 @@ impl Gpma {
     pub fn ensure_vertices(&mut self, n: usize) {
         if n > self.degrees.len() {
             self.degrees.resize(n, 0);
+            self.dir.resize(n, DirEnt::default());
         }
     }
 
@@ -254,52 +362,152 @@ impl Gpma {
         (lo, off)
     }
 
+    /// Degree of `u`, tolerating out-of-range ids.
+    #[inline]
+    fn degree_or_zero(&self, u: VertexId) -> usize {
+        self.degrees.get(u as usize).map_or(0, |&d| d as usize)
+    }
+
     /// Whether the directed entry `key` exists; returns its value slot.
+    /// Resolves through the vertex directory: O(1) run-head fetch plus a
+    /// bounded galloping search, never a tree descent.
     fn find(&self, key: u64) -> Option<usize> {
-        let (seg, off) = self.lower_bound(key);
-        let base = seg * self.seg_size();
-        let cnt = self.seg_counts[seg] as usize;
-        if off < cnt && self.keys[base + off] == key {
-            Some(base + off)
-        } else {
-            None
+        let src = (key >> 32) as VertexId;
+        if self.degree_or_zero(src) == 0 {
+            return None;
         }
+        let mut cur = self.run_cursor(src);
+        self.run_seek_slot(&mut cur, key as VertexId)
     }
 
     /// Whether undirected edge `(u, v)` is present, with its label.
+    /// Searches the run of the **smaller-degree** endpoint (both directions
+    /// are stored with the same label).
     pub fn edge_label(&self, u: VertexId, v: VertexId) -> Option<ELabel> {
-        self.find((u as u64) << 32 | v as u64).map(|i| self.vals[i])
+        let (du, dv) = (self.degree_or_zero(u), self.degree_or_zero(v));
+        if du == 0 || dv == 0 {
+            return None;
+        }
+        let (a, b) = if dv < du { (v, u) } else { (u, v) };
+        let mut cur = self.run_cursor(a);
+        self.run_seek(&mut cur, b)
     }
 
     /// Whether undirected edge `(u, v)` is present.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.find((u as u64) << 32 | v as u64).is_some()
+        self.edge_label(u, v).is_some()
+    }
+
+    /// A forward-only cursor at the head of `u`'s neighbor run. Feed it to
+    /// [`Gpma::run_seek`] with ascending targets for galloping-intersection
+    /// membership probes.
+    #[inline]
+    pub fn run_cursor(&self, u: VertexId) -> RunCursor {
+        let deg = self.degree_or_zero(u);
+        if deg == 0 {
+            return RunCursor::default();
+        }
+        let e = self.dir[u as usize];
+        RunCursor {
+            seg: e.seg,
+            off: e.off,
+            rem: deg as u32,
+        }
+    }
+
+    /// Advances `cur` to the first entry with neighbor ≥ `dst` (targets
+    /// must be sought in ascending order per cursor) and returns the edge
+    /// label if `dst` is present. Gallops within each segment slice, so a
+    /// probe costs O(log run) instead of O(log |E|).
+    pub fn run_seek(&self, cur: &mut RunCursor, dst: VertexId) -> Option<ELabel> {
+        self.run_seek_slot(cur, dst).map(|slot| self.vals[slot])
+    }
+
+    /// [`Gpma::run_seek`], returning the absolute slot index instead.
+    fn run_seek_slot(&self, cur: &mut RunCursor, dst: VertexId) -> Option<usize> {
+        while cur.rem > 0 {
+            let seg = cur.seg as usize;
+            let cnt = self.seg_counts[seg] as usize;
+            let off = cur.off as usize;
+            if off >= cnt {
+                cur.seg += 1;
+                cur.off = 0;
+                continue;
+            }
+            // The run's slice within this segment (the run may end before
+            // the segment does — stop at `rem` entries).
+            let n = (cnt - off).min(cur.rem as usize);
+            let base = seg * self.seg_size();
+            let slice = &self.keys[base + off..base + off + n];
+            if (slice[n - 1] as VertexId) < dst {
+                cur.rem -= n as u32;
+                cur.off += n as u32;
+                continue;
+            }
+            let p = gallop_lower(slice, dst);
+            cur.off += p as u32;
+            cur.rem -= p as u32;
+            return if slice[p] as VertexId == dst {
+                Some(base + off + p)
+            } else {
+                None
+            };
+        }
+        None
+    }
+
+    /// Zero-copy iterator over `u`'s sorted neighbor run.
+    #[inline]
+    pub fn neighbor_run(&self, u: VertexId) -> NeighborRun<'_> {
+        let cur = self.run_cursor(u);
+        NeighborRun {
+            keys: &self.keys,
+            vals: &self.vals,
+            seg_counts: &self.seg_counts,
+            seg_size: self.cfg.seg_size,
+            seg: cur.seg as usize,
+            off: cur.off as usize,
+            rem: cur.rem as usize,
+        }
+    }
+
+    /// Calls `f` for every `(neighbor, label)` of `u`, in ascending
+    /// neighbor order, straight off the run — no descent, no copy. Chunked
+    /// per segment slice so the inner loop is a plain bounds-check-free
+    /// sweep (the hot-path form; `neighbor_run` is the composable one).
+    #[inline]
+    pub fn for_each_neighbor(&self, u: VertexId, mut f: impl FnMut(VertexId, ELabel)) {
+        let mut rem = self.degree_or_zero(u);
+        if rem == 0 {
+            return;
+        }
+        let e = self.dir[u as usize];
+        let (mut seg, mut off) = (e.seg as usize, e.off as usize);
+        let ss = self.cfg.seg_size;
+        while rem > 0 {
+            let cnt = self.seg_counts[seg] as usize;
+            if off >= cnt {
+                seg += 1;
+                off = 0;
+                continue;
+            }
+            let n = (cnt - off).min(rem);
+            let base = seg * ss + off;
+            let ks = &self.keys[base..base + n];
+            let vs = &self.vals[base..base + n];
+            for (&k, &v) in ks.iter().zip(vs) {
+                f(k as VertexId, v);
+            }
+            rem -= n;
+            off += n;
+        }
     }
 
     /// Appends `u`'s sorted neighbor list into `out` (cleared first).
     pub fn neighbors_into(&self, u: VertexId, out: &mut Vec<(VertexId, ELabel)>) {
         out.clear();
-        let lo = (u as u64) << 32;
-        let hi = ((u as u64) + 1) << 32;
-        let (mut seg, mut off) = self.lower_bound(lo);
-        let nsegs = self.num_segments();
-        loop {
-            let base = seg * self.seg_size();
-            let cnt = self.seg_counts[seg] as usize;
-            while off < cnt {
-                let k = self.keys[base + off];
-                if k >= hi {
-                    return;
-                }
-                out.push((k as VertexId, self.vals[base + off]));
-                off += 1;
-            }
-            seg += 1;
-            off = 0;
-            if seg >= nsegs {
-                return;
-            }
-        }
+        out.reserve(self.degree_or_zero(u));
+        out.extend(self.neighbor_run(u));
     }
 
     /// Iterates all directed entries in key order.
@@ -374,14 +582,18 @@ impl Gpma {
         self.stats.batches += 1;
         items.sort_unstable_by_key(|&(k, _)| k);
         items.dedup_by_key(|&mut (k, _)| k);
-        // Drop already-present keys (charging their locate cost).
-        self.charge_locates(items.len());
+        // Drop already-present keys: membership resolves through the vertex
+        // directory (constant per key), not a descent.
+        self.charge_dir_locates(items.len());
         let before = items.len();
         items.retain(|&(k, _)| self.find(k).is_none());
         self.stats.skipped += (before - items.len()) as u64;
         if items.is_empty() {
             return 0;
         }
+        // Positioning genuinely *new* keys has no run to land in yet — each
+        // surviving item pays the segment-tree descent.
+        self.charge_locates(items.len());
 
         // Group per leaf segment.
         let mut groups: Vec<(usize, Vec<(u64, ELabel)>)> = Vec::new();
@@ -455,17 +667,27 @@ impl Gpma {
         self.stats.batches += 1;
         keys.sort_unstable();
         keys.dedup();
-        self.charge_locates(keys.len());
+        // Existing keys resolve through the vertex directory.
+        self.charge_dir_locates(keys.len());
         keys.retain(|&k| self.find(k).is_some());
         if keys.is_empty() {
             return 0;
         }
 
-        // Remove per leaf segment (left-compacting the remainder).
+        // Remove per leaf segment (left-compacting the remainder). The
+        // group head's segment also comes from the directory — the delete
+        // path performs no descents at all.
         let mut affected: Vec<usize> = Vec::new();
         let mut i = 0usize;
         while i < keys.len() {
-            let (seg, _) = self.lower_bound(keys[i]);
+            // Earlier groups may have deleted this source's run head from a
+            // segment to our left, staling its directory entry; self-heal
+            // before trusting it (exact check, descent only when stale).
+            let u = (keys[i] >> 32) as usize;
+            if !self.dir_valid(u) {
+                self.dir[u] = self.locate_first(u);
+            }
+            let seg = self.find(keys[i]).expect("retained keys exist") / self.seg_size();
             let base = seg * self.seg_size();
             let cnt = self.seg_counts[seg] as usize;
             let seg_hi_key = {
@@ -494,16 +716,36 @@ impl Gpma {
             let removed = cnt - kept.len();
             debug_assert_eq!(removed, to_delete.len());
             self.write_segment(seg, &kept);
+            self.refresh_dir_range(seg, seg + 1);
+            // Degrees must track each group immediately: later groups size
+            // their directory run cursors off them.
+            for &k in to_delete {
+                self.degrees[(k >> 32) as usize] -= 1;
+            }
             self.charge_rebalance(cnt, 1);
             affected.push(seg);
             i = j;
         }
 
-        for &k in keys.iter() {
-            self.degrees[(k >> 32) as usize] -= 1;
-        }
         self.num_elems -= keys.len();
         self.stats.deleted += keys.len() as u64;
+
+        // Repair directory entries whose run head moved past a rewritten
+        // segment (all of a vertex's entries in its head segment deleted,
+        // remainder living further right). `dir_valid` is exact, so the
+        // descent is paid only for genuinely stale entries.
+        let mut prev_src = u64::MAX;
+        for &k in keys.iter() {
+            let src = k >> 32;
+            if src == prev_src {
+                continue;
+            }
+            prev_src = src;
+            let u = src as usize;
+            if self.degrees[u] > 0 && !self.dir_valid(u) {
+                self.dir[u] = self.locate_first(u);
+            }
+        }
 
         // Fix lower-density violations bottom-up.
         let mut s = 0usize;
@@ -549,6 +791,94 @@ impl Gpma {
     }
 
     // ------------------------------------------------------------------
+    // Vertex-directory maintenance
+    // ------------------------------------------------------------------
+
+    /// Re-derives the directory entries of every run **starting** inside
+    /// segments `[s0, s1)` after those segments were rewritten. Runs that
+    /// begin left of the range and merely extend into it are recognized
+    /// (and skipped) by seeding the source tracker with the last live key
+    /// before `s0`.
+    fn refresh_dir_range(&mut self, s0: usize, s1: usize) {
+        let mut prev_src: Option<u32> = None;
+        let mut s = s0;
+        while s > 0 {
+            s -= 1;
+            let cnt = self.seg_counts[s] as usize;
+            if cnt > 0 {
+                prev_src = Some((self.keys[s * self.seg_size() + cnt - 1] >> 32) as u32);
+                break;
+            }
+        }
+        for seg in s0..s1 {
+            let base = seg * self.seg_size();
+            for off in 0..self.seg_counts[seg] as usize {
+                let src = (self.keys[base + off] >> 32) as u32;
+                if prev_src != Some(src) {
+                    self.dir[src as usize] = DirEnt {
+                        seg: seg as u32,
+                        off: off as u32,
+                    };
+                    prev_src = Some(src);
+                }
+            }
+        }
+    }
+
+    /// Whether `u`'s directory entry still names its run head: the slot is
+    /// live, holds a key with source `u`, and the previous live slot (if
+    /// any) belongs to a different source. Exact — never accepts a stale
+    /// entry — so it doubles as the repair trigger after deletions.
+    fn dir_valid(&self, u: usize) -> bool {
+        if self.degrees[u] == 0 {
+            return true; // entry is meaningless (and never read)
+        }
+        let e = self.dir[u];
+        let (seg, off) = (e.seg as usize, e.off as usize);
+        if seg >= self.num_segments() || off >= self.seg_counts[seg] as usize {
+            return false;
+        }
+        if (self.keys[seg * self.seg_size() + off] >> 32) as usize != u {
+            return false;
+        }
+        // Predecessor check.
+        let (mut s, mut o) = (seg, off);
+        loop {
+            if o > 0 {
+                return (self.keys[s * self.seg_size() + o - 1] >> 32) as usize != u;
+            }
+            if s == 0 {
+                return true;
+            }
+            s -= 1;
+            o = self.seg_counts[s] as usize;
+        }
+    }
+
+    /// Locates `u`'s run head by a full descent (directory repair path —
+    /// only legal while `degrees[u] > 0`).
+    fn locate_first(&mut self, u: usize) -> DirEnt {
+        debug_assert!(self.degrees[u] > 0);
+        self.stats.descents += 1;
+        let (mut seg, mut off) = self.lower_bound((u as u64) << 32);
+        loop {
+            if off < self.seg_counts[seg] as usize {
+                debug_assert_eq!(
+                    (self.keys[seg * self.seg_size() + off] >> 32) as usize,
+                    u,
+                    "degree cache promises a run"
+                );
+                return DirEnt {
+                    seg: seg as u32,
+                    off: off as u32,
+                };
+            }
+            seg += 1;
+            off = 0;
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Internal mechanics
     // ------------------------------------------------------------------
 
@@ -588,7 +918,8 @@ impl Gpma {
         self.redistribute(s0, s1, &merged);
     }
 
-    /// Evenly spreads `items` across segments `[s0, s1)`.
+    /// Evenly spreads `items` across segments `[s0, s1)` and refreshes the
+    /// directory entries of runs starting inside the range.
     fn redistribute(&mut self, s0: usize, s1: usize, items: &[(u64, ELabel)]) {
         let nsegs = s1 - s0;
         let base_cnt = items.len() / nsegs;
@@ -600,6 +931,7 @@ impl Gpma {
             self.write_segment(s0 + s, &items[idx..idx + take]);
             idx += take;
         }
+        self.refresh_dir_range(s0, s1);
         self.stats.rebalances += 1;
         self.charge_rebalance(items.len(), nsegs);
     }
@@ -629,6 +961,8 @@ impl Gpma {
             }
             self.degrees[src] += 1;
         }
+        self.dir.resize(self.degrees.len(), DirEnt::default());
+        // `redistribute` over the full extent rebuilds the directory too.
         self.redistribute(0, self.num_segments(), &items);
     }
 
@@ -662,6 +996,7 @@ impl Gpma {
         if n == 0 {
             return;
         }
+        self.stats.descents += n as u64;
         let h = self.height().max(1) as u64;
         let cached = (self.cfg.top_layers_cached as u64).min(h);
         let uncached = h - cached;
@@ -669,6 +1004,22 @@ impl Gpma {
         let per_warp =
             cached * self.cfg.cost.shared_latency + uncached * self.cfg.cost.global_latency;
         let cycles = warps * per_warp;
+        self.stats.locate_cycles += cycles;
+        self.stats.sim_cycles += cycles;
+    }
+
+    /// Charges directory-resolved lookups: one warp-coalesced fetch of the
+    /// run head plus a galloping search bounded by the typical run length —
+    /// independent of the segment-tree height, however tall the array grows
+    /// (the directory's Figure-12 saving).
+    fn charge_dir_locates(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.stats.dir_hits += n as u64;
+        let avg_run = self.num_elems as u64 / self.degrees.len().max(1) as u64;
+        let warps = (n as u64).div_ceil(self.cfg.warp_size as u64);
+        let cycles = warps * (self.cfg.cost.directory_locate() + self.cfg.cost.run_search(avg_run));
         self.stats.locate_cycles += cycles;
         self.stats.sim_cycles += cycles;
     }
@@ -729,7 +1080,46 @@ impl Gpma {
             deg[(k >> 32) as usize] += 1;
         }
         assert_eq!(deg, self.degrees, "degree cache drift");
+        // Vertex directory: every live vertex's entry names the first slot
+        // of its run, as derived by a full scan.
+        assert_eq!(self.dir.len(), self.degrees.len(), "directory length drift");
+        let mut expected: Vec<Option<DirEnt>> = vec![None; self.degrees.len()];
+        for s in 0..self.num_segments() {
+            let base = s * self.seg_size();
+            for i in 0..self.seg_counts[s] as usize {
+                let src = (self.keys[base + i] >> 32) as usize;
+                expected[src].get_or_insert(DirEnt {
+                    seg: s as u32,
+                    off: i as u32,
+                });
+            }
+        }
+        for (u, &d) in self.degrees.iter().enumerate() {
+            if d > 0 {
+                assert_eq!(
+                    Some(self.dir[u]),
+                    expected[u],
+                    "directory drift at vertex {u}"
+                );
+            }
+        }
     }
+}
+
+/// First index of `slice` whose low 32 bits (the dst) are ≥ `dst`,
+/// galloping from the front. The caller guarantees the last element
+/// qualifies, so the result is always in bounds. All keys in `slice` share
+/// their high 32 bits (one vertex's run), so comparing dsts is comparing
+/// keys.
+#[inline]
+fn gallop_lower(slice: &[u64], dst: VertexId) -> usize {
+    let mut hi = 1usize;
+    while hi < slice.len() && (slice[hi - 1] as VertexId) < dst {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = hi.min(slice.len());
+    lo + slice[lo..hi].partition_point(|&k| (k as VertexId) < dst)
 }
 
 /// Merges two sorted `(key, value)` runs into `out`. Duplicate keys across
@@ -940,23 +1330,77 @@ mod tests {
 
     #[test]
     fn cached_layers_reduce_locate_cost() {
-        let edges: Vec<(u32, u32, ELabel)> =
-            (0..1000u32).map(|i| (i, i + 2000, NO_ELABEL)).collect();
+        // Descents happen only when positioning *new* keys (existing keys
+        // resolve through the directory at height-independent cost), so the
+        // shared-memory cache is probed with fresh inserts.
         let run = |cached: usize| {
             let mut cfg = GpmaConfig::default();
             cfg.top_layers_cached = cached;
             let mut pma = Gpma::new(0, cfg);
-            pma.insert_edges(&edges);
+            let seed: Vec<(u32, u32, ELabel)> =
+                (0..1000u32).map(|i| (i, i + 2000, NO_ELABEL)).collect();
+            pma.insert_edges(&seed);
             pma.reset_stats();
-            // Locate-heavy: probe existing edges via a delete+reinsert.
-            let probe: Vec<(u32, u32)> = (0..1000u32).map(|i| (i, i + 2000)).collect();
-            pma.delete_edges(&probe);
+            let fresh: Vec<(u32, u32, ELabel)> =
+                (0..1000u32).map(|i| (i, i + 4000, NO_ELABEL)).collect();
+            pma.insert_edges(&fresh);
             pma.stats().locate_cycles
         };
         assert!(
             run(4) < run(0),
             "shared-memory cache should cut locate cost"
         );
+    }
+
+    #[test]
+    fn deletes_resolve_without_descents() {
+        let mut pma = Gpma::new(0, GpmaConfig::default());
+        let edges: Vec<(u32, u32, ELabel)> =
+            (0..500u32).map(|i| (i, i + 1000, NO_ELABEL)).collect();
+        pma.insert_edges(&edges);
+        pma.reset_stats();
+        let probe: Vec<(u32, u32)> = (0..500u32).map(|i| (i, i + 1000)).collect();
+        pma.delete_edges(&probe);
+        assert_eq!(
+            pma.stats().descents,
+            0,
+            "directory-indexed deletes must not descend"
+        );
+        assert!(pma.stats().dir_hits >= 1000);
+        pma.assert_consistent();
+    }
+
+    #[test]
+    fn run_seek_gallops_monotonically() {
+        let mut pma = Gpma::new(0, GpmaConfig::default());
+        let edges: Vec<(u32, u32, ELabel)> =
+            (0..64u32).map(|i| (5, 100 + 2 * i, i as u16)).collect();
+        pma.insert_edges(&edges);
+        let mut cur = pma.run_cursor(5);
+        // Ascending probes: hits return labels, misses advance past.
+        assert_eq!(pma.run_seek(&mut cur, 100), Some(0));
+        assert_eq!(pma.run_seek(&mut cur, 101), None);
+        assert_eq!(pma.run_seek(&mut cur, 102), Some(1));
+        assert_eq!(pma.run_seek(&mut cur, 200), Some(50));
+        assert_eq!(pma.run_seek(&mut cur, 226), Some(63));
+        assert_eq!(pma.run_seek(&mut cur, 300), None);
+        // Exhausted cursor stays exhausted.
+        assert_eq!(pma.run_seek(&mut cur, 400), None);
+    }
+
+    #[test]
+    fn neighbor_run_is_zero_copy_equal_to_neighbors_into() {
+        let mut pma = Gpma::new(10, GpmaConfig::default());
+        pma.insert_edges(&[(5, 9, 1), (5, 2, 2), (5, 7, 3), (3, 5, 4)]);
+        let mut buf = Vec::new();
+        pma.neighbors_into(5, &mut buf);
+        let run: Vec<(u32, ELabel)> = pma.neighbor_run(5).collect();
+        assert_eq!(run, buf);
+        assert_eq!(pma.neighbor_run(5).len(), pma.degree(5));
+        let mut via_closure = Vec::new();
+        pma.for_each_neighbor(5, |v, l| via_closure.push((v, l)));
+        assert_eq!(via_closure, buf);
+        assert_eq!(pma.neighbor_run(0).count(), 0);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Vertex-directory property tests: after arbitrary interleaved
+//! insert/delete batches — including across grow/shrink/rebalance
+//! boundaries — every directory-indexed read path must agree with a naive
+//! full-scan reference, and isolated vertices must read as empty.
+
+use std::collections::BTreeMap;
+
+use gamma_gpma::{Gpma, GpmaConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum BatchOp {
+    Insert(Vec<(u32, u32, u16)>),
+    Delete(Vec<(u32, u32)>),
+}
+
+fn batch_strategy(max_v: u32) -> impl Strategy<Value = Vec<BatchOp>> {
+    let edge = (0..max_v, 0..max_v, 0u16..4);
+    let ins = prop::collection::vec(edge, 0..50).prop_map(BatchOp::Insert);
+    let del = prop::collection::vec((0..max_v, 0..max_v), 0..50).prop_map(BatchOp::Delete);
+    prop::collection::vec(prop_oneof![ins, del], 1..14)
+}
+
+/// Naive reference adjacency from the canonical edge map.
+fn reference_neighbors(reference: &BTreeMap<(u32, u32), u16>, v: u32) -> Vec<(u32, u16)> {
+    let mut out: Vec<(u32, u16)> = reference
+        .iter()
+        .filter_map(|(&(a, b), &l)| {
+            if a == v {
+                Some((b, l))
+            } else if b == v {
+                Some((a, l))
+            } else {
+                None
+            }
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Small segments (4) force frequent grow/shrink/rebalance crossings;
+    /// the directory must stay exact through all of them.
+    #[test]
+    fn directory_reads_match_full_scan_reference(batches in batch_strategy(30)) {
+        let cfg = GpmaConfig { seg_size: 4, ..GpmaConfig::default() };
+        let mut pma = Gpma::new(30, cfg);
+        let mut reference: BTreeMap<(u32, u32), u16> = BTreeMap::new();
+        for batch in batches {
+            match batch {
+                BatchOp::Insert(edges) => {
+                    for &(u, v, l) in &edges {
+                        if u == v { continue; }
+                        reference.entry((u.min(v), u.max(v))).or_insert(l);
+                    }
+                    pma.insert_edges(&edges);
+                }
+                BatchOp::Delete(edges) => {
+                    for &(u, v) in &edges {
+                        reference.remove(&(u.min(v), u.max(v)));
+                    }
+                    pma.delete_edges(&edges);
+                }
+            }
+            // The store's own invariant check covers the directory too.
+            pma.assert_consistent();
+
+            // Every directory-indexed read path vs the naive reference.
+            let mut buf = Vec::new();
+            for v in 0..30u32 {
+                let expect = reference_neighbors(&reference, v);
+
+                // degree
+                prop_assert_eq!(pma.degree(v), expect.len(), "degree of v{}", v);
+
+                // neighbors_into (directory run scan)
+                pma.neighbors_into(v, &mut buf);
+                prop_assert_eq!(&buf, &expect, "neighbors_into of v{}", v);
+
+                // neighbor_run (zero-copy iterator)
+                let run: Vec<(u32, u16)> = pma.neighbor_run(v).collect();
+                prop_assert_eq!(&run, &expect, "neighbor_run of v{}", v);
+
+                // run_seek (monotone galloping cursor) over every neighbor
+                // and over gaps between neighbors.
+                let mut cur = pma.run_cursor(v);
+                let mut probe_gap = 0u32;
+                for &(w, l) in &expect {
+                    if probe_gap < w {
+                        // A miss strictly between neighbors must not derail
+                        // later hits.
+                        prop_assert_eq!(pma.run_seek(&mut cur, probe_gap), None);
+                    }
+                    prop_assert_eq!(pma.run_seek(&mut cur, w), Some(l), "seek v{}→v{}", v, w);
+                    probe_gap = w + 1;
+                }
+
+                // edge_label / has_edge for present and absent pairs.
+                for &(w, l) in &expect {
+                    prop_assert_eq!(pma.edge_label(v, w), Some(l));
+                    prop_assert!(pma.has_edge(w, v));
+                }
+            }
+            // Absent pairs (including fully isolated vertices).
+            for v in 0..30u32 {
+                for w in (0..30u32).step_by(7) {
+                    if v == w || reference.contains_key(&(v.min(w), v.max(w))) {
+                        continue;
+                    }
+                    prop_assert_eq!(pma.edge_label(v, w), None);
+                    prop_assert!(!pma.has_edge(v, w));
+                }
+            }
+        }
+    }
+
+    /// Directory stats: lookups of existing keys must be directory hits,
+    /// never descents, across any batch mix.
+    #[test]
+    fn existing_key_lookups_never_descend(edges in prop::collection::vec((0..40u32, 0..40u32, 0u16..3), 1..60)) {
+        let mut pma = Gpma::new(40, GpmaConfig::default());
+        pma.insert_edges(&edges);
+        let live: Vec<(u32, u32)> = {
+            let mut v = Vec::new();
+            for u in 0..40u32 {
+                for (w, _) in pma.neighbor_run(u) {
+                    if u < w { v.push((u, w)); }
+                }
+            }
+            v
+        };
+        pma.reset_stats();
+        pma.delete_edges(&live);
+        // Deleting only existing keys: directory hits dominate; descents
+        // happen only for stale-head repairs, bounded by the key count.
+        prop_assert!(pma.stats().dir_hits >= 2 * live.len() as u64);
+        pma.assert_consistent();
+    }
+}

@@ -2,9 +2,12 @@
 //! idempotence, and re-segmentation at capacity boundaries.
 //!
 //! These complement the randomized reference-set equivalence in
-//! `pma_props.rs` with deterministic sequences aimed at the store's
-//! structural seams: exact segment fills, root overflow growth, and
-//! drain-to-empty shrink paths.
+//! `pma_props.rs` (and the vertex-directory equivalence in `dir_props.rs`)
+//! with deterministic sequences aimed at the store's structural seams:
+//! exact segment fills, root overflow growth, and drain-to-empty shrink
+//! paths. Every `assert_consistent` call below also cross-checks the
+//! vertex directory against a full scan, so each round-trip doubles as a
+//! directory-maintenance test.
 
 use gamma_gpma::{Gpma, GpmaConfig};
 
@@ -277,6 +280,40 @@ fn drain_to_empty_one_edge_at_a_time() {
         pma.capacity() >= 4,
         "capacity must stay at least one segment"
     );
+}
+
+#[test]
+fn directory_survives_round_trips() {
+    // The directory-indexed read paths must stay exact through the same
+    // churn the round-trip tests above exercise: delete half, re-insert,
+    // repeat, with a shrink and a grow in between. `assert_consistent`
+    // validates the directory structurally; this asserts the *behaviour*
+    // (runs, cursors, labels) against a freshly bulk-loaded twin.
+    let edges = edge_list(28, 70);
+    let (stay, churn) = edges.split_at(35);
+    let churn_keys: Vec<(u32, u32)> = churn.iter().map(|&(u, v, _)| (u, v)).collect();
+    let mut pma = Gpma::new(28, cfg(4));
+    pma.insert_edges(&edges);
+    for _round in 0..4 {
+        pma.delete_edges(&churn_keys);
+        pma.assert_consistent();
+        pma.insert_edges(churn);
+        pma.assert_consistent();
+    }
+    // Twin built in one bulk load — no incremental directory maintenance.
+    let mut twin = Gpma::new(28, cfg(4));
+    twin.insert_edges(&edges);
+    let _ = stay;
+    for v in 0..28u32 {
+        assert_eq!(pma.degree(v), twin.degree(v), "degree of v{v}");
+        let a: Vec<(u32, u16)> = pma.neighbor_run(v).collect();
+        let b: Vec<(u32, u16)> = twin.neighbor_run(v).collect();
+        assert_eq!(a, b, "run of v{v}");
+        let mut cur = pma.run_cursor(v);
+        for (w, l) in b {
+            assert_eq!(pma.run_seek(&mut cur, w), Some(l), "seek v{v}→v{w}");
+        }
+    }
 }
 
 #[test]

@@ -143,6 +143,8 @@ pub fn run_block(tasks: Vec<Box<dyn WarpTask>>, cfg: &DeviceConfig) -> BlockOutc
     stats.num_warps = num_warps;
     stats.global_transactions = ctx.global_transactions;
     stats.shared_accesses = ctx.shared_accesses;
+    stats.buf_reuse = ctx.buf_reuse;
+    stats.buf_alloc = ctx.buf_alloc;
     stats.warp_busy = warps.iter().map(|w| w.busy).collect();
     stats.warp_clock = warps.iter().map(|w| w.clock).collect();
     BlockOutcome { stats }

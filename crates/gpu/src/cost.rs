@@ -36,6 +36,14 @@ impl CostModel {
     /// single transaction.
     pub fn coalesced_read(&self, words: u64, warp_size: u32) -> u64 {
         let transactions = words.div_ceil(warp_size as u64).max(1);
+        self.coalesced_read_rounds(transactions)
+    }
+
+    /// [`CostModel::coalesced_read`] with the transaction count already in
+    /// hand (hot paths compute it with shift arithmetic) — the single
+    /// place the coalesced-read formula lives.
+    #[inline]
+    pub fn coalesced_read_rounds(&self, transactions: u64) -> u64 {
         transactions * self.global_latency
     }
 
@@ -59,7 +67,14 @@ impl CostModel {
         if small == 0 || large == 0 {
             return self.compute;
         }
-        let rounds = small.div_ceil(warp_size as u64);
+        self.coop_intersect_rounds(small.div_ceil(warp_size as u64), large)
+    }
+
+    /// [`CostModel::coop_intersect`] with the round count already in hand
+    /// and both sides known non-empty — the single place the intersection
+    /// formula lives.
+    #[inline]
+    pub fn coop_intersect_rounds(&self, rounds: u64, large: u64) -> u64 {
         let probes = (64 - large.leading_zeros() as u64).max(1);
         rounds * (self.global_latency + probes * self.global_latency / 4 + self.sync)
     }
@@ -69,6 +84,24 @@ impl CostModel {
     pub fn serial_binary_search(&self, n: u64) -> u64 {
         let probes = (64 - n.leading_zeros() as u64).max(1);
         probes * self.global_latency
+    }
+
+    /// Cycles for fetching a key's run head from the per-vertex directory:
+    /// one coalesced global read of the directory entry. Constant — unlike
+    /// a segment-tree descent, it does not grow with the array height,
+    /// which is the whole point of the directory index. Pair with
+    /// [`CostModel::run_search`] for the in-run probe that follows.
+    pub fn directory_locate(&self) -> u64 {
+        self.global_latency
+    }
+
+    /// Cycles for a bounded galloping search inside an adjacency run of
+    /// length `n`: `⌈log2(n+1)⌉` dependent probes, each hitting memory that
+    /// the preceding coalesced run fetch usually staged (so a probe costs a
+    /// fraction of a cold global transaction).
+    pub fn run_search(&self, n: u64) -> u64 {
+        let probes = (64 - n.leading_zeros() as u64).max(1);
+        (probes * self.global_latency / 4).max(self.compute)
     }
 }
 
@@ -104,6 +137,17 @@ mod tests {
         let c = CostModel::default();
         assert_eq!(c.coop_intersect(0, 100, 32), c.compute);
         assert_eq!(c.coop_intersect(100, 0, 32), c.compute);
+    }
+
+    #[test]
+    fn directory_locate_beats_descent() {
+        // The directory's constant lookup must undercut even a shallow
+        // serial descent, and run searches must stay bounded by run size.
+        let c = CostModel::default();
+        assert!(c.directory_locate() < c.serial_binary_search(16));
+        assert!(c.run_search(8) < c.run_search(1 << 20));
+        assert!(c.run_search(1 << 20) < c.serial_binary_search(1 << 20));
+        assert!(c.run_search(0) >= c.compute);
     }
 
     #[test]

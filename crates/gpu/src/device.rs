@@ -90,6 +90,8 @@ impl Device {
                     a.steals += s.steals;
                     a.global_transactions += s.global_transactions;
                     a.shared_accesses += s.shared_accesses;
+                    a.buf_reuse += s.buf_reuse;
+                    a.buf_alloc += s.buf_alloc;
                 });
             }
         });

@@ -19,6 +19,10 @@ pub struct BlockStats {
     pub global_transactions: u64,
     /// Shared-memory accesses charged.
     pub shared_accesses: u64,
+    /// Candidate buffers recycled from task-local pools.
+    pub buf_reuse: u64,
+    /// Candidate buffers freshly heap-allocated (pool misses).
+    pub buf_alloc: u64,
     /// Per-warp busy cycles (index = warp slot), for workload-skew traces.
     pub warp_busy: Vec<u64>,
     /// Per-warp final virtual clocks.
@@ -64,6 +68,12 @@ pub struct KernelStats {
     pub global_transactions: u64,
     /// Total shared accesses.
     pub shared_accesses: u64,
+    /// Candidate buffers recycled from task-local pools across the launch.
+    pub buf_reuse: u64,
+    /// Candidate buffers freshly heap-allocated (pool misses). In the DFS
+    /// steady state this is bounded by tasks × query depth (warm-up);
+    /// per-quantum allocations would make it scale with `busy_cycles`.
+    pub buf_alloc: u64,
     /// Wall-clock time of the launch on the host (informational).
     pub wall_seconds: f64,
 }
@@ -89,6 +99,8 @@ impl KernelStats {
         self.steals += other.steals;
         self.global_transactions += other.global_transactions;
         self.shared_accesses += other.shared_accesses;
+        self.buf_reuse += other.buf_reuse;
+        self.buf_alloc += other.buf_alloc;
         self.wall_seconds += other.wall_seconds;
     }
 }

@@ -25,6 +25,12 @@ pub struct WarpCtx {
     pub global_transactions: u64,
     /// Shared-memory accesses charged during the whole block run.
     pub shared_accesses: u64,
+    /// Candidate buffers recycled from a task-local pool (the
+    /// zero-allocation steady state of the DFS kernel).
+    pub buf_reuse: u64,
+    /// Candidate buffers that had to be freshly heap-allocated (pool miss —
+    /// warm-up only, in steady state this must stop growing).
+    pub buf_alloc: u64,
 }
 
 impl WarpCtx {
@@ -35,6 +41,8 @@ impl WarpCtx {
             step_cycles: 0,
             global_transactions: 0,
             shared_accesses: 0,
+            buf_reuse: 0,
+            buf_alloc: 0,
         }
     }
 
@@ -44,10 +52,24 @@ impl WarpCtx {
         self.step_cycles += cycles;
     }
 
+    /// `⌈words / warp_size⌉.max(1)` without a hardware division for the
+    /// (ubiquitous) power-of-two warp size — these round counts are
+    /// computed on every single charge of the kernel's innermost loop.
+    #[inline]
+    fn warp_rounds(&self, words: u64) -> u64 {
+        if self.warp_size.is_power_of_two() {
+            ((words + self.warp_size as u64 - 1) >> self.warp_size.trailing_zeros()).max(1)
+        } else {
+            words.div_ceil(self.warp_size as u64).max(1)
+        }
+    }
+
     /// Charges a warp-coalesced global read of `words` consecutive words.
+    #[inline]
     pub fn global_read_coalesced(&mut self, words: u64) {
-        self.global_transactions += words.div_ceil(self.warp_size as u64).max(1);
-        let c = self.cost.coalesced_read(words, self.warp_size);
+        let rounds = self.warp_rounds(words);
+        self.global_transactions += rounds;
+        let c = self.cost.coalesced_read_rounds(rounds);
         self.charge(c);
     }
 
@@ -71,12 +93,39 @@ impl WarpCtx {
         self.charge(c);
     }
 
-    /// Charges a warp-cooperative sorted intersection (see
-    /// [`CostModel::coop_intersect`]).
+    /// Charges a warp-cooperative sorted intersection (shift-based round
+    /// count; the formula itself lives in
+    /// [`CostModel::coop_intersect_rounds`]).
+    #[inline]
     pub fn coop_intersect(&mut self, small: u64, large: u64) {
-        self.global_transactions += small.div_ceil(self.warp_size as u64).max(1);
-        let c = self.cost.coop_intersect(small, large, self.warp_size);
+        let rounds = self.warp_rounds(small);
+        self.global_transactions += rounds;
+        if small == 0 || large == 0 {
+            self.charge(self.cost.compute);
+            return;
+        }
+        let c = self.cost.coop_intersect_rounds(rounds, large);
         self.charge(c);
+    }
+
+    /// Charges a vertex-directory lookup (run-head fetch + bounded probe;
+    /// see [`CostModel::directory_locate`]).
+    pub fn dir_locate(&mut self) {
+        self.global_transactions += 1;
+        let c = self.cost.directory_locate();
+        self.charge(c);
+    }
+
+    /// Records a candidate-buffer acquisition: `reused` when it came from
+    /// the task-local pool, fresh heap allocation otherwise. Free (no
+    /// cycles) — this instruments the *host* allocation behaviour that the
+    /// zero-allocation acceptance criterion tracks.
+    pub fn note_buffer(&mut self, reused: bool) {
+        if reused {
+            self.buf_reuse += 1;
+        } else {
+            self.buf_alloc += 1;
+        }
     }
 
     /// Drains and returns the cycles charged since the last drain.

@@ -12,30 +12,49 @@
 //!   the GPMA delete *and* insert paths, and the re-encoding pipeline
 //!   every round.
 //!
+//! Engines: the full GAMMA engine, the WBM ablation, and the multi-device
+//! [`ShardedEngine`] at 1/2/4 shards on the churn workload — the scaling
+//! curve the JSON summary records.
+//!
 //! For every (dataset, class, workload, engine) cell it prints updates/sec
 //! (net structural updates over host wall time), matches/sec, and the
 //! simulated device-cycle total, then writes a machine-readable JSON
-//! summary (default `BENCH_PR4.json`, the start of the perf trajectory).
+//! summary (default `BENCH_PR5.json`; `--smoke` defaults to a
+//! per-invocation file under the system temp dir so parallel CI jobs never
+//! clobber each other — `--out=PATH` is honored everywhere).
 //!
 //! ```text
 //! cargo run --release -p gamma-bench --bin perf_suite             # full
 //! cargo run --release -p gamma-bench --bin perf_suite -- --smoke  # CI
 //! ```
 //!
-//! `--baseline-churn=<updates/sec>` embeds a previously measured pre-PR
-//! churn throughput into the JSON so the speedup is recorded alongside the
-//! new number.
+//! ## CI perf-regression gate
+//!
+//! `--baseline=BENCH_PR4.json --check` compares the run against a
+//! previously committed summary: for every `churn` cell present in both
+//! files (matched on dataset/class/workload/engine, with identical suite
+//! parameters), a drop of more than 30% in updates/sec fails the process
+//! with a non-zero exit — the trajectory must not silently regress.
+//! Violated cells are re-measured up to twice (best-of-3) before failing:
+//! host noise only ever slows a cell down, so a retry clearing the floor
+//! proves health while a genuine regression fails every attempt.
+//! `--baseline-churn=<updates/sec>` still embeds a scalar pre-PR number
+//! into the JSON for the speedup field.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use gamma_bench::{fmt_secs, print_header, print_row, GammaVariant};
-use gamma_core::GammaEngine;
+use gamma_core::{GammaEngine, PartitionStrategy, ShardStealing, ShardedConfig, ShardedEngine};
 use gamma_datasets::{
     generate_queries, sample_deletion_workload, split_insertion_workload, DatasetPreset, QueryClass,
 };
 use gamma_graph::{DynamicGraph, QueryGraph, Update};
+
+/// The regression gate's tolerated throughput drop (fraction of baseline).
+const REGRESSION_TOLERANCE: f64 = 0.30;
 
 /// One measured cell of the suite.
 #[derive(Clone, Debug)]
@@ -83,21 +102,36 @@ struct SuiteParams {
     seed: u64,
     out: String,
     baseline_churn: Option<f64>,
+    baseline_path: Option<String>,
+    check: bool,
 }
 
 impl SuiteParams {
     fn from_args() -> Self {
         let mut map: HashMap<String, String> = HashMap::new();
         let mut smoke = false;
+        let mut check = false;
         for arg in std::env::args().skip(1) {
             if arg == "--smoke" {
                 smoke = true;
+            } else if arg == "--check" {
+                check = true;
             } else if let Some(rest) = arg.strip_prefix("--") {
                 if let Some((k, v)) = rest.split_once('=') {
                     map.insert(k.to_string(), v.to_string());
                 }
             }
         }
+        let default_out = if smoke {
+            // Per-invocation path: parallel CI jobs must not clobber each
+            // other through a shared fixed file.
+            std::env::temp_dir()
+                .join(format!("perf_suite_{}.json", std::process::id()))
+                .to_string_lossy()
+                .into_owned()
+        } else {
+            "BENCH_PR5.json".to_string()
+        };
         let mut p = Self {
             smoke,
             scale: if smoke { 0.05 } else { 0.35 },
@@ -105,8 +139,10 @@ impl SuiteParams {
             rounds: if smoke { 2 } else { 6 },
             batch_rate: 0.04,
             seed: 42,
-            out: "BENCH_PR4.json".to_string(),
+            out: default_out,
             baseline_churn: None,
+            baseline_path: None,
+            check,
         };
         if let Some(v) = map.get("scale") {
             p.scale = v.parse().expect("--scale");
@@ -129,8 +165,19 @@ impl SuiteParams {
         if let Some(v) = map.get("baseline-churn") {
             p.baseline_churn = Some(v.parse().expect("--baseline-churn"));
         }
+        if let Some(v) = map.get("baseline") {
+            p.baseline_path = Some(v.clone());
+        }
         p
     }
+}
+
+/// An engine under measurement: the single-device variants plus the
+/// sharded engine's scaling column.
+#[derive(Clone, Copy, Debug)]
+enum EngineUnderTest {
+    Gamma(GammaVariant),
+    Sharded(usize),
 }
 
 /// Applies `batches` to a fresh engine, accumulating throughput numbers.
@@ -138,12 +185,9 @@ fn run_engine(
     g0: &DynamicGraph,
     q: &QueryGraph,
     batches: &[Vec<Update>],
-    variant: GammaVariant,
+    under_test: EngineUnderTest,
     names: (&'static str, &'static str, &'static str, &'static str),
 ) -> Sample {
-    let mut cfg = variant.config(120.0);
-    cfg.collect_matches = false;
-    let mut engine = GammaEngine::new(g0.clone(), q, cfg);
     let mut s = Sample {
         dataset: names.0,
         class: names.1,
@@ -155,14 +199,40 @@ fn run_engine(
         sim_cycles: 0,
         batches: 0,
     };
-    for batch in batches {
-        let t0 = Instant::now();
-        let r = engine.apply_batch(batch);
-        s.wall_seconds += t0.elapsed().as_secs_f64();
+    let account = |s: &mut Sample, wall: f64, r: gamma_core::BatchResult| {
+        s.wall_seconds += wall;
         s.updates += r.stats.net_updates as u64;
         s.matches += r.positive_count + r.negative_count;
         s.sim_cycles += r.stats.update_cycles + r.stats.kernel.device_cycles;
         s.batches += 1;
+    };
+    match under_test {
+        EngineUnderTest::Gamma(variant) => {
+            let mut cfg = variant.config(120.0);
+            cfg.collect_matches = false;
+            let mut engine = GammaEngine::new(g0.clone(), q, cfg);
+            for batch in batches {
+                let t0 = Instant::now();
+                let r = engine.apply_batch(batch);
+                account(&mut s, t0.elapsed().as_secs_f64(), r);
+            }
+        }
+        EngineUnderTest::Sharded(shards) => {
+            let mut base = GammaVariant::FULL.config(120.0);
+            base.collect_matches = false;
+            let cfg = ShardedConfig {
+                base,
+                num_shards: shards,
+                strategy: PartitionStrategy::Hash,
+                stealing: ShardStealing::Active,
+            };
+            let mut engine = ShardedEngine::new(g0.clone(), q, cfg);
+            for batch in batches {
+                let t0 = Instant::now();
+                let r = engine.apply_batch(batch);
+                account(&mut s, t0.elapsed().as_secs_f64(), r);
+            }
+        }
     }
     s
 }
@@ -231,7 +301,7 @@ fn write_json(path: &str, samples: &[Sample], p: &SuiteParams) -> std::io::Resul
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"suite\": \"perf_suite\",");
-    let _ = writeln!(j, "  \"pr\": 4,");
+    let _ = writeln!(j, "  \"pr\": 5,");
     let _ = writeln!(j, "  \"smoke\": {},", p.smoke);
     let _ = writeln!(j, "  \"scale\": {},", p.scale);
     let _ = writeln!(j, "  \"query_size\": {},", p.query_size);
@@ -300,7 +370,148 @@ fn write_json(path: &str, samples: &[Sample], p: &SuiteParams) -> std::io::Resul
     std::fs::write(path, j)
 }
 
-fn main() {
+// ---------------------------------------------------------------------------
+// Baseline parsing + the regression gate
+// ---------------------------------------------------------------------------
+
+/// A baseline cell parsed back out of a committed summary.
+#[derive(Debug)]
+struct BaselineCell {
+    dataset: String,
+    class: String,
+    workload: String,
+    engine: String,
+    updates_per_sec: f64,
+}
+
+/// Extracts `"key": "value"` from one JSON line of our own writer.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts `"key": <number>` from one JSON line of our own writer.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..]
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .map(|e| e + start)
+        .unwrap_or(line.len());
+    line[start..end].parse().ok()
+}
+
+/// Parses a committed `perf_suite` summary (the line-oriented format this
+/// binary writes — one cell object per line).
+fn parse_baseline(text: &str) -> (HashMap<String, f64>, Vec<BaselineCell>) {
+    let mut params = HashMap::new();
+    let mut cells = Vec::new();
+    let mut in_cells = false;
+    for line in text.lines() {
+        if line.contains("\"cells\"") {
+            in_cells = true;
+        }
+        if in_cells && line.trim_start().starts_with('{') && line.contains("\"dataset\"") {
+            if let (Some(dataset), Some(class), Some(workload), Some(engine), Some(ups)) = (
+                field_str(line, "dataset"),
+                field_str(line, "class"),
+                field_str(line, "workload"),
+                field_str(line, "engine"),
+                field_num(line, "updates_per_sec"),
+            ) {
+                cells.push(BaselineCell {
+                    dataset,
+                    class,
+                    workload,
+                    engine,
+                    updates_per_sec: ups,
+                });
+            }
+        } else if !in_cells {
+            for key in ["scale", "query_size", "rounds", "batch_rate", "seed"] {
+                if line.trim_start().starts_with(&format!("\"{key}\"")) {
+                    if let Some(v) = field_num(line, key) {
+                        params.insert(key.to_string(), v);
+                    }
+                }
+            }
+        }
+    }
+    (params, cells)
+}
+
+/// The perf-regression gate: every `churn` cell shared with the baseline
+/// must hold at least `1 - REGRESSION_TOLERANCE` of its throughput.
+/// Returns the violating `(sample index, message)` pairs (empty = pass).
+fn check_regressions(samples: &[Sample], baseline: &[BaselineCell]) -> Vec<(usize, String)> {
+    let mut violations = Vec::new();
+    for b in baseline.iter().filter(|b| b.workload == "churn") {
+        let Some((i, s)) = samples.iter().enumerate().find(|(_, s)| {
+            s.dataset == b.dataset
+                && s.class == b.class
+                && s.workload == b.workload
+                && s.engine == b.engine
+        }) else {
+            continue; // cell no longer measured (engine removed / renamed)
+        };
+        let floor = b.updates_per_sec * (1.0 - REGRESSION_TOLERANCE);
+        if s.updates_per_sec() < floor {
+            violations.push((
+                i,
+                format!(
+                    "{}/{}/{}/{}: {:.0} upd/s < floor {:.0} (baseline {:.0}, -{:.0}%)",
+                    b.dataset,
+                    b.class,
+                    b.workload,
+                    b.engine,
+                    s.updates_per_sec(),
+                    floor,
+                    b.updates_per_sec,
+                    (1.0 - s.updates_per_sec() / b.updates_per_sec) * 100.0
+                ),
+            ));
+        }
+    }
+    violations
+}
+
+/// Re-measures one sample's cell from scratch and keeps the better of the
+/// two measurements. Wall-clock throughput is one-sided under host noise —
+/// interference can only make a healthy cell look slow, never a regressed
+/// cell look fast — so best-of-N retries reject noise without masking real
+/// regressions.
+fn remeasure(sample: &Sample, p: &SuiteParams) -> Option<Sample> {
+    let preset = [DatasetPreset::GH, DatasetPreset::AZ, DatasetPreset::NF]
+        .into_iter()
+        .find(|d| d.name() == sample.dataset)?;
+    let class = QueryClass::ALL
+        .iter()
+        .copied()
+        .find(|c| c.name() == sample.class)?;
+    let under_test = match sample.engine {
+        "GAMMA" => EngineUnderTest::Gamma(GammaVariant::FULL),
+        "WBM" => EngineUnderTest::Gamma(GammaVariant::WBM),
+        "SHARD1" => EngineUnderTest::Sharded(1),
+        "SHARD2" => EngineUnderTest::Sharded(2),
+        "SHARD4" => EngineUnderTest::Sharded(4),
+        _ => return None,
+    };
+    let (q, workloads) = build_workloads(preset, class, p)?;
+    let (wname, g0, batches) = workloads
+        .into_iter()
+        .find(|(w, _, _)| *w == sample.workload)?;
+    Some(run_engine(
+        &g0,
+        &q,
+        &batches,
+        under_test,
+        (sample.dataset, sample.class, wname, sample.engine),
+    ))
+}
+
+fn main() -> ExitCode {
     let p = SuiteParams::from_args();
     let presets: Vec<DatasetPreset> = if p.smoke {
         vec![DatasetPreset::GH]
@@ -311,11 +522,6 @@ fn main() {
         vec![QueryClass::Tree]
     } else {
         QueryClass::ALL.to_vec()
-    };
-    let engines: Vec<(&'static str, GammaVariant)> = if p.smoke {
-        vec![("GAMMA", GammaVariant::FULL)]
-    } else {
-        vec![("GAMMA", GammaVariant::FULL), ("WBM", GammaVariant::WBM)]
     };
 
     println!(
@@ -346,12 +552,25 @@ fn main() {
                 continue;
             };
             for (wname, g0, batches) in &workloads {
-                for &(ename, variant) in &engines {
+                // The sharded scaling column runs on the steady-state
+                // churn workload; insert/delete keep the two single-device
+                // variants (bounded suite runtime).
+                let mut engines: Vec<(&'static str, EngineUnderTest)> =
+                    vec![("GAMMA", EngineUnderTest::Gamma(GammaVariant::FULL))];
+                if !p.smoke {
+                    engines.push(("WBM", EngineUnderTest::Gamma(GammaVariant::WBM)));
+                    if *wname == "churn" {
+                        engines.push(("SHARD1", EngineUnderTest::Sharded(1)));
+                        engines.push(("SHARD2", EngineUnderTest::Sharded(2)));
+                        engines.push(("SHARD4", EngineUnderTest::Sharded(4)));
+                    }
+                }
+                for &(ename, under_test) in &engines {
                     let s = run_engine(
                         g0,
                         &q,
                         batches,
-                        variant,
+                        under_test,
                         (preset.name(), class.name(), wname, ename),
                     );
                     print_row(&[
@@ -374,4 +593,98 @@ fn main() {
 
     write_json(&p.out, &samples, &p).expect("write JSON summary");
     println!("\nwrote {}", p.out);
+
+    if p.check && p.baseline_path.is_none() {
+        eprintln!("perf gate: --check requires --baseline=FILE (nothing to compare against)");
+        return ExitCode::from(2);
+    }
+    if let Some(path) = &p.baseline_path {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let (params, cells) = parse_baseline(&text);
+        let baseline_churn_cells = cells.iter().filter(|c| c.workload == "churn").count();
+        if p.check && baseline_churn_cells == 0 {
+            eprintln!(
+                "perf gate: baseline {path} contains no parseable churn cells — \
+                 the gate would pass vacuously, refusing"
+            );
+            return ExitCode::from(2);
+        }
+        // Refuse apples-to-oranges comparisons: the baseline must have
+        // been recorded under the same suite parameters.
+        let ours: [(&str, f64); 5] = [
+            ("scale", p.scale),
+            ("query_size", p.query_size as f64),
+            ("rounds", p.rounds as f64),
+            ("batch_rate", p.batch_rate),
+            ("seed", p.seed as f64),
+        ];
+        for (key, mine) in ours {
+            // A missing key must refuse too (NaN compares false with
+            // everything, so `unwrap_or(NAN)` would silently pass).
+            let Some(theirs) = params.get(key).copied() else {
+                eprintln!(
+                    "perf gate: baseline {path} does not record \"{key}\" — \
+                     unparseable or pre-gate format, refusing to compare"
+                );
+                return ExitCode::from(2);
+            };
+            if (theirs - mine).abs() > 1e-9 {
+                eprintln!(
+                    "perf gate: baseline {path} was recorded with {key}={theirs}, \
+                     this run uses {key}={mine} — refusing to compare"
+                );
+                return ExitCode::from(2);
+            }
+        }
+        let mut violations = check_regressions(&samples, &cells);
+        // Best-of-3: re-measure violated cells before failing. Host noise
+        // is one-sided (it only slows cells down), so a retry that clears
+        // the floor proves the cell healthy, while a real regression
+        // stays below it on every attempt.
+        for attempt in 1..=2 {
+            if !p.check || violations.is_empty() {
+                break;
+            }
+            eprintln!(
+                "perf gate: {} violation(s), re-measuring (attempt {attempt}/2) \
+                 to reject host noise",
+                violations.len()
+            );
+            for &(i, _) in &violations {
+                if let Some(fresh) = remeasure(&samples[i], &p) {
+                    if fresh.updates_per_sec() > samples[i].updates_per_sec() {
+                        samples[i] = fresh;
+                    }
+                }
+            }
+            violations = check_regressions(&samples, &cells);
+            // Keep the JSON summary consistent with the retained (best)
+            // measurements.
+            write_json(&p.out, &samples, &p).expect("rewrite JSON summary");
+        }
+        if p.check && !violations.is_empty() {
+            eprintln!(
+                "\nperf gate FAILED vs {path} (>{:.0}% churn regression):",
+                REGRESSION_TOLERANCE * 100.0
+            );
+            for (_, v) in &violations {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perf gate vs {path}: {} churn cell(s) compared, {}",
+            baseline_churn_cells,
+            if violations.is_empty() {
+                "no regressions".to_string()
+            } else {
+                format!(
+                    "{} regression(s) (informational, no --check)",
+                    violations.len()
+                )
+            }
+        );
+    }
+    ExitCode::SUCCESS
 }

@@ -299,12 +299,12 @@ impl GammaEngine {
 }
 
 /// A guard whose thread sets `abort` after `timeout` unless dropped first.
-struct Watchdog {
+pub(crate) struct Watchdog {
     cancel: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
-fn spawn_watchdog(timeout: Duration, abort: &Arc<AtomicBool>) -> Watchdog {
+pub(crate) fn spawn_watchdog(timeout: Duration, abort: &Arc<AtomicBool>) -> Watchdog {
     let cancel = Arc::new(AtomicBool::new(false));
     let c = Arc::clone(&cancel);
     let a = Arc::clone(abort);

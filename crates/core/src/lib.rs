@@ -15,6 +15,9 @@
 //! * [`engine`] — the synchronous engine tying the stages together.
 //! * [`pipeline`] — the asynchronous pipelined variant of Figure 3
 //!   (preprocessing of batch k+1 overlaps the device work of batch k).
+//! * [`shard`] — the multi-device sharded engine: hash/range vertex
+//!   partitioning, boundary-replicated per-shard GPMA stores, partial
+//!   embeddings migrating between devices, inter-device work stealing.
 //!
 //! ## Example
 //!
@@ -48,6 +51,7 @@ pub mod encoding;
 pub mod engine;
 pub mod order;
 pub mod pipeline;
+pub mod shard;
 pub mod wbm;
 
 pub use auto::CoalescedPlan;
@@ -55,4 +59,7 @@ pub use bfs::{run_bfs_phase, BfsReport};
 pub use encoding::{CandidateTable, EncodingScheme, IncrementalEncoder};
 pub use engine::{BatchResult, BatchStats, GammaConfig, GammaEngine, StealingMode};
 pub use pipeline::{PipelineOutput, PipelinedEngine};
+pub use shard::{
+    Partition, PartitionStrategy, ShardStats, ShardStealing, ShardedConfig, ShardedEngine,
+};
 pub use wbm::{QueryMeta, SeedPlan, WbmTask};

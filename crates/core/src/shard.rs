@@ -1,0 +1,1354 @@
+//! Multi-device sharded engine: the data graph partitioned across N
+//! simulated devices, with cross-shard work stealing.
+//!
+//! The paper's engine is single-GPU; this module scales it along the axis
+//! the ROADMAP calls for — **sharding** — by generalizing the paper's
+//! warp-level stealing one level up, to an inter-device tier:
+//!
+//! * A [`Partition`] assigns every data vertex an **owner shard** (hash or
+//!   range, §GSI-style partition-local candidate generation). Each
+//!   [`ShardedEngine`] shard owns its own GPMA edge store, NLF encoder +
+//!   candidate-table replica, and its own simulated [`Device`].
+//! * **Storage invariant** — a shard's GPMA holds the *complete* sorted
+//!   neighbor run of every vertex in its **resident set**: the vertices it
+//!   owns plus the replicated one-hop boundary frontier (every vertex
+//!   adjacent to an owned vertex). Cross-shard edges therefore appear in
+//!   both endpoint shards; the O(|V|) vertex metadata (NLF codes,
+//!   candidate rows, degrees) is replicated on every shard, while the
+//!   O(|E|) edge store — the dominant term — is partitioned.
+//! * **Owner-compute rule** — a DFS generates the candidates of a level by
+//!   scanning the run of one matched *base* vertex and verifying backward
+//!   edges against each candidate's own run. Both are guaranteed local
+//!   when the scan executes on the shard that **owns** the base vertex
+//!   (candidates are the base's neighbors, hence boundary-resident there).
+//!   When a partial embedding's next base is owned elsewhere, the DFS
+//!   state **migrates**: it is pushed onto the owning shard's inbox and
+//!   resumes there in the next round.
+//! * **BSP rounds** — per kernel phase, every shard launches its pending
+//!   tasks on its own device inside one `std::thread::scope`; migrants
+//!   produced during the round are exchanged at the round barrier, and the
+//!   phase ends when every inbox drains. Simulated device time for a round
+//!   is the *max* over shards (they run in parallel).
+//! * **Inter-device stealing** ([`ShardStealing`], the tier above
+//!   [`crate::StealingMode`]) — at each barrier, a shard with an empty
+//!   inbox may steal migrants bound for a loaded shard, *if* it can
+//!   execute them: the migrant's pending base must be resident on the
+//!   thief (a replicated boundary vertex) and the pending level must have
+//!   no secondary backward edges (whose checks would read non-resident
+//!   candidate runs).
+//!
+//! Results are bit-identical to [`GammaEngine`](crate::GammaEngine):
+//! candidate generation at
+//! any level reads complete local information wherever it executes, so the
+//! distributed DFS enumerates exactly the single-device match set —
+//! `tests/differential.rs` replays every workload through 1/2/4 shards
+//! under the same oracle.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gamma_gpma::Gpma;
+use gamma_gpu::{Device, KernelStats, StepResult, WarpCtx, WarpTask};
+use gamma_graph::{
+    edge_key, DynamicGraph, ELabel, QueryGraph, Update, UpdateBatch, VLabel, VMatch, VertexId,
+};
+use parking_lot::Mutex;
+
+use crate::encoding::{CandidateTable, IncrementalEncoder};
+use crate::engine::{BatchResult, GammaConfig};
+use crate::wbm::{QueryMeta, UpdateOrder};
+
+/// Candidate attempts processed per scheduler quantum (matches the
+/// single-device kernel's granularity so intra-shard stealing stays fine).
+const ATTEMPTS_PER_STEP: usize = 4;
+/// Local match-buffer size before flushing to the shared sink.
+const FLUSH_THRESHOLD: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------------
+
+/// Vertex partitioning strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Multiplicative hash of the vertex id (uniform, placement-oblivious).
+    #[default]
+    Hash,
+    /// Contiguous id blocks of `ceil(|V|/N)` (locality-preserving for
+    /// generators that emit community-clustered ids).
+    Range,
+}
+
+/// A static vertex → owner-shard assignment.
+///
+/// `Copy` so kernel tasks can carry it without an `Arc` hop; late-added
+/// vertices (ids ≥ the build-time `|V|`) still get a deterministic owner
+/// (hash: by hashing; range: the last shard absorbs the tail).
+#[derive(Clone, Copy, Debug)]
+pub struct Partition {
+    strategy: PartitionStrategy,
+    num_shards: u32,
+    /// Range block width (unused for hash).
+    block: u32,
+}
+
+/// SplitMix64 finalizer — well-mixed, cheap, dependency-free.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl Partition {
+    /// Builds the assignment for `num_vertices` ids over `num_shards`.
+    pub fn new(strategy: PartitionStrategy, num_shards: usize, num_vertices: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        let block = num_vertices.div_ceil(num_shards).max(1) as u32;
+        Self {
+            strategy,
+            num_shards: num_shards as u32,
+            block,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards as usize
+    }
+
+    /// The owner shard of vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        match self.strategy {
+            PartitionStrategy::Hash => (splitmix64(v as u64) % self.num_shards as u64) as usize,
+            PartitionStrategy::Range => ((v / self.block).min(self.num_shards - 1)) as usize,
+        }
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// Owner of every vertex in `0..n` (testing / load-analysis aid).
+    pub fn assignments(&self, n: usize) -> Vec<usize> {
+        (0..n as VertexId).map(|v| self.owner(v)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration & stats
+// ---------------------------------------------------------------------------
+
+/// Inter-device work stealing strategy — the tier above the per-block
+/// [`crate::StealingMode`] each shard's device still runs internally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ShardStealing {
+    /// Migrants execute only on their owner shard.
+    Off,
+    /// At each round barrier, idle shards steal residency-eligible
+    /// migrants from the most loaded inbox.
+    #[default]
+    Active,
+}
+
+/// Configuration of the sharded engine.
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// Per-shard engine configuration (device shape, counter bits, match
+    /// collection, limits). `coalesced_search` is ignored: the sharded
+    /// kernel always searches one seed per query edge, which produces the
+    /// identical match set.
+    pub base: GammaConfig,
+    /// Number of simulated devices.
+    pub num_shards: usize,
+    /// Vertex partitioning strategy.
+    pub strategy: PartitionStrategy,
+    /// Inter-device stealing tier.
+    pub stealing: ShardStealing,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            base: GammaConfig::default(),
+            num_shards: 2,
+            strategy: PartitionStrategy::Hash,
+            stealing: ShardStealing::Active,
+        }
+    }
+}
+
+/// Cumulative cross-shard statistics (over the engine's lifetime).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Partial embeddings shipped to another shard's inbox.
+    pub migrations: u64,
+    /// Migrants executed by a non-owner shard via inter-device stealing.
+    pub shard_steals: u64,
+    /// BSP rounds executed across all kernel phases.
+    pub rounds: u64,
+    /// Kernel phases launched.
+    pub phases: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Shard state
+// ---------------------------------------------------------------------------
+
+/// One simulated device: its partition-local edge store plus replicated
+/// vertex metadata.
+struct Shard {
+    gpma: Option<Gpma>,
+    encoder: IncrementalEncoder,
+    table: Option<CandidateTable>,
+    device: Device,
+    /// Vertices whose neighbor run is complete in this shard's store:
+    /// owned ∪ one-hop boundary. Monotone — an edge deletion never evicts
+    /// a replica (its run simply stays maintained). Behind an `Arc` so
+    /// kernel launches snapshot it for free (it never changes mid-phase).
+    resident: Arc<Vec<bool>>,
+}
+
+impl Shard {
+    /// Marks `v` resident, growing the flag vector as needed.
+    fn mark_resident(&mut self, v: VertexId) {
+        let flags = Arc::make_mut(&mut self.resident);
+        let vi = v as usize;
+        if vi >= flags.len() {
+            flags.resize(vi + 1, false);
+        }
+        flags[vi] = true;
+    }
+
+    #[inline]
+    fn is_resident(&self, v: VertexId) -> bool {
+        self.resident.get(v as usize).copied().unwrap_or(false)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The migrating DFS kernel
+// ---------------------------------------------------------------------------
+
+/// One DFS frame; the candidate at `p` is always assigned in `m` (unlike
+/// the single-device kernel, top frames included — migration serializes
+/// cleanly that way).
+#[derive(Clone, Debug)]
+struct SFrame {
+    cands: Vec<VertexId>,
+    p: usize,
+}
+
+/// A partial embedding in flight between shards: one DFS *subtree* — the
+/// assignments below the pending scan of level `base_level`. The parent
+/// enumeration stays on the sending shard (it advances to its next
+/// candidate immediately), so a migration ships a single match record and
+/// never a frame stack, and the two shards expand disjoint subtrees in
+/// parallel.
+#[derive(Clone, Debug)]
+struct Migrant {
+    anchor: (VertexId, VertexId, ELabel),
+    anchor_order: u32,
+    seed: usize,
+    base_level: usize,
+    m: VMatch,
+}
+
+impl Migrant {
+    /// Whether shard-stealing may run this migrant on `thief`: the base
+    /// run must be locally complete, and the pending level must have no
+    /// secondary backward edges (their verification reads candidate runs,
+    /// which only the owner's boundary replication guarantees).
+    fn steal_eligible(&self, meta: &QueryMeta, thief: &Shard) -> bool {
+        let mut back = Vec::new();
+        backward_neighbors(meta, self.seed, self.base_level, &self.m, &mut back);
+        back.len() == 1 && thief.is_resident(back[0].0)
+    }
+}
+
+/// The matched backward neighbors of `order[level]` under partial match
+/// `m`: `(data vertex, required edge label)`, in query-adjacency order.
+///
+/// This is the **single definition** used both by the kernel's scans and
+/// by [`Migrant::steal_eligible`] — the two must agree exactly, or a
+/// thief could be licensed to run a scan whose actual reads touch a
+/// non-resident (incomplete) run and silently drop matches.
+fn backward_neighbors(
+    meta: &QueryMeta,
+    seed: usize,
+    level: usize,
+    m: &VMatch,
+    out: &mut Vec<(VertexId, ELabel)>,
+) {
+    out.clear();
+    let qv = meta.seeds[seed].order[level];
+    for &(un, el) in meta.q.neighbors(qv) {
+        if let Some(dv) = m.get(un) {
+            out.push((dv, el));
+        }
+    }
+}
+
+/// The cross-shard routing fabric of one kernel phase.
+struct Router {
+    inboxes: Vec<Mutex<Vec<Migrant>>>,
+    migrations: AtomicU64,
+}
+
+impl Router {
+    fn new(num_shards: usize) -> Self {
+        Self {
+            inboxes: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            migrations: AtomicU64::new(0),
+        }
+    }
+
+    fn send(&self, shard: usize, m: Migrant) {
+        self.inboxes[shard].lock().push(m);
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn drain(&self) -> Vec<Vec<Migrant>> {
+        self.inboxes
+            .iter()
+            .map(|i| std::mem::take(&mut *i.lock()))
+            .collect()
+    }
+}
+
+/// Phase-wide state shared by every task of one shard's launch.
+struct ShardShared {
+    shard_id: usize,
+    partition: Partition,
+    gpma: Gpma,
+    table: CandidateTable,
+    meta: Arc<QueryMeta>,
+    update_order: Arc<UpdateOrder>,
+    /// Replicated true degrees (the shard-local GPMA undercounts
+    /// non-resident vertices, which must not influence base selection).
+    degrees: Arc<Vec<u32>>,
+    /// This shard's resident set (runs locally complete), snapshotted for
+    /// the phase — the locality fast-path's authority.
+    resident: Arc<Vec<bool>>,
+    router: Arc<Router>,
+    sink: Arc<Mutex<Vec<VMatch>>>,
+    match_count: Arc<AtomicU64>,
+    collect: bool,
+    abort: Arc<AtomicBool>,
+    match_limit: u64,
+}
+
+impl ShardShared {
+    fn note_matches(&self, n: u64) {
+        let total = self.match_count.fetch_add(n, Ordering::Relaxed) + n;
+        if total > self.match_limit {
+            self.abort.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The running DFS of one seed on one shard.
+#[derive(Clone, Debug)]
+struct SDfs {
+    seed: usize,
+    base_level: usize,
+    m: VMatch,
+    frames: Vec<SFrame>,
+    /// `true` → the next action is generating candidates for level
+    /// `base_level + frames.len()`; `false` → advance the top frame.
+    pending_scan: bool,
+    /// The pending scan may run here regardless of ownership (set on
+    /// migrant arrival; consumed by the first scan).
+    authorized: bool,
+}
+
+/// What a scan decided to do with the state.
+enum ScanOutcome {
+    /// Keep driving this state locally.
+    Continue(SDfs),
+    /// DFS exhausted (any migrated subtrees continue elsewhere).
+    Done,
+}
+
+/// The sharded warp task: one update edge's seeds, driven with the same
+/// dedup rule and candidate gates as the single-device kernel, plus the
+/// migration check before every candidate-generation scan.
+struct ShardTask {
+    shared: Arc<ShardShared>,
+    v1: VertexId,
+    v2: VertexId,
+    elabel: ELabel,
+    anchor_order: u32,
+    /// Seeds not yet started: `(seed index, flipped orientation)`.
+    seed_queue: std::collections::VecDeque<(usize, bool)>,
+    state: Option<SDfs>,
+    local: Vec<VMatch>,
+    local_count: u64,
+    /// Recycled candidate buffers: popped DFS frames return their vectors
+    /// here and new scans draw from here, so steady-state quanta perform
+    /// no heap allocation (the single-device kernel's pool discipline).
+    pool: Vec<Vec<VertexId>>,
+    /// Reusable backward-neighbor scratch for the pending scan.
+    backward_buf: Vec<(VertexId, ELabel)>,
+    /// Reusable secondary-backward-edge scratch inside `scan_into`.
+    others_buf: Vec<(VertexId, ELabel)>,
+}
+
+impl ShardTask {
+    /// A fresh anchor task (all seeds pending, ownership checked on every
+    /// scan).
+    fn for_anchor(shared: Arc<ShardShared>, anchor: &Update, order: u32) -> Self {
+        let mut seed_queue = std::collections::VecDeque::new();
+        for (si, _) in shared.meta.seeds.iter().enumerate() {
+            seed_queue.push_back((si, false));
+            seed_queue.push_back((si, true));
+        }
+        Self {
+            shared,
+            v1: anchor.u,
+            v2: anchor.v,
+            elabel: anchor.label,
+            anchor_order: order,
+            seed_queue,
+            state: None,
+            local: Vec::new(),
+            local_count: 0,
+            pool: Vec::new(),
+            backward_buf: Vec::new(),
+            others_buf: Vec::new(),
+        }
+    }
+
+    /// Resumes an arrived migrant (first scan authorized: the router only
+    /// delivers to the owner or to a residency-eligible thief).
+    fn for_migrant(shared: Arc<ShardShared>, mig: Migrant) -> Self {
+        Self {
+            shared,
+            v1: mig.anchor.0,
+            v2: mig.anchor.1,
+            elabel: mig.anchor.2,
+            anchor_order: mig.anchor_order,
+            seed_queue: std::collections::VecDeque::new(),
+            state: Some(SDfs {
+                seed: mig.seed,
+                base_level: mig.base_level,
+                m: mig.m,
+                frames: Vec::new(),
+                pending_scan: true,
+                authorized: true,
+            }),
+            local: Vec::new(),
+            local_count: 0,
+            pool: Vec::new(),
+            backward_buf: Vec::new(),
+            others_buf: Vec::new(),
+        }
+    }
+
+    /// Draws a candidate buffer from the task-local pool (warm-up
+    /// allocates; steady state recycles), reporting which to the stats.
+    fn take_buf(&mut self, ctx: &mut WarpCtx) -> Vec<VertexId> {
+        match self.pool.pop() {
+            Some(mut b) => {
+                ctx.note_buffer(true);
+                b.clear();
+                b
+            }
+            None => {
+                ctx.note_buffer(false);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a candidate buffer to the pool.
+    #[inline]
+    fn recycle(&mut self, buf: Vec<VertexId>) {
+        self.pool.push(buf);
+    }
+
+    fn flush(&mut self) {
+        if self.local_count > 0 {
+            self.shared.note_matches(self.local_count);
+            self.local_count = 0;
+        }
+        if !self.local.is_empty() {
+            self.shared.sink.lock().append(&mut self.local);
+        }
+    }
+
+    fn emit(&mut self, m: VMatch) {
+        self.local_count += 1;
+        if self.shared.collect {
+            self.local.push(m);
+        }
+        if self.local.len() >= FLUSH_THRESHOLD || self.local_count >= FLUSH_THRESHOLD as u64 {
+            self.flush();
+        }
+    }
+
+    /// Seed validation, identical to the single-device kernel: edge label
+    /// plus the candidate gate on both anchored vertices.
+    fn start_seed(&self, si: usize, flipped: bool, ctx: &mut WarpCtx) -> Option<SDfs> {
+        let seed = &self.shared.meta.seeds[si];
+        let (x, y) = if flipped {
+            (self.v2, self.v1)
+        } else {
+            (self.v1, self.v2)
+        };
+        ctx.compute(4);
+        if seed.elabel != self.elabel {
+            return None;
+        }
+        ctx.shared_access(2);
+        if !self.shared.table.is_candidate(x, seed.a) || !self.shared.table.is_candidate(y, seed.b)
+        {
+            return None;
+        }
+        let mut m = VMatch::EMPTY;
+        m.set(seed.a, x);
+        m.set(seed.b, y);
+        Some(SDfs {
+            seed: si,
+            base_level: 2,
+            m,
+            frames: Vec::new(),
+            pending_scan: true,
+            authorized: false,
+        })
+    }
+
+    /// Streams every valid candidate of `st`'s pending level into `sink`,
+    /// in ascending vertex order. Semantics mirror the single-device
+    /// `GenCandidates` exactly — base-run scan, candidate-table gate,
+    /// injectivity, the anchor-order dedup rule on every backward update
+    /// edge — but backward adjacency is verified against the *candidate's*
+    /// run (local by the boundary-replication invariant) instead of the
+    /// matched vertex's.
+    fn scan_into(
+        &mut self,
+        st: &SDfs,
+        base: VertexId,
+        backward: &[(VertexId, ELabel)],
+        ctx: &mut WarpCtx,
+        mut sink: impl FnMut(VertexId),
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let anchor_order = self.anchor_order;
+        let seed = &shared.meta.seeds[st.seed];
+        let level = st.base_level + st.frames.len();
+        let qv = seed.order[level];
+        let base_el = backward
+            .iter()
+            .find(|&&(dv, _)| dv == base)
+            .expect("base is backward")
+            .1;
+        // Secondary backward edges, ascending by data vertex so each
+        // candidate's run cursor gallops monotonically.
+        let mut others = std::mem::take(&mut self.others_buf);
+        others.clear();
+        others.extend(backward.iter().copied().filter(|&(dv, _)| dv != base));
+        others.sort_unstable();
+        let gpma = &shared.gpma;
+        let uo = &shared.update_order;
+        let bdeg = gpma.degree(base) as u64;
+        ctx.dir_locate();
+        ctx.global_read_coalesced(bdeg * 2);
+        ctx.global_read_coalesced(bdeg); // candidate-table rows
+        ctx.compute(bdeg);
+        gpma.for_each_neighbor(base, |cand, el| {
+            if el != base_el {
+                return;
+            }
+            if !shared.table.is_candidate(cand, qv) {
+                return;
+            }
+            if st.m.uses(cand) {
+                return;
+            }
+            if let Some(o) = uo.get(edge_key(base, cand)) {
+                if o < anchor_order {
+                    return;
+                }
+            }
+            // Verify the remaining backward edges on the candidate's own
+            // run (complete wherever the owner-compute / steal-eligibility
+            // rules let this scan execute).
+            if !others.is_empty() {
+                let mut cur = gpma.run_cursor(cand);
+                for &(dv, del) in &others {
+                    match gpma.run_seek(&mut cur, dv) {
+                        Some(l) if l == del => {
+                            if let Some(o) = uo.get(edge_key(dv, cand)) {
+                                if o < anchor_order {
+                                    return;
+                                }
+                            }
+                        }
+                        _ => return,
+                    }
+                }
+            }
+            sink(cand);
+        });
+        for &(dv, _) in &others {
+            let odeg = shared.degrees.get(dv as usize).copied().unwrap_or(1) as u64;
+            ctx.coop_intersect(bdeg, odeg.max(1));
+        }
+        self.others_buf = others;
+    }
+
+    /// Runs the pending scan of `st` — migrating instead if the base
+    /// vertex is owned elsewhere and the scan is not steal-authorized.
+    fn scan_or_migrate(&mut self, mut st: SDfs, ctx: &mut WarpCtx) -> ScanOutcome {
+        let meta = Arc::clone(&self.shared.meta);
+        let seed = &meta.seeds[st.seed];
+        let n = seed.order.len();
+        let level = st.base_level + st.frames.len();
+        if level == n {
+            // Degenerate 2-vertex query: the anchors are the whole match.
+            self.emit(st.m);
+            return ScanOutcome::Done;
+        }
+        let qv = seed.order[level];
+        let mut backward = std::mem::take(&mut self.backward_buf);
+        backward_neighbors(&meta, st.seed, level, &st.m, &mut backward);
+        let base = backward
+            .iter()
+            .map(|&(dv, _)| dv)
+            .min_by_key(|&dv| {
+                (
+                    self.shared.degrees.get(dv as usize).copied().unwrap_or(0),
+                    dv,
+                )
+            })
+            .expect("connected matching order");
+        let owner = self.shared.partition.owner(base);
+        // Locality fast-path: with no secondary backward edges the scan
+        // only reads the base's run and replicated metadata, so any shard
+        // where the base is *resident* (a boundary replica) may run it —
+        // the same soundness argument that licenses inter-device stealing.
+        // With secondary edges the candidates' own runs are read too, and
+        // only the owner's one-hop replication guarantees those.
+        let local_ok = owner == self.shared.shard_id
+            || (backward.len() == 1
+                && self
+                    .shared
+                    .resident
+                    .get(base as usize)
+                    .copied()
+                    .unwrap_or(false));
+        if !local_ok && !st.authorized {
+            // Ship this subtree — just the partial match — to the owner's
+            // inbox (the simulated interconnect hop is one match record),
+            // then keep enumerating the parent's remaining candidates
+            // locally: the two shards now expand disjoint subtrees.
+            self.backward_buf = backward;
+            ctx.global_read_coalesced(meta.q.num_vertices() as u64);
+            self.shared.router.send(
+                owner,
+                Migrant {
+                    anchor: (self.v1, self.v2, self.elabel),
+                    anchor_order: self.anchor_order,
+                    seed: st.seed,
+                    base_level: level,
+                    m: st.m,
+                },
+            );
+            st.pending_scan = false;
+            return self.advance(st);
+        }
+        st.authorized = false;
+        if level == n - 1 {
+            // Last level: emit every candidate directly, then backtrack.
+            let mut found = self.take_buf(ctx);
+            self.scan_into(&st, base, &backward, ctx, |c| found.push(c));
+            self.backward_buf = backward;
+            ctx.compute(found.len() as u64);
+            if self.shared.collect {
+                for &c in &found {
+                    let mut m = st.m;
+                    m.set(qv, c);
+                    self.emit(m);
+                }
+            } else {
+                self.local_count += found.len() as u64;
+                if self.local_count >= FLUSH_THRESHOLD as u64 {
+                    self.flush();
+                }
+            }
+            self.recycle(found);
+            st.pending_scan = false;
+            return self.advance(st);
+        }
+        let mut cands = self.take_buf(ctx);
+        self.scan_into(&st, base, &backward, ctx, |c| cands.push(c));
+        self.backward_buf = backward;
+        if cands.is_empty() {
+            self.recycle(cands);
+            st.pending_scan = false;
+            return self.advance(st);
+        }
+        st.m.set(qv, cands[0]);
+        st.frames.push(SFrame { cands, p: 0 });
+        st.pending_scan = true;
+        ScanOutcome::Continue(st)
+    }
+
+    /// Moves the top frame to its next candidate (or pops exhausted
+    /// frames). On success the state's next action is a scan again.
+    fn advance(&mut self, mut st: SDfs) -> ScanOutcome {
+        let meta = Arc::clone(&self.shared.meta);
+        let seed = &meta.seeds[st.seed];
+        loop {
+            if st.frames.is_empty() {
+                return ScanOutcome::Done;
+            }
+            let level = st.base_level + st.frames.len() - 1;
+            let top = st.frames.last_mut().expect("frames non-empty");
+            let qv = seed.order[level];
+            st.m.unset(qv);
+            top.p += 1;
+            if top.p < top.cands.len() {
+                let c = top.cands[top.p];
+                st.m.set(qv, c);
+                st.pending_scan = true;
+                return ScanOutcome::Continue(st);
+            }
+            if let Some(f) = st.frames.pop() {
+                self.recycle(f.cands);
+            }
+        }
+    }
+}
+
+impl WarpTask for ShardTask {
+    fn step(&mut self, ctx: &mut WarpCtx) -> StepResult {
+        if self.shared.abort.load(Ordering::Relaxed) {
+            self.flush();
+            return StepResult::Done;
+        }
+        let mut budget = ATTEMPTS_PER_STEP;
+        while budget > 0 {
+            budget -= 1;
+            if let Some(st) = self.state.take() {
+                let outcome = if st.pending_scan {
+                    self.scan_or_migrate(st, ctx)
+                } else {
+                    self.advance(st)
+                };
+                match outcome {
+                    ScanOutcome::Continue(st) => self.state = Some(st),
+                    ScanOutcome::Done => {}
+                }
+                continue;
+            }
+            let Some((si, flipped)) = self.seed_queue.pop_front() else {
+                self.flush();
+                return StepResult::Done;
+            };
+            if let Some(st) = self.start_seed(si, flipped, ctx) {
+                self.state = Some(st);
+            }
+        }
+        StepResult::Continue
+    }
+
+    fn remaining_hint(&self) -> u64 {
+        let frames: u64 = self
+            .state
+            .as_ref()
+            .map(|st| {
+                st.frames
+                    .iter()
+                    .map(|f| (f.cands.len().saturating_sub(f.p + 1)) as u64)
+                    .sum()
+            })
+            .unwrap_or(0);
+        frames + 16 * self.seed_queue.len() as u64
+    }
+
+    /// Intra-shard (warp-tier) stealing: split the shallowest frame with
+    /// ≥ 2 unexplored candidates, else half the unstarted seeds. The thief
+    /// re-runs the ownership check on its first scan, so stolen subtrees
+    /// migrate on their own if they wander off-shard.
+    fn try_split(&mut self) -> Option<Box<dyn WarpTask>> {
+        if let Some(st) = &mut self.state {
+            let seed = self.shared.meta.seeds[st.seed].clone();
+            for (fi, f) in st.frames.iter_mut().enumerate() {
+                let level = st.base_level + fi;
+                let unexplored = f.cands.len().saturating_sub(f.p + 1);
+                if unexplored < 2 {
+                    continue;
+                }
+                let take = unexplored / 2;
+                let stolen: Vec<VertexId> = f.cands.split_off(f.cands.len() - take);
+                let mut m = VMatch::EMPTY;
+                for l in 0..level {
+                    let qv = seed.order[l];
+                    if let Some(v) = st.m.get(qv) {
+                        m.set(qv, v);
+                    }
+                }
+                m.set(seed.order[level], stolen[0]);
+                let thief = SDfs {
+                    seed: st.seed,
+                    base_level: level,
+                    m,
+                    frames: vec![SFrame {
+                        cands: stolen,
+                        p: 0,
+                    }],
+                    pending_scan: true,
+                    authorized: false,
+                };
+                return Some(Box::new(ShardTask {
+                    shared: Arc::clone(&self.shared),
+                    v1: self.v1,
+                    v2: self.v2,
+                    elabel: self.elabel,
+                    anchor_order: self.anchor_order,
+                    seed_queue: std::collections::VecDeque::new(),
+                    state: Some(thief),
+                    local: Vec::new(),
+                    local_count: 0,
+                    pool: Vec::new(),
+                    backward_buf: Vec::new(),
+                    others_buf: Vec::new(),
+                }));
+            }
+        }
+        if self.seed_queue.len() >= 2 {
+            let take = self.seed_queue.len() / 2;
+            let stolen = self.seed_queue.split_off(self.seed_queue.len() - take);
+            return Some(Box::new(ShardTask {
+                shared: Arc::clone(&self.shared),
+                v1: self.v1,
+                v2: self.v2,
+                elabel: self.elabel,
+                anchor_order: self.anchor_order,
+                seed_queue: stolen,
+                state: None,
+                local: Vec::new(),
+                local_count: 0,
+                pool: Vec::new(),
+                backward_buf: Vec::new(),
+                others_buf: Vec::new(),
+            }));
+        }
+        None
+    }
+}
+
+impl Drop for ShardTask {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// The batch-dynamic subgraph matching engine over N partitioned devices.
+///
+/// Drop-in compatible with [`GammaEngine`]'s batch API and bit-identical
+/// in its reported deltas; see the module docs for the distribution model.
+///
+/// [`GammaEngine`]: crate::GammaEngine
+pub struct ShardedEngine {
+    graph: DynamicGraph,
+    partition: Partition,
+    shards: Vec<Shard>,
+    meta: Arc<QueryMeta>,
+    config: ShardedConfig,
+    /// Replicated true-degree vector, maintained incrementally per batch
+    /// (O(batch) updates, not O(V) rebuilds). Kernel phases snapshot it
+    /// with an `Arc` clone; the snapshots are dropped before the next
+    /// structural update, so `Arc::make_mut` never deep-copies.
+    degrees: Arc<Vec<u32>>,
+    stats: ShardStats,
+    batches_processed: u64,
+}
+
+impl ShardedEngine {
+    /// Partitions `graph`, builds every shard's GPMA over its resident set
+    /// (owned + one-hop boundary) and its replicated encoder/table, and
+    /// derives the per-edge matching orders (coalesced search off — one
+    /// seed per query edge keeps the distributed dedup rule identical to
+    /// the single-device engine's match attribution).
+    pub fn new(graph: DynamicGraph, query: &QueryGraph, config: ShardedConfig) -> Self {
+        let n = graph.num_vertices();
+        let partition = Partition::new(config.strategy, config.num_shards, n);
+        // The encoder/table replicas are identical at build time (same
+        // graph, same scheme): encode once, clone per shard. Divergence
+        // only ever comes from per-shard `reencode` calls, which all
+        // shards run with identical inputs anyway.
+        let (encoder0, table0) = IncrementalEncoder::build(&graph, query, config.base.counter_bits);
+        // Resident sets first (owned ∪ one-hop boundary), then a single
+        // pass over the edge list distributing each edge to the shards
+        // whose runs must contain it.
+        let mut residents: Vec<Vec<bool>> = vec![vec![false; n]; config.num_shards];
+        for v in 0..n as VertexId {
+            let s = partition.owner(v);
+            residents[s][v as usize] = true;
+            for &(w, _) in graph.neighbors(v) {
+                residents[s][w as usize] = true;
+            }
+        }
+        let mut shard_edges: Vec<Vec<(VertexId, VertexId, ELabel)>> =
+            vec![Vec::new(); config.num_shards];
+        for (u, v, l) in graph.edges() {
+            for (s, resident) in residents.iter().enumerate() {
+                if resident[u as usize] || resident[v as usize] {
+                    shard_edges[s].push((u, v, l));
+                }
+            }
+        }
+        let mut shards = Vec::with_capacity(config.num_shards);
+        for (resident, edges) in residents.into_iter().zip(shard_edges) {
+            let mut gpma = Gpma::new(n, config.base.gpma.clone());
+            gpma.insert_edges(&edges);
+            gpma.ensure_vertices(n);
+            shards.push(Shard {
+                gpma: Some(gpma),
+                encoder: encoder0.clone(),
+                table: Some(table0.clone()),
+                device: Device::new(config.base.device.clone()),
+                resident: Arc::new(resident),
+            });
+        }
+        let meta = Arc::new(QueryMeta::build(
+            query,
+            &table0,
+            encoder0.scheme(),
+            false, // coalesced search off: one seed per query edge
+            config.base.max_degenerate_k,
+        ));
+        let degrees = Arc::new(
+            (0..n as VertexId)
+                .map(|v| graph.degree(v) as u32)
+                .collect::<Vec<u32>>(),
+        );
+        Self {
+            graph,
+            partition,
+            shards,
+            meta,
+            config,
+            degrees,
+            stats: ShardStats::default(),
+            batches_processed: 0,
+        }
+    }
+
+    /// Read access to the host mirror of the data graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The static vertex partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Cumulative cross-shard statistics.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// Number of batches processed so far.
+    pub fn batches_processed(&self) -> u64 {
+        self.batches_processed
+    }
+
+    /// Adds a fresh vertex (owned by its partition shard, resident there).
+    pub fn add_vertex(&mut self, label: VLabel) -> VertexId {
+        let v = self.graph.add_vertex(label);
+        let n = self.graph.num_vertices();
+        Arc::make_mut(&mut self.degrees).resize(n, 0);
+        let owner = self.partition.owner(v);
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard
+                .gpma
+                .as_mut()
+                .expect("gpma present")
+                .ensure_vertices(n);
+            if s == owner {
+                shard.mark_resident(v);
+            }
+            let dirty = shard.encoder.reencode(&self.graph, &[v]);
+            shard.table.as_mut().expect("table present").refresh(
+                &dirty,
+                &shard.encoder.encodings,
+                &shard.encoder.qcodes,
+            );
+        }
+        v
+    }
+
+    /// Folds a canonical batch's endpoint deltas into the replicated
+    /// degree vector (call when the structural update lands).
+    fn update_degrees(&mut self, batch: &UpdateBatch) {
+        let need = self.graph.num_vertices();
+        let degrees = Arc::make_mut(&mut self.degrees);
+        if degrees.len() < need {
+            degrees.resize(need, 0);
+        }
+        for d in &batch.deletes {
+            degrees[d.u as usize] -= 1;
+            degrees[d.v as usize] -= 1;
+        }
+        for i in &batch.inserts {
+            degrees[i.u as usize] += 1;
+            degrees[i.v as usize] += 1;
+        }
+    }
+
+    /// Applies one update batch and returns the incremental matches —
+    /// the same four-phase pipeline as the single-device engine, with the
+    /// structural update routed per shard and both kernels distributed.
+    pub fn apply_batch(&mut self, raw: &[Update]) -> BatchResult {
+        let host_t0 = Instant::now();
+        let batch = UpdateBatch::canonicalize(&self.graph, raw);
+        let canon_seconds = host_t0.elapsed().as_secs_f64();
+        let mut result = self.apply_canonical_batch(&batch);
+        result.stats.preprocess_seconds += canon_seconds;
+        result
+    }
+
+    /// Applies an already-canonicalized batch (must be canonical w.r.t.
+    /// this engine's current graph).
+    pub fn apply_canonical_batch(&mut self, batch: &UpdateBatch) -> BatchResult {
+        let mut result = BatchResult::default();
+        result.stats.net_updates = batch.len();
+        if batch.is_empty() {
+            self.batches_processed += 1;
+            return result;
+        }
+        let abort = Arc::new(AtomicBool::new(false));
+        let deadline_guard = self
+            .config
+            .base
+            .timeout
+            .map(|t| crate::engine::spawn_watchdog(t, &abort));
+
+        // Phase 1: negative matches on the pre-update stores.
+        if !batch.deletes.is_empty() {
+            let degrees = Arc::clone(&self.degrees);
+            let (matches, count, stats) = self.kernel_phase(&batch.deletes, degrees, &abort);
+            result.negative = matches;
+            result.negative_count = count;
+            result.stats.kernel.absorb(&stats);
+        }
+
+        // Phase 2: structural update, routed per shard. The simulated
+        // devices update in parallel, so the batch's update time is the
+        // slowest shard's.
+        let mut max_update_cycles = 0u64;
+        for s in 0..self.shards.len() {
+            let cycles = self.apply_structural_update(s, batch);
+            max_update_cycles = max_update_cycles.max(cycles);
+        }
+        result.stats.update_cycles = max_update_cycles;
+        batch.apply(&mut self.graph);
+        self.update_degrees(batch);
+
+        // Phase 3: host preprocess — re-encode touched vertices and
+        // refresh every shard's replicated candidate rows.
+        let pre_t = Instant::now();
+        let mut touched: Vec<VertexId> = batch
+            .deletes
+            .iter()
+            .chain(batch.inserts.iter())
+            .flat_map(|u| [u.u, u.v])
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let graph = &self.graph;
+        let mut dirty_count = 0usize;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for shard in &mut self.shards {
+                let touched = &touched;
+                handles.push(scope.spawn(move || {
+                    let dirty = shard.encoder.reencode(graph, touched);
+                    shard.table.as_mut().expect("table present").refresh(
+                        &dirty,
+                        &shard.encoder.encodings,
+                        &shard.encoder.qcodes,
+                    );
+                    dirty.len()
+                }));
+            }
+            for h in handles {
+                dirty_count = h.join().expect("preprocess worker").max(dirty_count);
+            }
+        });
+        result.stats.dirty_vertices = dirty_count;
+        let preprocess = pre_t.elapsed().as_secs_f64();
+
+        // Phase 4: positive matches on the post-update stores.
+        if !batch.inserts.is_empty() {
+            let degrees = Arc::clone(&self.degrees);
+            let (matches, count, stats) = self.kernel_phase(&batch.inserts, degrees, &abort);
+            result.positive = matches;
+            result.positive_count = count;
+            result.stats.kernel.absorb(&stats);
+        }
+
+        drop(deadline_guard);
+        result.stats.timed_out = abort.load(Ordering::Relaxed);
+        result.stats.preprocess_seconds = preprocess;
+        self.batches_processed += 1;
+        result
+    }
+
+    /// Routes one canonical batch into shard `s`'s store: materializes
+    /// newly-resident boundary vertices (their full pre-batch adjacency),
+    /// then applies the resident sub-batch. Returns the simulated update
+    /// cycles this shard spent.
+    fn apply_structural_update(&mut self, s: usize, batch: &UpdateBatch) -> u64 {
+        // Residency growth: an insertion with an owned endpoint pulls the
+        // other endpoint into this shard's boundary frontier.
+        let mut new_residents: Vec<VertexId> = Vec::new();
+        {
+            let shard = &self.shards[s];
+            for ins in &batch.inserts {
+                for (a, b) in [(ins.u, ins.v), (ins.v, ins.u)] {
+                    if self.partition.owner(a) == s && !shard.is_resident(b) {
+                        new_residents.push(b);
+                    }
+                }
+            }
+        }
+        new_residents.sort_unstable();
+        new_residents.dedup();
+        let shard = &mut self.shards[s];
+        let gpma = shard.gpma.as_mut().expect("gpma present");
+        let pre_cycles = gpma.stats().sim_cycles;
+        if !new_residents.is_empty() {
+            let mut edges: Vec<(VertexId, VertexId, ELabel)> = Vec::new();
+            for &v in &new_residents {
+                for &(w, l) in self.graph.neighbors(v) {
+                    edges.push((v, w, l));
+                }
+                shard.mark_resident(v);
+            }
+            let gpma = shard.gpma.as_mut().expect("gpma present");
+            gpma.insert_edges(&edges);
+        }
+        let shard = &mut self.shards[s];
+        let dels: Vec<(VertexId, VertexId)> = batch
+            .deletes
+            .iter()
+            .filter(|d| shard.is_resident(d.u) || shard.is_resident(d.v))
+            .map(|d| (d.u, d.v))
+            .collect();
+        let ins: Vec<(VertexId, VertexId, ELabel)> = batch
+            .inserts
+            .iter()
+            .filter(|i| shard.is_resident(i.u) || shard.is_resident(i.v))
+            .map(|i| (i.u, i.v, i.label))
+            .collect();
+        let gpma = shard.gpma.as_mut().expect("gpma present");
+        gpma.delete_edges(&dels);
+        gpma.insert_edges(&ins);
+        gpma.ensure_vertices(
+            self.graph.num_vertices().max(
+                batch
+                    .inserts
+                    .iter()
+                    .map(|i| i.u.max(i.v) as usize + 1)
+                    .max()
+                    .unwrap_or(0),
+            ),
+        );
+        gpma.stats().sim_cycles - pre_cycles
+    }
+
+    /// One distributed kernel phase: routes anchors to their owner shards,
+    /// then drives BSP rounds — per-shard launches inside a thread scope,
+    /// migrant exchange and inter-device stealing at each barrier — until
+    /// every inbox drains.
+    fn kernel_phase(
+        &mut self,
+        anchors: &[Update],
+        degrees: Arc<Vec<u32>>,
+        abort: &Arc<AtomicBool>,
+    ) -> (Vec<VMatch>, u64, KernelStats) {
+        let num_shards = self.shards.len();
+        let update_order = Arc::new({
+            let mut uo = UpdateOrder::build(anchors);
+            uo.index_vertices(self.graph.num_vertices());
+            uo
+        });
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let match_count = Arc::new(AtomicU64::new(0));
+        let router = Arc::new(Router::new(num_shards));
+
+        // Anchor routing: an update edge starts on the shard owning its
+        // canonical (smaller-id) endpoint — both endpoints are resident
+        // there, and the first scan migrates on its own if its base lands
+        // elsewhere.
+        let mut pending_anchors: Vec<Vec<(Update, u32)>> = vec![Vec::new(); num_shards];
+        for (i, a) in anchors.iter().enumerate() {
+            let (lo, _) = a.endpoints();
+            pending_anchors[self.partition.owner(lo)].push((*a, i as u32));
+        }
+        let mut pending_migrants: Vec<Vec<Migrant>> = vec![Vec::new(); num_shards];
+
+        let mut agg = KernelStats::default();
+        self.stats.phases += 1;
+        loop {
+            let any_work = pending_anchors.iter().any(|q| !q.is_empty())
+                || pending_migrants.iter().any(|q| !q.is_empty());
+            if !any_work || abort.load(Ordering::Relaxed) {
+                break;
+            }
+            self.stats.rounds += 1;
+
+            // Launch every shard's round concurrently; each launch owns
+            // its shard's store and table for the duration (mirroring
+            // device-buffer ownership in the single engine).
+            let mut launches: Vec<Option<(Arc<ShardShared>, Vec<Box<dyn WarpTask>>, Device)>> =
+                Vec::with_capacity(num_shards);
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                let anchors_q = std::mem::take(&mut pending_anchors[s]);
+                let migrants_q = std::mem::take(&mut pending_migrants[s]);
+                if anchors_q.is_empty() && migrants_q.is_empty() {
+                    launches.push(None);
+                    continue;
+                }
+                let shared = Arc::new(ShardShared {
+                    shard_id: s,
+                    partition: self.partition,
+                    gpma: shard.gpma.take().expect("gpma present"),
+                    table: shard.table.take().expect("table present"),
+                    meta: Arc::clone(&self.meta),
+                    update_order: Arc::clone(&update_order),
+                    degrees: Arc::clone(&degrees),
+                    resident: Arc::clone(&shard.resident),
+                    router: Arc::clone(&router),
+                    sink: Arc::clone(&sink),
+                    match_count: Arc::clone(&match_count),
+                    collect: self.config.base.collect_matches,
+                    abort: Arc::clone(abort),
+                    match_limit: self.config.base.match_limit,
+                });
+                let mut tasks: Vec<Box<dyn WarpTask>> = Vec::new();
+                for (a, order) in anchors_q {
+                    tasks.push(Box::new(ShardTask::for_anchor(
+                        Arc::clone(&shared),
+                        &a,
+                        order,
+                    )));
+                }
+                for m in migrants_q {
+                    tasks.push(Box::new(ShardTask::for_migrant(Arc::clone(&shared), m)));
+                }
+                launches.push(Some((shared, tasks, shard.device.clone())));
+            }
+
+            let mut round_stats: Vec<Option<KernelStats>> = Vec::with_capacity(num_shards);
+            let results: Vec<(usize, Option<(Arc<ShardShared>, KernelStats)>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = launches
+                        .into_iter()
+                        .enumerate()
+                        .map(|(s, launch)| {
+                            scope.spawn(move || match launch {
+                                None => (s, None),
+                                Some((shared, tasks, device)) => {
+                                    let stats = device.launch(tasks);
+                                    (s, Some((shared, stats)))
+                                }
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard worker"))
+                        .collect()
+                });
+            for (s, outcome) in results {
+                match outcome {
+                    None => round_stats.push(None),
+                    Some((shared, stats)) => {
+                        let shared = Arc::try_unwrap(shared)
+                            .unwrap_or_else(|_| panic!("shard tasks must release shared state"));
+                        self.shards[s].gpma = Some(shared.gpma);
+                        self.shards[s].table = Some(shared.table);
+                        round_stats.push(Some(stats));
+                    }
+                }
+            }
+            // Parallel devices: the round's device time is the slowest
+            // shard's; counters sum.
+            let mut round_max = 0u64;
+            for stats in round_stats.into_iter().flatten() {
+                round_max = round_max.max(stats.device_cycles);
+                agg.num_blocks += stats.num_blocks;
+                agg.num_tasks += stats.num_tasks;
+                agg.total_block_cycles += stats.total_block_cycles;
+                agg.busy_cycles += stats.busy_cycles;
+                agg.resident_warp_cycles += stats.resident_warp_cycles;
+                agg.steals += stats.steals;
+                agg.global_transactions += stats.global_transactions;
+                agg.shared_accesses += stats.shared_accesses;
+                agg.buf_reuse += stats.buf_reuse;
+                agg.buf_alloc += stats.buf_alloc;
+                agg.wall_seconds += stats.wall_seconds;
+            }
+            agg.device_cycles += round_max;
+
+            // Barrier: collect migrants, then let idle shards steal what
+            // they can legally execute.
+            let mut inboxes = router.drain();
+            if self.config.stealing == ShardStealing::Active {
+                let idle: Vec<usize> = (0..num_shards).filter(|&s| inboxes[s].is_empty()).collect();
+                for thief in idle {
+                    let Some(victim) = (0..num_shards)
+                        .filter(|&s| s != thief)
+                        .max_by_key(|&s| inboxes[s].len())
+                        .filter(|&s| inboxes[s].len() >= 2)
+                    else {
+                        continue;
+                    };
+                    let take = inboxes[victim].len() / 2;
+                    let mut stolen = Vec::new();
+                    let mut kept = Vec::new();
+                    for m in std::mem::take(&mut inboxes[victim]) {
+                        if stolen.len() < take && m.steal_eligible(&self.meta, &self.shards[thief])
+                        {
+                            stolen.push(m);
+                        } else {
+                            kept.push(m);
+                        }
+                    }
+                    inboxes[victim] = kept;
+                    self.stats.shard_steals += stolen.len() as u64;
+                    inboxes[thief].extend(stolen);
+                }
+            }
+            for (s, inbox) in inboxes.into_iter().enumerate() {
+                pending_migrants[s].extend(inbox);
+            }
+        }
+        self.stats.migrations += router.migrations.load(Ordering::Relaxed);
+
+        let matches = std::mem::take(&mut *sink.lock());
+        let count = match_count.load(Ordering::Relaxed);
+        (matches, count, agg)
+    }
+}

@@ -12,7 +12,7 @@
 //! * **coalesced search** inject permuted `V^k` partial matches as pending
 //!   subtrees instead of re-traversing the same data subgraph (§V-B).
 //!
-//! Duplicate suppression across anchors follows [19] as cited in §IV-C:
+//! Duplicate suppression across anchors follows \[19\] as cited in §IV-C:
 //! while enumerating from update edge #o, any data edge that is itself an
 //! update of the current phase with order < o is rejected, so every
 //! incremental match is attributed to exactly one (its lowest-order)
@@ -946,7 +946,7 @@ pub struct UpdateOrder {
     per_vertex: Vec<IncidentRange>,
 }
 
-/// Half-open range into [`UpdateOrder::by_endpoint`]: the update edges
+/// Half-open range into `UpdateOrder::by_endpoint`: the update edges
 /// incident to one vertex. Plain indices (`Copy`) so scan state can hold
 /// one per backward edge without borrowing the map.
 #[derive(Clone, Copy, Debug, Default)]

@@ -1,0 +1,308 @@
+//! Partitioner and sharded-engine properties.
+//!
+//! * Hash and range partitioning must be a **true partition**: every
+//!   vertex gets exactly one owner in range, deterministically.
+//! * Shard **edge loads** (sum of owned-vertex degrees) must stay within a
+//!   balance bound on Zipf-skewed graphs — hash placement is uniform over
+//!   vertices, so the bound is the mean plus the heaviest single vertex
+//!   (a hub lands *somewhere*) with a constant-factor slack.
+//! * The merged per-shard match deltas of [`ShardedEngine`] must equal
+//!   the single-device [`GammaEngine`]'s, batch after batch, across shard
+//!   counts, strategies and stealing modes (the distributed DFS enumerates
+//!   the identical match set).
+
+use gamma_core::{
+    GammaConfig, GammaEngine, Partition, PartitionStrategy, ShardStealing, ShardedConfig,
+    ShardedEngine,
+};
+use gamma_datasets::{generate_graph, generate_queries, DatasetPreset, QueryClass, SynthSpec};
+use gamma_gpu::DeviceConfig;
+use gamma_graph::{DynamicGraph, Update, VMatch, VertexId};
+use proptest::prelude::*;
+
+fn zipf_graph(n: usize, skew: f64, seed: u64) -> DynamicGraph {
+    let spec = SynthSpec {
+        num_vertices: n,
+        avg_degree: 6.0,
+        degree_skew: skew,
+        ..SynthSpec::default()
+    };
+    generate_graph(&spec, seed)
+}
+
+fn gamma_cfg() -> GammaConfig {
+    GammaConfig {
+        device: DeviceConfig::single_sm(),
+        ..GammaConfig::default()
+    }
+}
+
+fn sharded_cfg(
+    shards: usize,
+    strategy: PartitionStrategy,
+    stealing: ShardStealing,
+) -> ShardedConfig {
+    ShardedConfig {
+        base: gamma_cfg(),
+        num_shards: shards,
+        strategy,
+        stealing,
+    }
+}
+
+fn sorted(mut ms: Vec<VMatch>) -> Vec<VMatch> {
+    ms.sort_unstable();
+    ms
+}
+
+proptest! {
+    #[test]
+    fn partition_is_disjoint_and_complete(
+        n in 1usize..4000,
+        shards in 1usize..9,
+        hash in prop::bool::ANY,
+    ) {
+        let strategy = if hash { PartitionStrategy::Hash } else { PartitionStrategy::Range };
+        let p = Partition::new(strategy, shards, n);
+        let owners = p.assignments(n);
+        // Complete: every vertex has an owner; disjoint: `owner` is a
+        // function, so one owner each — and it must be stable.
+        prop_assert_eq!(owners.len(), n);
+        for (v, &s) in owners.iter().enumerate() {
+            prop_assert!(s < shards, "owner out of range");
+            prop_assert_eq!(s, p.owner(v as VertexId), "owner not deterministic");
+        }
+        // Every shard id is reachable (no structurally dead shard) once
+        // there are at least as many vertices as shards.
+        if n >= shards * 8 && strategy == PartitionStrategy::Range {
+            let mut seen = vec![false; shards];
+            for &s in &owners { seen[s] = true; }
+            prop_assert!(seen.iter().all(|&b| b), "range left a shard empty");
+        }
+    }
+
+    #[test]
+    fn range_partition_vertex_loads_are_balanced(
+        n in 64usize..4000,
+        shards in 1usize..9,
+    ) {
+        let p = Partition::new(PartitionStrategy::Range, shards, n);
+        let mut counts = vec![0usize; shards];
+        for s in p.assignments(n) { counts[s] += 1; }
+        let block = n.div_ceil(shards);
+        for &c in &counts {
+            prop_assert!(c <= block, "range shard overfull: {c} > {block}");
+        }
+    }
+
+    #[test]
+    fn hash_partition_balances_zipf_edge_load(
+        seed in 0u64..32,
+        shards in 2usize..5,
+        skew_pct in 60u32..120,
+    ) {
+        let skew = skew_pct as f64 / 100.0;
+        let g = zipf_graph(1500, skew, seed);
+        let p = Partition::new(PartitionStrategy::Hash, shards, g.num_vertices());
+        let mut load = vec![0u64; shards];
+        for v in 0..g.num_vertices() as VertexId {
+            load[p.owner(v)] += g.degree(v) as u64;
+        }
+        let total: u64 = load.iter().sum();
+        let avg = total / shards as u64;
+        let hub = g.max_degree() as u64;
+        let bound = 2 * avg + hub;
+        for (s, &l) in load.iter().enumerate() {
+            prop_assert!(
+                l <= bound,
+                "shard {s} edge load {l} exceeds balance bound {bound} \
+                 (avg {avg}, hub {hub}, skew {skew})"
+            );
+        }
+    }
+}
+
+/// Replays `batches` through a single-device engine and sharded engines
+/// (1/2/4 shards × both strategies), asserting identical per-batch deltas.
+fn assert_shard_parity(g0: &DynamicGraph, q: &gamma_graph::QueryGraph, batches: &[Vec<Update>]) {
+    let mut single = GammaEngine::new(g0.clone(), q, gamma_cfg());
+    let mut sharded: Vec<(String, ShardedEngine)> = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        sharded.push((
+            format!("hash/{shards}"),
+            ShardedEngine::new(
+                g0.clone(),
+                q,
+                sharded_cfg(shards, PartitionStrategy::Hash, ShardStealing::Active),
+            ),
+        ));
+    }
+    sharded.push((
+        "range/2".to_string(),
+        ShardedEngine::new(
+            g0.clone(),
+            q,
+            sharded_cfg(2, PartitionStrategy::Range, ShardStealing::Off),
+        ),
+    ));
+    let mut total = 0u64;
+    for (i, raw) in batches.iter().enumerate() {
+        let want = single.apply_batch(raw);
+        let want_pos = sorted(want.positive);
+        let want_neg = sorted(want.negative);
+        total += want.positive_count + want.negative_count;
+        for (name, engine) in &mut sharded {
+            let got = engine.apply_batch(raw);
+            assert_eq!(
+                got.positive_count, want.positive_count,
+                "{name}: positive_count diverges at batch {i}"
+            );
+            assert_eq!(
+                got.negative_count, want.negative_count,
+                "{name}: negative_count diverges at batch {i}"
+            );
+            assert_eq!(
+                sorted(got.positive),
+                want_pos,
+                "{name}: positive match set diverges at batch {i}"
+            );
+            assert_eq!(
+                sorted(got.negative),
+                want_neg,
+                "{name}: negative match set diverges at batch {i}"
+            );
+            assert_eq!(
+                engine.graph().num_edges(),
+                single.graph().num_edges(),
+                "{name}: host mirror drifted at batch {i}"
+            );
+        }
+    }
+    assert!(total > 0, "parity workload produced no deltas — vacuous");
+}
+
+/// A churny workload over one preset: delete a slice of live edges, then
+/// re-insert them, twice — exercises both kernel phases, residency growth
+/// and the negative phase's pre-update stores.
+fn preset_workload(preset: DatasetPreset, class: QueryClass, seed: u64) {
+    let d = preset.build(0.035, seed);
+    let queries = generate_queries(&d.graph, class, 4, 1, seed ^ 0xfeed);
+    let q = queries.first().expect("query extractable");
+    let dels = gamma_datasets::sample_deletion_workload(&d.graph, 0.08, seed ^ 0x7);
+    let ins: Vec<Update> = dels
+        .iter()
+        .map(|u| {
+            let l = d.graph.edge_label(u.u, u.v).unwrap_or(0);
+            Update::insert_labeled(u.u, u.v, l)
+        })
+        .collect();
+    let batches = vec![dels.clone(), ins.clone(), dels, ins];
+    assert_shard_parity(&d.graph, q, &batches);
+}
+
+#[test]
+fn sharded_matches_single_device_gh_dense() {
+    preset_workload(DatasetPreset::GH, QueryClass::Dense, 11);
+}
+
+#[test]
+fn sharded_matches_single_device_gh_tree() {
+    preset_workload(DatasetPreset::GH, QueryClass::Tree, 12);
+}
+
+#[test]
+fn sharded_matches_single_device_az_sparse() {
+    preset_workload(DatasetPreset::AZ, QueryClass::Sparse, 13);
+}
+
+#[test]
+fn sharded_matches_single_device_nf_edge_labeled() {
+    preset_workload(DatasetPreset::NF, QueryClass::Tree, 14);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Random small graphs + a triangle-with-tail query: merged per-shard
+    /// deltas equal single-device deltas under random insert/delete churn.
+    fn sharded_parity_random_graphs(
+        seed in 0u64..1_000_000,
+        edges in prop::collection::vec((0u32..40, 0u32..40), 20..80),
+        churn in prop::collection::vec((0u32..40, 0u32..40, prop::bool::ANY), 8..24),
+    ) {
+        let mut g = DynamicGraph::new();
+        for i in 0..40u32 {
+            g.add_vertex((i % 3) as u16);
+        }
+        for &(u, v) in &edges {
+            if u != v {
+                g.insert_edge(u, v, 0);
+            }
+        }
+        let mut b = gamma_graph::QueryGraph::builder();
+        let (u0, u1, u2, u3) = (b.vertex(0), b.vertex(1), b.vertex(2), b.vertex(1));
+        b.edge(u0, u1).edge(u1, u2).edge(u0, u2).edge(u2, u3);
+        let q = b.build();
+        let batch: Vec<Update> = churn
+            .iter()
+            .filter(|&&(u, v, _)| u != v)
+            .map(|&(u, v, ins)| if ins { Update::insert(u, v) } else { Update::delete(u, v) })
+            .collect();
+        let _ = seed;
+        assert_shard_parity(&g, &q, &[batch]);
+    }
+}
+
+/// The distributed machinery must actually fire: a multi-shard run over a
+/// cross-partition workload performs embedding migrations, and the
+/// active inter-device tier steals some of them.
+#[test]
+fn migrations_occur_across_shards() {
+    let d = DatasetPreset::GH.build(0.05, 21);
+    let queries = generate_queries(&d.graph, QueryClass::Tree, 5, 1, 77);
+    let q = queries.first().expect("query");
+    let dels = gamma_datasets::sample_deletion_workload(&d.graph, 0.1, 3);
+    let ins: Vec<Update> = dels
+        .iter()
+        .map(|u| {
+            let l = d.graph.edge_label(u.u, u.v).unwrap_or(0);
+            Update::insert_labeled(u.u, u.v, l)
+        })
+        .collect();
+    let mut engine = ShardedEngine::new(
+        d.graph.clone(),
+        q,
+        sharded_cfg(4, PartitionStrategy::Hash, ShardStealing::Active),
+    );
+    engine.apply_batch(&dels);
+    engine.apply_batch(&ins);
+    let stats = engine.shard_stats();
+    assert!(
+        stats.migrations > 0,
+        "no embedding ever crossed a shard boundary — sharding is vacuous"
+    );
+    assert!(stats.rounds >= stats.phases, "rounds must cover phases");
+}
+
+/// Single-shard configuration must behave exactly like the single device
+/// (sanity floor for the distributed path) — including on vertex adds.
+#[test]
+fn one_shard_is_the_single_device_engine() {
+    let d = DatasetPreset::AZ.build(0.03, 5);
+    let queries = generate_queries(&d.graph, QueryClass::Dense, 4, 1, 9);
+    let q = queries.first().expect("query");
+    let mut single = GammaEngine::new(d.graph.clone(), q, gamma_cfg());
+    let mut sharded = ShardedEngine::new(
+        d.graph.clone(),
+        q,
+        sharded_cfg(1, PartitionStrategy::Hash, ShardStealing::Off),
+    );
+    let v1 = single.add_vertex(2);
+    let v2 = sharded.add_vertex(2);
+    assert_eq!(v1, v2);
+    let hub = 0u32;
+    let batch = vec![Update::insert(v1, hub), Update::insert(v1, hub + 1)];
+    let a = single.apply_batch(&batch);
+    let b = sharded.apply_batch(&batch);
+    assert_eq!(a.positive_count, b.positive_count);
+    assert_eq!(sorted(a.positive), sorted(b.positive));
+}

@@ -9,7 +9,7 @@ use gamma_graph::{DynamicGraph, Op, QueryGraph, Update, VMatch, VertexId};
 const DEADLINE_STRIDE: u32 = 1024;
 
 /// A cooperative time budget for the enumeration helpers: the search
-/// checks the clock every [`DEADLINE_STRIDE`] candidate attempts and
+/// checks the clock every `DEADLINE_STRIDE` candidate attempts and
 /// abandons cleanly once `deadline` passes (the paper's 30-minute
 /// unsolved-query rule, scaled down).
 #[derive(Clone, Copy, Debug, Default)]

@@ -29,7 +29,7 @@ pub use presets::{Dataset, DatasetPreset};
 pub use queries::{generate_queries, generate_query, QueryClass};
 pub use synth::{generate_graph, SynthSpec};
 pub use updates::{
-    kcore_insertion_workload, mixed_workload, sample_deletion_workload, skewed_star_workload,
-    split_insertion_workload,
+    kcore_insertion_workload, mixed_workload, route_updates_by_owner, sample_deletion_workload,
+    skewed_star_workload, split_insertion_workload,
 };
 pub use zipf::Zipf;

@@ -140,6 +140,30 @@ pub fn skewed_star_workload(
     (g, updates, b.build())
 }
 
+/// Partition-aware routing helper: groups an update stream into
+/// per-shard queues by the owner of each edge's canonical (smaller-id)
+/// endpoint — the same routing rule the sharded engine applies to
+/// anchors, so a pre-routed stream can be replayed shard-by-shard (e.g.
+/// to drive per-device ingestion pipelines or to balance generator
+/// output). `owner` is any vertex → shard map (pass
+/// `|v| partition.owner(v)` from the engine's `Partition`); updates are
+/// kept in stream order within each queue.
+pub fn route_updates_by_owner(
+    updates: &[Update],
+    num_shards: usize,
+    owner: impl Fn(VertexId) -> usize,
+) -> Vec<Vec<Update>> {
+    assert!(num_shards >= 1, "need at least one shard");
+    let mut queues: Vec<Vec<Update>> = vec![Vec::new(); num_shards];
+    for &u in updates {
+        let (lo, _) = u.endpoints();
+        let s = owner(lo);
+        assert!(s < num_shards, "owner map returned out-of-range shard {s}");
+        queues[s].push(u);
+    }
+    queues
+}
+
 /// Fisher–Yates prefix shuffle: randomizes the first `count` positions.
 fn partial_shuffle<T>(items: &mut [T], count: usize, rng: &mut StdRng) {
     let n = items.len();
@@ -224,6 +248,24 @@ mod tests {
         for u in &ups {
             assert!(!g.has_edge(u.u, u.v));
         }
+    }
+
+    #[test]
+    fn routing_partitions_the_stream() {
+        let ups = vec![
+            Update::insert(5, 2),
+            Update::delete(1, 9),
+            Update::insert(3, 3),
+            Update::insert(0, 7),
+        ];
+        let routed = route_updates_by_owner(&ups, 3, |v| (v as usize) % 3);
+        // Canonical endpoints: (2,5)→2%3=2, (1,9)→1, (3,3)→0, (0,7)→0.
+        assert_eq!(routed[0], vec![Update::insert(3, 3), Update::insert(0, 7)]);
+        assert_eq!(routed[1], vec![Update::delete(1, 9)]);
+        assert_eq!(routed[2], vec![Update::insert(5, 2)]);
+        // Complete: every update lands in exactly one queue.
+        let total: usize = routed.iter().map(Vec::len).sum();
+        assert_eq!(total, ups.len());
     }
 
     #[test]

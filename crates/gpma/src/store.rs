@@ -27,7 +27,7 @@
 //! (previous live slot in segment order) belongs to a different source.
 //! Every structural mutation restores this invariant before returning:
 //!
-//! * [`redistribute`](Gpma::redistribute) (and therefore every insert
+//! * `redistribute` (and therefore every insert
 //!   merge, grow, shrink and bulk load, which all funnel through it)
 //!   re-derives the entries of every run *starting* inside the rewritten
 //!   segment range via one linear sweep; runs that merely extend into the

@@ -20,7 +20,7 @@
 //!   experiment's update sampling).
 //! * [`csr`] — immutable CSR snapshots (host-side read-optimized layout).
 //! * [`io`] — text serialization for graphs, queries and update streams.
-//! * [`metrics`] — degree/label/clustering statistics for dataset
+//! * [`mod@metrics`] — degree/label/clustering statistics for dataset
 //!   validation and experiment reports.
 
 pub mod csr;

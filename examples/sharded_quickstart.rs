@@ -1,0 +1,97 @@
+//! Sharded quickstart: the same batch-dynamic matching workload run on one
+//! simulated device and on a 2-shard multi-device engine, side by side.
+//!
+//! The data graph is hash-partitioned across the shards: each device holds
+//! the complete adjacency of its owned vertices plus the replicated
+//! boundary frontier, updates are routed to the shards that store the
+//! touched runs, and partial embeddings whose next expansion vertex lives
+//! on the other device migrate through the inter-device stealing queue.
+//! The reported incremental matches are **bit-identical** to the
+//! single-device engine's — sharding changes where work runs, never what
+//! is found.
+//!
+//! Run with: `cargo run --release --example sharded_quickstart`
+
+use gamma::prelude::*;
+
+fn main() {
+    // A synthetic GitHub-shaped dataset, small enough to read the numbers.
+    let dataset = DatasetPreset::GH.build(0.06, 7);
+    let graph = dataset.graph;
+    let queries = gamma::datasets::generate_queries(&graph, QueryClass::Sparse, 5, 1, 1234);
+    let query = queries.first().expect("query extractable").clone();
+
+    println!(
+        "data graph: {} vertices, {} edges; query: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges(),
+        query.num_vertices(),
+        query.num_edges()
+    );
+
+    // A churn batch: delete 8% of live edges, then re-insert them.
+    let deletes = gamma::datasets::sample_deletion_workload(&graph, 0.08, 99);
+    let inserts: Vec<Update> = deletes
+        .iter()
+        .map(|u| {
+            let label = graph.edge_label(u.u, u.v).expect("live edge");
+            Update::insert_labeled(u.u, u.v, label)
+        })
+        .collect();
+
+    // Single device.
+    let mut single = GammaEngine::new(graph.clone(), &query, GammaConfig::default());
+
+    // Two simulated devices, hash partition, inter-device stealing on.
+    let config = ShardedConfig {
+        base: GammaConfig::default(),
+        num_shards: 2,
+        strategy: PartitionStrategy::Hash,
+        stealing: ShardStealing::Active,
+    };
+    let mut sharded = ShardedEngine::new(graph.clone(), &query, config);
+
+    // Demonstrate the partition-aware routing helper on the raw stream:
+    // the same owner rule the engine applies to kernel anchors.
+    let partition = *sharded.partition();
+    let routed = gamma::datasets::route_updates_by_owner(&deletes, partition.num_shards(), |v| {
+        partition.owner(v)
+    });
+    println!(
+        "update routing: {} deletions split {:?} across shards",
+        deletes.len(),
+        routed.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+
+    for (name, batch) in [("delete", &deletes), ("re-insert", &inserts)] {
+        let a = single.apply_batch(batch);
+        let b = sharded.apply_batch(batch);
+        println!(
+            "\nbatch `{name}`: single device {}+ {}- | 2 shards {}+ {}-",
+            a.positive_count, a.negative_count, b.positive_count, b.negative_count
+        );
+        assert_eq!(
+            a.positive_count, b.positive_count,
+            "positive deltas must agree"
+        );
+        assert_eq!(
+            a.negative_count, b.negative_count,
+            "negative deltas must agree"
+        );
+        let mut ap = a.positive.clone();
+        let mut bp = b.positive.clone();
+        ap.sort_unstable();
+        bp.sort_unstable();
+        assert_eq!(ap, bp, "positive match sets must be identical");
+    }
+
+    let stats = sharded.shard_stats();
+    println!("\ncross-shard statistics:");
+    println!("  embedding migrations: {}", stats.migrations);
+    println!("  inter-device steals:  {}", stats.shard_steals);
+    println!(
+        "  BSP rounds / phases:  {} / {}",
+        stats.rounds, stats.phases
+    );
+    println!("\nOK: 2-shard deltas bit-identical to the single device.");
+}

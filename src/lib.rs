@@ -8,7 +8,9 @@
 //! * [`gpma`] — the packed-memory-array dynamic edge store.
 //! * [`gpu`] — the deterministic SIMT execution simulator.
 //! * [`engine`] — the GAMMA engine itself (preprocess → update → WBM kernel
-//!   → postprocess), work stealing and coalesced search included.
+//!   → postprocess), work stealing and coalesced search included, plus the
+//!   multi-device sharded engine (hash/range partitioning, cross-shard
+//!   embedding migration and inter-device work stealing).
 //! * [`csm`] — CPU continuous-subgraph-matching baselines.
 //! * [`datasets`] — synthetic datasets, query and update-stream generators.
 //!
@@ -48,7 +50,10 @@ pub use gamma_graph as graph;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use gamma_core::{BatchResult, GammaConfig, GammaEngine, PipelinedEngine, StealingMode};
+    pub use gamma_core::{
+        BatchResult, GammaConfig, GammaEngine, Partition, PartitionStrategy, PipelinedEngine,
+        ShardStealing, ShardedConfig, ShardedEngine, StealingMode,
+    };
     pub use gamma_csm::{CsmEngine, IncrementalResult};
     pub use gamma_datasets::{DatasetPreset, QueryClass};
     pub use gamma_gpu::DeviceConfig;

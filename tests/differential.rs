@@ -5,7 +5,10 @@
 //! insert / delete / Zipf-skewed churn streams — are replayed through
 //!
 //! * [`GammaEngine`] under multiple `StealingMode`s,
-//! * [`PipelinedEngine`] (asynchronous three-stage pipeline), and
+//! * [`PipelinedEngine`] (asynchronous three-stage pipeline),
+//! * [`ShardedEngine`] at 1, 2 and 4 simulated devices (hash partition,
+//!   inter-device stealing on — embedding migration and cross-shard
+//!   stealing run under the same oracle as everything else), and
 //! * the sequential CSM baselines (`TurboFluxLite`, `RapidFlowLite`),
 //!
 //! and after **every** batch each engine's positive/negative incremental
@@ -22,7 +25,10 @@ use gamma::csm::{CsmEngine, RapidFlowLite, TurboFluxLite};
 use gamma::datasets::{
     sample_deletion_workload, split_insertion_workload, DatasetPreset, QueryClass, Zipf,
 };
-use gamma::engine::{GammaConfig, GammaEngine, PipelinedEngine, StealingMode};
+use gamma::engine::{
+    GammaConfig, GammaEngine, PartitionStrategy, PipelinedEngine, ShardStealing, ShardedConfig,
+    ShardedEngine, StealingMode,
+};
 use gamma::gpu::DeviceConfig;
 use gamma::graph::{enumerate_matches, DynamicGraph, QueryGraph, Update, UpdateBatch, VMatch};
 use rand::rngs::StdRng;
@@ -260,6 +266,21 @@ fn run_differential(
         gamma_config(StealingMode::Active),
         2, // double-buffered: preprocessing genuinely overlaps device work
     );
+    let mut shardeds: Vec<(String, ShardedEngine)> = [1usize, 2, 4]
+        .iter()
+        .map(|&n| {
+            let cfg = ShardedConfig {
+                base: gamma_config(StealingMode::Active),
+                num_shards: n,
+                strategy: PartitionStrategy::Hash,
+                stealing: ShardStealing::Active,
+            };
+            (
+                format!("sharded[{n}]"),
+                ShardedEngine::new(start.clone(), q, cfg),
+            )
+        })
+        .collect();
 
     let mut host = start;
     let mut before = all_matches(&host, q);
@@ -302,6 +323,26 @@ fn run_differential(
                 host.num_edges(),
                 "{} host mirror drifted at {context}",
                 v.name
+            );
+        }
+
+        for (name, engine) in &mut shardeds {
+            let r = engine.apply_batch(raw);
+            assert_eq!(
+                r.positive_count,
+                want_pos.len() as u64,
+                "{name} positive_count at {context}"
+            );
+            assert_eq!(
+                r.negative_count,
+                want_neg.len() as u64,
+                "{name} negative_count at {context}"
+            );
+            assert_delta(name, &context, r.positive, r.negative, &want_pos, &want_neg);
+            assert_eq!(
+                engine.graph().num_edges(),
+                host.num_edges(),
+                "{name} host mirror drifted at {context}"
             );
         }
 

@@ -8,7 +8,7 @@
 //!
 //! Timing model: each benchmark runs `sample_size` samples after one
 //! warm-up sample; a sample times a fixed iteration count sized so a sample
-//! takes roughly [`TARGET_SAMPLE_NANOS`]. Median / min / max per-iteration
+//! takes roughly `TARGET_SAMPLE_NANOS`. Median / min / max per-iteration
 //! times are printed in criterion-like one-line reports. No plots, no
 //! statistical regression — this is a smoke-and-ballpark harness, and it
 //! keeps `cargo bench` runtimes bounded.

@@ -42,8 +42,10 @@ fn main() {
         ("before work stealing", Stealing::Off),
         ("after work stealing", Stealing::Active),
     ] {
+        let gpma = Gpma::from_graph(&g2, GpmaConfig::default());
+        let signatures = gpma.run_signatures();
         let shared = Arc::new(wbm::KernelShared {
-            gpma: Gpma::from_graph(&g2, GpmaConfig::default()),
+            gpma,
             meta: Arc::clone(&meta),
             table: table.clone(),
             encodings: Arc::clone(&enc.encodings),
@@ -53,6 +55,7 @@ fn main() {
             collect: false,
             abort: Arc::new(AtomicBool::new(false)),
             match_limit: u64::MAX,
+            signatures,
         });
         let tasks: Vec<Box<dyn WarpTask>> = batch
             .inserts

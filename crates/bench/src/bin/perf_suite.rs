@@ -19,9 +19,15 @@
 //! For every (dataset, class, workload, engine) cell it prints updates/sec
 //! (net structural updates over host wall time), matches/sec, and the
 //! simulated device-cycle total, then writes a machine-readable JSON
-//! summary (default `BENCH_PR5.json`; `--smoke` defaults to a
+//! summary (default `BENCH_PR6.json`; `--smoke` defaults to a
 //! per-invocation file under the system temp dir so parallel CI jobs never
 //! clobber each other — `--out=PATH` is honored everywhere).
+//!
+//! The summary also carries an `intersect` micro-benchmark block: ns/probe
+//! of the three backward-edge membership primitives (scalar galloping,
+//! chunked merge, signature-prefiltered chunked) measured on real preset
+//! runs — the quantity the PR-6 kernel rework targets. It runs in `--smoke`
+//! too, so CI validates the block's presence and sanity.
 //!
 //! ```text
 //! cargo run --release -p gamma-bench --bin perf_suite             # full
@@ -30,7 +36,7 @@
 //!
 //! ## CI perf-regression gate
 //!
-//! `--baseline=BENCH_PR4.json --check` compares the run against a
+//! `--baseline=BENCH_PR6.json --check` compares the run against a
 //! previously committed summary: for every `churn` cell present in both
 //! files (matched on dataset/class/workload/engine, with identical suite
 //! parameters), a drop of more than 30% in updates/sec fails the process
@@ -104,6 +110,10 @@ struct SuiteParams {
     baseline_churn: Option<f64>,
     baseline_path: Option<String>,
     check: bool,
+    /// `--dataset=GH` / `--class=Dense`: restrict the sweep to one
+    /// dataset and/or query class (regression triage).
+    only_dataset: Option<String>,
+    only_class: Option<String>,
 }
 
 impl SuiteParams {
@@ -130,7 +140,7 @@ impl SuiteParams {
                 .to_string_lossy()
                 .into_owned()
         } else {
-            "BENCH_PR5.json".to_string()
+            "BENCH_PR6.json".to_string()
         };
         let mut p = Self {
             smoke,
@@ -143,6 +153,8 @@ impl SuiteParams {
             baseline_churn: None,
             baseline_path: None,
             check,
+            only_dataset: None,
+            only_class: None,
         };
         if let Some(v) = map.get("scale") {
             p.scale = v.parse().expect("--scale");
@@ -167,6 +179,12 @@ impl SuiteParams {
         }
         if let Some(v) = map.get("baseline") {
             p.baseline_path = Some(v.clone());
+        }
+        if let Some(v) = map.get("dataset") {
+            p.only_dataset = Some(v.clone());
+        }
+        if let Some(v) = map.get("class") {
+            p.only_class = Some(v.clone());
         }
         p
     }
@@ -293,15 +311,140 @@ fn build_workloads(
     Some((q, out))
 }
 
+// ---------------------------------------------------------------------------
+// Backward-edge intersection micro-benchmark
+// ---------------------------------------------------------------------------
+
+/// ns/probe of the three backward-edge membership primitives, measured on
+/// real preset runs (the WBM backward-check shape: for each edge `(u, v)`,
+/// `v`'s sorted neighbor run probed for membership in `u`'s run).
+struct IntersectBench {
+    probes: u64,
+    scalar_ns: f64,
+    chunked_ns: f64,
+    bitmap_ns: f64,
+}
+
+fn bench_intersect(p: &SuiteParams) -> IntersectBench {
+    use gamma_gpma::{Gpma, GpmaConfig, CHUNK_WIDTH};
+    use gamma_graph::ELabel;
+
+    let scale = if p.smoke { 0.05 } else { 0.25 };
+    let d = DatasetPreset::GH.build(scale, p.seed ^ 0x6);
+    let pma = Gpma::from_graph(&d.graph, GpmaConfig::default());
+
+    // Probe pairs with real degree/overlap distributions: one pair per
+    // vertex `u` with neighbors, probing `u`'s run with the sorted run of
+    // its highest-degree neighbor.
+    let mut pairs: Vec<(u32, Vec<u32>)> = Vec::new();
+    let mut total_targets = 0u64;
+    for u in 0..d.graph.num_vertices() as u32 {
+        let Some(&(v, _)) = d
+            .graph
+            .neighbors(u)
+            .iter()
+            .max_by_key(|&&(w, _)| d.graph.degree(w))
+        else {
+            continue;
+        };
+        let targets: Vec<u32> = pma.neighbor_run(v).map(|(w, _)| w).collect();
+        if targets.is_empty() {
+            continue;
+        }
+        total_targets += targets.len() as u64;
+        pairs.push((u, targets));
+    }
+    // Fixed probe volume so smoke stays fast and full runs measure stably.
+    let goal: u64 = if p.smoke { 200_000 } else { 2_000_000 };
+    let rounds = (goal / total_targets.max(1)).max(1);
+    let probes = total_targets * rounds;
+
+    let mut labels = [0 as ELabel; CHUNK_WIDTH];
+    let per_probe = |t0: Instant, hits: u64| -> f64 {
+        std::hint::black_box(hits);
+        t0.elapsed().as_nanos() as f64 / probes as f64
+    };
+
+    // Scalar galloping: one `run_seek` per target.
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..rounds {
+        for (u, targets) in &pairs {
+            let mut cur = pma.run_cursor(*u);
+            for &t in targets {
+                hits += pma.run_seek(&mut cur, t).is_some() as u64;
+            }
+        }
+    }
+    let scalar_ns = per_probe(t0, hits);
+
+    // Chunked merge: 64-wide `run_seek_chunk` over the same targets.
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..rounds {
+        for (u, targets) in &pairs {
+            let mut cur = pma.run_cursor(*u);
+            for chunk in targets.chunks(CHUNK_WIDTH) {
+                hits += u64::from(
+                    pma.run_seek_chunk(&mut cur, chunk, &mut labels)
+                        .count_ones(),
+                );
+            }
+        }
+    }
+    let chunked_ns = per_probe(t0, hits);
+
+    // Signature-prefiltered chunked: build the u64 signature (charged
+    // inside the timing, as the kernel pays it), reject lanes whose bit is
+    // clear, seek only survivors.
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    let mut buf = [0u32; CHUNK_WIDTH];
+    for _ in 0..rounds {
+        for (u, targets) in &pairs {
+            let sig = pma.run_signature(*u);
+            let mut cur = pma.run_cursor(*u);
+            for chunk in targets.chunks(CHUNK_WIDTH) {
+                let mut nt = 0usize;
+                for &t in chunk {
+                    if sig & (1u64 << (t & 63)) != 0 {
+                        buf[nt] = t;
+                        nt += 1;
+                    }
+                }
+                if nt > 0 {
+                    hits += u64::from(
+                        pma.run_seek_chunk(&mut cur, &buf[..nt], &mut labels)
+                            .count_ones(),
+                    );
+                }
+            }
+        }
+    }
+    let bitmap_ns = per_probe(t0, hits);
+
+    IntersectBench {
+        probes,
+        scalar_ns,
+        chunked_ns,
+        bitmap_ns,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_json(path: &str, samples: &[Sample], p: &SuiteParams) -> std::io::Result<()> {
+fn write_json(
+    path: &str,
+    samples: &[Sample],
+    isect: &IntersectBench,
+    p: &SuiteParams,
+) -> std::io::Result<()> {
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"suite\": \"perf_suite\",");
-    let _ = writeln!(j, "  \"pr\": 5,");
+    let _ = writeln!(j, "  \"pr\": 6,");
     let _ = writeln!(j, "  \"smoke\": {},", p.smoke);
     let _ = writeln!(j, "  \"scale\": {},", p.scale);
     let _ = writeln!(j, "  \"query_size\": {},", p.query_size);
@@ -342,6 +485,14 @@ fn write_json(path: &str, samples: &[Sample], p: &SuiteParams) -> std::io::Resul
             let _ = writeln!(j, "    \"speedup_vs_pre_pr\": null");
         }
     }
+    j.push_str("  },\n");
+
+    // Backward-edge membership primitives (ns/probe, lower is better).
+    j.push_str("  \"intersect\": {\n");
+    let _ = writeln!(j, "    \"probes\": {},", isect.probes);
+    let _ = writeln!(j, "    \"scalar_ns_per_probe\": {:.2},", isect.scalar_ns);
+    let _ = writeln!(j, "    \"chunked_ns_per_probe\": {:.2},", isect.chunked_ns);
+    let _ = writeln!(j, "    \"bitmap_ns_per_probe\": {:.2}", isect.bitmap_ns);
     j.push_str("  },\n");
 
     j.push_str("  \"cells\": [\n");
@@ -513,16 +664,24 @@ fn remeasure(sample: &Sample, p: &SuiteParams) -> Option<Sample> {
 
 fn main() -> ExitCode {
     let p = SuiteParams::from_args();
-    let presets: Vec<DatasetPreset> = if p.smoke {
+    let mut presets: Vec<DatasetPreset> = if p.smoke {
         vec![DatasetPreset::GH]
     } else {
         vec![DatasetPreset::GH, DatasetPreset::AZ, DatasetPreset::NF]
     };
-    let classes: Vec<QueryClass> = if p.smoke {
+    let mut classes: Vec<QueryClass> = if p.smoke {
         vec![QueryClass::Tree]
     } else {
         QueryClass::ALL.to_vec()
     };
+    if let Some(d) = &p.only_dataset {
+        presets.retain(|x| x.name() == d);
+        assert!(!presets.is_empty(), "unknown --dataset={d}");
+    }
+    if let Some(c) = &p.only_class {
+        classes.retain(|x| x.name() == c);
+        assert!(!classes.is_empty(), "unknown --class={c}");
+    }
 
     println!(
         "# perf_suite (scale={}, size={}, rounds={}, rate={:.0}%{})\n",
@@ -591,7 +750,13 @@ fn main() -> ExitCode {
         }
     }
 
-    write_json(&p.out, &samples, &p).expect("write JSON summary");
+    let isect = bench_intersect(&p);
+    println!(
+        "\n# intersect micro ({} probes): scalar {:.1} ns/probe, chunked {:.1}, bitmap {:.1}",
+        isect.probes, isect.scalar_ns, isect.chunked_ns, isect.bitmap_ns
+    );
+
+    write_json(&p.out, &samples, &isect, &p).expect("write JSON summary");
     println!("\nwrote {}", p.out);
 
     if p.check && p.baseline_path.is_none() {
@@ -661,7 +826,7 @@ fn main() -> ExitCode {
             violations = check_regressions(&samples, &cells);
             // Keep the JSON summary consistent with the retained (best)
             // measurements.
-            write_json(&p.out, &samples, &p).expect("rewrite JSON summary");
+            write_json(&p.out, &samples, &isect, &p).expect("rewrite JSON summary");
         }
         if p.check && !violations.is_empty() {
             eprintln!(

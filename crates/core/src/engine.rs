@@ -43,6 +43,10 @@ pub struct GammaConfig {
     pub timeout: Option<Duration>,
     /// Abort a phase after this many matches (guards runaway tree queries).
     pub match_limit: u64,
+    /// Bitmap quick-reject in front of the kernel's chunked backward-edge
+    /// intersection (low-degree runs only). Exact either way — results are
+    /// bit-identical — so this is an ablation/parity toggle, on by default.
+    pub bitmap_intersect: bool,
     /// GPMA store configuration.
     pub gpma: GpmaConfig,
 }
@@ -57,6 +61,7 @@ impl Default for GammaConfig {
             collect_matches: true,
             timeout: None,
             match_limit: u64::MAX,
+            bitmap_intersect: true,
             gpma: GpmaConfig::default(),
         }
     }
@@ -281,6 +286,7 @@ impl GammaEngine {
             self.config.collect_matches,
             self.config.match_limit,
             Arc::clone(abort),
+            self.config.bitmap_intersect,
         );
         self.gpma = Some(gpma);
         self.table = Some(table);

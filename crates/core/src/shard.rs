@@ -561,6 +561,21 @@ impl ShardTask {
         ctx.global_read_coalesced(bdeg * 2);
         ctx.global_read_coalesced(bdeg); // candidate-table rows
         ctx.compute(bdeg);
+        // The matched-vertex list is the (ascending, injective) target
+        // chunk; each candidate's own run is the larger side of the
+        // intersection, so the shard kernel shares the single-device
+        // kernel's primitive — just with the probe direction flipped by the
+        // owner-compute residency rule.
+        let nt = others.len();
+        debug_assert!(nt <= gamma_gpma::CHUNK_WIDTH);
+        let mut targets = [0 as VertexId; gamma_gpma::CHUNK_WIDTH];
+        for (i, &(dv, _)) in others.iter().enumerate() {
+            targets[i] = dv;
+        }
+        let want: u64 = if nt == 64 { u64::MAX } else { (1u64 << nt) - 1 };
+        let mut labels = [0 as ELabel; gamma_gpma::CHUNK_WIDTH];
+        let mut probed_lanes = 0u64;
+        let mut covered = 0u64;
         gpma.for_each_neighbor(base, |cand, el| {
             if el != base_el {
                 return;
@@ -578,28 +593,30 @@ impl ShardTask {
             }
             // Verify the remaining backward edges on the candidate's own
             // run (complete wherever the owner-compute / steal-eligibility
-            // rules let this scan execute).
-            if !others.is_empty() {
+            // rules let this scan execute), as one chunked merge pass.
+            if nt > 0 {
                 let mut cur = gpma.run_cursor(cand);
-                for &(dv, del) in &others {
-                    match gpma.run_seek(&mut cur, dv) {
-                        Some(l) if l == del => {
-                            if let Some(o) = uo.get(edge_key(dv, cand)) {
-                                if o < anchor_order {
-                                    return;
-                                }
-                            }
+                let rem0 = cur.rem();
+                let found = gpma.run_seek_chunk(&mut cur, &targets[..nt], &mut labels);
+                probed_lanes += nt as u64;
+                covered += (rem0 - cur.rem()) as u64;
+                if found != want {
+                    return;
+                }
+                for (i, &(dv, del)) in others.iter().enumerate() {
+                    if labels[i] != del {
+                        return;
+                    }
+                    if let Some(o) = uo.get(edge_key(dv, cand)) {
+                        if o < anchor_order {
+                            return;
                         }
-                        _ => return,
                     }
                 }
             }
             sink(cand);
         });
-        for &(dv, _) in &others {
-            let odeg = shared.degrees.get(dv as usize).copied().unwrap_or(1) as u64;
-            ctx.coop_intersect(bdeg, odeg.max(1));
-        }
+        ctx.chunked_intersect(probed_lanes, covered);
         self.others_buf = others;
     }
 
@@ -1005,9 +1022,17 @@ impl ShardedEngine {
         if degrees.len() < need {
             degrees.resize(need, 0);
         }
+        // Checked: a canonical batch only deletes present edges, so a
+        // degree underflow here is a canonicalization bug — fail loudly in
+        // both debug and release instead of wrapping (divergent profiles
+        // were the PR-5 overflow class).
         for d in &batch.deletes {
-            degrees[d.u as usize] -= 1;
-            degrees[d.v as usize] -= 1;
+            for v in [d.u, d.v] {
+                let dv = &mut degrees[v as usize];
+                *dv = dv
+                    .checked_sub(1)
+                    .unwrap_or_else(|| panic!("degree underflow at vertex {v}"));
+            }
         }
         for i in &batch.inserts {
             degrees[i.u as usize] += 1;

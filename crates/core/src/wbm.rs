@@ -23,18 +23,30 @@
 //! `GenCandidates` is the innermost loop of the whole system and is kept
 //! **allocation-free in steady state**: the base adjacency is scanned
 //! straight off the GPMA vertex-directory run ([`Gpma::neighbor_run`],
-//! zero-copy), backward-edge checks are monotone galloping probes into the
-//! other matched vertices' runs ([`gamma_gpma::RunCursor`]) instead of
-//! per-candidate root descents, candidate buffers are recycled through a
-//! task-local pool (reuse is reported via `KernelStats::buf_reuse` /
-//! `buf_alloc`), and the anchor-order dedup map is a sorted array probed
-//! by binary search rather than a hashed map.
+//! zero-copy), candidate buffers are recycled through a task-local pool
+//! (reuse is reported via `KernelStats::buf_reuse` / `buf_alloc`), and the
+//! anchor-order dedup map is a sorted array probed by binary search rather
+//! than a hashed map.
+//!
+//! Backward-edge checks are **chunked**, not per-element: base-run
+//! survivors are gathered into [`CHUNK_WIDTH`]-wide chunks and each chunk
+//! is intersected against every other matched vertex's run in one
+//! [`Gpma::run_seek_chunk`] merge pass, carrying a u64 survivor mask
+//! between probes (the host realization of §IV-C's warp-cooperative
+//! intersection, in GSI's Prealloc-Combine shape: gather → mask AND →
+//! popcount → contention-free ascending emit). Backward runs additionally
+//! get a u64 [`Gpma::run_signatures`] bitmap — precomputed once per phase —
+//! in front of the exact probe, so most misses die on a single
+//! AND+popcount without touching the run. Both paths are exact filters — a
+//! rejected lane is *proven* absent — so results stay bit-identical with
+//! the scalar galloping reference (`KernelShared::signatures` left empty
+//! disables the prefilter for parity testing).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use gamma_gpma::{Gpma, RunCursor};
+use gamma_gpma::{Gpma, RunCursor, CHUNK_WIDTH};
 use gamma_gpu::{StepResult, WarpCtx, WarpTask};
 use gamma_graph::{ELabel, QueryGraph, Update, VMatch, VertexId};
 use parking_lot::Mutex;
@@ -50,6 +62,10 @@ const ATTEMPTS_PER_STEP: usize = 4;
 const EMITS_PER_STEP: usize = 64;
 /// Local match-buffer size before flushing to the shared sink.
 const FLUSH_THRESHOLD: usize = 1024;
+/// Survivor chunks narrower than this are intersected candidate-by-
+/// candidate (early-exit scalar probes) instead of mask-carrying chunked
+/// merges: the per-lane bookkeeping only amortizes on wide fronts.
+const SCALAR_CHUNK_MIN: usize = 8;
 
 /// One seed: a query edge the kernel maps update edges onto, with its
 /// offline matching order.
@@ -177,6 +193,12 @@ pub struct KernelShared {
     pub abort: Arc<AtomicBool>,
     /// Abort the launch once this many matches were found.
     pub match_limit: u64,
+    /// Per-vertex u64 run signatures ([`Gpma::run_signatures`]), built
+    /// once per phase and placed in front of the exact chunked probe as a
+    /// quick-reject. Empty disables the prefilter — results are
+    /// bit-identical either way (a clear bit proves absence); the toggle
+    /// exists for parity testing and ablation.
+    pub signatures: Vec<u64>,
 }
 
 impl KernelShared {
@@ -244,9 +266,32 @@ pub struct WbmTask {
     /// vector here and every new frame draws from here, so steady-state
     /// quanta perform no heap allocation.
     pool: Vec<Vec<VertexId>>,
-    /// Reusable backward-edge scratch: `(matched vertex, required label,
-    /// galloping cursor into its run, its incident update edges)`.
-    others_buf: Vec<(VertexId, ELabel, RunCursor, IncidentRange)>,
+    /// Reusable backward-edge scratch, one probe state per other matched
+    /// vertex of the level.
+    others_buf: Vec<BackProbe>,
+    /// Reusable gather buffer: base-run survivors staged for the chunked
+    /// backward intersection (the pooled output region of the
+    /// Prealloc-Combine pass).
+    chunk_buf: Vec<VertexId>,
+}
+
+/// Per-scan probe state for one backward-matched vertex: which run to
+/// intersect against, the merge cursor into it, the dedup incident range,
+/// the optional bitmap signature, and the accounting the cost model is
+/// charged from after the scan.
+struct BackProbe {
+    el: ELabel,
+    cur: RunCursor,
+    inc: IncidentRange,
+    /// u64 run signature when the run is narrow enough ([`CHUNK_WIDTH`]
+    /// neighbors) for the bitmap quick-reject to pay off.
+    sig: Option<u64>,
+    /// Lanes tested against the signature (bitmap-probe accounting).
+    tested: u32,
+    /// Lanes that reached the exact chunked probe.
+    probed: u32,
+    /// Cursor entries remaining at scan start (covered-span accounting).
+    rem0: u32,
 }
 
 impl WbmTask {
@@ -271,6 +316,7 @@ impl WbmTask {
             local_count: 0,
             pool: Vec::new(),
             others_buf: Vec::new(),
+            chunk_buf: Vec::new(),
         }
     }
 
@@ -404,6 +450,16 @@ impl WbmTask {
     /// The scan core shared by [`WbmTask::gen_candidates`] and
     /// [`WbmTask::count_candidates`]: streams every valid candidate into
     /// `sink`, in ascending vertex order.
+    ///
+    /// Shape (Prealloc-Combine): base-run survivors of the cheap per-vertex
+    /// gates are **gathered** into the pooled chunk buffer, then every
+    /// [`CHUNK_WIDTH`]-wide chunk is intersected against the other matched
+    /// vertices' runs carrying a u64 survivor mask — a bitmap quick-reject
+    /// for low-degree runs, one [`Gpma::run_seek_chunk`] merge pass
+    /// otherwise — and the surviving lanes are emitted in ascending order
+    /// (popcount = the count pass, bit order = the exclusive-scan offsets,
+    /// so writes are contention-free). Every filter is exact, so the result
+    /// is bit-identical with per-element galloping.
     fn scan_candidates(
         &mut self,
         seed: &SeedPlan,
@@ -416,12 +472,32 @@ impl WbmTask {
         let q = &shared.meta.q;
         let qv = seed.order[level];
         // Matched backward neighbors of qv; the smallest adjacency list
-        // seeds the scan, the rest are probed by galloping cursors.
+        // seeds the scan, the rest are probed by chunked merge cursors.
         let mut base: Option<(VertexId, ELabel, usize)> = None; // (vertex, required elabel, degree)
         let mut others = std::mem::take(&mut self.others_buf);
         others.clear();
         let gpma = &shared.gpma;
         let uord = &shared.update_order;
+        let sigs: &[u64] = &shared.signatures;
+        let probe = |v: VertexId, el: ELabel| {
+            let deg = gpma.degree(v);
+            BackProbe {
+                el,
+                cur: gpma.run_cursor(v),
+                inc: uord.incident(v),
+                // Only narrow runs keep their signature: past CHUNK_WIDTH
+                // neighbors the 64-bit map saturates and the prefilter is
+                // pure per-lane overhead with no rejection power.
+                sig: if deg <= CHUNK_WIDTH && !sigs.is_empty() {
+                    Some(sigs[v as usize])
+                } else {
+                    None
+                },
+                tested: 0,
+                probed: 0,
+                rem0: deg as u32,
+            }
+        };
         for &(un, el) in q.neighbors(qv) {
             if let Some(dv) = m.get(un) {
                 let deg = gpma.degree(dv);
@@ -429,10 +505,10 @@ impl WbmTask {
                     None => base = Some((dv, el, deg)),
                     Some((bv, bel, bdeg)) => {
                         if deg < bdeg {
-                            others.push((bv, bel, gpma.run_cursor(bv), uord.incident(bv)));
+                            others.push(probe(bv, bel));
                             base = Some((dv, el, deg));
                         } else {
-                            others.push((dv, el, gpma.run_cursor(dv), uord.incident(dv)));
+                            others.push(probe(dv, el));
                         }
                     }
                 }
@@ -440,6 +516,12 @@ impl WbmTask {
         }
         let (bv, bel, bdeg) = base.expect("connected matching order");
         let bv_incident = uord.incident(bv);
+        // One transaction per backward run fetches its precomputed
+        // signature (a single u64 each, coalesced across the warp).
+        let with_sig = others.iter().filter(|o| o.sig.is_some()).count();
+        if with_sig > 0 {
+            ctx.global_read_coalesced(with_sig as u64);
+        }
         // Hoisted candidate gate — fixed for the whole scan (the per-level
         // branch of `candidate_ok`, resolved once instead of per
         // candidate).
@@ -457,6 +539,12 @@ impl WbmTask {
         // Candidate-table rows for the scanned vertices.
         ctx.global_read_coalesced(bdeg as u64);
         ctx.compute(bdeg as u64);
+        // Gather pass: stream the base run through the cheap per-vertex
+        // gates. With no other backward edges the survivors are final and
+        // bypass the staging buffer entirely (the common shallow case).
+        let mut chunk = std::mem::take(&mut self.chunk_buf);
+        chunk.clear();
+        let direct = others.is_empty();
         gpma.for_each_neighbor(bv, |cand, el| {
             if el != bel {
                 return;
@@ -483,28 +571,128 @@ impl WbmTask {
                     }
                 }
             }
-            // Remaining backward neighbors: adjacency + label + order rule,
-            // each a monotone galloping probe into that vertex's run.
-            for (_ov, oel, cur, oinc) in others.iter_mut() {
-                match gpma.run_seek(cur, cand) {
-                    Some(l) if l == *oel => {
-                        if !oinc.is_empty() {
-                            if let Some(o) = uord.order_within(*oinc, cand) {
-                                if o < anchor_order {
-                                    return;
-                                }
+            if direct {
+                sink(cand);
+            } else {
+                chunk.push(cand);
+            }
+        });
+        // Combine pass: chunked backward intersection with survivor masks.
+        let mut targets = [0 as VertexId; CHUNK_WIDTH];
+        let mut lane_of = [0u8; CHUNK_WIDTH];
+        let mut labels = [0 as ELabel; CHUNK_WIDTH];
+        for w in chunk.chunks(CHUNK_WIDTH) {
+            // Narrow fronts skip the mask machinery: below this width the
+            // per-lane bookkeeping (compaction, keep masks) costs more than
+            // it saves, so probe candidates one by one with early exit —
+            // the same exact filters in the same order, so still
+            // bit-identical, and the cursors stay monotone for any wide
+            // chunks that follow.
+            if w.len() < SCALAR_CHUNK_MIN {
+                'cand: for &cand in w {
+                    for o in others.iter_mut() {
+                        if let Some(sig) = o.sig {
+                            o.tested += 1;
+                            if sig & (1u64 << (cand & 63)) == 0 {
+                                continue 'cand;
                             }
                         }
+                        o.probed += 1;
+                        match gpma.run_seek(&mut o.cur, cand) {
+                            Some(l) if l == o.el => {}
+                            _ => continue 'cand,
+                        }
+                        if !o.inc.is_empty()
+                            && matches!(
+                                uord.order_within(o.inc, cand),
+                                Some(ord) if ord < anchor_order
+                            )
+                        {
+                            continue 'cand;
+                        }
                     }
-                    _ => return,
+                    sink(cand);
                 }
+                continue;
             }
-            sink(cand);
-        });
-        // Cost of the cooperative intersections against the other lists.
-        for &(ov, _, _, _) in others.iter() {
-            let odeg = gpma.degree(ov) as u64;
-            ctx.coop_intersect(bdeg as u64, odeg.max(1));
+            let mut mask: u64 = if w.len() == CHUNK_WIDTH {
+                u64::MAX
+            } else {
+                (1u64 << w.len()) - 1
+            };
+            for o in others.iter_mut() {
+                if mask == 0 {
+                    break;
+                }
+                // Bitmap quick-reject: a clear signature bit proves the
+                // candidate absent from the run — drop the lane without an
+                // exact probe.
+                if let Some(sig) = o.sig {
+                    o.tested += mask.count_ones();
+                    let mut pass = 0u64;
+                    let mut mk = mask;
+                    while mk != 0 {
+                        let i = mk.trailing_zeros() as usize;
+                        mk &= mk - 1;
+                        if sig & (1u64 << (w[i] & 63)) != 0 {
+                            pass |= 1u64 << i;
+                        }
+                    }
+                    mask &= pass;
+                    if mask == 0 {
+                        continue;
+                    }
+                }
+                // Compact the surviving lanes (ascending, so the merge
+                // cursor stays monotone) and intersect in one pass.
+                let mut nt = 0usize;
+                let mut mk = mask;
+                while mk != 0 {
+                    let i = mk.trailing_zeros() as usize;
+                    mk &= mk - 1;
+                    targets[nt] = w[i];
+                    lane_of[nt] = i as u8;
+                    nt += 1;
+                }
+                o.probed += nt as u32;
+                let found = gpma.run_seek_chunk(&mut o.cur, &targets[..nt], &mut labels);
+                let mut keep = 0u64;
+                for t in 0..nt {
+                    if found & (1u64 << t) != 0 && labels[t] == o.el {
+                        // Adjacent with the right label; apply the
+                        // anchor-order dedup rule.
+                        let dead = !o.inc.is_empty()
+                            && matches!(
+                                uord.order_within(o.inc, targets[t]),
+                                Some(ord) if ord < anchor_order
+                            );
+                        if !dead {
+                            keep |= 1u64 << lane_of[t];
+                        }
+                    }
+                }
+                mask &= keep;
+            }
+            // Emit pass: popcount is the count, ascending bit order the
+            // exclusive-scan offsets — contention-free pooled writes.
+            ctx.compute(2);
+            let mut mk = mask;
+            while mk != 0 {
+                let i = mk.trailing_zeros() as usize;
+                mk &= mk - 1;
+                sink(w[i]);
+            }
+        }
+        self.chunk_buf = chunk;
+        // Charge the chunked intersections: each backward run is billed
+        // for the lanes it actually probed and the span its cursor
+        // actually walked (plus its bitmap probes), not a synthetic
+        // per-candidate binary-search chain.
+        for o in others.iter() {
+            if o.sig.is_some() {
+                ctx.bitmap_probe(o.tested as u64);
+            }
+            ctx.chunked_intersect(o.probed as u64, (o.rem0 - o.cur.rem()) as u64);
         }
         self.others_buf = others;
     }
@@ -871,6 +1059,7 @@ impl WarpTask for WbmTask {
                     local_count: 0,
                     pool: Vec::new(),
                     others_buf: Vec::new(),
+                    chunk_buf: Vec::new(),
                 }));
             }
         }
@@ -892,6 +1081,7 @@ impl WarpTask for WbmTask {
                 local_count: 0,
                 pool: Vec::new(),
                 others_buf: Vec::new(),
+                chunk_buf: Vec::new(),
             }));
         }
         // Priority 3: hand over half of the unstarted seeds.
@@ -912,6 +1102,7 @@ impl WarpTask for WbmTask {
                 local_count: 0,
                 pool: Vec::new(),
                 others_buf: Vec::new(),
+                chunk_buf: Vec::new(),
             }));
         }
         None
@@ -1079,6 +1270,7 @@ pub fn run_phase(
     collect: bool,
     match_limit: u64,
     abort: Arc<AtomicBool>,
+    bitmap_intersect: bool,
 ) -> (
     Gpma,
     CandidateTable,
@@ -1091,6 +1283,13 @@ pub fn run_phase(
         uo.index_vertices(gpma.num_vertices());
         uo
     };
+    // One O(capacity) sweep amortizes the bitmap prefilter across every
+    // scan of the phase (per-scan builds would dwarf the probes saved).
+    let signatures = if bitmap_intersect {
+        gpma.run_signatures()
+    } else {
+        Vec::new()
+    };
     let shared = Arc::new(KernelShared {
         gpma,
         meta,
@@ -1102,6 +1301,7 @@ pub fn run_phase(
         collect,
         abort,
         match_limit,
+        signatures,
     });
     let tasks: Vec<Box<dyn WarpTask>> = anchors
         .iter()

@@ -23,8 +23,10 @@ fn run_raw_block(
 ) -> (Vec<VMatch>, gamma_gpu::BlockStats) {
     let (enc, table) = IncrementalEncoder::build(g2, q, 2);
     let meta = Arc::new(QueryMeta::build(q, &table, enc.scheme(), coalesced, 2));
+    let gpma = Gpma::from_graph(g2, GpmaConfig::default());
+    let signatures = gpma.run_signatures();
     let shared = Arc::new(KernelShared {
-        gpma: Gpma::from_graph(g2, GpmaConfig::default()),
+        gpma,
         meta,
         table,
         encodings: Arc::clone(&enc.encodings),
@@ -34,6 +36,7 @@ fn run_raw_block(
         collect: true,
         abort: Arc::new(AtomicBool::new(false)),
         match_limit: u64::MAX,
+        signatures,
     });
     let tasks: Vec<Box<dyn WarpTask>> = anchors
         .iter()
@@ -261,6 +264,36 @@ fn buffer_pool_reuses_in_steady_state() {
         k.buf_reuse,
         k.buf_alloc
     );
+}
+
+#[test]
+fn bitmap_intersect_toggle_preserves_exact_results() {
+    // The chunked path's u64-signature prefilter is an exact reject (a
+    // clear bit proves absence), so forcing it on/off must be invisible in
+    // the results: identical positive/negative counts AND an identical
+    // collected match multiset, across dense and sparse query classes.
+    for preset in [DatasetPreset::GH, DatasetPreset::AZ] {
+        let d = preset.build(0.08, 81);
+        for class in QueryClass::ALL {
+            for q in generate_queries(&d.graph, class, 6, 2, 82) {
+                let mut g = d.graph.clone();
+                let ups = gamma_datasets::split_insertion_workload(&mut g, 0.08, 83);
+                let run = |bitmap: bool| {
+                    let mut cfg = GammaConfig::default();
+                    cfg.bitmap_intersect = bitmap;
+                    let mut engine = GammaEngine::new(g.clone(), &q, cfg);
+                    let mut r = engine.apply_batch(&ups);
+                    r.positive.sort_unstable();
+                    (r.positive_count, r.negative_count, r.positive)
+                };
+                let (on_p, on_n, on_m) = run(true);
+                let (off_p, off_n, off_m) = run(false);
+                assert_eq!(on_p, off_p, "positive count drift ({class:?})");
+                assert_eq!(on_n, off_n, "negative count drift ({class:?})");
+                assert_eq!(on_m, off_m, "match multiset drift ({class:?})");
+            }
+        }
+    }
 }
 
 #[test]

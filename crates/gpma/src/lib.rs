@@ -38,5 +38,11 @@ pub mod store;
 
 pub use store::{Gpma, GpmaConfig, GpmaStats, NeighborRun, RunCursor};
 
+/// Lane width of the chunked merge intersection
+/// ([`Gpma::run_seek_chunk`]): one candidate per bit of the u64 survivor
+/// mask, so a chunk is one simulated warp ballot (and one
+/// [`Gpma::run_signature`] bitmap probe) wide.
+pub const CHUNK_WIDTH: usize = 64;
+
 /// The sentinel key marking an empty PMA slot.
 pub(crate) const EMPTY: u64 = u64::MAX;

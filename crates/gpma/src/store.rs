@@ -161,6 +161,16 @@ pub struct RunCursor {
     rem: u32,
 }
 
+impl RunCursor {
+    /// Entries of the run not yet consumed by seeks. The before/after
+    /// difference across an intersection is the span the cursor actually
+    /// walked — what the skew-aware chunked cost model charges for.
+    #[inline]
+    pub fn rem(&self) -> u32 {
+        self.rem
+    }
+}
+
 /// Zero-copy iterator over a vertex's sorted neighbor run (see
 /// [`Gpma::neighbor_run`]).
 pub struct NeighborRun<'a> {
@@ -454,6 +464,135 @@ impl Gpma {
             };
         }
         None
+    }
+
+    /// Chunked merge intersection: advances `cur` through one **ascending**
+    /// chunk of probe targets (at most [`crate::CHUNK_WIDTH`], strictly
+    /// increasing) and returns a bitmask with bit `i` set iff `targets[i]`
+    /// is present in the run; `labels[i]` receives the edge label for every
+    /// set bit. Behaves exactly like seeking each target through
+    /// [`Gpma::run_seek`] in order — final cursor state included — but
+    /// consumes whole run slices per step: targets beyond a slice's last
+    /// key skip the slice with a single comparison, and targets inside it
+    /// resume galloping from the previous target's landing point. This is
+    /// the portable-u64 stand-in for a `std::simd` chunk compare; the mask
+    /// is the warp ballot the simulated kernel votes with.
+    pub fn run_seek_chunk(
+        &self,
+        cur: &mut RunCursor,
+        targets: &[VertexId],
+        labels: &mut [ELabel],
+    ) -> u64 {
+        debug_assert!(targets.len() <= 64, "chunk wider than the u64 mask");
+        debug_assert!(targets.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(labels.len() >= targets.len());
+        let mut mask = 0u64;
+        let mut ti = 0usize;
+        while ti < targets.len() && cur.rem > 0 {
+            let seg = cur.seg as usize;
+            let cnt = self.seg_counts[seg] as usize;
+            let off = cur.off as usize;
+            if off >= cnt {
+                cur.seg += 1;
+                cur.off = 0;
+                continue;
+            }
+            let n = (cnt - off).min(cur.rem as usize);
+            let base = seg * self.seg_size();
+            let slice = &self.keys[base + off..base + off + n];
+            let last = slice[n - 1] as VertexId;
+            // Consume every target that lands in this slice's key range,
+            // galloping forward from the previous target's position.
+            let mut p = 0usize;
+            while ti < targets.len() {
+                let dst = targets[ti];
+                if dst > last {
+                    break;
+                }
+                let q = p + gallop_lower(&slice[p..], dst);
+                if slice[q] as VertexId == dst {
+                    mask |= 1u64 << ti;
+                    labels[ti] = self.vals[base + off + q];
+                }
+                p = q;
+                ti += 1;
+            }
+            if ti >= targets.len() {
+                // Chunk done mid-slice: park the cursor at the last landing
+                // point, exactly where per-target seeks would leave it.
+                cur.off += p as u32;
+                cur.rem -= p as u32;
+                return mask;
+            }
+            // Every remaining target is beyond this slice: skip it whole.
+            cur.rem -= n as u32;
+            cur.off += n as u32;
+        }
+        mask
+    }
+
+    /// Calls `f` with each contiguous `(keys, labels)` slice of `u`'s
+    /// neighbor run, in ascending key order. Keys are full directed entries
+    /// (`(src << 32) | dst`); cast to [`VertexId`] for the neighbor. This is
+    /// the chunk-granularity sibling of [`Gpma::for_each_neighbor`] — the
+    /// intersection kernel gathers candidate chunks from these slices with
+    /// bounds-check-free sweeps.
+    #[inline]
+    pub fn for_each_run_slice(&self, u: VertexId, mut f: impl FnMut(&[u64], &[ELabel])) {
+        let mut rem = self.degree_or_zero(u);
+        if rem == 0 {
+            return;
+        }
+        let e = self.dir[u as usize];
+        let (mut seg, mut off) = (e.seg as usize, e.off as usize);
+        let ss = self.cfg.seg_size;
+        while rem > 0 {
+            let cnt = self.seg_counts[seg] as usize;
+            if off >= cnt {
+                seg += 1;
+                off = 0;
+                continue;
+            }
+            let n = (cnt - off).min(rem);
+            let base = seg * ss + off;
+            f(&self.keys[base..base + n], &self.vals[base..base + n]);
+            rem -= n;
+            off += n;
+        }
+    }
+
+    /// A 64-bit membership signature of `u`'s neighbor run: bit `v & 63` is
+    /// set for every neighbor `v`. A **clear** bit proves absence, so the
+    /// signature is an exact quick-reject in front of a
+    /// [`Gpma::run_seek`]-style probe (a set bit proves nothing and must
+    /// fall through to the probe). Worth building only for low-degree runs
+    /// (≲ 64 neighbors) where the signature stays sparse enough to reject
+    /// most misses with a single AND+popcount.
+    pub fn run_signature(&self, u: VertexId) -> u64 {
+        let mut sig = 0u64;
+        self.for_each_run_slice(u, |ks, _| {
+            for &k in ks {
+                sig |= 1u64 << (k as u32 & 63);
+            }
+        });
+        sig
+    }
+
+    /// [`Gpma::run_signature`] for **every** vertex in one sweep over the
+    /// live slots — O(capacity), independent of the number of runs, so a
+    /// kernel phase can precompute all signatures instead of paying a
+    /// per-scan directory walk per backward run.
+    pub fn run_signatures(&self) -> Vec<u64> {
+        let mut sigs = vec![0u64; self.num_vertices()];
+        let ss = self.cfg.seg_size;
+        for seg in 0..self.num_segments() {
+            let base = seg * ss;
+            let cnt = self.seg_counts[seg] as usize;
+            for &k in &self.keys[base..base + cnt] {
+                sigs[(k >> 32) as usize] |= 1u64 << (k as u32 & 63);
+            }
+        }
+        sigs
     }
 
     /// Zero-copy iterator over `u`'s sorted neighbor run.
@@ -1386,6 +1525,89 @@ mod tests {
         assert_eq!(pma.run_seek(&mut cur, 300), None);
         // Exhausted cursor stays exhausted.
         assert_eq!(pma.run_seek(&mut cur, 400), None);
+    }
+
+    #[test]
+    fn run_seek_chunk_matches_scalar_seeks() {
+        let mut pma = Gpma::new(0, GpmaConfig::default());
+        let edges: Vec<(u32, u32, ELabel)> =
+            (0..64u32).map(|i| (5, 100 + 2 * i, i as u16)).collect();
+        pma.insert_edges(&edges);
+        // Mix of hits and misses, in ascending order, crossing segments.
+        let targets: Vec<u32> = vec![99, 100, 101, 102, 150, 160, 200, 226, 300];
+        let mut scalar_cur = pma.run_cursor(5);
+        let mut want_mask = 0u64;
+        let mut want_labels = vec![0 as ELabel; targets.len()];
+        for (i, &t) in targets.iter().enumerate() {
+            if let Some(l) = pma.run_seek(&mut scalar_cur, t) {
+                want_mask |= 1 << i;
+                want_labels[i] = l;
+            }
+        }
+        let mut chunk_cur = pma.run_cursor(5);
+        let mut labels = vec![0 as ELabel; targets.len()];
+        let mask = pma.run_seek_chunk(&mut chunk_cur, &targets, &mut labels);
+        assert_eq!(mask, want_mask);
+        for i in 0..targets.len() {
+            if mask & (1 << i) != 0 {
+                assert_eq!(labels[i], want_labels[i], "label lane {i}");
+            }
+        }
+        // Cursor parity: a follow-up scalar seek behaves identically.
+        assert_eq!(
+            pma.run_seek(&mut chunk_cur, 400),
+            pma.run_seek(&mut scalar_cur, 400)
+        );
+    }
+
+    #[test]
+    fn run_seek_chunk_empty_inputs() {
+        let mut pma = Gpma::new(8, GpmaConfig::default());
+        pma.insert_edges(&[(0, 1, 7)]);
+        let mut labels = [0 as ELabel; 4];
+        // Empty target chunk.
+        let mut cur = pma.run_cursor(0);
+        assert_eq!(pma.run_seek_chunk(&mut cur, &[], &mut labels), 0);
+        // Empty run (vertex with no neighbors).
+        let mut cur = pma.run_cursor(5);
+        assert_eq!(pma.run_seek_chunk(&mut cur, &[1, 2], &mut labels), 0);
+    }
+
+    #[test]
+    fn run_signature_rejects_absent_neighbors() {
+        let mut pma = Gpma::new(0, GpmaConfig::default());
+        pma.insert_edges(&[(3, 10, 1), (3, 75, 2), (3, 128, 3)]);
+        let sig = pma.run_signature(3);
+        // Present neighbors always have their bit set.
+        for v in [10u32, 75, 128] {
+            assert_ne!(sig & (1 << (v & 63)), 0, "neighbor {v} missing from sig");
+        }
+        // A clear bit proves absence: every vertex whose bit is clear must
+        // genuinely not neighbor 3.
+        for v in 0..200u32 {
+            if sig & (1 << (v & 63)) == 0 {
+                assert!(!pma.has_edge(3, v), "sig cleared live neighbor {v}");
+            }
+        }
+        assert_eq!(pma.run_signature(7), 0, "empty run has empty signature");
+    }
+
+    #[test]
+    fn run_slices_cover_whole_run_in_order() {
+        let mut pma = Gpma::new(0, GpmaConfig::default());
+        let edges: Vec<(u32, u32, ELabel)> =
+            (0..200u32).map(|i| (9, 1000 + i, (i % 7) as u16)).collect();
+        pma.insert_edges(&edges);
+        let mut via_slices = Vec::new();
+        pma.for_each_run_slice(9, |ks, vs| {
+            assert_eq!(ks.len(), vs.len());
+            assert!(!ks.is_empty(), "empty slice emitted");
+            for (&k, &v) in ks.iter().zip(vs) {
+                via_slices.push((k as VertexId, v));
+            }
+        });
+        let via_run: Vec<(u32, ELabel)> = pma.neighbor_run(9).collect();
+        assert_eq!(via_slices, via_run);
     }
 
     #[test]

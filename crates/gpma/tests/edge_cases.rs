@@ -344,3 +344,84 @@ fn grow_shrink_grow_cycle_stays_consistent() {
     }
     assert_eq!(total, 200, "directed item count after cycles");
 }
+
+#[test]
+fn stale_head_repair_survives_delete_heavy_shrink() {
+    // The `batch_delete` stale-head repair (an earlier delete group removes
+    // a later source's run head from a segment to its left) must compose
+    // with the lower-density rebalance and the end-of-batch shrink inside
+    // the SAME call. Each wave below deletes every run head in the store —
+    // the maximally staling pattern — at a volume that collapses density
+    // and forces shrinks, then re-inserts a sliver so the next wave crosses
+    // fresh segment geometry.
+    use std::collections::BTreeMap;
+
+    let edges = edge_list(32, 120);
+    let mut pma = Gpma::new(32, cfg(4));
+    pma.insert_edges(&edges);
+    let mut reference: BTreeMap<(u32, u32), u16> =
+        edges.iter().map(|&(u, v, l)| ((u, v), l)).collect();
+
+    let check = |pma: &Gpma, reference: &BTreeMap<(u32, u32), u16>| {
+        pma.assert_consistent();
+        // Directory-indexed reads vs a naive scan of the reference map.
+        for v in 0..32u32 {
+            let mut expect: Vec<(u32, u16)> = reference
+                .iter()
+                .filter_map(|(&(a, b), &l)| match () {
+                    _ if a == v => Some((b, l)),
+                    _ if b == v => Some((a, l)),
+                    _ => None,
+                })
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(pma.degree(v), expect.len(), "degree of v{v}");
+            let run: Vec<(u32, u16)> = pma.neighbor_run(v).collect();
+            assert_eq!(run, expect, "run of v{v}");
+        }
+    };
+
+    let mut wave = 0u32;
+    while pma.num_edges() > 4 {
+        // Every vertex's current run head, canonicalized and deduped: the
+        // worst case for directory staleness (every group that is not the
+        // leftmost may invalidate heads to its right), plus enough extra
+        // mass from the low end of each run to drive density below the
+        // shrink threshold.
+        let mut dels: Vec<(u32, u32)> = Vec::new();
+        for v in 0..32u32 {
+            for (i, (w, _)) in pma.neighbor_run(v).enumerate() {
+                if i >= (pma.degree(v) / 2).max(1) {
+                    break;
+                }
+                dels.push((v.min(w), v.max(w)));
+            }
+        }
+        dels.sort_unstable();
+        dels.dedup();
+        pma.delete_edges(&dels);
+        for d in &dels {
+            reference.remove(d);
+        }
+        check(&pma, &reference);
+
+        // A sliver of re-inserts so the next wave's heads sit in freshly
+        // rewritten (possibly shrunken) geometry.
+        let sliver: Vec<(u32, u32, u16)> = dels
+            .iter()
+            .step_by(5)
+            .map(|&(u, v)| (u, v, (wave % 5) as u16))
+            .collect();
+        pma.insert_edges(&sliver);
+        for &(u, v, l) in &sliver {
+            reference.entry((u, v)).or_insert(l);
+        }
+        check(&pma, &reference);
+        wave += 1;
+        assert!(wave < 64, "failed to drain: {} edges left", pma.num_edges());
+    }
+    assert!(
+        pma.stats().shrinks >= 1,
+        "waves never shrank the array: the regression shape was not hit"
+    );
+}

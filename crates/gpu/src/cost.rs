@@ -79,6 +79,44 @@ impl CostModel {
         rounds * (self.global_latency + probes * self.global_latency / 4 + self.sync)
     }
 
+    /// Cycles for a chunked merge intersection (GenCandidates'
+    /// Prealloc-Combine form): the warp gathers `small` candidates in
+    /// `CHUNK_WIDTH`-wide chunks (one coalesced read + one ballot each) and
+    /// sweeps the `covered` span of the larger run once, slice by slice,
+    /// instead of binary-searching it per element. `covered` is the part of
+    /// the larger run the cursor actually walked, so a skewed intersection
+    /// that skips most of the big run is charged only for what it touched —
+    /// the saving over [`CostModel::coop_intersect`]'s per-round
+    /// `log2(large)` probe chains.
+    pub fn chunked_intersect(&self, small: u64, covered: u64, warp_size: u32) -> u64 {
+        if small == 0 {
+            return self.compute;
+        }
+        self.chunked_intersect_rounds(
+            small.div_ceil(warp_size as u64),
+            covered.div_ceil(warp_size as u64).max(1),
+        )
+    }
+
+    /// [`CostModel::chunked_intersect`] with both round counts already in
+    /// hand — the single place the chunked formula lives. Chunk rounds pay
+    /// a coalesced gather plus a ballot; sweep rounds hit memory the gather
+    /// usually staged, so they cost a quarter transaction like
+    /// [`CostModel::run_search`] probes.
+    #[inline]
+    pub fn chunked_intersect_rounds(&self, chunk_rounds: u64, sweep_rounds: u64) -> u64 {
+        chunk_rounds * (self.global_latency + self.sync) + sweep_rounds * self.global_latency / 4
+    }
+
+    /// Cycles for probing `lanes` candidates against a u64 run signature:
+    /// the bitmap lives in shared memory (it is one word), so a warp-wide
+    /// probe is one shared access plus an AND+popcount ALU step per round.
+    /// Cheapest membership test in the model — the reason the kernel builds
+    /// signatures for low-degree runs at all.
+    pub fn bitmap_probe(&self, lanes: u64, warp_size: u32) -> u64 {
+        lanes.div_ceil(warp_size as u64).max(1) * (self.shared_latency + self.compute)
+    }
+
     /// Cycles for a single thread doing a binary search of a list of length
     /// `n` in global memory (used by the thread-per-update ablation).
     pub fn serial_binary_search(&self, n: u64) -> u64 {
@@ -148,6 +186,41 @@ mod tests {
         assert!(c.run_search(8) < c.run_search(1 << 20));
         assert!(c.run_search(1 << 20) < c.serial_binary_search(1 << 20));
         assert!(c.run_search(0) >= c.compute);
+    }
+
+    #[test]
+    fn chunked_beats_coop_on_comparable_lists() {
+        // Comparable-size lists: the chunked merge sweeps each run once
+        // instead of paying log2(large) probe chains per round, so it must
+        // undercut the cooperative binary-search form.
+        let c = CostModel::default();
+        let chunked = c.chunked_intersect(256, 256, 32);
+        let coop = c.coop_intersect(256, 256, 32);
+        assert!(chunked < coop, "chunked={chunked} coop={coop}");
+        // Skew-awareness: the kernel charges the span the cursor actually
+        // walked, so a skewed intersection that skips most of the big run
+        // costs less than one that covers it all — and still beats coop
+        // whenever the covered span stays within the galloping budget.
+        assert!(c.chunked_intersect(64, 64, 32) < c.chunked_intersect(64, 1024, 32));
+        assert!(c.chunked_intersect(64, 256, 32) < c.coop_intersect(64, 256, 32));
+    }
+
+    #[test]
+    fn chunked_empty_is_cheap() {
+        let c = CostModel::default();
+        assert_eq!(c.chunked_intersect(0, 1024, 32), c.compute);
+    }
+
+    #[test]
+    fn bitmap_probe_is_cheapest() {
+        // One warp-wide AND+popcount against a shared-memory word must
+        // undercut both intersection forms and even a single run search.
+        let c = CostModel::default();
+        let probe = c.bitmap_probe(64, 32);
+        assert!(probe < c.chunked_intersect(64, 64, 32));
+        assert!(probe < c.coop_intersect(64, 64, 32));
+        assert!(probe < c.run_search(64));
+        assert!(c.bitmap_probe(0, 32) > 0);
     }
 
     #[test]

@@ -108,6 +108,35 @@ impl WarpCtx {
         self.charge(c);
     }
 
+    /// Charges a chunked merge intersection of `small` candidates against
+    /// the `covered` span of the larger run (shift-based round counts; the
+    /// formula lives in [`CostModel::chunked_intersect_rounds`]). Chunk
+    /// gathers are coalesced transactions; the slice sweep reuses staged
+    /// memory and is charged as probe fractions, not transactions.
+    #[inline]
+    pub fn chunked_intersect(&mut self, small: u64, covered: u64) {
+        if small == 0 {
+            self.charge(self.cost.compute);
+            return;
+        }
+        let chunk_rounds = self.warp_rounds(small);
+        self.global_transactions += chunk_rounds;
+        let c = self
+            .cost
+            .chunked_intersect_rounds(chunk_rounds, self.warp_rounds(covered));
+        self.charge(c);
+    }
+
+    /// Charges a warp-wide probe of `lanes` candidates against a u64 run
+    /// signature held in shared memory (see [`CostModel::bitmap_probe`]).
+    #[inline]
+    pub fn bitmap_probe(&mut self, lanes: u64) {
+        let rounds = self.warp_rounds(lanes);
+        self.shared_accesses += rounds;
+        let c = rounds * (self.cost.shared_latency + self.cost.compute);
+        self.charge(c);
+    }
+
     /// Charges a vertex-directory lookup (run-head fetch + bounded probe;
     /// see [`CostModel::directory_locate`]).
     pub fn dir_locate(&mut self) {
@@ -182,5 +211,20 @@ mod tests {
         assert_eq!(ctx.global_transactions, 2);
         ctx.global_read_divergent(5);
         assert_eq!(ctx.global_transactions, 7);
+    }
+
+    #[test]
+    fn chunked_and_bitmap_charges_match_model() {
+        let cost = CostModel::default();
+        let mut ctx = WarpCtx::new(cost, 32);
+        ctx.chunked_intersect(64, 256);
+        assert_eq!(ctx.global_transactions, 2);
+        assert_eq!(ctx.take_step_cycles(), cost.chunked_intersect(64, 256, 32));
+        ctx.chunked_intersect(0, 256);
+        assert_eq!(ctx.take_step_cycles(), cost.compute);
+        assert_eq!(ctx.global_transactions, 2, "empty chunk reads nothing");
+        ctx.bitmap_probe(64);
+        assert_eq!(ctx.shared_accesses, 2);
+        assert_eq!(ctx.take_step_cycles(), cost.bitmap_probe(64, 32));
     }
 }

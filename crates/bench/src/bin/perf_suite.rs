@@ -2,8 +2,9 @@
 //!
 //! Unlike the `figN_*` binaries (which reproduce individual paper plots),
 //! this suite measures **host wall-clock throughput** of the full engine —
-//! the quantity successive PRs are judged against. It sweeps preset
-//! datasets × query classes × three batch workloads:
+//! the quantity successive PRs are judged against — plus the deterministic
+//! simulated-cycle total CI gates on. It sweeps preset datasets × query
+//! classes × three batch workloads:
 //!
 //! * `insert` — batched edge insertions (positive kernel only),
 //! * `delete` — batched edge deletions (negative kernel only),
@@ -19,7 +20,7 @@
 //! For every (dataset, class, workload, engine) cell it prints updates/sec
 //! (net structural updates over host wall time), matches/sec, and the
 //! simulated device-cycle total, then writes a machine-readable JSON
-//! summary (default `BENCH_PR6.json`; `--smoke` defaults to a
+//! summary (default `BENCH_PR7.json`; `--smoke` defaults to a
 //! per-invocation file under the system temp dir so parallel CI jobs never
 //! clobber each other — `--out=PATH` is honored everywhere).
 //!
@@ -34,21 +35,46 @@
 //! cargo run --release -p gamma-bench --bin perf_suite -- --smoke  # CI
 //! ```
 //!
+//! ## Fixed traces
+//!
+//! `--record-trace=FILE` serializes the whole generated sweep — suite
+//! parameters, data graphs, per-class queries, every update batch — into
+//! a checksummed [`gamma_wal::Trace`]. `--replay-trace=FILE` runs the
+//! suite on exactly that recorded work: the trace's parameters are
+//! adopted, and a parameter passed explicitly on the command line that
+//! *conflicts* with the trace is refused with exit code 2 (the same
+//! convention as the baseline parameter check). Replayed work is
+//! bit-identical across hosts, so the `sim_cycles` column becomes a
+//! drift-immune regression signal: single-device cells replay to the
+//! exact same cycle count, multi-shard cells within a fraction of a
+//! percent (cross-shard stealing runs on real OS threads, so cycle
+//! *accounting* carries scheduler jitter even though match deltas are
+//! exact).
+//!
 //! ## CI perf-regression gate
 //!
-//! `--baseline=BENCH_PR6.json --check` compares the run against a
+//! `--baseline=BENCH_PR7.json --check` compares the run against a
 //! previously committed summary: for every `churn` cell present in both
 //! files (matched on dataset/class/workload/engine, with identical suite
 //! parameters), a drop of more than 30% in updates/sec fails the process
 //! with a non-zero exit — the trajectory must not silently regress.
-//! Violated cells are re-measured up to twice (best-of-3) before failing:
-//! host noise only ever slows a cell down, so a retry clearing the floor
-//! proves health while a genuine regression fails every attempt.
+//! Violated wall-clock cells are re-measured up to twice (best-of-3)
+//! before failing: host noise only ever slows a cell down, so a retry
+//! clearing the floor proves health while a genuine regression fails
+//! every attempt. Every violation message names the offending cell's
+//! baseline vs measured sim-cycles — the hardware-independent companion
+//! signal for triage.
+//!
+//! Under `--replay-trace` the gate additionally checks the deterministic
+//! column: any cell whose `sim_cycles` grew more than 10% over the
+//! baseline fails immediately, with no re-measure (determinism means a
+//! retry cannot differ).
 //! `--baseline-churn=<updates/sec>` still embeds a scalar pre-PR number
 //! into the JSON for the speedup field.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -58,9 +84,16 @@ use gamma_datasets::{
     generate_queries, sample_deletion_workload, split_insertion_workload, DatasetPreset, QueryClass,
 };
 use gamma_graph::{DynamicGraph, QueryGraph, Update};
+use gamma_wal::{PresetTrace, Trace, TraceParams, WorkloadTrace};
 
 /// The regression gate's tolerated throughput drop (fraction of baseline).
 const REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// The deterministic gate's tolerated sim-cycle growth under a trace
+/// replay (fraction of baseline). Much tighter than the wall-clock gate:
+/// replayed work is bit-identical, so past the multi-shard scheduler
+/// jitter (sub-percent) any growth is a real code change.
+const SIM_CYCLE_TOLERANCE: f64 = 0.10;
 
 /// One measured cell of the suite.
 #[derive(Clone, Debug)]
@@ -114,6 +147,13 @@ struct SuiteParams {
     /// dataset and/or query class (regression triage).
     only_dataset: Option<String>,
     only_class: Option<String>,
+    /// `--record-trace=FILE`: serialize the generated sweep to a trace.
+    record_trace: Option<String>,
+    /// `--replay-trace=FILE`: run the suite on a recorded trace.
+    replay_trace: Option<String>,
+    /// Keys the user passed explicitly (`--k=v`): a replayed trace may
+    /// only override parameters the user did *not* pin.
+    explicit: HashSet<String>,
 }
 
 impl SuiteParams {
@@ -140,7 +180,7 @@ impl SuiteParams {
                 .to_string_lossy()
                 .into_owned()
         } else {
-            "BENCH_PR6.json".to_string()
+            "BENCH_PR7.json".to_string()
         };
         let mut p = Self {
             smoke,
@@ -155,6 +195,9 @@ impl SuiteParams {
             check,
             only_dataset: None,
             only_class: None,
+            record_trace: None,
+            replay_trace: None,
+            explicit: map.keys().cloned().collect(),
         };
         if let Some(v) = map.get("scale") {
             p.scale = v.parse().expect("--scale");
@@ -186,8 +229,93 @@ impl SuiteParams {
         if let Some(v) = map.get("class") {
             p.only_class = Some(v.clone());
         }
+        if let Some(v) = map.get("record-trace") {
+            p.record_trace = Some(v.clone());
+        }
+        if let Some(v) = map.get("replay-trace") {
+            p.replay_trace = Some(v.clone());
+        }
         p
     }
+}
+
+/// Loads `--replay-trace` and adopts its recorded parameters, refusing
+/// (with a message for exit code 2) any explicitly-passed parameter that
+/// conflicts with the trace — replaying different work than the trace
+/// records would silently compare apples to oranges.
+fn load_replay_trace(p: &mut SuiteParams) -> Result<Option<Trace>, String> {
+    let Some(path) = p.replay_trace.clone() else {
+        return Ok(None);
+    };
+    if p.record_trace.is_some() {
+        return Err("--record-trace and --replay-trace are mutually exclusive".into());
+    }
+    let (trace, crc) = Trace::read(Path::new(&path))
+        .map_err(|e| format!("replay trace {path} unreadable: {e}"))?;
+    let tp = trace.params.expect("read trace always carries params");
+    let pinned: [(&str, f64, f64); 5] = [
+        ("scale", p.scale, tp.scale),
+        ("size", p.query_size as f64, tp.query_size as f64),
+        ("rounds", p.rounds as f64, tp.rounds as f64),
+        ("rate", p.batch_rate, tp.batch_rate),
+        ("seed", p.seed as f64, tp.seed as f64),
+    ];
+    for (key, mine, theirs) in pinned {
+        if p.explicit.contains(key) && (mine - theirs).abs() > 1e-9 {
+            return Err(format!(
+                "--{key}={mine} conflicts with replay trace {path} \
+                 (recorded with {key}={theirs}) — drop the flag or re-record"
+            ));
+        }
+    }
+    if p.smoke && !tp.smoke {
+        return Err(format!(
+            "--smoke conflicts with replay trace {path} (recorded without smoke)"
+        ));
+    }
+    p.scale = tp.scale;
+    p.query_size = tp.query_size as usize;
+    p.rounds = tp.rounds as usize;
+    p.batch_rate = tp.batch_rate;
+    p.seed = tp.seed;
+    p.smoke = tp.smoke;
+    println!("replaying trace {path} (crc 0x{crc:08x})");
+    Ok(Some(trace))
+}
+
+/// Interns a recorded workload name back to the suite's static labels.
+fn static_workload(name: &str) -> &'static str {
+    match name {
+        "churn" => "churn",
+        "insert" => "insert",
+        "delete" => "delete",
+        other => panic!("trace contains unknown workload {other:?}"),
+    }
+}
+
+/// Reconstructs one (preset, class) sweep instance from a recorded trace:
+/// the exact recorded query and `(workload, start graph, batches)`
+/// triples, bit-identical to the run that recorded them.
+#[allow(clippy::type_complexity)]
+fn workloads_from_trace(
+    trace: &Trace,
+    preset: DatasetPreset,
+    class: QueryClass,
+) -> Option<(
+    QueryGraph,
+    Vec<(&'static str, DynamicGraph, Vec<Vec<Update>>)>,
+)> {
+    let pt = trace.preset(preset.name())?;
+    let q = pt.query(class.name())?.clone();
+    let workloads = pt
+        .workloads
+        .iter()
+        .map(|wl| {
+            let g0 = wl.start.clone().unwrap_or_else(|| pt.graph.clone());
+            (static_workload(&wl.name), g0, wl.batches.clone())
+        })
+        .collect();
+    Some((q, workloads))
 }
 
 /// An engine under measurement: the single-device variants plus the
@@ -440,11 +568,22 @@ fn write_json(
     samples: &[Sample],
     isect: &IntersectBench,
     p: &SuiteParams,
+    trace_info: Option<(&str, u32)>,
 ) -> std::io::Result<()> {
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"suite\": \"perf_suite\",");
-    let _ = writeln!(j, "  \"pr\": 6,");
+    let _ = writeln!(j, "  \"pr\": 7,");
+    match trace_info {
+        Some((tpath, crc)) => {
+            let _ = writeln!(j, "  \"trace\": \"{}\",", json_escape(tpath));
+            let _ = writeln!(j, "  \"trace_crc\": {crc},");
+        }
+        None => {
+            let _ = writeln!(j, "  \"trace\": null,");
+            let _ = writeln!(j, "  \"trace_crc\": null,");
+        }
+    }
     let _ = writeln!(j, "  \"smoke\": {},", p.smoke);
     let _ = writeln!(j, "  \"scale\": {},", p.scale);
     let _ = writeln!(j, "  \"query_size\": {},", p.query_size);
@@ -533,6 +672,8 @@ struct BaselineCell {
     workload: String,
     engine: String,
     updates_per_sec: f64,
+    /// Absent in pre-PR-4 summaries (the column postdates them).
+    sim_cycles: Option<f64>,
 }
 
 /// Extracts `"key": "value"` from one JSON line of our own writer.
@@ -578,6 +719,7 @@ fn parse_baseline(text: &str) -> (HashMap<String, f64>, Vec<BaselineCell>) {
                     workload,
                     engine,
                     updates_per_sec: ups,
+                    sim_cycles: field_num(line, "sim_cycles"),
                 });
             }
         } else if !in_cells {
@@ -593,12 +735,40 @@ fn parse_baseline(text: &str) -> (HashMap<String, f64>, Vec<BaselineCell>) {
     (params, cells)
 }
 
+/// One gate violation: the offending sample, the message, and whether it
+/// came from the deterministic sim-cycle column (never re-measured — a
+/// retry of deterministic work cannot differ).
+struct Violation {
+    idx: usize,
+    msg: String,
+    deterministic: bool,
+}
+
+/// Formats a cell's baseline-vs-measured sim-cycles for a violation
+/// message — the hardware-independent triage signal every violation must
+/// carry (pre-PR-4 baselines lack the column).
+fn sim_cycle_note(b: &BaselineCell, s: &Sample) -> String {
+    match b.sim_cycles {
+        Some(bs) => format!("; sim-cycles baseline {bs:.0} vs measured {}", s.sim_cycles),
+        None => format!(
+            "; sim-cycles measured {} (baseline lacks column)",
+            s.sim_cycles
+        ),
+    }
+}
+
 /// The perf-regression gate: every `churn` cell shared with the baseline
-/// must hold at least `1 - REGRESSION_TOLERANCE` of its throughput.
-/// Returns the violating `(sample index, message)` pairs (empty = pass).
-fn check_regressions(samples: &[Sample], baseline: &[BaselineCell]) -> Vec<(usize, String)> {
+/// must hold at least `1 - REGRESSION_TOLERANCE` of its throughput, and —
+/// when `sim_gate` is on (trace replay: the work is bit-identical) —
+/// every shared cell's deterministic `sim_cycles` must stay within
+/// `1 + SIM_CYCLE_TOLERANCE` of the baseline.
+fn check_regressions(
+    samples: &[Sample],
+    baseline: &[BaselineCell],
+    sim_gate: bool,
+) -> Vec<Violation> {
     let mut violations = Vec::new();
-    for b in baseline.iter().filter(|b| b.workload == "churn") {
+    for b in baseline {
         let Some((i, s)) = samples.iter().enumerate().find(|(_, s)| {
             s.dataset == b.dataset
                 && s.class == b.class
@@ -607,22 +777,49 @@ fn check_regressions(samples: &[Sample], baseline: &[BaselineCell]) -> Vec<(usiz
         }) else {
             continue; // cell no longer measured (engine removed / renamed)
         };
-        let floor = b.updates_per_sec * (1.0 - REGRESSION_TOLERANCE);
-        if s.updates_per_sec() < floor {
-            violations.push((
-                i,
-                format!(
-                    "{}/{}/{}/{}: {:.0} upd/s < floor {:.0} (baseline {:.0}, -{:.0}%)",
-                    b.dataset,
-                    b.class,
-                    b.workload,
-                    b.engine,
-                    s.updates_per_sec(),
-                    floor,
-                    b.updates_per_sec,
-                    (1.0 - s.updates_per_sec() / b.updates_per_sec) * 100.0
-                ),
-            ));
+        if b.workload == "churn" {
+            let floor = b.updates_per_sec * (1.0 - REGRESSION_TOLERANCE);
+            if s.updates_per_sec() < floor {
+                violations.push(Violation {
+                    idx: i,
+                    msg: format!(
+                        "{}/{}/{}/{}: {:.0} upd/s < floor {:.0} (baseline {:.0}, -{:.0}%){}",
+                        b.dataset,
+                        b.class,
+                        b.workload,
+                        b.engine,
+                        s.updates_per_sec(),
+                        floor,
+                        b.updates_per_sec,
+                        (1.0 - s.updates_per_sec() / b.updates_per_sec) * 100.0,
+                        sim_cycle_note(b, s)
+                    ),
+                    deterministic: false,
+                });
+            }
+        }
+        if sim_gate {
+            if let Some(bs) = b.sim_cycles.filter(|&bs| bs > 0.0) {
+                let ceiling = bs * (1.0 + SIM_CYCLE_TOLERANCE);
+                if s.sim_cycles as f64 > ceiling {
+                    violations.push(Violation {
+                        idx: i,
+                        msg: format!(
+                            "{}/{}/{}/{}: sim-cycles measured {} > ceiling {:.0} \
+                             (baseline {:.0}, +{:.1}%)",
+                            b.dataset,
+                            b.class,
+                            b.workload,
+                            b.engine,
+                            s.sim_cycles,
+                            ceiling,
+                            bs,
+                            (s.sim_cycles as f64 / bs - 1.0) * 100.0
+                        ),
+                        deterministic: true,
+                    });
+                }
+            }
         }
     }
     violations
@@ -633,7 +830,7 @@ fn check_regressions(samples: &[Sample], baseline: &[BaselineCell]) -> Vec<(usiz
 /// interference can only make a healthy cell look slow, never a regressed
 /// cell look fast — so best-of-N retries reject noise without masking real
 /// regressions.
-fn remeasure(sample: &Sample, p: &SuiteParams) -> Option<Sample> {
+fn remeasure(sample: &Sample, p: &SuiteParams, trace: Option<&Trace>) -> Option<Sample> {
     let preset = [DatasetPreset::GH, DatasetPreset::AZ, DatasetPreset::NF]
         .into_iter()
         .find(|d| d.name() == sample.dataset)?;
@@ -649,7 +846,11 @@ fn remeasure(sample: &Sample, p: &SuiteParams) -> Option<Sample> {
         "SHARD4" => EngineUnderTest::Sharded(4),
         _ => return None,
     };
-    let (q, workloads) = build_workloads(preset, class, p)?;
+    // A replayed run must re-measure the *recorded* work, not regenerate.
+    let (q, workloads) = match trace {
+        Some(t) => workloads_from_trace(t, preset, class)?,
+        None => build_workloads(preset, class, p)?,
+    };
     let (wname, g0, batches) = workloads
         .into_iter()
         .find(|(w, _, _)| *w == sample.workload)?;
@@ -663,7 +864,14 @@ fn remeasure(sample: &Sample, p: &SuiteParams) -> Option<Sample> {
 }
 
 fn main() -> ExitCode {
-    let p = SuiteParams::from_args();
+    let mut p = SuiteParams::from_args();
+    let replay = match load_replay_trace(&mut p) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("perf_suite: {msg}");
+            return ExitCode::from(2);
+        }
+    };
     let mut presets: Vec<DatasetPreset> = if p.smoke {
         vec![DatasetPreset::GH]
     } else {
@@ -682,14 +890,24 @@ fn main() -> ExitCode {
         classes.retain(|x| x.name() == c);
         assert!(!classes.is_empty(), "unknown --class={c}");
     }
+    if let Some(t) = &replay {
+        // Only the recorded slices of the matrix can be replayed.
+        presets.retain(|d| t.preset(d.name()).is_some());
+        classes.retain(|c| t.presets.iter().any(|pt| pt.query(c.name()).is_some()));
+        if presets.is_empty() || classes.is_empty() {
+            eprintln!("perf_suite: replay trace covers none of the requested cells");
+            return ExitCode::from(2);
+        }
+    }
 
     println!(
-        "# perf_suite (scale={}, size={}, rounds={}, rate={:.0}%{})\n",
+        "# perf_suite (scale={}, size={}, rounds={}, rate={:.0}%{}{})\n",
         p.scale,
         p.query_size,
         p.rounds,
         p.batch_rate * 100.0,
-        if p.smoke { ", smoke" } else { "" }
+        if p.smoke { ", smoke" } else { "" },
+        if replay.is_some() { ", replay" } else { "" }
     );
     print_header(&[
         "dataset",
@@ -704,12 +922,62 @@ fn main() -> ExitCode {
         "sim-cycles",
     ]);
 
+    // `--record-trace`: accumulate the generated sweep as it is built —
+    // workloads once per preset (class-independent), queries per class.
+    let mut recorder: Option<Trace> = p.record_trace.as_ref().map(|_| Trace {
+        params: Some(TraceParams {
+            scale: p.scale,
+            query_size: p.query_size as u32,
+            rounds: p.rounds as u32,
+            batch_rate: p.batch_rate,
+            seed: p.seed,
+            smoke: p.smoke,
+        }),
+        presets: Vec::new(),
+    });
+
     let mut samples: Vec<Sample> = Vec::new();
     for &preset in &presets {
         for &class in &classes {
-            let Some((q, workloads)) = build_workloads(preset, class, &p) else {
+            let built = match &replay {
+                Some(t) => workloads_from_trace(t, preset, class),
+                None => build_workloads(preset, class, &p),
+            };
+            let Some((q, workloads)) = built else {
                 continue;
             };
+            if let Some(t) = recorder.as_mut() {
+                if t.preset(preset.name()).is_none() {
+                    // The churn workload starts from the preset's full
+                    // graph, so its start graph doubles as the preset
+                    // payload; only insert needs a start override (the
+                    // stripped graph).
+                    let graph = workloads
+                        .iter()
+                        .find(|(w, _, _)| *w == "churn")
+                        .map(|(_, g, _)| g.clone())
+                        .expect("churn workload always present");
+                    t.presets.push(PresetTrace {
+                        name: preset.name().to_string(),
+                        graph,
+                        queries: Vec::new(),
+                        workloads: workloads
+                            .iter()
+                            .map(|(w, g0, batches)| WorkloadTrace {
+                                name: (*w).to_string(),
+                                start: (*w == "insert").then(|| g0.clone()),
+                                batches: batches.clone(),
+                            })
+                            .collect(),
+                    });
+                }
+                let pt = t
+                    .presets
+                    .iter_mut()
+                    .find(|x| x.name == preset.name())
+                    .expect("preset entry just ensured");
+                pt.queries.push((class.name().to_string(), q.clone()));
+            }
             for (wname, g0, batches) in &workloads {
                 // The sharded scaling column runs on the steady-state
                 // churn workload; insert/delete keep the two single-device
@@ -756,7 +1024,21 @@ fn main() -> ExitCode {
         isect.probes, isect.scalar_ns, isect.chunked_ns, isect.bitmap_ns
     );
 
-    write_json(&p.out, &samples, &isect, &p).expect("write JSON summary");
+    // Trace provenance in the JSON: the file just recorded, or the one
+    // being replayed (re-reading for its crc keeps one code path).
+    let mut trace_info: Option<(String, u32)> = None;
+    if let Some(t) = &recorder {
+        let path = p.record_trace.clone().expect("recorder implies path");
+        let crc = t.write(Path::new(&path)).expect("write trace");
+        println!("recorded trace {path} (crc 0x{crc:08x})");
+        trace_info = Some((path, crc));
+    } else if let Some(path) = &p.replay_trace {
+        let (_, crc) = Trace::read(Path::new(path)).expect("trace re-read");
+        trace_info = Some((path.clone(), crc));
+    }
+    let trace_ref = trace_info.as_ref().map(|(f, c)| (f.as_str(), *c));
+
+    write_json(&p.out, &samples, &isect, &p, trace_ref).expect("write JSON summary");
     println!("\nwrote {}", p.out);
 
     if p.check && p.baseline_path.is_none() {
@@ -802,45 +1084,66 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
-        let mut violations = check_regressions(&samples, &cells);
-        // Best-of-3: re-measure violated cells before failing. Host noise
-        // is one-sided (it only slows cells down), so a retry that clears
-        // the floor proves the cell healthy, while a real regression
-        // stays below it on every attempt.
+        let sim_gate = replay.is_some();
+        let mut violations = check_regressions(&samples, &cells, sim_gate);
+        // Best-of-3: re-measure violated wall-clock cells before failing.
+        // Host noise is one-sided (it only slows cells down), so a retry
+        // that clears the floor proves the cell healthy, while a real
+        // regression stays below it on every attempt. Deterministic
+        // sim-cycle violations are never retried — identical work yields
+        // identical cycles, so a retry cannot differ.
         for attempt in 1..=2 {
-            if !p.check || violations.is_empty() {
+            let noisy: Vec<usize> = violations
+                .iter()
+                .filter(|v| !v.deterministic)
+                .map(|v| v.idx)
+                .collect();
+            if !p.check || noisy.is_empty() {
                 break;
             }
             eprintln!(
-                "perf gate: {} violation(s), re-measuring (attempt {attempt}/2) \
+                "perf gate: {} wall-clock violation(s), re-measuring (attempt {attempt}/2) \
                  to reject host noise",
-                violations.len()
+                noisy.len()
             );
-            for &(i, _) in &violations {
-                if let Some(fresh) = remeasure(&samples[i], &p) {
+            for &i in &noisy {
+                if let Some(fresh) = remeasure(&samples[i], &p, replay.as_ref()) {
                     if fresh.updates_per_sec() > samples[i].updates_per_sec() {
                         samples[i] = fresh;
                     }
                 }
             }
-            violations = check_regressions(&samples, &cells);
+            violations = check_regressions(&samples, &cells, sim_gate);
             // Keep the JSON summary consistent with the retained (best)
             // measurements.
-            write_json(&p.out, &samples, &isect, &p).expect("rewrite JSON summary");
+            write_json(&p.out, &samples, &isect, &p, trace_ref).expect("rewrite JSON summary");
         }
         if p.check && !violations.is_empty() {
             eprintln!(
-                "\nperf gate FAILED vs {path} (>{:.0}% churn regression):",
-                REGRESSION_TOLERANCE * 100.0
+                "\nperf gate FAILED vs {path} (>{:.0}% churn wall-clock regression{}):",
+                REGRESSION_TOLERANCE * 100.0,
+                if sim_gate {
+                    format!(" or >{:.0}% sim-cycle growth", SIM_CYCLE_TOLERANCE * 100.0)
+                } else {
+                    String::new()
+                }
             );
-            for (_, v) in &violations {
-                eprintln!("  {v}");
+            for v in &violations {
+                eprintln!("  {}", v.msg);
             }
             return ExitCode::FAILURE;
         }
         println!(
-            "perf gate vs {path}: {} churn cell(s) compared, {}",
+            "perf gate vs {path}: {} churn cell(s) compared{}, {}",
             baseline_churn_cells,
+            if sim_gate {
+                format!(
+                    " + sim-cycles on {} cell(s)",
+                    cells.iter().filter(|c| c.sim_cycles.is_some()).count()
+                )
+            } else {
+                String::new()
+            },
             if violations.is_empty() {
                 "no regressions".to_string()
             } else {

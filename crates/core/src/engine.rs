@@ -146,6 +146,52 @@ impl GammaEngine {
         }
     }
 
+    /// Rebuilds an engine from recovered state: the host graph mirror and
+    /// the restored GPMA device store (see `gamma_gpma::Gpma::from_snapshot_bytes`).
+    ///
+    /// The encoder, candidate table and kernel metadata are pure functions
+    /// of `(graph, query, config)` — the incremental re-encoding path
+    /// maintains exactly the state a fresh build derives — so they are
+    /// rebuilt rather than persisted. Only the GPMA (whose segment
+    /// geometry is history-dependent) comes from the snapshot.
+    pub fn restore(
+        graph: DynamicGraph,
+        query: &QueryGraph,
+        config: GammaConfig,
+        gpma: Gpma,
+        batches_processed: u64,
+    ) -> Self {
+        assert_eq!(
+            gpma.num_edges(),
+            graph.num_edges(),
+            "restored gpma and graph mirror disagree on edge count"
+        );
+        let (encoder, table) = IncrementalEncoder::build(&graph, query, config.counter_bits);
+        let meta = Arc::new(QueryMeta::build(
+            query,
+            &table,
+            encoder.scheme(),
+            config.coalesced_search,
+            config.max_degenerate_k,
+        ));
+        let device = Device::new(config.device.clone());
+        Self {
+            graph,
+            gpma: Some(gpma),
+            encoder,
+            table: Some(table),
+            meta,
+            device,
+            config,
+            batches_processed,
+        }
+    }
+
+    /// Read access to the GPMA device store (snapshot support).
+    pub fn gpma(&self) -> &Gpma {
+        self.gpma.as_ref().expect("gpma present between batches")
+    }
+
     /// Read access to the host mirror of the data graph.
     pub fn graph(&self) -> &DynamicGraph {
         &self.graph

@@ -18,6 +18,9 @@
 //! * [`shard`] — the multi-device sharded engine: hash/range vertex
 //!   partitioning, boundary-replicated per-shard GPMA stores, partial
 //!   embeddings migrating between devices, inter-device work stealing.
+//! * [`durable`] — crash recovery: write-ahead logged batches + atomic
+//!   snapshots for both engines, with a per-shard log + batch-epoch
+//!   manifest protocol for the sharded one.
 //!
 //! ## Example
 //!
@@ -47,6 +50,7 @@
 
 pub mod auto;
 pub mod bfs;
+pub mod durable;
 pub mod encoding;
 pub mod engine;
 pub mod order;
@@ -56,6 +60,7 @@ pub mod wbm;
 
 pub use auto::CoalescedPlan;
 pub use bfs::{run_bfs_phase, BfsReport};
+pub use durable::{DurabilityConfig, DurableGammaEngine, DurableShardedEngine, RecoveryReport};
 pub use encoding::{CandidateTable, EncodingScheme, IncrementalEncoder};
 pub use engine::{BatchResult, BatchStats, GammaConfig, GammaEngine, StealingMode};
 pub use pipeline::{PipelineOutput, PipelinedEngine};

@@ -964,9 +964,86 @@ impl ShardedEngine {
         }
     }
 
+    /// Rebuilds a sharded engine from recovered state: the host graph
+    /// mirror plus, per shard, its restored GPMA and resident-set flags.
+    ///
+    /// Resident sets grow monotonically as batches touch new boundary
+    /// vertices, so they cannot be rederived from the current graph alone
+    /// — a fresh build's sets can be *smaller* than the incrementally
+    /// maintained ones. They are therefore part of the snapshot, exactly
+    /// like the GPMA geometry. Encoder/table/meta replicas are pure
+    /// functions of `(graph, query, config)` and are rebuilt.
+    ///
+    /// The durable path applies edge batches only (no vertex additions),
+    /// so the partition rebuilt from the current vertex count is the one
+    /// the engine was built with.
+    pub fn restore(
+        graph: DynamicGraph,
+        query: &QueryGraph,
+        config: ShardedConfig,
+        shard_state: Vec<(Gpma, Vec<bool>)>,
+        batches_processed: u64,
+    ) -> Self {
+        assert_eq!(
+            shard_state.len(),
+            config.num_shards,
+            "restored shard count disagrees with configuration"
+        );
+        let n = graph.num_vertices();
+        let partition = Partition::new(config.strategy, config.num_shards, n);
+        let (encoder0, table0) = IncrementalEncoder::build(&graph, query, config.base.counter_bits);
+        let mut shards = Vec::with_capacity(config.num_shards);
+        for (gpma, resident) in shard_state {
+            assert_eq!(resident.len(), n, "resident bitmap length drift");
+            shards.push(Shard {
+                gpma: Some(gpma),
+                encoder: encoder0.clone(),
+                table: Some(table0.clone()),
+                device: Device::new(config.base.device.clone()),
+                resident: Arc::new(resident),
+            });
+        }
+        let meta = Arc::new(QueryMeta::build(
+            query,
+            &table0,
+            encoder0.scheme(),
+            false, // coalesced search off, as in `new`
+            config.base.max_degenerate_k,
+        ));
+        let degrees = Arc::new(
+            (0..n as VertexId)
+                .map(|v| graph.degree(v) as u32)
+                .collect::<Vec<u32>>(),
+        );
+        Self {
+            graph,
+            partition,
+            shards,
+            meta,
+            config,
+            degrees,
+            stats: ShardStats::default(),
+            batches_processed,
+        }
+    }
+
     /// Read access to the host mirror of the data graph.
     pub fn graph(&self) -> &DynamicGraph {
         &self.graph
+    }
+
+    /// Per-shard state for snapshotting: each shard's GPMA and resident
+    /// flags, in shard order.
+    pub fn shard_state(&self) -> Vec<(&Gpma, &[bool])> {
+        self.shards
+            .iter()
+            .map(|s| {
+                (
+                    s.gpma.as_ref().expect("gpma present between batches"),
+                    s.resident.as_slice(),
+                )
+            })
+            .collect()
     }
 
     /// The static vertex partition.

@@ -1243,7 +1243,155 @@ impl Gpma {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Serializes the store into a compact versioned byte blob: segment
+    /// geometry, the live `(key, label)` entries of every segment, the
+    /// degree cache and the vertex directory (live vertices only). Empty
+    /// slots are not stored — the restore side re-inflates them — so the
+    /// blob size tracks `num_elems`, not capacity.
+    ///
+    /// Cumulative [`GpmaStats`] counters are *not* part of the snapshot:
+    /// they describe work performed, not state, and restart at zero after
+    /// a restore.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let nsegs = self.num_segments();
+        let mut out = Vec::with_capacity(32 + self.num_elems * 10 + self.degrees.len() * 12);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.cfg.seg_size as u32).to_le_bytes());
+        out.extend_from_slice(&(nsegs as u32).to_le_bytes());
+        out.extend_from_slice(&(self.degrees.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.num_elems as u64).to_le_bytes());
+        for s in 0..nsegs {
+            let base = s * self.seg_size();
+            let cnt = self.seg_counts[s];
+            out.extend_from_slice(&cnt.to_le_bytes());
+            for i in 0..cnt as usize {
+                out.extend_from_slice(&self.keys[base + i].to_le_bytes());
+                out.extend_from_slice(&self.vals[base + i].to_le_bytes());
+            }
+        }
+        for (u, &d) in self.degrees.iter().enumerate() {
+            out.extend_from_slice(&d.to_le_bytes());
+            if d > 0 {
+                out.extend_from_slice(&self.dir[u].seg.to_le_bytes());
+                out.extend_from_slice(&self.dir[u].off.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a store from [`Gpma::snapshot_bytes`] output. `cfg` is the
+    /// runtime configuration (cost model etc.); its `seg_size` must match
+    /// the recorded geometry. The restored store is cross-checked against
+    /// a full scan ([`Gpma::assert_consistent`]) before being returned, so
+    /// a snapshot that decodes but violates a structural invariant panics
+    /// here rather than corrupting queries later.
+    pub fn from_snapshot_bytes(bytes: &[u8], cfg: GpmaConfig) -> Result<Self, String> {
+        struct R<'a>(&'a [u8], usize);
+        impl R<'_> {
+            fn take(&mut self, n: usize) -> Result<&[u8], String> {
+                if self.0.len() - self.1 < n {
+                    return Err("gpma snapshot truncated".into());
+                }
+                let s = &self.0[self.1..self.1 + n];
+                self.1 += n;
+                Ok(s)
+            }
+            fn u16(&mut self) -> Result<u16, String> {
+                Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+            }
+            fn u32(&mut self) -> Result<u32, String> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn u64(&mut self) -> Result<u64, String> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+        }
+        let mut r = R(bytes, 0);
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "gpma snapshot version {version}, expected {SNAPSHOT_VERSION}"
+            ));
+        }
+        let seg_size = r.u32()? as usize;
+        if seg_size != cfg.seg_size {
+            return Err(format!(
+                "gpma snapshot seg_size {seg_size} != configured {}",
+                cfg.seg_size
+            ));
+        }
+        let nsegs = r.u32()? as usize;
+        if nsegs == 0 || !nsegs.is_power_of_two() {
+            return Err(format!(
+                "gpma snapshot segment count {nsegs} not a power of two"
+            ));
+        }
+        let nverts = r.u32()? as usize;
+        let num_elems = r.u64()? as usize;
+        let capacity = nsegs * seg_size;
+        let mut keys = vec![EMPTY; capacity];
+        let mut vals: Vec<ELabel> = vec![0; capacity];
+        let mut seg_counts = vec![0u32; nsegs];
+        let mut total = 0usize;
+        for (s, sc) in seg_counts.iter_mut().enumerate() {
+            let cnt = r.u32()?;
+            if cnt as usize > seg_size {
+                return Err(format!("segment {s} count {cnt} exceeds seg_size"));
+            }
+            *sc = cnt;
+            total += cnt as usize;
+            let base = s * seg_size;
+            for i in 0..cnt as usize {
+                let k = r.u64()?;
+                if k == EMPTY {
+                    return Err(format!("empty-sentinel key in live slot of segment {s}"));
+                }
+                keys[base + i] = k;
+                vals[base + i] = r.u16()?;
+            }
+        }
+        if total != num_elems {
+            return Err(format!(
+                "element count drift: header {num_elems}, segments {total}"
+            ));
+        }
+        let mut degrees = vec![0u32; nverts];
+        let mut dir = vec![DirEnt::default(); nverts];
+        for u in 0..nverts {
+            let d = r.u32()?;
+            degrees[u] = d;
+            if d > 0 {
+                dir[u] = DirEnt {
+                    seg: r.u32()?,
+                    off: r.u32()?,
+                };
+            }
+        }
+        if r.0.len() != r.1 {
+            return Err("trailing bytes after gpma snapshot".into());
+        }
+        let pma = Self {
+            keys,
+            vals,
+            seg_counts,
+            num_elems,
+            degrees,
+            dir,
+            cfg,
+            stats: GpmaStats::default(),
+        };
+        pma.assert_consistent();
+        Ok(pma)
+    }
 }
+
+/// Version tag of the [`Gpma::snapshot_bytes`] format.
+const SNAPSHOT_VERSION: u32 = 1;
 
 /// First index of `slice` whose low 32 bits (the dst) are ≥ `dst`,
 /// galloping from the front. The caller guarantees the last element
@@ -1649,5 +1797,65 @@ mod tests {
             run(true) < run(false),
             "CG sub-warps should cut rebalance cost"
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_state_and_geometry() {
+        let mut pma = Gpma::new(50, GpmaConfig::default());
+        let edges: Vec<(u32, u32, ELabel)> = (0..300u32)
+            .map(|i| (i % 50, 50 + i % 200, (i % 5) as ELabel))
+            .collect();
+        pma.insert_edges(&edges);
+        pma.delete_edges(
+            &edges[..40]
+                .iter()
+                .map(|&(u, v, _)| (u, v))
+                .collect::<Vec<_>>(),
+        );
+        pma.assert_consistent();
+
+        let blob = pma.snapshot_bytes();
+        let back = Gpma::from_snapshot_bytes(&blob, GpmaConfig::default()).unwrap();
+        assert_eq!(back.num_edges(), pma.num_edges());
+        assert_eq!(back.num_vertices(), pma.num_vertices());
+        // Geometry preserved exactly, not just contents.
+        assert_eq!(back.num_segments(), pma.num_segments());
+        let a: Vec<(u64, ELabel)> = pma.iter().collect();
+        let b: Vec<(u64, ELabel)> = back.iter().collect();
+        assert_eq!(a, b);
+        for v in 0..50u32 {
+            assert_eq!(back.degree(v), pma.degree(v));
+            let x: Vec<_> = pma.neighbor_run(v).collect();
+            let y: Vec<_> = back.neighbor_run(v).collect();
+            assert_eq!(x, y, "neighbor run drift at {v}");
+        }
+        // Restored store keeps working as a live store.
+        let mut back = back;
+        assert_eq!(back.insert_edges(&[(0, 49, 9)]), 1);
+        back.assert_consistent();
+    }
+
+    #[test]
+    fn snapshot_empty_store_roundtrip() {
+        let pma = Gpma::new(7, GpmaConfig::default());
+        let back = Gpma::from_snapshot_bytes(&pma.snapshot_bytes(), GpmaConfig::default()).unwrap();
+        assert_eq!(back.num_edges(), 0);
+        assert_eq!(back.num_vertices(), 7);
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_and_mismatched_geometry() {
+        let mut pma = Gpma::new(10, GpmaConfig::default());
+        pma.insert_edges(&[(0, 1, 1), (2, 3, 2)]);
+        let blob = pma.snapshot_bytes();
+        for cut in 0..blob.len() {
+            assert!(
+                Gpma::from_snapshot_bytes(&blob[..cut], GpmaConfig::default()).is_err(),
+                "cut at {cut}"
+            );
+        }
+        let mut other = GpmaConfig::default();
+        other.seg_size = 64;
+        assert!(Gpma::from_snapshot_bytes(&blob, other).is_err());
     }
 }

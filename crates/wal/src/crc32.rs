@@ -1,0 +1,93 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//!
+//! The standard `crc32fast` crate is unavailable offline, so the 256-entry
+//! table is generated at compile time from the reversed polynomial
+//! `0xEDB88320`. The output matches zlib's `crc32()` (and therefore any
+//! external tool a trace or log might be inspected with).
+
+/// The 256-entry lookup table, one byte of input per step.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (initial value `!0`, final XOR `!0` — the zlib
+/// convention).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Incremental form: extends a running CRC with more bytes. Start from
+/// [`crc32_begin`], finish with [`crc32_end`].
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Initial state for [`crc32_update`].
+pub fn crc32_begin() -> u32 {
+    !0u32
+}
+
+/// Finalizes an incremental CRC state into the checksum value.
+pub fn crc32_end(state: u32) -> u32 {
+    !state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // zlib reference values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"batch-dynamic subgraph matching";
+        let mut s = crc32_begin();
+        for chunk in data.chunks(7) {
+            s = crc32_update(s, chunk);
+        }
+        assert_eq!(crc32_end(s), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_detected() {
+        let mut data = vec![0xA5u8; 97];
+        let before = crc32(&data);
+        data[41] ^= 0x08;
+        assert_ne!(before, crc32(&data));
+    }
+}

@@ -1,0 +1,73 @@
+//! # gamma-wal — durability for batch-dynamic ingest
+//!
+//! The paper treats the update stream as ephemeral batches; a serving
+//! system restarts. This crate provides the storage-side primitives the
+//! engines build crash recovery from:
+//!
+//! * [`mod@crc32`] — the IEEE CRC-32 every on-disk structure is checksummed
+//!   with (vendored table implementation; no external dependency).
+//! * [`codec`] — a compact little-endian byte codec for update batches,
+//!   data graphs and query graphs (the payloads logs and snapshots carry).
+//! * [`log`] — the append-only, checksummed, fsync-batched write-ahead
+//!   log: one epoch-stamped record per update batch. Replay stops at the
+//!   first torn, corrupt or non-contiguous record and reports how far it
+//!   got — recovery never silently diverges past damage.
+//! * [`snapshot`] — versioned point-in-time snapshots (graph + one or
+//!   more serialized device stores), written atomically via temp-file
+//!   rename so a crash mid-snapshot can never destroy the previous one.
+//! * [`manifest`] — the batch-epoch manifest a multi-shard engine commits
+//!   after all per-shard log appends land, pinning the highest epoch that
+//!   is durable on *every* shard (the common recovery boundary).
+//! * [`trace`] — recorded perf-suite workloads (params, graphs, queries
+//!   and batches) for drift-free fixed-trace benchmarking: CI gates on
+//!   sim-cycles over a committed trace instead of wall-clock noise.
+//!
+//! The formats are deliberately simple: explicit magics and versions,
+//! little-endian integers, CRC-32 over every payload, and no
+//! backward-compat shims yet (a version bump is a format change).
+
+pub mod codec;
+pub mod crc32;
+pub mod log;
+pub mod manifest;
+pub mod snapshot;
+pub mod trace;
+
+pub use codec::{ByteReader, ByteWriter};
+pub use crc32::crc32;
+pub use log::{LogReplay, SyncPolicy, TailState, WalReader, WalRecord, WalWriter};
+pub use manifest::{manifest_len, read_manifest, ManifestReplay, ManifestWriter};
+pub use snapshot::Snapshot;
+pub use trace::{PresetTrace, Trace, TraceParams, WorkloadTrace};
+
+/// Errors surfaced while decoding durable state.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Payload ended before the decoder was done.
+    Truncated,
+    /// A magic number or version field did not match.
+    BadHeader(String),
+    /// A checksum did not verify.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "i/o error: {e}"),
+            WalError::Truncated => write!(f, "payload truncated"),
+            WalError::BadHeader(m) => write!(f, "bad header: {m}"),
+            WalError::Corrupt(m) => write!(f, "corrupt payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}

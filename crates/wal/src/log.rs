@@ -1,0 +1,382 @@
+//! The append-only, checksummed, fsync-batched write-ahead log.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! file   := magic "GWAL" | version u32 | record*
+//! record := len u32 | epoch u64 | crc u32 | payload[len]
+//! ```
+//!
+//! `crc` is the CRC-32 of `epoch (LE bytes) || payload`, so a flipped bit
+//! in either the header's epoch or the payload is detected. `len` is
+//! validated against the bytes actually present: a record whose frame
+//! extends past end-of-file is a *torn tail* (the expected shape after a
+//! crash mid-append), which replay reports distinctly from corruption.
+//!
+//! ## Replay contract
+//!
+//! [`WalReader::replay`] returns every record of the longest valid prefix,
+//! plus a [`TailState`] describing why it stopped and the byte offset of
+//! the first invalid frame. Recovery truncates the file at that offset
+//! before appending again ([`WalWriter::open_after_replay`]), so a
+//! recovered log is always fully valid. Epoch contiguity (each record's
+//! epoch must be exactly `previous + 1`) is also enforced here: a
+//! duplicate or skipped epoch — a replayed batch applied twice would
+//! silently diverge — terminates replay at the last contiguous record.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+use crate::WalError;
+
+const MAGIC: &[u8; 4] = b"GWAL";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 8;
+/// Frame bytes before the payload: len + epoch + crc.
+const FRAME_LEN: usize = 4 + 8 + 4;
+/// Upper bound on a single record payload (sanity check against reading a
+/// garbage length as a multi-gigabyte allocation).
+const MAX_PAYLOAD: usize = 1 << 30;
+
+/// When the writer calls `fsync`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every appended record (strongest durability).
+    EveryRecord,
+    /// `fsync` once per `n` appended records (group commit). An explicit
+    /// [`WalWriter::sync`] flushes the remainder.
+    EveryN(u32),
+    /// Never `fsync` automatically (tests / throwaway logs).
+    Never,
+}
+
+/// One replayed log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotone batch epoch (the engine's `batches_processed` at append).
+    pub epoch: u64,
+    /// The record payload (an encoded update batch, for the engines).
+    pub payload: Vec<u8>,
+}
+
+/// Why replay stopped where it did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TailState {
+    /// Every frame decoded and the file ended exactly on a record
+    /// boundary.
+    Clean,
+    /// The final frame was cut short — the signature of a crash
+    /// mid-append. Contains a human-readable description.
+    Torn(String),
+    /// A complete frame failed its checksum or sanity checks.
+    Corrupt(String),
+    /// A frame decoded but broke epoch contiguity (duplicate or skipped
+    /// epoch). Contains the offending epoch and the expected one.
+    NonContiguous {
+        /// Epoch found in the offending record.
+        found: u64,
+        /// Epoch replay required at that position.
+        expected: u64,
+    },
+}
+
+impl TailState {
+    /// Whether the log was fully intact.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, TailState::Clean)
+    }
+}
+
+/// The result of replaying a log file.
+#[derive(Debug)]
+pub struct LogReplay {
+    /// Records of the longest valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Why the replay stopped.
+    pub tail: TailState,
+    /// Byte offset of the first invalid frame (== file length when
+    /// clean). Truncating the file here removes exactly the invalid tail.
+    pub valid_len: u64,
+}
+
+impl LogReplay {
+    /// Epoch of the last valid record, if any.
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.records.last().map(|r| r.epoch)
+    }
+
+    /// Discards every replayed record with `epoch >= boundary`, adjusting
+    /// `valid_len` so a subsequent [`WalWriter::open_after_replay`]
+    /// truncates them from the file. Multi-shard recovery uses this to cut
+    /// per-shard logs back to the manifest's committed boundary: a record
+    /// beyond it landed on *this* shard but not on all of them.
+    pub fn discard_from(&mut self, boundary: u64) {
+        while let Some(last) = self.records.last() {
+            if last.epoch < boundary {
+                break;
+            }
+            self.valid_len -= (FRAME_LEN + last.payload.len()) as u64;
+            self.records.pop();
+        }
+    }
+}
+
+/// Append side of the log.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: SyncPolicy,
+    appended_since_sync: u32,
+    next_epoch: u64,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) a log whose first record will carry
+    /// `first_epoch`.
+    pub fn create(path: &Path, policy: SyncPolicy, first_epoch: u64) -> Result<Self, WalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.sync_data()?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            appended_since_sync: 0,
+            next_epoch: first_epoch,
+        })
+    }
+
+    /// Reopens a replayed log for appending: truncates the invalid tail
+    /// (if any) and positions the next append at `replay`'s end.
+    pub fn open_after_replay(
+        path: &Path,
+        policy: SyncPolicy,
+        replay: &LogReplay,
+        next_epoch: u64,
+    ) -> Result<Self, WalError> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(replay.valid_len)?;
+        file.sync_data()?;
+        let mut s = Self {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            appended_since_sync: 0,
+            next_epoch,
+        };
+        use std::io::Seek;
+        s.file.seek(std::io::SeekFrom::End(0))?;
+        Ok(s)
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The epoch the next [`WalWriter::append`] will stamp.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Appends one record. The epoch is assigned internally (strictly
+    /// sequential — the contiguity replay enforces). Returns the epoch
+    /// the record was stamped with.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        let epoch = self.next_epoch;
+        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&epoch.to_le_bytes());
+        let mut crc_input = Vec::with_capacity(8 + payload.len());
+        crc_input.extend_from_slice(&epoch.to_le_bytes());
+        crc_input.extend_from_slice(payload);
+        frame.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.next_epoch += 1;
+        self.appended_since_sync += 1;
+        match self.policy {
+            SyncPolicy::EveryRecord => self.sync()?,
+            SyncPolicy::EveryN(n) => {
+                if self.appended_since_sync >= n {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok(epoch)
+    }
+
+    /// Forces an `fsync` of everything appended so far.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+}
+
+/// Read side of the log.
+#[derive(Debug)]
+pub struct WalReader;
+
+impl WalReader {
+    /// Replays `path` from the beginning, stopping at the first torn,
+    /// corrupt or non-contiguous frame. `first_epoch` is the epoch the
+    /// first record must carry (the snapshot's epoch, for the engines).
+    pub fn replay(path: &Path, first_epoch: u64) -> Result<LogReplay, WalError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER_LEN as usize {
+            return Err(WalError::BadHeader("log shorter than its header".into()));
+        }
+        if &bytes[0..4] != MAGIC {
+            return Err(WalError::BadHeader("not a GWAL file".into()));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(WalError::BadHeader(format!(
+                "log version {version}, expected {VERSION}"
+            )));
+        }
+
+        let mut records = Vec::new();
+        let mut pos = HEADER_LEN as usize;
+        let mut expected = first_epoch;
+        let tail = loop {
+            if pos == bytes.len() {
+                break TailState::Clean;
+            }
+            let avail = bytes.len() - pos;
+            if avail < FRAME_LEN {
+                break TailState::Torn(format!(
+                    "{avail} trailing bytes at offset {pos}: shorter than a frame header"
+                ));
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            if len > MAX_PAYLOAD {
+                break TailState::Corrupt(format!(
+                    "frame at offset {pos} declares {len}-byte payload (cap {MAX_PAYLOAD})"
+                ));
+            }
+            if avail < FRAME_LEN + len {
+                break TailState::Torn(format!(
+                    "frame at offset {pos} declares {len}-byte payload but only \
+                     {} bytes remain",
+                    avail - FRAME_LEN
+                ));
+            }
+            let epoch = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+            let stored_crc = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().unwrap());
+            let payload = &bytes[pos + FRAME_LEN..pos + FRAME_LEN + len];
+            let mut crc_input = Vec::with_capacity(8 + len);
+            crc_input.extend_from_slice(&epoch.to_le_bytes());
+            crc_input.extend_from_slice(payload);
+            if crc32(&crc_input) != stored_crc {
+                break TailState::Corrupt(format!(
+                    "checksum mismatch in frame at offset {pos} (epoch {epoch})"
+                ));
+            }
+            if epoch != expected {
+                break TailState::NonContiguous {
+                    found: epoch,
+                    expected,
+                };
+            }
+            records.push(WalRecord {
+                epoch,
+                payload: payload.to_vec(),
+            });
+            expected += 1;
+            pos += FRAME_LEN + len;
+        };
+        Ok(LogReplay {
+            records,
+            tail,
+            valid_len: pos as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "gamma_wal_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn roundtrip_and_clean_tail() {
+        let p = temp_path("roundtrip");
+        let mut w = WalWriter::create(&p, SyncPolicy::EveryN(2), 5).unwrap();
+        for i in 0..5u8 {
+            w.append(&[i; 3]).unwrap();
+        }
+        w.sync().unwrap();
+        let r = WalReader::replay(&p, 5).unwrap();
+        assert!(r.tail.is_clean());
+        assert_eq!(r.records.len(), 5);
+        assert_eq!(r.records[0].epoch, 5);
+        assert_eq!(r.last_epoch(), Some(9));
+        assert_eq!(r.records[4].payload, vec![4u8; 3]);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn wrong_first_epoch_stops_immediately() {
+        let p = temp_path("first_epoch");
+        let mut w = WalWriter::create(&p, SyncPolicy::Never, 0).unwrap();
+        w.append(b"x").unwrap();
+        let r = WalReader::replay(&p, 3).unwrap();
+        assert_eq!(r.records.len(), 0);
+        assert_eq!(
+            r.tail,
+            TailState::NonContiguous {
+                found: 0,
+                expected: 3
+            }
+        );
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn open_after_replay_truncates_and_continues() {
+        let p = temp_path("truncate");
+        let mut w = WalWriter::create(&p, SyncPolicy::Never, 0).unwrap();
+        for i in 0..3u8 {
+            w.append(&[i]).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        // Tear the last record.
+        let len = std::fs::metadata(&p).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&p).unwrap();
+        f.set_len(len - 1).unwrap();
+        drop(f);
+
+        let r = WalReader::replay(&p, 0).unwrap();
+        assert_eq!(r.records.len(), 2);
+        assert!(matches!(r.tail, TailState::Torn(_)));
+        let mut w = WalWriter::open_after_replay(&p, SyncPolicy::Never, &r, 2).unwrap();
+        w.append(&[9]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let r = WalReader::replay(&p, 0).unwrap();
+        assert!(r.tail.is_clean());
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(r.records[2].payload, vec![9]);
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -1,0 +1,250 @@
+//! The batch-epoch manifest: the multi-shard commit marker.
+//!
+//! A sharded engine appends a batch to N per-shard logs; a crash can land
+//! between any two of those appends. The manifest is the atomic commit
+//! point: after *every* shard's record is durably appended, one 16-byte
+//! manifest record is written for the epoch. Recovery reads the manifest
+//! first and discards any per-shard log record beyond the last committed
+//! epoch — all shards recover to the same boundary regardless of where
+//! the crash fell.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! file   := magic "GMAN" | version u32 | record*
+//! record := epoch u64 | crc u32 | pad u32 (zero)
+//! ```
+//!
+//! Fixed-width records mean a torn tail is at most one partial record,
+//! detected by length; `crc` is the CRC-32 of the epoch bytes. Epochs must
+//! be strictly increasing by one; the first record's epoch is the start
+//! epoch given at creation (the snapshot's epoch).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+use crate::WalError;
+
+const MAGIC: &[u8; 4] = b"GMAN";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 8;
+const RECORD_LEN: usize = 16;
+
+/// Append side of the manifest.
+#[derive(Debug)]
+pub struct ManifestWriter {
+    file: File,
+    path: PathBuf,
+    next_epoch: u64,
+    sync_each: bool,
+}
+
+impl ManifestWriter {
+    /// Creates (or truncates) a manifest whose first committed epoch will
+    /// be `first_epoch`. `sync_each` forces an `fsync` per commit (the
+    /// manifest is the commit point, so group-committing it weakens the
+    /// recovery boundary by the group size).
+    pub fn create(path: &Path, first_epoch: u64, sync_each: bool) -> Result<Self, WalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.sync_data()?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            next_epoch: first_epoch,
+            sync_each,
+        })
+    }
+
+    /// Reopens an existing manifest for appending after recovery,
+    /// truncating any torn/invalid tail. `valid_len` and `next_epoch`
+    /// come from [`read_manifest`].
+    pub fn open_after_replay(
+        path: &Path,
+        valid_len: u64,
+        next_epoch: u64,
+        sync_each: bool,
+    ) -> Result<Self, WalError> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.sync_data()?;
+        let mut s = Self {
+            file,
+            path: path.to_path_buf(),
+            next_epoch,
+            sync_each,
+        };
+        use std::io::Seek;
+        s.file.seek(std::io::SeekFrom::End(0))?;
+        Ok(s)
+    }
+
+    /// The manifest file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The epoch the next [`ManifestWriter::commit`] will record.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Marks `epoch` (which must be the next expected one) as committed
+    /// on every shard.
+    pub fn commit(&mut self) -> Result<u64, WalError> {
+        let epoch = self.next_epoch;
+        let mut rec = Vec::with_capacity(RECORD_LEN);
+        rec.extend_from_slice(&epoch.to_le_bytes());
+        rec.extend_from_slice(&crc32(&epoch.to_le_bytes()).to_le_bytes());
+        rec.extend_from_slice(&0u32.to_le_bytes());
+        self.file.write_all(&rec)?;
+        if self.sync_each {
+            self.file.sync_data()?;
+        }
+        self.next_epoch += 1;
+        Ok(epoch)
+    }
+
+    /// Forces an `fsync`.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// The replayed state of a manifest file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestReplay {
+    /// Last epoch durably committed on every shard (`None` when no batch
+    /// ever committed).
+    pub last_committed: Option<u64>,
+    /// Byte offset of the first invalid record (== file length when the
+    /// manifest is fully intact).
+    pub valid_len: u64,
+    /// Whether the manifest ended cleanly on a record boundary with valid
+    /// checksums throughout.
+    pub clean: bool,
+}
+
+/// Byte length of a manifest holding exactly `n_records` records — the
+/// `valid_len` to reopen with when recovery keeps only a prefix of the
+/// committed epochs.
+pub fn manifest_len(n_records: u64) -> u64 {
+    HEADER_LEN as u64 + n_records * RECORD_LEN as u64
+}
+
+/// Reads a manifest, stopping at the first torn, corrupt or
+/// non-contiguous record. `first_epoch` is the epoch the first record
+/// must carry.
+pub fn read_manifest(path: &Path, first_epoch: u64) -> Result<ManifestReplay, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < HEADER_LEN {
+        return Err(WalError::BadHeader(
+            "manifest shorter than its header".into(),
+        ));
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(WalError::BadHeader("not a GMAN file".into()));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(WalError::BadHeader(format!(
+            "manifest version {version}, expected {VERSION}"
+        )));
+    }
+    let mut pos = HEADER_LEN;
+    let mut last = None;
+    let mut expected = first_epoch;
+    let mut clean = true;
+    while pos < bytes.len() {
+        if bytes.len() - pos < RECORD_LEN {
+            clean = false; // torn tail
+            break;
+        }
+        let epoch = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        let stored = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap());
+        if crc32(&epoch.to_le_bytes()) != stored || epoch != expected {
+            clean = false;
+            break;
+        }
+        last = Some(epoch);
+        expected += 1;
+        pos += RECORD_LEN;
+    }
+    Ok(ManifestReplay {
+        last_committed: last,
+        valid_len: pos as u64,
+        clean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "gamma_man_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn commit_and_read() {
+        let p = temp_path("commit");
+        let mut m = ManifestWriter::create(&p, 10, false).unwrap();
+        for _ in 0..4 {
+            m.commit().unwrap();
+        }
+        m.sync().unwrap();
+        let r = read_manifest(&p, 10).unwrap();
+        assert_eq!(r.last_committed, Some(13));
+        assert!(r.clean);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_drops_last_commit() {
+        let p = temp_path("torn");
+        let mut m = ManifestWriter::create(&p, 0, false).unwrap();
+        m.commit().unwrap();
+        m.commit().unwrap();
+        m.sync().unwrap();
+        drop(m);
+        let len = std::fs::metadata(&p).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&p).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        let r = read_manifest(&p, 0).unwrap();
+        assert_eq!(r.last_committed, Some(0));
+        assert!(!r.clean);
+        // Reopening truncates the tear and continues at epoch 1.
+        let mut m = ManifestWriter::open_after_replay(&p, r.valid_len, 1, false).unwrap();
+        assert_eq!(m.commit().unwrap(), 1);
+        m.sync().unwrap();
+        let r = read_manifest(&p, 0).unwrap();
+        assert_eq!(r.last_committed, Some(1));
+        assert!(r.clean);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn empty_manifest_has_no_commits() {
+        let p = temp_path("empty");
+        ManifestWriter::create(&p, 0, false).unwrap();
+        let r = read_manifest(&p, 0).unwrap();
+        assert_eq!(r.last_committed, None);
+        assert!(r.clean);
+        std::fs::remove_file(&p).unwrap();
+    }
+}

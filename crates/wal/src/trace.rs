@@ -1,0 +1,319 @@
+//! Recorded perf-suite workloads: the fixed traces CI gates on.
+//!
+//! Cross-session wall-clock drift on shared hosts (±20%, see ROADMAP)
+//! makes throughput gates noisy, and regenerating workloads from seeds
+//! ties the benchmark to the *generator code* — a refactor of the synth
+//! layer would silently change what is being measured. A trace file pins
+//! everything: the suite parameters, the generated data graphs, the
+//! extracted queries and the exact update batches of every workload.
+//! Replaying a committed trace yields bit-identical work, so the
+//! deterministic `sim_cycles` column becomes a drift-immune regression
+//! signal.
+//!
+//! Workloads are recorded **per preset** (they do not depend on the query
+//! class) and queries **per class**, deduplicating the dominant graph
+//! payloads.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! file := magic "GTRC" | version u32 | body | crc u32   (crc over body)
+//! body := params | npresets u32 | preset*
+//! ```
+//!
+//! with all graphs/queries/batches encoded via [`crate::codec`].
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use gamma_graph::{DynamicGraph, QueryGraph, Update};
+
+use crate::codec::{
+    decode_graph, decode_query, decode_updates, encode_graph, encode_query, encode_updates,
+    ByteReader, ByteWriter,
+};
+use crate::crc32::crc32;
+use crate::WalError;
+
+const MAGIC: &[u8; 4] = b"GTRC";
+const VERSION: u32 = 1;
+
+/// The suite parameters the trace was recorded under. A replay must run
+/// under the same parameters (or adopt them) — mixing is refused by the
+/// suite, the same convention as its baseline-comparison check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceParams {
+    /// Dataset scale factor.
+    pub scale: f64,
+    /// Query size |V(Q)|.
+    pub query_size: u32,
+    /// Churn rounds / batch count per workload.
+    pub rounds: u32,
+    /// Batch rate (fraction of |E| per batch).
+    pub batch_rate: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Whether the trace was recorded in smoke mode.
+    pub smoke: bool,
+}
+
+/// One workload of a preset: its name, an optional non-default start
+/// graph (`None` = the preset's full graph), and the update batches.
+#[derive(Clone, Debug)]
+pub struct WorkloadTrace {
+    /// Workload name (`churn` / `insert` / `delete`).
+    pub name: String,
+    /// Start graph override (the insert workload starts from the
+    /// stripped graph); `None` means the preset's full graph.
+    pub start: Option<DynamicGraph>,
+    /// The exact batch sequence.
+    pub batches: Vec<Vec<Update>>,
+}
+
+/// One dataset preset: its generated graph, the per-class queries, and
+/// the workloads.
+#[derive(Clone, Debug)]
+pub struct PresetTrace {
+    /// Preset name (`GH` / `AZ` / …).
+    pub name: String,
+    /// The generated data graph.
+    pub graph: DynamicGraph,
+    /// `(class name, query)` pairs.
+    pub queries: Vec<(String, QueryGraph)>,
+    /// The recorded workloads.
+    pub workloads: Vec<WorkloadTrace>,
+}
+
+/// A complete recorded suite run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Recording parameters.
+    pub params: Option<TraceParams>,
+    /// Per-preset payloads.
+    pub presets: Vec<PresetTrace>,
+}
+
+impl Trace {
+    /// Serializes the trace. Returns the body CRC (the value embedded in
+    /// the file — record it next to benchmark results for provenance).
+    pub fn write(&self, path: &Path) -> Result<u32, WalError> {
+        let params = self
+            .params
+            .expect("recorded trace must carry its parameters");
+        let mut w = ByteWriter::new();
+        w.put_f64(params.scale);
+        w.put_u32(params.query_size);
+        w.put_u32(params.rounds);
+        w.put_f64(params.batch_rate);
+        w.put_u64(params.seed);
+        w.put_u8(params.smoke as u8);
+        w.put_u32(self.presets.len() as u32);
+        for p in &self.presets {
+            w.put_str(&p.name);
+            encode_graph(&mut w, &p.graph);
+            w.put_u32(p.queries.len() as u32);
+            for (class, q) in &p.queries {
+                w.put_str(class);
+                encode_query(&mut w, q);
+            }
+            w.put_u32(p.workloads.len() as u32);
+            for wl in &p.workloads {
+                w.put_str(&wl.name);
+                match &wl.start {
+                    None => w.put_u8(0),
+                    Some(g) => {
+                        w.put_u8(1);
+                        encode_graph(&mut w, g);
+                    }
+                }
+                w.put_u32(wl.batches.len() as u32);
+                for b in &wl.batches {
+                    encode_updates(&mut w, b);
+                }
+            }
+        }
+        let body = w.into_bytes();
+        let crc = crc32(&body);
+        let mut f = File::create(path)?;
+        f.write_all(MAGIC)?;
+        f.write_all(&VERSION.to_le_bytes())?;
+        f.write_all(&body)?;
+        f.write_all(&crc.to_le_bytes())?;
+        f.sync_data()?;
+        Ok(crc)
+    }
+
+    /// Reads and verifies a trace file; returns it with its body CRC.
+    pub fn read(path: &Path) -> Result<(Self, u32), WalError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < 4 + 4 + 4 {
+            return Err(WalError::BadHeader("trace shorter than its header".into()));
+        }
+        if &bytes[0..4] != MAGIC {
+            return Err(WalError::BadHeader("not a GTRC file".into()));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(WalError::BadHeader(format!(
+                "trace version {version}, expected {VERSION}"
+            )));
+        }
+        let body = &bytes[8..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        let crc = crc32(body);
+        if crc != stored {
+            return Err(WalError::Corrupt("trace checksum mismatch".into()));
+        }
+        let mut r = ByteReader::new(body);
+        let params = TraceParams {
+            scale: r.get_f64()?,
+            query_size: r.get_u32()?,
+            rounds: r.get_u32()?,
+            batch_rate: r.get_f64()?,
+            seed: r.get_u64()?,
+            smoke: r.get_u8()? != 0,
+        };
+        let npresets = r.get_u32()? as usize;
+        let mut presets = Vec::with_capacity(npresets);
+        for _ in 0..npresets {
+            let name = r.get_str()?;
+            let graph = decode_graph(&mut r)?;
+            let nq = r.get_u32()? as usize;
+            let mut queries = Vec::with_capacity(nq);
+            for _ in 0..nq {
+                let class = r.get_str()?;
+                queries.push((class, decode_query(&mut r)?));
+            }
+            let nw = r.get_u32()? as usize;
+            let mut workloads = Vec::with_capacity(nw);
+            for _ in 0..nw {
+                let wname = r.get_str()?;
+                let start = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(decode_graph(&mut r)?),
+                    other => return Err(WalError::Corrupt(format!("bad start-graph tag {other}"))),
+                };
+                let nb = r.get_u32()? as usize;
+                let mut batches = Vec::with_capacity(nb);
+                for _ in 0..nb {
+                    batches.push(decode_updates(&mut r)?);
+                }
+                workloads.push(WorkloadTrace {
+                    name: wname,
+                    start,
+                    batches,
+                });
+            }
+            presets.push(PresetTrace {
+                name,
+                graph,
+                queries,
+                workloads,
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(WalError::Corrupt("trailing bytes after presets".into()));
+        }
+        Ok((
+            Self {
+                params: Some(params),
+                presets,
+            },
+            crc,
+        ))
+    }
+
+    /// Looks up a preset entry by name.
+    pub fn preset(&self, name: &str) -> Option<&PresetTrace> {
+        self.presets.iter().find(|p| p.name == name)
+    }
+}
+
+impl PresetTrace {
+    /// Looks up the recorded query for a class.
+    pub fn query(&self, class: &str) -> Option<&QueryGraph> {
+        self.queries
+            .iter()
+            .find(|(c, _)| c == class)
+            .map(|(_, q)| q)
+    }
+
+    /// Looks up a workload by name.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadTrace> {
+        self.workloads.iter().find(|w| w.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_graph::NO_ELABEL;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "gamma_trace_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn tiny_trace() -> Trace {
+        let mut g = DynamicGraph::with_vertices(4);
+        g.insert_edge(0, 1, NO_ELABEL);
+        g.insert_edge(1, 2, 3);
+        let mut b = QueryGraph::builder();
+        let u0 = b.vertex(0);
+        let u1 = b.vertex(0);
+        b.edge(u0, u1);
+        Trace {
+            params: Some(TraceParams {
+                scale: 0.05,
+                query_size: 6,
+                rounds: 2,
+                batch_rate: 0.04,
+                seed: 42,
+                smoke: true,
+            }),
+            presets: vec![PresetTrace {
+                name: "GH".into(),
+                graph: g.clone(),
+                queries: vec![("Tree".into(), b.build())],
+                workloads: vec![WorkloadTrace {
+                    name: "churn".into(),
+                    start: None,
+                    batches: vec![vec![Update::delete(0, 1)], vec![Update::insert(0, 1)]],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = temp_path("roundtrip");
+        let t = tiny_trace();
+        let crc_w = t.write(&p).unwrap();
+        let (t2, crc_r) = Trace::read(&p).unwrap();
+        assert_eq!(crc_w, crc_r);
+        assert_eq!(t2.params, t.params);
+        let pr = t2.preset("GH").unwrap();
+        assert_eq!(pr.graph.num_edges(), 2);
+        assert!(pr.query("Tree").is_some());
+        assert_eq!(pr.workload("churn").unwrap().batches.len(), 2);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let p = temp_path("corrupt");
+        tiny_trace().write(&p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(Trace::read(&p).is_err());
+        std::fs::remove_file(&p).unwrap();
+    }
+}

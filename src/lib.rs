@@ -13,6 +13,9 @@
 //!   embedding migration and inter-device work stealing).
 //! * [`csm`] — CPU continuous-subgraph-matching baselines.
 //! * [`datasets`] — synthetic datasets, query and update-stream generators.
+//! * [`wal`] — durability primitives: write-ahead log, snapshots, the
+//!   multi-shard batch-epoch manifest, and recorded benchmark traces
+//!   (the crash-recoverable engine wrappers live in `engine::durable`).
 //!
 //! ## Quickstart
 //!
@@ -47,12 +50,14 @@ pub use gamma_datasets as datasets;
 pub use gamma_gpma as gpma;
 pub use gamma_gpu as gpu;
 pub use gamma_graph as graph;
+pub use gamma_wal as wal;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use gamma_core::{
-        BatchResult, GammaConfig, GammaEngine, Partition, PartitionStrategy, PipelinedEngine,
-        ShardStealing, ShardedConfig, ShardedEngine, StealingMode,
+        BatchResult, DurabilityConfig, DurableGammaEngine, DurableShardedEngine, GammaConfig,
+        GammaEngine, Partition, PartitionStrategy, PipelinedEngine, ShardStealing, ShardedConfig,
+        ShardedEngine, StealingMode,
     };
     pub use gamma_csm::{CsmEngine, IncrementalResult};
     pub use gamma_datasets::{DatasetPreset, QueryClass};

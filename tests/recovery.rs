@@ -1,0 +1,303 @@
+//! Crash-recovery differential harness: a durable engine killed at a
+//! batch boundary and recovered from snapshot + log tail must emit a
+//! per-batch match-delta stream **bit-identical** to an uninterrupted run.
+//!
+//! For every preset × query class of the differential matrix, the same
+//! seeded workloads (insert / delete / Zipf-churn batches) are replayed
+//! through
+//!
+//! * an uninterrupted [`GammaEngine`] (the reference stream),
+//! * a [`DurableGammaEngine`] killed at a seeded-random batch boundary
+//!   (the engine is dropped mid-stream, exactly what a process crash
+//!   leaves on disk) and recovered from its durability directory, and
+//! * the same pair for [`ShardedEngine`] at 4 shards, where recovery must
+//!   bring every per-shard log to the manifest's common epoch boundary.
+//!
+//! Mid-stream snapshots (`snapshot_every = 2`) run in all durable
+//! replays, so log rotation and snapshot/restore of live GPMA state —
+//! including the sharded engine's monotone resident sets — are exercised
+//! on every test, not just at creation. Replayed batches go through the
+//! real batch path, so the recovery report's deltas are compared against
+//! the reference stream too: recovery must *reproduce* history, not skip
+//! it.
+
+use std::path::PathBuf;
+
+use gamma::datasets::{
+    sample_deletion_workload, split_insertion_workload, DatasetPreset, QueryClass, Zipf,
+};
+use gamma::engine::durable::{
+    DurabilityConfig, DurableGammaEngine, DurableShardedEngine, RecoveryReport,
+};
+use gamma::engine::{
+    BatchResult, GammaConfig, GammaEngine, PartitionStrategy, ShardStealing, ShardedConfig,
+    StealingMode,
+};
+use gamma::gpu::DeviceConfig;
+use gamma::graph::{DynamicGraph, Update, VMatch};
+use gamma::wal::SyncPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One batch's delta, in comparable (sorted) form.
+#[derive(Debug, PartialEq, Eq)]
+struct Delta {
+    positive: Vec<VMatch>,
+    negative: Vec<VMatch>,
+    positive_count: u64,
+    negative_count: u64,
+}
+
+impl From<BatchResult> for Delta {
+    fn from(r: BatchResult) -> Self {
+        let mut positive = r.positive;
+        let mut negative = r.negative;
+        positive.sort_unstable();
+        negative.sort_unstable();
+        Delta {
+            positive,
+            negative,
+            positive_count: r.positive_count,
+            negative_count: r.negative_count,
+        }
+    }
+}
+
+fn gamma_config() -> GammaConfig {
+    let mut cfg = GammaConfig {
+        device: DeviceConfig::single_sm(),
+        ..GammaConfig::default()
+    };
+    cfg.device.stealing = StealingMode::Active;
+    cfg.device.min_steal_hint = 2;
+    cfg
+}
+
+fn sharded_config() -> ShardedConfig {
+    ShardedConfig {
+        base: gamma_config(),
+        num_shards: 4,
+        strategy: PartitionStrategy::Hash,
+        stealing: ShardStealing::Active,
+    }
+}
+
+/// Same seeded workload shape as `tests/differential.rs`: two insert
+/// batches carved from the generated graph, one deletion batch, one
+/// Zipf-skewed churn batch.
+fn build_workload(dataset: &mut DynamicGraph, seed: u64) -> Vec<Vec<Update>> {
+    let mut batches = Vec::new();
+    let inserts = split_insertion_workload(dataset, 0.12, seed);
+    let half = inserts.len().div_ceil(2).max(1);
+    for chunk in inserts.chunks(half) {
+        batches.push(chunk.to_vec());
+    }
+    let deletes = sample_deletion_workload(dataset, 0.06, seed ^ 0xdead);
+    if !deletes.is_empty() {
+        batches.push(deletes);
+    }
+    let n = dataset.num_vertices();
+    let zipf = Zipf::new(n, 0.9);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+    let mut churn = Vec::new();
+    while churn.len() < 24 {
+        let u = zipf.sample(&mut rng) as u32;
+        let v = zipf.sample(&mut rng) as u32;
+        if u == v {
+            continue;
+        }
+        if rng.random_bool(0.5) {
+            churn.push(Update::insert(u, v));
+        } else {
+            churn.push(Update::delete(u, v));
+        }
+    }
+    batches.push(churn);
+    batches
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "gamma_recovery_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn durability(dir: &std::path::Path) -> DurabilityConfig {
+    DurabilityConfig {
+        dir: dir.to_path_buf(),
+        // Group commit: exercises the EveryN sync path; in-process kills
+        // leave the page cache intact so no records are lost to buffering.
+        sync: SyncPolicy::EveryN(3),
+        snapshot_every: Some(2),
+    }
+}
+
+fn check_recovery(context: &str, report: &RecoveryReport, reference: &[Delta], kill_at: usize) {
+    assert_eq!(
+        report.recovered_epoch, kill_at as u64,
+        "{context}: recovery must reach the kill boundary"
+    );
+    let first = report.snapshot_epoch as usize;
+    assert_eq!(
+        report.replayed.len(),
+        kill_at - first,
+        "{context}: replay must cover snapshot..kill"
+    );
+    for (i, r) in report.replayed.iter().enumerate() {
+        let epoch = first + i;
+        let got: Delta = r.clone().into();
+        assert_eq!(
+            got, reference[epoch],
+            "{context}: replayed delta diverges at epoch {epoch}"
+        );
+    }
+}
+
+/// The harness core: reference stream, then kill + recover + continue for
+/// both durable engines, comparing every batch delta bit-for-bit.
+fn run_recovery(
+    preset: DatasetPreset,
+    class: QueryClass,
+    scale: f64,
+    query_size: usize,
+    seed: u64,
+) {
+    let dataset = preset.build(scale, seed);
+    let mut start = dataset.graph.clone();
+    let batches = build_workload(&mut start, seed.wrapping_mul(0x9e37));
+    let queries = gamma::datasets::generate_queries(&start, class, query_size, 1, seed ^ 0x51_f1ed);
+    let q = queries.first().expect("query extractable");
+
+    // Reference: uninterrupted single-device run.
+    let mut engine = GammaEngine::new(start.clone(), q, gamma_config());
+    let reference: Vec<Delta> = batches
+        .iter()
+        .map(|b| engine.apply_batch(b).into())
+        .collect();
+    // The sharded engine is delta-identical by the differential suite; its
+    // reference stream is the same one.
+
+    let kill_at = StdRng::seed_from_u64(seed ^ 0x6b31).random_range(0..=batches.len());
+    let tag = format!("{}_{}_{}", preset.name(), class.name(), seed);
+
+    // --- Single-device durable engine ---
+    let dir = temp_dir(&format!("gamma_{tag}"));
+    {
+        let mut d = DurableGammaEngine::create(start.clone(), q, gamma_config(), durability(&dir))
+            .expect("create durable engine");
+        for (i, b) in batches.iter().take(kill_at).enumerate() {
+            let got: Delta = d.apply_batch(b).expect("logged apply").into();
+            assert_eq!(got, reference[i], "durable gamma diverges pre-kill at {i}");
+        }
+        // Kill: drop without any graceful shutdown.
+    }
+    let (mut d, report) = DurableGammaEngine::recover(q, gamma_config(), durability(&dir))
+        .expect("recover durable engine");
+    check_recovery(&format!("gamma[{tag}]"), &report, &reference, kill_at);
+    for (i, b) in batches.iter().enumerate().skip(kill_at) {
+        let got: Delta = d.apply_batch(b).expect("logged apply").into();
+        assert_eq!(
+            got, reference[i],
+            "durable gamma diverges post-recovery at {i}"
+        );
+    }
+    drop(d);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+
+    // --- Sharded durable engine (4 shards) ---
+    let dir = temp_dir(&format!("sharded_{tag}"));
+    {
+        let mut d =
+            DurableShardedEngine::create(start.clone(), q, sharded_config(), durability(&dir))
+                .expect("create durable sharded engine");
+        for (i, b) in batches.iter().take(kill_at).enumerate() {
+            let got: Delta = d.apply_batch(b).expect("logged apply").into();
+            assert_eq!(
+                got, reference[i],
+                "durable sharded diverges pre-kill at {i}"
+            );
+        }
+    }
+    let (mut d, report) = DurableShardedEngine::recover(q, sharded_config(), durability(&dir))
+        .expect("recover durable sharded engine");
+    check_recovery(&format!("sharded[{tag}]"), &report, &reference, kill_at);
+    for (i, b) in batches.iter().enumerate().skip(kill_at) {
+        let got: Delta = d.apply_batch(b).expect("logged apply").into();
+        assert_eq!(
+            got, reference[i],
+            "durable sharded diverges post-recovery at {i}"
+        );
+    }
+    drop(d);
+
+    // Idempotent recovery: killing again right after the full run and
+    // recovering a second time must land on the final epoch with nothing
+    // left to replay past it.
+    let (d, report) = DurableShardedEngine::recover(q, sharded_config(), durability(&dir))
+        .expect("second recovery");
+    assert_eq!(
+        report.recovered_epoch,
+        batches.len() as u64,
+        "second recovery must reach the end of the stream"
+    );
+    drop(d);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+// ---------------------------------------------------------------------------
+// The preset × class matrix, mirroring tests/differential.rs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn recovery_gh_dense() {
+    run_recovery(DatasetPreset::GH, QueryClass::Dense, 0.04, 4, 101);
+}
+
+#[test]
+fn recovery_gh_sparse() {
+    run_recovery(DatasetPreset::GH, QueryClass::Sparse, 0.04, 5, 102);
+}
+
+#[test]
+fn recovery_gh_tree() {
+    run_recovery(DatasetPreset::GH, QueryClass::Tree, 0.04, 5, 103);
+}
+
+#[test]
+fn recovery_az_dense() {
+    run_recovery(DatasetPreset::AZ, QueryClass::Dense, 0.03, 4, 104);
+}
+
+#[test]
+fn recovery_az_sparse() {
+    run_recovery(DatasetPreset::AZ, QueryClass::Sparse, 0.03, 5, 105);
+}
+
+#[test]
+fn recovery_az_tree() {
+    run_recovery(DatasetPreset::AZ, QueryClass::Tree, 0.03, 5, 106);
+}
+
+#[test]
+fn recovery_st_dense() {
+    run_recovery(DatasetPreset::ST, QueryClass::Dense, 0.03, 4, 106);
+}
+
+#[test]
+fn recovery_st_sparse() {
+    run_recovery(DatasetPreset::ST, QueryClass::Sparse, 0.02, 5, 108);
+}
+
+#[test]
+fn recovery_st_tree() {
+    run_recovery(DatasetPreset::ST, QueryClass::Tree, 0.02, 5, 109);
+}
+
+#[test]
+fn recovery_nf_edge_labeled() {
+    run_recovery(DatasetPreset::NF, QueryClass::Tree, 0.03, 4, 110);
+}

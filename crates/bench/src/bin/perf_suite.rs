@@ -45,11 +45,11 @@
 //! *conflicts* with the trace is refused with exit code 2 (the same
 //! convention as the baseline parameter check). Replayed work is
 //! bit-identical across hosts, so the `sim_cycles` column becomes a
-//! drift-immune regression signal: single-device cells replay to the
-//! exact same cycle count, multi-shard cells within a fraction of a
-//! percent (cross-shard stealing runs on real OS threads, so cycle
-//! *accounting* carries scheduler jitter even though match deltas are
-//! exact).
+//! drift-immune regression signal: single-device cells replay within the
+//! 10% algorithmic-drift tolerance, and multi-shard cells replay to the
+//! **exact** cycle count at 0% tolerance — the sharded engine's
+//! virtual-time executor makes every scheduling decision (and therefore
+//! every cycle of accounting) a pure function of the replayed work.
 //!
 //! ## CI perf-regression gate
 //!
@@ -71,6 +71,17 @@
 //! retry cannot differ).
 //! `--baseline-churn=<updates/sec>` still embeds a scalar pre-PR number
 //! into the JSON for the speedup field.
+//!
+//! ## Shard-scaling gate
+//!
+//! Under `--check`, every dense-class churn cell measured in *this run*
+//! must show SHARD4 holding at least [`SHARD_VS_WBM_FLOOR`] of the
+//! single-device WBM wall-clock throughput — the multi-device runtime
+//! must pay for itself on the workloads it targets, same-run so host
+//! speed cancels out of the ratio. Sharded cells also carry migration
+//! telemetry in the JSON (migrant batches shipped, per-(src,dst) migrant
+//! counts, inbox high-water depth, and the partitioner's edge-cut
+//! fraction) — the observability for tuning the greedy partitioner.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
@@ -95,6 +106,34 @@ const REGRESSION_TOLERANCE: f64 = 0.30;
 /// jitter (sub-percent) any growth is a real code change.
 const SIM_CYCLE_TOLERANCE: f64 = 0.10;
 
+/// The sharded cells' replayed sim-cycles are *exactly* reproducible —
+/// the virtual-time executor has no scheduler jitter — so their replay
+/// tolerance is zero: a single cycle of drift is a real code change.
+const SHARD_SIM_CYCLE_TOLERANCE: f64 = 0.0;
+
+/// Same-run floor for the SHARD4 / WBM churn throughput ratio on dense
+/// query classes (slightly under 1.0 to absorb wall-clock measurement
+/// noise; the committed summaries show the ratio above parity).
+const SHARD_VS_WBM_FLOOR: f64 = 0.95;
+
+/// Migration telemetry of one sharded cell (absent on single-device
+/// cells).
+#[derive(Clone, Debug)]
+struct ShardTelemetry {
+    /// Partial embeddings shipped toward another shard.
+    migrations: u64,
+    /// Sealed migrant batches published into destination queues.
+    migrant_batches: u64,
+    /// Migrants executed by a non-owner shard via batch stealing.
+    shard_steals: u64,
+    /// Peak published-but-undrained migrant depth at any destination.
+    inbox_high_water: u64,
+    /// Fraction of the start graph's edges cut by the partitioner.
+    edge_cut: f64,
+    /// Migrants shipped per (src, dst) pair, `src * num_shards + dst`.
+    pair_migrants: Vec<u64>,
+}
+
 /// One measured cell of the suite.
 #[derive(Clone, Debug)]
 struct Sample {
@@ -112,6 +151,8 @@ struct Sample {
     sim_cycles: u64,
     /// Batches applied.
     batches: u64,
+    /// Sharded cells' migration telemetry.
+    shard: Option<ShardTelemetry>,
 }
 
 impl Sample {
@@ -180,7 +221,7 @@ impl SuiteParams {
                 .to_string_lossy()
                 .into_owned()
         } else {
-            "BENCH_PR7.json".to_string()
+            "BENCH_PR8.json".to_string()
         };
         let mut p = Self {
             smoke,
@@ -344,6 +385,7 @@ fn run_engine(
         wall_seconds: 0.0,
         sim_cycles: 0,
         batches: 0,
+        shard: None,
     };
     let account = |s: &mut Sample, wall: f64, r: gamma_core::BatchResult| {
         s.wall_seconds += wall;
@@ -366,18 +408,31 @@ fn run_engine(
         EngineUnderTest::Sharded(shards) => {
             let mut base = GammaVariant::FULL.config(120.0);
             base.collect_matches = false;
+            // The locality-aware partitioner is the production default for
+            // the scaling column: its edge-cut (reported per cell) is what
+            // keeps the replication factor — and the host work — down.
             let cfg = ShardedConfig {
                 base,
                 num_shards: shards,
-                strategy: PartitionStrategy::Hash,
+                strategy: PartitionStrategy::Greedy,
                 stealing: ShardStealing::Active,
             };
             let mut engine = ShardedEngine::new(g0.clone(), q, cfg);
+            let edge_cut = engine.partition().cut_fraction(g0);
             for batch in batches {
                 let t0 = Instant::now();
                 let r = engine.apply_batch(batch);
                 account(&mut s, t0.elapsed().as_secs_f64(), r);
             }
+            let st = engine.shard_stats();
+            s.shard = Some(ShardTelemetry {
+                migrations: st.migrations,
+                migrant_batches: st.migrant_batches,
+                shard_steals: st.shard_steals,
+                inbox_high_water: st.inbox_high_water,
+                edge_cut,
+                pair_migrants: st.pair_migrants,
+            });
         }
     }
     s
@@ -573,7 +628,7 @@ fn write_json(
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"suite\": \"perf_suite\",");
-    let _ = writeln!(j, "  \"pr\": 7,");
+    let _ = writeln!(j, "  \"pr\": 8,");
     match trace_info {
         Some((tpath, crc)) => {
             let _ = writeln!(j, "  \"trace\": \"{}\",", json_escape(tpath));
@@ -637,11 +692,33 @@ fn write_json(
     j.push_str("  \"cells\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };
+        // Migration telemetry rides on the sharded cells' lines.
+        let shard_fields = match &s.shard {
+            Some(t) => {
+                let pairs = t
+                    .pair_migrants
+                    .iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    ", \"migrations\": {}, \"migrant_batches\": {}, \"shard_steals\": {}, \
+                     \"inbox_high_water\": {}, \"edge_cut\": {:.4}, \"pair_migrants\": [{}]",
+                    t.migrations,
+                    t.migrant_batches,
+                    t.shard_steals,
+                    t.inbox_high_water,
+                    t.edge_cut,
+                    pairs
+                )
+            }
+            None => String::new(),
+        };
         let _ = writeln!(
             j,
             "    {{\"dataset\": \"{}\", \"class\": \"{}\", \"workload\": \"{}\", \"engine\": \"{}\", \
              \"updates\": {}, \"matches\": {}, \"batches\": {}, \"wall_seconds\": {:.6}, \
-             \"updates_per_sec\": {:.1}, \"matches_per_sec\": {:.1}, \"sim_cycles\": {}}}{}",
+             \"updates_per_sec\": {:.1}, \"matches_per_sec\": {:.1}, \"sim_cycles\": {}{}}}{}",
             json_escape(s.dataset),
             json_escape(s.class),
             json_escape(s.workload),
@@ -653,6 +730,7 @@ fn write_json(
             s.updates_per_sec(),
             s.matches_per_sec(),
             s.sim_cycles,
+            shard_fields,
             comma
         );
     }
@@ -800,7 +878,14 @@ fn check_regressions(
         }
         if sim_gate {
             if let Some(bs) = b.sim_cycles.filter(|&bs| bs > 0.0) {
-                let ceiling = bs * (1.0 + SIM_CYCLE_TOLERANCE);
+                // Sharded cells replay bit-exactly (virtual-time executor);
+                // single-device cells keep the algorithmic-drift headroom.
+                let tol = if b.engine.starts_with("SHARD") {
+                    SHARD_SIM_CYCLE_TOLERANCE
+                } else {
+                    SIM_CYCLE_TOLERANCE
+                };
+                let ceiling = bs * (1.0 + tol);
                 if s.sim_cycles as f64 > ceiling {
                     violations.push(Violation {
                         idx: i,
@@ -823,6 +908,43 @@ fn check_regressions(
         }
     }
     violations
+}
+
+/// One dense-class churn comparison of the same-run SHARD4 and WBM cells:
+/// `(shard4 sample index, ratio, message)` — ratio below
+/// [`SHARD_VS_WBM_FLOOR`] is a gate violation.
+fn shard_scaling_ratios(samples: &[Sample]) -> Vec<(usize, f64, String)> {
+    let mut out = Vec::new();
+    for (i, s4) in samples.iter().enumerate() {
+        if s4.engine != "SHARD4" || s4.workload != "churn" || s4.class != "Dense" {
+            continue;
+        }
+        let Some(wbm) = samples.iter().find(|w| {
+            w.engine == "WBM"
+                && w.workload == "churn"
+                && w.dataset == s4.dataset
+                && w.class == s4.class
+        }) else {
+            continue;
+        };
+        let ratio = if wbm.updates_per_sec() > 0.0 {
+            s4.updates_per_sec() / wbm.updates_per_sec()
+        } else {
+            0.0
+        };
+        out.push((
+            i,
+            ratio,
+            format!(
+                "{}/{}: SHARD4 {:.0} upd/s vs WBM {:.0} — ratio {ratio:.2}",
+                s4.dataset,
+                s4.class,
+                s4.updates_per_sec(),
+                wbm.updates_per_sec()
+            ),
+        ));
+    }
+    out
 }
 
 /// Re-measures one sample's cell from scratch and keeps the better of the
@@ -920,6 +1042,8 @@ fn main() -> ExitCode {
         "match/s",
         "wall",
         "sim-cycles",
+        "migr",
+        "cut%",
     ]);
 
     // `--record-trace`: accumulate the generated sweep as it is built —
@@ -981,10 +1105,14 @@ fn main() -> ExitCode {
             for (wname, g0, batches) in &workloads {
                 // The sharded scaling column runs on the steady-state
                 // churn workload; insert/delete keep the two single-device
-                // variants (bounded suite runtime).
+                // variants (bounded suite runtime). Smoke keeps one
+                // single-device and one sharded cell so CI can assert the
+                // migration-telemetry plumbing end to end.
                 let mut engines: Vec<(&'static str, EngineUnderTest)> =
                     vec![("GAMMA", EngineUnderTest::Gamma(GammaVariant::FULL))];
-                if !p.smoke {
+                if p.smoke {
+                    engines.push(("SHARD4", EngineUnderTest::Sharded(4)));
+                } else {
                     engines.push(("WBM", EngineUnderTest::Gamma(GammaVariant::WBM)));
                     if *wname == "churn" {
                         engines.push(("SHARD1", EngineUnderTest::Sharded(1)));
@@ -1000,6 +1128,13 @@ fn main() -> ExitCode {
                         under_test,
                         (preset.name(), class.name(), wname, ename),
                     );
+                    let (migr, cut) = match &s.shard {
+                        Some(t) => (
+                            format!("{}/{}b", t.migrations, t.migrant_batches),
+                            format!("{:.1}", t.edge_cut * 100.0),
+                        ),
+                        None => ("-".to_string(), "-".to_string()),
+                    };
                     print_row(&[
                         s.dataset.to_string(),
                         s.class.to_string(),
@@ -1011,6 +1146,8 @@ fn main() -> ExitCode {
                         format!("{:.0}", s.matches_per_sec()),
                         fmt_secs(s.wall_seconds),
                         s.sim_cycles.to_string(),
+                        migr,
+                        cut,
                     ]);
                     samples.push(s);
                 }
@@ -1153,6 +1290,62 @@ fn main() -> ExitCode {
                 )
             }
         );
+    }
+
+    // Same-run shard-scaling column: on dense classes, SHARD4 must hold
+    // SHARD_VS_WBM_FLOOR of the single-device WBM churn throughput. The
+    // two cells ran on the same host minutes apart, so machine speed
+    // cancels out of the ratio — unlike the baseline gate, this one
+    // cannot be fooled by running CI on a faster box.
+    let mut scaling = shard_scaling_ratios(&samples);
+    if !scaling.is_empty() {
+        println!("\n# shard scaling (SHARD4 vs WBM churn, floor {SHARD_VS_WBM_FLOOR}):");
+        for (_, _, msg) in &scaling {
+            println!("  {msg}");
+        }
+        if p.check {
+            // Best-of-3 on the SHARD4 side only: host noise slows cells
+            // one-sidedly, and a slowed WBM only *raises* the ratio.
+            for attempt in 1..=2 {
+                let failing: Vec<usize> = scaling
+                    .iter()
+                    .filter(|(_, r, _)| *r < SHARD_VS_WBM_FLOOR)
+                    .map(|(i, _, _)| *i)
+                    .collect();
+                if failing.is_empty() {
+                    break;
+                }
+                eprintln!(
+                    "shard gate: {} ratio violation(s), re-measuring SHARD4 \
+                     (attempt {attempt}/2) to reject host noise",
+                    failing.len()
+                );
+                for &i in &failing {
+                    if let Some(fresh) = remeasure(&samples[i], &p, replay.as_ref()) {
+                        if fresh.updates_per_sec() > samples[i].updates_per_sec() {
+                            samples[i] = fresh;
+                        }
+                    }
+                }
+                scaling = shard_scaling_ratios(&samples);
+                write_json(&p.out, &samples, &isect, &p, trace_ref).expect("rewrite JSON summary");
+            }
+            let failing: Vec<&(usize, f64, String)> = scaling
+                .iter()
+                .filter(|(_, r, _)| *r < SHARD_VS_WBM_FLOOR)
+                .collect();
+            if !failing.is_empty() {
+                eprintln!("\nshard gate FAILED (SHARD4/WBM churn ratio < {SHARD_VS_WBM_FLOOR}):");
+                for (_, _, msg) in failing {
+                    eprintln!("  {msg}");
+                }
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "shard gate: {} dense cell(s), all ratios >= {SHARD_VS_WBM_FLOOR}",
+                scaling.len()
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -41,7 +41,7 @@ use gamma_wal::{
 };
 
 use crate::engine::{BatchResult, GammaConfig, GammaEngine};
-use crate::shard::{ShardedConfig, ShardedEngine};
+use crate::shard::{Partition, PartitionStrategy, ShardedConfig, ShardedEngine};
 
 const SNAPSHOT_FILE: &str = "snapshot.bin";
 const LOG_FILE: &str = "wal.log";
@@ -274,6 +274,63 @@ fn decode_shard_slice(bytes: &[u8]) -> Result<Vec<(u32, Update)>, WalError> {
     Ok(out)
 }
 
+/// Encodes the vertex partition: strategy tag, range block width, and the
+/// explicit owner table (empty for the pure-function strategies). The
+/// greedy assignment depends on the graph *at build time* — rebuilding it
+/// against the recovered (later) graph would reassign vertices and
+/// invalidate every shard's edge placement, so the table is snapshot
+/// state, exactly like the resident sets.
+fn encode_partition(p: &Partition) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(match p.strategy() {
+        PartitionStrategy::Hash => 0,
+        PartitionStrategy::Range => 1,
+        PartitionStrategy::Greedy => 2,
+    });
+    w.put_u32(p.block());
+    let owners = p.owners().unwrap_or(&[]);
+    w.put_u32(owners.len() as u32);
+    for &o in owners {
+        w.put_u16(o);
+    }
+    w.into_bytes()
+}
+
+fn decode_partition(bytes: &[u8], num_shards: usize) -> Result<Partition, WalError> {
+    let mut r = ByteReader::new(bytes);
+    let strategy = match r.get_u8()? {
+        0 => PartitionStrategy::Hash,
+        1 => PartitionStrategy::Range,
+        2 => PartitionStrategy::Greedy,
+        other => {
+            return Err(WalError::Corrupt(format!(
+                "unknown partition strategy tag {other}"
+            )))
+        }
+    };
+    let block = r.get_u32()?;
+    let n = r.get_u32()? as usize;
+    if n > bytes.len() {
+        return Err(WalError::Corrupt(format!(
+            "owner-table count {n} exceeds payload"
+        )));
+    }
+    let mut owners = Vec::with_capacity(n);
+    for _ in 0..n {
+        let o = r.get_u16()?;
+        if o as usize >= num_shards {
+            return Err(WalError::Corrupt(format!(
+                "owner {o} out of range for {num_shards} shards"
+            )));
+        }
+        owners.push(o);
+    }
+    if r.remaining() != 0 {
+        return Err(WalError::Corrupt("trailing bytes after partition".into()));
+    }
+    Ok(Partition::from_parts(strategy, num_shards, block, owners))
+}
+
 /// Packs a resident bitmap into a snapshot section (length + bitset).
 fn encode_resident(flags: &[bool]) -> Vec<u8> {
     let mut w = ByteWriter::new();
@@ -357,21 +414,20 @@ impl DurableShardedEngine {
     ) -> Result<(Self, RecoveryReport), WalError> {
         let num_shards = config.num_shards;
         let snap = Snapshot::read(&durability.dir.join(SNAPSHOT_FILE))?;
-        if snap.sections.len() != 1 + 2 * num_shards {
+        if snap.sections.len() != 3 + num_shards {
             return Err(WalError::Corrupt(format!(
                 "sharded snapshot holds {} sections, expected {}",
                 snap.sections.len(),
-                1 + 2 * num_shards
+                3 + num_shards
             )));
         }
         let graph = decode_graph(&mut ByteReader::new(&snap.sections[0]))?;
-        let mut shard_state = Vec::with_capacity(num_shards);
+        let partition = decode_partition(&snap.sections[1], num_shards)?;
+        let store = Gpma::from_snapshot_bytes(&snap.sections[2], config.base.gpma.clone())
+            .map_err(WalError::Corrupt)?;
+        let mut residents = Vec::with_capacity(num_shards);
         for s in 0..num_shards {
-            let gpma =
-                Gpma::from_snapshot_bytes(&snap.sections[1 + 2 * s], config.base.gpma.clone())
-                    .map_err(WalError::Corrupt)?;
-            let resident = decode_resident(&snap.sections[2 + 2 * s])?;
-            shard_state.push((gpma, resident));
+            residents.push(decode_resident(&snap.sections[3 + s])?);
         }
 
         // Replay every shard log; the recovery boundary is the manifest's
@@ -393,7 +449,9 @@ impl DurableShardedEngine {
             replay.discard_from(boundary);
         }
 
-        let mut engine = ShardedEngine::restore(graph, query, config, shard_state, snap.epoch);
+        let mut engine = ShardedEngine::restore(
+            graph, query, config, partition, store, residents, snap.epoch,
+        );
         let mut replayed = Vec::with_capacity((boundary - snap.epoch) as usize);
         for (i, epoch) in (snap.epoch..boundary).enumerate() {
             // Merge the per-shard slices back into the original batch.
@@ -490,9 +548,10 @@ impl DurableShardedEngine {
     fn write_snapshot(&self) -> Result<(), WalError> {
         let mut g = ByteWriter::new();
         encode_graph(&mut g, self.engine.graph());
-        let mut sections = vec![g.into_bytes()];
-        for (gpma, resident) in self.engine.shard_state() {
-            sections.push(gpma.snapshot_bytes());
+        let mut sections = vec![g.into_bytes(), encode_partition(self.engine.partition())];
+        let (store, residents) = self.engine.shard_state();
+        sections.push(store.snapshot_bytes());
+        for resident in residents {
             sections.push(encode_resident(resident));
         }
         Snapshot {
@@ -523,6 +582,26 @@ mod tests {
             let flags: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
             assert_eq!(decode_resident(&encode_resident(&flags)).unwrap(), flags);
         }
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        let hash = Partition::new(PartitionStrategy::Hash, 4, 100);
+        let back = decode_partition(&encode_partition(&hash), 4).unwrap();
+        assert_eq!(back.strategy(), PartitionStrategy::Hash);
+        assert_eq!(back.assignments(100), hash.assignments(100));
+
+        let greedy =
+            Partition::from_parts(PartitionStrategy::Greedy, 3, 34, vec![0, 1, 2, 2, 1, 0, 0]);
+        let back = decode_partition(&encode_partition(&greedy), 3).unwrap();
+        assert_eq!(back.strategy(), PartitionStrategy::Greedy);
+        assert_eq!(back.owners(), greedy.owners());
+        // Late ids (past the table) fall back deterministically too.
+        assert_eq!(back.owner(1000), greedy.owner(1000));
+
+        // An out-of-range owner is corruption, not a panic later.
+        let bad = Partition::from_parts(PartitionStrategy::Greedy, 2, 1, vec![5]);
+        assert!(decode_partition(&encode_partition(&bad), 2).is_err());
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //! * [`engine`] — the synchronous engine tying the stages together.
 //! * [`pipeline`] — the asynchronous pipelined variant of Figure 3
 //!   (preprocessing of batch k+1 overlaps the device work of batch k).
-//! * [`shard`] — the multi-device sharded engine: hash/range vertex
-//!   partitioning, boundary-replicated per-shard GPMA stores, partial
-//!   embeddings migrating between devices, inter-device work stealing.
+//! * [`shard`] — the multi-device sharded engine: hash/range/greedy
+//!   vertex partitioning, boundary-replicated per-shard GPMA stores, and
+//!   a barrier-free virtual-time runtime with inter-device batch stealing.
+//! * [`comm`] — the inter-shard messaging fabric: double-buffered
+//!   per-(src,dst) migrant batches with virtual-cycle ready stamps.
 //! * [`durable`] — crash recovery: write-ahead logged batches + atomic
 //!   snapshots for both engines, with a per-shard log + batch-epoch
 //!   manifest protocol for the sharded one.
@@ -50,6 +52,7 @@
 
 pub mod auto;
 pub mod bfs;
+pub mod comm;
 pub mod durable;
 pub mod encoding;
 pub mod engine;
@@ -60,6 +63,7 @@ pub mod wbm;
 
 pub use auto::CoalescedPlan;
 pub use bfs::{run_bfs_phase, BfsReport};
+pub use comm::{Batch, CommFabric, CommStats, MIGRANT_BATCH};
 pub use durable::{DurabilityConfig, DurableGammaEngine, DurableShardedEngine, RecoveryReport};
 pub use encoding::{CandidateTable, EncodingScheme, IncrementalEncoder};
 pub use engine::{BatchResult, BatchStats, GammaConfig, GammaEngine, StealingMode};

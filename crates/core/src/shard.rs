@@ -1,69 +1,79 @@
 //! Multi-device sharded engine: the data graph partitioned across N
-//! simulated devices, with cross-shard work stealing.
+//! simulated devices, driven by a barrier-free virtual-time runtime.
 //!
 //! The paper's engine is single-GPU; this module scales it along the axis
 //! the ROADMAP calls for — **sharding** — by generalizing the paper's
 //! warp-level stealing one level up, to an inter-device tier:
 //!
-//! * A [`Partition`] assigns every data vertex an **owner shard** (hash or
-//!   range, §GSI-style partition-local candidate generation). Each
-//!   [`ShardedEngine`] shard owns its own GPMA edge store, NLF encoder +
-//!   candidate-table replica, and its own simulated [`Device`].
+//! * A [`Partition`] assigns every data vertex an **owner shard**: hash,
+//!   range, or a greedy label-frequency-aware edge-cut partitioner
+//!   ([`PartitionStrategy::Greedy`]) that streams vertices in BFS order
+//!   and places each where its already-placed neighborhood is heaviest —
+//!   rare-label edges (the selective ones every scan follows) weigh more,
+//!   so the edges that matter most are the least likely to be cut.
 //! * **Storage invariant** — a shard's GPMA holds the *complete* sorted
 //!   neighbor run of every vertex in its **resident set**: the vertices it
 //!   owns plus the replicated one-hop boundary frontier (every vertex
 //!   adjacent to an owned vertex). Cross-shard edges therefore appear in
 //!   both endpoint shards; the O(|V|) vertex metadata (NLF codes,
-//!   candidate rows, degrees) is replicated on every shard, while the
-//!   O(|E|) edge store — the dominant term — is partitioned.
+//!   candidate rows, degrees) is shared, while the O(|E|) edge store — the
+//!   dominant term — is partitioned.
 //! * **Owner-compute rule** — a DFS generates the candidates of a level by
-//!   scanning the run of one matched *base* vertex and verifying backward
-//!   edges against each candidate's own run. Both are guaranteed local
-//!   when the scan executes on the shard that **owns** the base vertex
-//!   (candidates are the base's neighbors, hence boundary-resident there).
-//!   When a partial embedding's next base is owned elsewhere, the DFS
-//!   state **migrates**: it is pushed onto the owning shard's inbox and
-//!   resumes there in the next round.
-//! * **BSP rounds** — per kernel phase, every shard launches its pending
-//!   tasks on its own device inside one `std::thread::scope`; migrants
-//!   produced during the round are exchanged at the round barrier, and the
-//!   phase ends when every inbox drains. Simulated device time for a round
-//!   is the *max* over shards (they run in parallel).
-//! * **Inter-device stealing** ([`ShardStealing`], the tier above
-//!   [`crate::StealingMode`]) — at each barrier, a shard with an empty
-//!   inbox may steal migrants bound for a loaded shard, *if* it can
-//!   execute them: the migrant's pending base must be resident on the
-//!   thief (a replicated boundary vertex) and the pending level must have
-//!   no secondary backward edges (whose checks would read non-resident
-//!   candidate runs).
+//!   scanning the run of one matched *base* vertex. When every backward
+//!   vertex is resident, verification probes *their* runs with monotone
+//!   merge cursors (the single-device kernel's exact shape — signatures,
+//!   incident-range dedup, chunked masks); otherwise the probe direction
+//!   flips onto each candidate's own run, which the owner's boundary
+//!   replication guarantees complete. When a partial embedding's next base
+//!   is owned elsewhere, the DFS state **migrates**.
+//! * **Batched, barrier-free migration** — migrants are not shipped one at
+//!   a time and there are no BSP round barriers. Producers append partial
+//!   embeddings into per-(src,dst) double-buffered batches
+//!   ([`crate::comm::CommFabric`]) which are published wholesale (at
+//!   capacity, or when the producer runs out of local work) and drained by
+//!   the owner *mid-phase*. Each batch carries a virtual-cycle `ready`
+//!   stamp — max producer completion + [`CostModel::migrant_ship`] — so
+//!   causality is priced, not barriered.
+//! * **Deterministic virtual-time executor** — the phase is driven by a
+//!   discrete-event scheduler over per-shard lane clocks (one lane per
+//!   simulated resident warp). At every step the (shard, action) with the
+//!   earliest virtual start time runs: execute a local unit, drain the
+//!   inbox, or steal a published-but-undrained batch
+//!   ([`ShardStealing::Active`]) whose items are residency-eligible on the
+//!   thief. All decisions read virtual state only, so sim-cycle accounting
+//!   is **bit-reproducible run to run** (the replay gate covers SHARD
+//!   cells at 0% tolerance) — and the phase ends at quiescence: every
+//!   local queue empty and nothing in flight in the fabric.
 //!
 //! Results are bit-identical to [`GammaEngine`](crate::GammaEngine):
-//! candidate generation at
-//! any level reads complete local information wherever it executes, so the
-//! distributed DFS enumerates exactly the single-device match set —
-//! `tests/differential.rs` replays every workload through 1/2/4 shards
-//! under the same oracle.
+//! candidate generation at any level reads complete local information
+//! wherever it executes, and every filter (signature, chunked mask,
+//! incident-range dedup) is exact — so the distributed DFS enumerates
+//! exactly the single-device match set. `tests/differential.rs` replays
+//! every workload through 1/2/4 shards under the same oracle.
+//!
+//! [`CostModel::migrant_ship`]: gamma_gpu::CostModel::migrant_ship
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use gamma_gpma::Gpma;
-use gamma_gpu::{Device, KernelStats, StepResult, WarpCtx, WarpTask};
+use gamma_gpma::{Gpma, RunCursor, CHUNK_WIDTH};
+use gamma_gpu::{KernelStats, WarpCtx};
 use gamma_graph::{
-    edge_key, DynamicGraph, ELabel, QueryGraph, Update, UpdateBatch, VLabel, VMatch, VertexId,
+    DynamicGraph, ELabel, QueryGraph, Update, UpdateBatch, VLabel, VMatch, VertexId,
 };
-use parking_lot::Mutex;
 
+use crate::comm::{CommFabric, MIGRANT_BATCH};
 use crate::encoding::{CandidateTable, IncrementalEncoder};
 use crate::engine::{BatchResult, GammaConfig};
-use crate::wbm::{QueryMeta, UpdateOrder};
+use crate::wbm::{IncidentRange, QueryMeta, UpdateOrder};
 
-/// Candidate attempts processed per scheduler quantum (matches the
-/// single-device kernel's granularity so intra-shard stealing stays fine).
-const ATTEMPTS_PER_STEP: usize = 4;
-/// Local match-buffer size before flushing to the shared sink.
-const FLUSH_THRESHOLD: usize = 1024;
+/// Survivor chunks narrower than this are intersected candidate-by-
+/// candidate (early-exit scalar probes) instead of mask-carrying chunked
+/// merges — same threshold as the single-device kernel.
+const SCALAR_CHUNK_MIN: usize = 8;
 
 // ---------------------------------------------------------------------------
 // Partitioning
@@ -78,19 +88,32 @@ pub enum PartitionStrategy {
     /// Contiguous id blocks of `ceil(|V|/N)` (locality-preserving for
     /// generators that emit community-clustered ids).
     Range,
+    /// Greedy label-frequency-aware edge-cut placement: stream vertices in
+    /// BFS order and put each on the shard where its already-placed
+    /// neighborhood carries the most weight, subject to a `ceil(|V|/N)`
+    /// balance cap. Edge weight is `1 + scale/freq(label(u)) +
+    /// scale/freq(label(v))`: rare-label edges — the selective ones the
+    /// matching orders chase — are the costliest to cut. Requires the
+    /// graph at build time ([`Partition::build`]).
+    Greedy,
 }
 
 /// A static vertex → owner-shard assignment.
 ///
-/// `Copy` so kernel tasks can carry it without an `Arc` hop; late-added
-/// vertices (ids ≥ the build-time `|V|`) still get a deterministic owner
-/// (hash: by hashing; range: the last shard absorbs the tail).
-#[derive(Clone, Copy, Debug)]
+/// Hash/range assignments are pure functions of the id; the greedy
+/// strategy materializes an explicit owner table (shared via `Arc`, so
+/// clones are cheap). Late-added vertices (ids ≥ the build-time `|V|`)
+/// still get a deterministic owner: table lookup first, hash of the id as
+/// the fallback (range: the last shard absorbs the tail).
+#[derive(Clone, Debug)]
 pub struct Partition {
     strategy: PartitionStrategy,
     num_shards: u32,
     /// Range block width (unused for hash).
     block: u32,
+    /// Explicit owner table (greedy; `None` for the pure-function
+    /// strategies).
+    owners: Option<Arc<Vec<u16>>>,
 }
 
 /// SplitMix64 finalizer — well-mixed, cheap, dependency-free.
@@ -102,15 +125,195 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The deterministic greedy streaming placement (LDG with a label-aware
+/// edge weight). BFS order from the highest-degree unvisited seed keeps
+/// the stream locality-coherent — each vertex arrives with most of its
+/// neighborhood already placed, which is when the greedy score is
+/// informative.
+fn greedy_owners(graph: &DynamicGraph, num_shards: usize) -> Vec<u16> {
+    let n = graph.num_vertices();
+    let mut owners = vec![0u16; n];
+    if n == 0 || num_shards == 1 {
+        return owners;
+    }
+    // Label frequencies → per-edge weights. Integer arithmetic throughout
+    // (scores must be platform-exact for the replay gate).
+    let max_label = graph.labels().iter().copied().max().unwrap_or(0) as usize;
+    let mut freq = vec![0u64; max_label + 1];
+    for &l in graph.labels() {
+        freq[l as usize] += 1;
+    }
+    let scale = n as u64;
+    let weight = |u: VertexId, v: VertexId| -> u64 {
+        1 + scale / freq[graph.label(u) as usize].max(1)
+            + scale / freq[graph.label(v) as usize].max(1)
+    };
+    let cap = n.div_ceil(num_shards) as u64;
+    let mut load = vec![0u64; num_shards];
+    let mut gain = vec![0u64; num_shards];
+    let mut placed = vec![false; n];
+    let mut visited = vec![false; n];
+    // Seeds by descending degree (tie: lowest id) — hubs first, so the
+    // streams start where the placement decisions matter most.
+    let mut seeds: Vec<VertexId> = (0..n as VertexId).collect();
+    seeds.sort_unstable_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+    let mut queue = VecDeque::new();
+    for &sv in &seeds {
+        if visited[sv as usize] {
+            continue;
+        }
+        visited[sv as usize] = true;
+        queue.push_back(sv);
+        while let Some(v) = queue.pop_front() {
+            gain.iter_mut().for_each(|g| *g = 0);
+            for &(w, _) in graph.neighbors(v) {
+                if placed[w as usize] {
+                    gain[owners[w as usize] as usize] += weight(v, w);
+                }
+            }
+            // score = gain × remaining capacity: ties between equally
+            // attractive shards break toward the emptier one, and a full
+            // shard is ineligible. Σ caps ≥ |V| guarantees a slot.
+            let mut best: Option<(u128, u64, usize)> = None;
+            for (s, (&g, &l)) in gain.iter().zip(load.iter()).enumerate() {
+                if l >= cap {
+                    continue;
+                }
+                let score = g as u128 * (cap - l) as u128;
+                let better = match best {
+                    None => true,
+                    Some((bs, bl, _)) => score > bs || (score == bs && l < bl),
+                };
+                if better {
+                    best = Some((score, l, s));
+                }
+            }
+            let s = best.expect("total capacity covers all vertices").2;
+            owners[v as usize] = s as u16;
+            placed[v as usize] = true;
+            load[s] += 1;
+            for &(w, _) in graph.neighbors(v) {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    // Refinement sweeps: the stream above decides with only partial
+    // knowledge (a vertex placed early saw few placed neighbors), so
+    // revisit every vertex with the full placement in view and move it to
+    // the shard holding the (weighted) majority of its neighborhood. The
+    // stream fills every shard to the tight capacity, which would leave
+    // refinement no slack to move through, so the sweeps run under the
+    // mildly relaxed [`GREEDY_SLACK_NUM`]/[`GREEDY_SLACK_DEN`] capacity —
+    // replication makes storage balance soft, and the cut is what the
+    // migration volume actually pays for. Each strict move lowers the
+    // weighted cut, so the sweeps are monotone; the pass bound keeps this
+    // O(passes × E). Fixed iteration order + integer scores keep the
+    // table replay-exact.
+    let cap_refine = greedy_capacity(n, num_shards) as u64;
+    for _pass in 0..8 {
+        let mut moved = false;
+        for v in 0..n as VertexId {
+            gain.iter_mut().for_each(|g| *g = 0);
+            for &(w, _) in graph.neighbors(v) {
+                gain[owners[w as usize] as usize] += weight(v, w);
+            }
+            let cur = owners[v as usize] as usize;
+            let (mut best_gain, mut best_shard) = (gain[cur], cur);
+            for (s, &g) in gain.iter().enumerate() {
+                if s != cur && load[s] < cap_refine && g > best_gain {
+                    best_gain = g;
+                    best_shard = s;
+                }
+            }
+            if best_shard != cur {
+                load[cur] -= 1;
+                load[best_shard] += 1;
+                owners[v as usize] = best_shard as u16;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    owners
+}
+
+/// Numerator/denominator of the greedy partitioner's balance slack: a
+/// shard may own at most `ceil(n/S) × NUM / DEN` (+1 for rounding)
+/// vertices after refinement.
+const GREEDY_SLACK_NUM: u64 = 9;
+const GREEDY_SLACK_DEN: u64 = 8;
+
+/// The relaxed per-shard vertex capacity the greedy partitioner enforces.
+pub fn greedy_capacity(num_vertices: usize, num_shards: usize) -> usize {
+    let tight = num_vertices.div_ceil(num_shards.max(1)) as u64;
+    (tight * GREEDY_SLACK_NUM / GREEDY_SLACK_DEN + 1) as usize
+}
+
 impl Partition {
-    /// Builds the assignment for `num_vertices` ids over `num_shards`.
+    /// Builds the assignment for `num_vertices` ids over `num_shards` for
+    /// the pure-function strategies. The greedy strategy needs the graph —
+    /// use [`Partition::build`].
     pub fn new(strategy: PartitionStrategy, num_shards: usize, num_vertices: usize) -> Self {
         assert!(num_shards >= 1, "need at least one shard");
+        assert!(
+            strategy != PartitionStrategy::Greedy,
+            "greedy partitioning needs the graph: use Partition::build"
+        );
         let block = num_vertices.div_ceil(num_shards).max(1) as u32;
         Self {
             strategy,
             num_shards: num_shards as u32,
             block,
+            owners: None,
+        }
+    }
+
+    /// Builds the assignment from the graph itself (any strategy; the
+    /// greedy partitioner runs its streaming placement here).
+    pub fn build(strategy: PartitionStrategy, num_shards: usize, graph: &DynamicGraph) -> Self {
+        match strategy {
+            PartitionStrategy::Hash | PartitionStrategy::Range => {
+                Self::new(strategy, num_shards, graph.num_vertices())
+            }
+            PartitionStrategy::Greedy => {
+                assert!(
+                    num_shards >= 1 && num_shards < u16::MAX as usize,
+                    "greedy owner table stores shard ids as u16"
+                );
+                let block = graph.num_vertices().div_ceil(num_shards).max(1) as u32;
+                Self {
+                    strategy,
+                    num_shards: num_shards as u32,
+                    block,
+                    owners: Some(Arc::new(greedy_owners(graph, num_shards))),
+                }
+            }
+        }
+    }
+
+    /// Reassembles a partition from snapshotted parts (the durable layer's
+    /// restore path; `owners` is empty for the pure-function strategies).
+    pub fn from_parts(
+        strategy: PartitionStrategy,
+        num_shards: usize,
+        block: u32,
+        owners: Vec<u16>,
+    ) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        Self {
+            strategy,
+            num_shards: num_shards as u32,
+            block: block.max(1),
+            owners: if owners.is_empty() {
+                None
+            } else {
+                Some(Arc::new(owners))
+            },
         }
     }
 
@@ -123,8 +326,17 @@ impl Partition {
     /// The owner shard of vertex `v`.
     #[inline]
     pub fn owner(&self, v: VertexId) -> usize {
+        if let Some(table) = &self.owners {
+            if let Some(&o) = table.get(v as usize) {
+                return o as usize;
+            }
+        }
         match self.strategy {
-            PartitionStrategy::Hash => (splitmix64(v as u64) % self.num_shards as u64) as usize,
+            // Greedy falls back to hashing for vertices added after the
+            // table was built — deterministic and balanced, like Hash.
+            PartitionStrategy::Hash | PartitionStrategy::Greedy => {
+                (splitmix64(v as u64) % self.num_shards as u64) as usize
+            }
             PartitionStrategy::Range => ((v / self.block).min(self.num_shards - 1)) as usize,
         }
     }
@@ -132,6 +344,35 @@ impl Partition {
     /// The strategy in use.
     pub fn strategy(&self) -> PartitionStrategy {
         self.strategy
+    }
+
+    /// Range block width (snapshot plumbing).
+    pub fn block(&self) -> u32 {
+        self.block
+    }
+
+    /// The explicit owner table, if this partition carries one.
+    pub fn owners(&self) -> Option<&[u16]> {
+        self.owners.as_deref().map(|v| v.as_slice())
+    }
+
+    /// Fraction of `graph`'s edges whose endpoints land on different
+    /// shards — the cut-quality telemetry the perf suite reports per
+    /// partitioner.
+    pub fn cut_fraction(&self, graph: &DynamicGraph) -> f64 {
+        let mut total = 0u64;
+        let mut cut = 0u64;
+        for (u, v, _) in graph.edges() {
+            total += 1;
+            if self.owner(u) != self.owner(v) {
+                cut += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            cut as f64 / total as f64
+        }
     }
 
     /// Owner of every vertex in `0..n` (testing / load-analysis aid).
@@ -145,13 +386,13 @@ impl Partition {
 // ---------------------------------------------------------------------------
 
 /// Inter-device work stealing strategy — the tier above the per-block
-/// [`crate::StealingMode`] each shard's device still runs internally.
+/// [`crate::StealingMode`] of the single-device engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ShardStealing {
     /// Migrants execute only on their owner shard.
     Off,
-    /// At each round barrier, idle shards steal residency-eligible
-    /// migrants from the most loaded inbox.
+    /// Idle shards steal residency-eligible migrants from published-but-
+    /// undrained batches of the most loaded inbox.
     #[default]
     Active,
 }
@@ -184,34 +425,74 @@ impl Default for ShardedConfig {
 }
 
 /// Cumulative cross-shard statistics (over the engine's lifetime).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ShardStats {
-    /// Partial embeddings shipped to another shard's inbox.
+    /// Partial embeddings shipped toward another shard.
     pub migrations: u64,
-    /// Migrants executed by a non-owner shard via inter-device stealing.
+    /// Migrants executed by a non-owner shard via batch stealing.
     pub shard_steals: u64,
-    /// BSP rounds executed across all kernel phases.
-    pub rounds: u64,
+    /// Sealed migrant batches published into destination queues.
+    pub migrant_batches: u64,
+    /// Batches drained by their owner.
+    pub drains: u64,
+    /// Peak number of published-but-undrained migrants at any single
+    /// destination.
+    pub inbox_high_water: u64,
     /// Kernel phases launched.
     pub phases: u64,
+    /// Migrants shipped per (src, dst) pair, `src * num_shards + dst`.
+    pub pair_migrants: Vec<u64>,
 }
 
 // ---------------------------------------------------------------------------
 // Shard state
 // ---------------------------------------------------------------------------
 
-/// One simulated device: its partition-local edge store plus replicated
-/// vertex metadata.
+/// One simulated device: its resident set. The physical edge store is
+/// shared engine-wide (`ShardedEngine::store`): a resident vertex's run
+/// is *complete* by the residency invariant, so every shard's replica of
+/// it was bit-identical by construction and the engine keeps one copy —
+/// exactly as it already does for the encoder and candidate table. What
+/// remains per shard is the logical state the simulation needs: which
+/// runs this device holds (`resident`) and what its update/scan work
+/// costs, charged from its resident sub-batch sizes.
 struct Shard {
-    gpma: Option<Gpma>,
-    encoder: IncrementalEncoder,
-    table: Option<CandidateTable>,
-    device: Device,
-    /// Vertices whose neighbor run is complete in this shard's store:
-    /// owned ∪ one-hop boundary. Monotone — an edge deletion never evicts
-    /// a replica (its run simply stays maintained). Behind an `Arc` so
-    /// kernel launches snapshot it for free (it never changes mid-phase).
+    /// Vertices whose neighbor run is complete on this shard's simulated
+    /// device: owned ∪ one-hop boundary. Monotone — an edge deletion
+    /// never evicts a replica (its run simply stays maintained).
     resident: Arc<Vec<bool>>,
+}
+
+/// One shard's slice of a batch's structural-update work: how many of
+/// the batch's deletes/inserts touch its resident set, plus how many
+/// pre-batch adjacency edges its newly-resident vertices materialize.
+/// The simulated per-device update cost is the shard's proportional
+/// share of the *measured* shared-store cycles — deterministic (pure
+/// integer arithmetic on simulated counters), and exact for one shard,
+/// where every share equals the whole batch.
+struct UpdateShare {
+    deletes: u64,
+    inserts: u64,
+    materialized: u64,
+}
+
+impl UpdateShare {
+    /// Splits the measured store costs: `del_cycles` (over `k_del`
+    /// deletes) and `ins_cycles` (over `k_ins` inserts) scale by this
+    /// shard's share; materialized boundary edges are charged at the
+    /// batch's average insert cost, matching how a private replica paid
+    /// for them.
+    fn cycles(&self, del_cycles: u64, k_del: u64, ins_cycles: u64, k_ins: u64) -> u64 {
+        let mut c = 0u64;
+        if k_del > 0 {
+            c += (del_cycles as u128 * self.deletes as u128 / k_del as u128) as u64;
+        }
+        if k_ins > 0 {
+            let ins_share = self.inserts + self.materialized;
+            c += (ins_cycles as u128 * ins_share as u128 / k_ins as u128) as u64;
+        }
+        c
+    }
 }
 
 impl Shard {
@@ -232,26 +513,16 @@ impl Shard {
 }
 
 // ---------------------------------------------------------------------------
-// The migrating DFS kernel
+// Migration
 // ---------------------------------------------------------------------------
-
-/// One DFS frame; the candidate at `p` is always assigned in `m` (unlike
-/// the single-device kernel, top frames included — migration serializes
-/// cleanly that way).
-#[derive(Clone, Debug)]
-struct SFrame {
-    cands: Vec<VertexId>,
-    p: usize,
-}
 
 /// A partial embedding in flight between shards: one DFS *subtree* — the
 /// assignments below the pending scan of level `base_level`. The parent
 /// enumeration stays on the sending shard (it advances to its next
 /// candidate immediately), so a migration ships a single match record and
-/// never a frame stack, and the two shards expand disjoint subtrees in
-/// parallel.
+/// never a frame stack, and the two shards expand disjoint subtrees.
 #[derive(Clone, Debug)]
-struct Migrant {
+pub(crate) struct Migrant {
     anchor: (VertexId, VertexId, ELabel),
     anchor_order: u32,
     seed: usize,
@@ -260,14 +531,23 @@ struct Migrant {
 }
 
 impl Migrant {
-    /// Whether shard-stealing may run this migrant on `thief`: the base
-    /// run must be locally complete, and the pending level must have no
-    /// secondary backward edges (their verification reads candidate runs,
-    /// which only the owner's boundary replication guarantees).
-    fn steal_eligible(&self, meta: &QueryMeta, thief: &Shard) -> bool {
-        let mut back = Vec::new();
-        backward_neighbors(meta, self.seed, self.base_level, &self.m, &mut back);
-        back.len() == 1 && thief.is_resident(back[0].0)
+    /// Whether batch-stealing may run this migrant on a thief with the
+    /// given resident set: the base run must be locally complete, and the
+    /// pending level must have no secondary backward edges (their
+    /// verification reads candidate runs, which only the owner's boundary
+    /// replication guarantees).
+    fn steal_eligible(
+        &self,
+        meta: &QueryMeta,
+        resident: &[bool],
+        scratch: &mut Vec<(VertexId, ELabel)>,
+    ) -> bool {
+        backward_neighbors(meta, self.seed, self.base_level, &self.m, scratch);
+        scratch.len() == 1
+            && resident
+                .get(scratch[0].0 as usize)
+                .copied()
+                .unwrap_or(false)
     }
 }
 
@@ -294,65 +574,26 @@ fn backward_neighbors(
     }
 }
 
-/// The cross-shard routing fabric of one kernel phase.
-struct Router {
-    inboxes: Vec<Mutex<Vec<Migrant>>>,
-    migrations: AtomicU64,
+// ---------------------------------------------------------------------------
+// The unit kernel (one anchor / one migrant, run to completion)
+// ---------------------------------------------------------------------------
+
+/// One DFS frame; the candidate at `p` is always assigned in `m` (unlike
+/// the single-device kernel, top frames included — migration serializes
+/// cleanly that way).
+#[derive(Clone, Debug)]
+struct SFrame {
+    cands: Vec<VertexId>,
+    p: usize,
+    /// Count-only memo: the sorted candidate set of the **last** DFS level
+    /// when it is independent of this frame's own assignment. Every
+    /// sibling then resolves in one binary search — membership of the
+    /// sibling's own vertex is the only per-sibling difference — in place
+    /// of a full rescan of the base run.
+    memo_last: Option<Vec<VertexId>>,
 }
 
-impl Router {
-    fn new(num_shards: usize) -> Self {
-        Self {
-            inboxes: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
-            migrations: AtomicU64::new(0),
-        }
-    }
-
-    fn send(&self, shard: usize, m: Migrant) {
-        self.inboxes[shard].lock().push(m);
-        self.migrations.fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn drain(&self) -> Vec<Vec<Migrant>> {
-        self.inboxes
-            .iter()
-            .map(|i| std::mem::take(&mut *i.lock()))
-            .collect()
-    }
-}
-
-/// Phase-wide state shared by every task of one shard's launch.
-struct ShardShared {
-    shard_id: usize,
-    partition: Partition,
-    gpma: Gpma,
-    table: CandidateTable,
-    meta: Arc<QueryMeta>,
-    update_order: Arc<UpdateOrder>,
-    /// Replicated true degrees (the shard-local GPMA undercounts
-    /// non-resident vertices, which must not influence base selection).
-    degrees: Arc<Vec<u32>>,
-    /// This shard's resident set (runs locally complete), snapshotted for
-    /// the phase — the locality fast-path's authority.
-    resident: Arc<Vec<bool>>,
-    router: Arc<Router>,
-    sink: Arc<Mutex<Vec<VMatch>>>,
-    match_count: Arc<AtomicU64>,
-    collect: bool,
-    abort: Arc<AtomicBool>,
-    match_limit: u64,
-}
-
-impl ShardShared {
-    fn note_matches(&self, n: u64) {
-        let total = self.match_count.fetch_add(n, Ordering::Relaxed) + n;
-        if total > self.match_limit {
-            self.abort.store(true, Ordering::Relaxed);
-        }
-    }
-}
-
-/// The running DFS of one seed on one shard.
+/// The running DFS of one seed.
 #[derive(Clone, Debug)]
 struct SDfs {
     seed: usize,
@@ -375,92 +616,93 @@ enum ScanOutcome {
     Done,
 }
 
-/// The sharded warp task: one update edge's seeds, driven with the same
-/// dedup rule and candidate gates as the single-device kernel, plus the
-/// migration check before every candidate-generation scan.
-struct ShardTask {
-    shared: Arc<ShardShared>,
+/// Per-scan probe state for one resident backward vertex (the
+/// single-device kernel's probe shape: monotone merge cursor + incident
+/// dedup range + optional bitmap signature + cost accounting).
+struct BackProbe {
+    el: ELabel,
+    cur: RunCursor,
+    inc: IncidentRange,
+    sig: Option<u64>,
+    tested: u32,
+    probed: u32,
+    rem0: u32,
+}
+
+/// Reusable scratch shared by every unit a shard's context runs (the
+/// task-local pools of the single-device kernel, hoisted to the phase).
+#[derive(Default)]
+struct UnitScratch {
+    /// Recycled candidate buffers.
+    pool: Vec<Vec<VertexId>>,
+    /// Backward-neighbor scratch for the pending scan.
+    backward: Vec<(VertexId, ELabel)>,
+    /// Probe states for the resident-direction scan.
+    probes: Vec<BackProbe>,
+    /// Sorted secondary backward edges for the flipped-direction scan.
+    flipped: Vec<(VertexId, ELabel)>,
+    /// Gather buffer for the chunked combine pass.
+    chunk: Vec<VertexId>,
+}
+
+/// Immutable per-shard environment of one kernel phase.
+struct ShardEnv<'a> {
+    shard_id: usize,
+    partition: &'a Partition,
+    /// The shared physical store. A scan only ever reads runs of
+    /// vertices resident on `shard_id` — complete runs, identical to
+    /// what a private replica would hold.
+    gpma: &'a Gpma,
+    table: &'a CandidateTable,
+    meta: &'a QueryMeta,
+    update_order: &'a UpdateOrder,
+    /// Shared true degrees — every site must pick the same base for an
+    /// anchor or migrants would bounce.
+    degrees: &'a [u32],
+    resident: &'a [bool],
+    /// Per-vertex u64 run signatures of the shared store (empty
+    /// disables the bitmap prefilter; results identical either way).
+    signatures: &'a [u64],
+    collect: bool,
+}
+
+impl ShardEnv<'_> {
+    #[inline]
+    fn is_resident(&self, v: VertexId) -> bool {
+        self.resident.get(v as usize).copied().unwrap_or(false)
+    }
+}
+
+/// One unit of shard work — an anchor's full seed sweep or an arrived
+/// migrant — run to completion inline, metered through a [`WarpCtx`].
+struct UnitTask<'a, 'b> {
+    env: &'b ShardEnv<'a>,
+    ctx: &'b mut WarpCtx,
+    scratch: &'b mut UnitScratch,
+    sink: &'b mut Vec<VMatch>,
+    /// Migrants this unit produced: `(owner shard, migrant)`.
+    out: &'b mut Vec<(usize, Migrant)>,
+    match_count: &'b mut u64,
+    match_limit: u64,
+    abort: &'b AtomicBool,
     v1: VertexId,
     v2: VertexId,
     elabel: ELabel,
     anchor_order: u32,
-    /// Seeds not yet started: `(seed index, flipped orientation)`.
-    seed_queue: std::collections::VecDeque<(usize, bool)>,
-    state: Option<SDfs>,
-    local: Vec<VMatch>,
-    local_count: u64,
-    /// Recycled candidate buffers: popped DFS frames return their vectors
-    /// here and new scans draw from here, so steady-state quanta perform
-    /// no heap allocation (the single-device kernel's pool discipline).
-    pool: Vec<Vec<VertexId>>,
-    /// Reusable backward-neighbor scratch for the pending scan.
-    backward_buf: Vec<(VertexId, ELabel)>,
-    /// Reusable secondary-backward-edge scratch inside `scan_into`.
-    others_buf: Vec<(VertexId, ELabel)>,
 }
 
-impl ShardTask {
-    /// A fresh anchor task (all seeds pending, ownership checked on every
-    /// scan).
-    fn for_anchor(shared: Arc<ShardShared>, anchor: &Update, order: u32) -> Self {
-        let mut seed_queue = std::collections::VecDeque::new();
-        for (si, _) in shared.meta.seeds.iter().enumerate() {
-            seed_queue.push_back((si, false));
-            seed_queue.push_back((si, true));
-        }
-        Self {
-            shared,
-            v1: anchor.u,
-            v2: anchor.v,
-            elabel: anchor.label,
-            anchor_order: order,
-            seed_queue,
-            state: None,
-            local: Vec::new(),
-            local_count: 0,
-            pool: Vec::new(),
-            backward_buf: Vec::new(),
-            others_buf: Vec::new(),
-        }
-    }
-
-    /// Resumes an arrived migrant (first scan authorized: the router only
-    /// delivers to the owner or to a residency-eligible thief).
-    fn for_migrant(shared: Arc<ShardShared>, mig: Migrant) -> Self {
-        Self {
-            shared,
-            v1: mig.anchor.0,
-            v2: mig.anchor.1,
-            elabel: mig.anchor.2,
-            anchor_order: mig.anchor_order,
-            seed_queue: std::collections::VecDeque::new(),
-            state: Some(SDfs {
-                seed: mig.seed,
-                base_level: mig.base_level,
-                m: mig.m,
-                frames: Vec::new(),
-                pending_scan: true,
-                authorized: true,
-            }),
-            local: Vec::new(),
-            local_count: 0,
-            pool: Vec::new(),
-            backward_buf: Vec::new(),
-            others_buf: Vec::new(),
-        }
-    }
-
-    /// Draws a candidate buffer from the task-local pool (warm-up
-    /// allocates; steady state recycles), reporting which to the stats.
-    fn take_buf(&mut self, ctx: &mut WarpCtx) -> Vec<VertexId> {
-        match self.pool.pop() {
+impl UnitTask<'_, '_> {
+    /// Draws a candidate buffer from the shared pool (warm-up allocates;
+    /// steady state recycles), reporting which to the stats.
+    fn take_buf(&mut self) -> Vec<VertexId> {
+        match self.scratch.pool.pop() {
             Some(mut b) => {
-                ctx.note_buffer(true);
+                self.ctx.note_buffer(true);
                 b.clear();
                 b
             }
             None => {
-                ctx.note_buffer(false);
+                self.ctx.note_buffer(false);
                 Vec::new()
             }
         }
@@ -469,45 +711,94 @@ impl ShardTask {
     /// Returns a candidate buffer to the pool.
     #[inline]
     fn recycle(&mut self, buf: Vec<VertexId>) {
-        self.pool.push(buf);
+        self.scratch.pool.push(buf);
     }
 
-    fn flush(&mut self) {
-        if self.local_count > 0 {
-            self.shared.note_matches(self.local_count);
-            self.local_count = 0;
-        }
-        if !self.local.is_empty() {
-            self.shared.sink.lock().append(&mut self.local);
+    fn note_matches(&mut self, n: u64) {
+        *self.match_count += n;
+        if *self.match_count > self.match_limit {
+            self.abort.store(true, Ordering::Relaxed);
         }
     }
 
     fn emit(&mut self, m: VMatch) {
-        self.local_count += 1;
-        if self.shared.collect {
-            self.local.push(m);
+        self.note_matches(1);
+        if self.env.collect {
+            self.sink.push(m);
         }
-        if self.local.len() >= FLUSH_THRESHOLD || self.local_count >= FLUSH_THRESHOLD as u64 {
-            self.flush();
+    }
+
+    /// Runs an anchor unit: every seed in both orientations, each driven
+    /// to completion (migrating subtrees as it goes).
+    fn run_anchor(&mut self) {
+        let num_seeds = self.env.meta.seeds.len();
+        for si in 0..num_seeds {
+            for flipped in [false, true] {
+                if self.abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(st) = self.start_seed(si, flipped) {
+                    self.drive(st);
+                }
+            }
+        }
+    }
+
+    /// Resumes an arrived migrant (first scan authorized: the fabric only
+    /// delivers to the owner or to a residency-eligible thief).
+    fn run_migrant(&mut self, mig: Migrant) {
+        let st = SDfs {
+            seed: mig.seed,
+            base_level: mig.base_level,
+            m: mig.m,
+            frames: Vec::new(),
+            pending_scan: true,
+            authorized: true,
+        };
+        self.ctx.compute(2);
+        self.drive(st);
+    }
+
+    fn drive(&mut self, mut st: SDfs) {
+        loop {
+            if self.abort.load(Ordering::Relaxed) {
+                // Return frame buffers so the pool survives aborts.
+                for f in st.frames.drain(..) {
+                    self.recycle(f.cands);
+                    if let Some(s) = f.memo_last {
+                        self.recycle(s);
+                    }
+                }
+                return;
+            }
+            let outcome = if st.pending_scan {
+                self.scan_or_migrate(st)
+            } else {
+                self.advance(st)
+            };
+            match outcome {
+                ScanOutcome::Continue(next) => st = next,
+                ScanOutcome::Done => return,
+            }
         }
     }
 
     /// Seed validation, identical to the single-device kernel: edge label
     /// plus the candidate gate on both anchored vertices.
-    fn start_seed(&self, si: usize, flipped: bool, ctx: &mut WarpCtx) -> Option<SDfs> {
-        let seed = &self.shared.meta.seeds[si];
+    fn start_seed(&mut self, si: usize, flipped: bool) -> Option<SDfs> {
+        let env = self.env;
+        let seed = &env.meta.seeds[si];
         let (x, y) = if flipped {
             (self.v2, self.v1)
         } else {
             (self.v1, self.v2)
         };
-        ctx.compute(4);
+        self.ctx.compute(4);
         if seed.elabel != self.elabel {
             return None;
         }
-        ctx.shared_access(2);
-        if !self.shared.table.is_candidate(x, seed.a) || !self.shared.table.is_candidate(y, seed.b)
-        {
+        self.ctx.shared_access(2);
+        if !env.table.is_candidate(x, seed.a) || !env.table.is_candidate(y, seed.b) {
             return None;
         }
         let mut m = VMatch::EMPTY;
@@ -523,108 +814,11 @@ impl ShardTask {
         })
     }
 
-    /// Streams every valid candidate of `st`'s pending level into `sink`,
-    /// in ascending vertex order. Semantics mirror the single-device
-    /// `GenCandidates` exactly — base-run scan, candidate-table gate,
-    /// injectivity, the anchor-order dedup rule on every backward update
-    /// edge — but backward adjacency is verified against the *candidate's*
-    /// run (local by the boundary-replication invariant) instead of the
-    /// matched vertex's.
-    fn scan_into(
-        &mut self,
-        st: &SDfs,
-        base: VertexId,
-        backward: &[(VertexId, ELabel)],
-        ctx: &mut WarpCtx,
-        mut sink: impl FnMut(VertexId),
-    ) {
-        let shared = Arc::clone(&self.shared);
-        let anchor_order = self.anchor_order;
-        let seed = &shared.meta.seeds[st.seed];
-        let level = st.base_level + st.frames.len();
-        let qv = seed.order[level];
-        let base_el = backward
-            .iter()
-            .find(|&&(dv, _)| dv == base)
-            .expect("base is backward")
-            .1;
-        // Secondary backward edges, ascending by data vertex so each
-        // candidate's run cursor gallops monotonically.
-        let mut others = std::mem::take(&mut self.others_buf);
-        others.clear();
-        others.extend(backward.iter().copied().filter(|&(dv, _)| dv != base));
-        others.sort_unstable();
-        let gpma = &shared.gpma;
-        let uo = &shared.update_order;
-        let bdeg = gpma.degree(base) as u64;
-        ctx.dir_locate();
-        ctx.global_read_coalesced(bdeg * 2);
-        ctx.global_read_coalesced(bdeg); // candidate-table rows
-        ctx.compute(bdeg);
-        // The matched-vertex list is the (ascending, injective) target
-        // chunk; each candidate's own run is the larger side of the
-        // intersection, so the shard kernel shares the single-device
-        // kernel's primitive — just with the probe direction flipped by the
-        // owner-compute residency rule.
-        let nt = others.len();
-        debug_assert!(nt <= gamma_gpma::CHUNK_WIDTH);
-        let mut targets = [0 as VertexId; gamma_gpma::CHUNK_WIDTH];
-        for (i, &(dv, _)) in others.iter().enumerate() {
-            targets[i] = dv;
-        }
-        let want: u64 = if nt == 64 { u64::MAX } else { (1u64 << nt) - 1 };
-        let mut labels = [0 as ELabel; gamma_gpma::CHUNK_WIDTH];
-        let mut probed_lanes = 0u64;
-        let mut covered = 0u64;
-        gpma.for_each_neighbor(base, |cand, el| {
-            if el != base_el {
-                return;
-            }
-            if !shared.table.is_candidate(cand, qv) {
-                return;
-            }
-            if st.m.uses(cand) {
-                return;
-            }
-            if let Some(o) = uo.get(edge_key(base, cand)) {
-                if o < anchor_order {
-                    return;
-                }
-            }
-            // Verify the remaining backward edges on the candidate's own
-            // run (complete wherever the owner-compute / steal-eligibility
-            // rules let this scan execute), as one chunked merge pass.
-            if nt > 0 {
-                let mut cur = gpma.run_cursor(cand);
-                let rem0 = cur.rem();
-                let found = gpma.run_seek_chunk(&mut cur, &targets[..nt], &mut labels);
-                probed_lanes += nt as u64;
-                covered += (rem0 - cur.rem()) as u64;
-                if found != want {
-                    return;
-                }
-                for (i, &(dv, del)) in others.iter().enumerate() {
-                    if labels[i] != del {
-                        return;
-                    }
-                    if let Some(o) = uo.get(edge_key(dv, cand)) {
-                        if o < anchor_order {
-                            return;
-                        }
-                    }
-                }
-            }
-            sink(cand);
-        });
-        ctx.chunked_intersect(probed_lanes, covered);
-        self.others_buf = others;
-    }
-
     /// Runs the pending scan of `st` — migrating instead if the base
     /// vertex is owned elsewhere and the scan is not steal-authorized.
-    fn scan_or_migrate(&mut self, mut st: SDfs, ctx: &mut WarpCtx) -> ScanOutcome {
-        let meta = Arc::clone(&self.shared.meta);
-        let seed = &meta.seeds[st.seed];
+    fn scan_or_migrate(&mut self, mut st: SDfs) -> ScanOutcome {
+        let env = self.env;
+        let seed = &env.meta.seeds[st.seed];
         let n = seed.order.len();
         let level = st.base_level + st.frames.len();
         if level == n {
@@ -633,41 +827,39 @@ impl ShardTask {
             return ScanOutcome::Done;
         }
         let qv = seed.order[level];
-        let mut backward = std::mem::take(&mut self.backward_buf);
-        backward_neighbors(&meta, st.seed, level, &st.m, &mut backward);
+        let mut backward = std::mem::take(&mut self.scratch.backward);
+        backward_neighbors(env.meta, st.seed, level, &st.m, &mut backward);
+        // Base selection by *true* degree (site-consistent: every shard
+        // computes the same base for the same partial, which the migration
+        // protocol depends on).
         let base = backward
             .iter()
             .map(|&(dv, _)| dv)
-            .min_by_key(|&dv| {
-                (
-                    self.shared.degrees.get(dv as usize).copied().unwrap_or(0),
-                    dv,
-                )
-            })
+            .min_by_key(|&dv| (env.degrees.get(dv as usize).copied().unwrap_or(0), dv))
             .expect("connected matching order");
-        let owner = self.shared.partition.owner(base);
-        // Locality fast-path: with no secondary backward edges the scan
-        // only reads the base's run and replicated metadata, so any shard
-        // where the base is *resident* (a boundary replica) may run it —
-        // the same soundness argument that licenses inter-device stealing.
-        // With secondary edges the candidates' own runs are read too, and
-        // only the owner's one-hop replication guarantees those.
-        let local_ok = owner == self.shared.shard_id
-            || (backward.len() == 1
-                && self
-                    .shared
-                    .resident
-                    .get(base as usize)
-                    .copied()
-                    .unwrap_or(false));
+        let owner = env.partition.owner(base);
+        // Locality fast-path: the resident-direction scan reads exactly
+        // the runs of the backward vertices (base included), all of which
+        // are complete on any shard where those vertices are resident —
+        // owned or boundary replica alike. So whenever *every* backward
+        // vertex is resident here the scan may run locally, and only
+        // partials whose backward set genuinely escapes the local
+        // replication frontier are shipped to the base's owner (who holds
+        // one-hop replication around the base and runs the flipped probe).
+        // This is the same soundness argument that licenses batch
+        // stealing, and it is what makes the edge cut — not the raw
+        // anchor placement — govern migration volume.
+        let local_ok = owner == env.shard_id || backward.iter().all(|&(dv, _)| env.is_resident(dv));
         if !local_ok && !st.authorized {
-            // Ship this subtree — just the partial match — to the owner's
-            // inbox (the simulated interconnect hop is one match record),
+            // Ship this subtree — just the partial match — toward the
+            // owner (staged into the comm fabric's open batch; the
+            // interconnect ship cost is charged per *batch* at publish),
             // then keep enumerating the parent's remaining candidates
             // locally: the two shards now expand disjoint subtrees.
-            self.backward_buf = backward;
-            ctx.global_read_coalesced(meta.q.num_vertices() as u64);
-            self.shared.router.send(
+            self.scratch.backward = backward;
+            self.ctx
+                .global_read_coalesced(env.meta.q.num_vertices() as u64);
+            self.out.push((
                 owner,
                 Migrant {
                     anchor: (self.v1, self.v2, self.elabel),
@@ -676,52 +868,391 @@ impl ShardTask {
                     base_level: level,
                     m: st.m,
                 },
-            );
+            ));
             st.pending_scan = false;
             return self.advance(st);
         }
         st.authorized = false;
         if level == n - 1 {
-            // Last level: emit every candidate directly, then backtrack.
-            let mut found = self.take_buf(ctx);
-            self.scan_into(&st, base, &backward, ctx, |c| found.push(c));
-            self.backward_buf = backward;
-            ctx.compute(found.len() as u64);
-            if self.shared.collect {
-                for &c in &found {
-                    let mut m = st.m;
-                    m.set(qv, c);
-                    self.emit(m);
-                }
-            } else {
-                self.local_count += found.len() as u64;
-                if self.local_count >= FLUSH_THRESHOLD as u64 {
-                    self.flush();
-                }
+            // Last level: every scanned candidate is a complete match.
+            if !env.collect {
+                // Count-only fast paths (benchmarking mode): the memo
+                // answers each sibling in one binary search when the last
+                // level is independent of the parent's own assignment;
+                // otherwise stream-count without materializing.
+                let count = if let Some(parent_idx) = st.frames.len().checked_sub(1) {
+                    let qv_parent = seed.order[level - 1];
+                    let independent = !env
+                        .meta
+                        .q
+                        .neighbors(qv)
+                        .iter()
+                        .any(|&(un, _)| un == qv_parent);
+                    if independent {
+                        if st.frames[parent_idx].memo_last.is_none() {
+                            let c = st.m.get(qv_parent).expect("parent assigned");
+                            st.m.unset(qv_parent);
+                            let mut memo = self.take_buf();
+                            // `independent` ⇒ the backward set (and hence
+                            // base and residency) is the same with the
+                            // parent unset, so the scan stays licensed.
+                            self.scan_candidates(&st, base, &backward, |v| memo.push(v));
+                            st.m.set(qv_parent, c);
+                            st.frames[parent_idx].memo_last = Some(memo);
+                        }
+                        let c = st.m.get(qv_parent).expect("parent assigned");
+                        let memo = st.frames[parent_idx]
+                            .memo_last
+                            .as_ref()
+                            .expect("just filled");
+                        // Binary probe of the memoized set parked in
+                        // shared memory (like the C[l] arrays).
+                        self.ctx.shared_access(
+                            (64 - (memo.len() as u64).leading_zeros() as u64).max(1),
+                        );
+                        (memo.len() - usize::from(memo.binary_search(&c).is_ok())) as u64
+                    } else {
+                        let mut cnt = 0u64;
+                        self.scan_candidates(&st, base, &backward, |_| cnt += 1);
+                        cnt
+                    }
+                } else {
+                    // Migrant resumption at the last level: no parent
+                    // frame to memoize on.
+                    let mut cnt = 0u64;
+                    self.scan_candidates(&st, base, &backward, |_| cnt += 1);
+                    cnt
+                };
+                self.ctx.compute(count);
+                self.note_matches(count);
+                self.scratch.backward = backward;
+                st.pending_scan = false;
+                return self.advance(st);
+            }
+            let mut found = self.take_buf();
+            self.scan_candidates(&st, base, &backward, |c| found.push(c));
+            self.scratch.backward = backward;
+            self.ctx.compute(found.len() as u64);
+            for &c in &found {
+                let mut m = st.m;
+                m.set(qv, c);
+                self.emit(m);
             }
             self.recycle(found);
             st.pending_scan = false;
             return self.advance(st);
         }
-        let mut cands = self.take_buf(ctx);
-        self.scan_into(&st, base, &backward, ctx, |c| cands.push(c));
-        self.backward_buf = backward;
+        let mut cands = self.take_buf();
+        self.scan_candidates(&st, base, &backward, |c| cands.push(c));
+        self.scratch.backward = backward;
         if cands.is_empty() {
             self.recycle(cands);
             st.pending_scan = false;
             return self.advance(st);
         }
         st.m.set(qv, cands[0]);
-        st.frames.push(SFrame { cands, p: 0 });
+        st.frames.push(SFrame {
+            cands,
+            p: 0,
+            memo_last: None,
+        });
         st.pending_scan = true;
         ScanOutcome::Continue(st)
+    }
+
+    /// Streams every valid candidate of `st`'s pending level into `sink`,
+    /// in ascending vertex order. Two probe directions, both exact:
+    ///
+    /// * **Resident direction** (every backward vertex resident here —
+    ///   vacuously true with no secondary edges): the single-device
+    ///   kernel's exact shape. Base-run survivors of the cheap gates are
+    ///   gathered into [`CHUNK_WIDTH`]-wide chunks and intersected against
+    ///   each backward vertex's run with monotone merge cursors, a bitmap
+    ///   signature quick-reject in front, and the incident-range dedup
+    ///   rule.
+    /// * **Flipped direction** (some backward vertex non-resident — only
+    ///   the owner executes this, so every *candidate*, being a boundary
+    ///   neighbor of the base, has a complete local run): each candidate's
+    ///   own run is probed for all backward vertices in one
+    ///   [`Gpma::run_seek_chunk`] pass, with a signature quick-reject on
+    ///   the candidate's run.
+    fn scan_candidates(
+        &mut self,
+        st: &SDfs,
+        base: VertexId,
+        backward: &[(VertexId, ELabel)],
+        mut sink: impl FnMut(VertexId),
+    ) {
+        let env = self.env;
+        let seed = &env.meta.seeds[st.seed];
+        let level = st.base_level + st.frames.len();
+        let qv = seed.order[level];
+        let gpma = env.gpma;
+        let uo = env.update_order;
+        let table = env.table;
+        let sigs = env.signatures;
+        let anchor_order = self.anchor_order;
+        let base_el = backward
+            .iter()
+            .find(|&&(dv, _)| dv == base)
+            .expect("base is backward")
+            .1;
+        let bdeg = gpma.degree(base) as u64;
+        let bv_incident = uo.incident(base);
+        // Directory fetch of the base run head, one warp-coalesced read of
+        // the run, the candidate-table rows, and the per-vertex gates.
+        self.ctx.dir_locate();
+        self.ctx.global_read_coalesced(bdeg * 2);
+        self.ctx.global_read_coalesced(bdeg);
+        self.ctx.compute(bdeg);
+        let m = &st.m;
+
+        let all_resident = backward
+            .iter()
+            .all(|&(dv, _)| dv == base || env.is_resident(dv));
+        if all_resident {
+            // --- Resident direction (single-device shape) ---
+            let mut others = std::mem::take(&mut self.scratch.probes);
+            others.clear();
+            for &(dv, el) in backward.iter().filter(|&&(dv, _)| dv != base) {
+                let deg = gpma.degree(dv);
+                others.push(BackProbe {
+                    el,
+                    cur: gpma.run_cursor(dv),
+                    inc: uo.incident(dv),
+                    // Only narrow runs keep their signature: past
+                    // CHUNK_WIDTH neighbors the 64-bit map saturates.
+                    sig: if deg <= CHUNK_WIDTH && !sigs.is_empty() {
+                        Some(sigs[dv as usize])
+                    } else {
+                        None
+                    },
+                    tested: 0,
+                    probed: 0,
+                    rem0: deg as u32,
+                });
+            }
+            let with_sig = others.iter().filter(|o| o.sig.is_some()).count();
+            if with_sig > 0 {
+                self.ctx.global_read_coalesced(with_sig as u64);
+            }
+            // Gather pass: stream the base run through the cheap gates.
+            // With no other backward edges the survivors are final and
+            // bypass the staging buffer entirely.
+            let mut chunk = std::mem::take(&mut self.scratch.chunk);
+            chunk.clear();
+            let direct = others.is_empty();
+            gpma.for_each_neighbor(base, |cand, el| {
+                if el != base_el {
+                    return;
+                }
+                if !table.is_candidate(cand, qv) {
+                    return;
+                }
+                if m.uses(cand) {
+                    return;
+                }
+                // Dedup rule for the base back-edge: almost every base has
+                // no incident update edge, making this one length test.
+                if !bv_incident.is_empty() {
+                    if let Some(o) = uo.order_within(bv_incident, cand) {
+                        if o < anchor_order {
+                            return;
+                        }
+                    }
+                }
+                if direct {
+                    sink(cand);
+                } else {
+                    chunk.push(cand);
+                }
+            });
+            // Combine pass: chunked backward intersection with survivor
+            // masks (scalar early-exit probes for narrow fronts).
+            let mut targets = [0 as VertexId; CHUNK_WIDTH];
+            let mut lane_of = [0u8; CHUNK_WIDTH];
+            let mut labels = [0 as ELabel; CHUNK_WIDTH];
+            for w in chunk.chunks(CHUNK_WIDTH) {
+                if w.len() < SCALAR_CHUNK_MIN {
+                    'cand: for &cand in w {
+                        for o in others.iter_mut() {
+                            if let Some(sig) = o.sig {
+                                o.tested += 1;
+                                if sig & (1u64 << (cand & 63)) == 0 {
+                                    continue 'cand;
+                                }
+                            }
+                            o.probed += 1;
+                            match gpma.run_seek(&mut o.cur, cand) {
+                                Some(l) if l == o.el => {}
+                                _ => continue 'cand,
+                            }
+                            if !o.inc.is_empty()
+                                && matches!(
+                                    uo.order_within(o.inc, cand),
+                                    Some(ord) if ord < anchor_order
+                                )
+                            {
+                                continue 'cand;
+                            }
+                        }
+                        sink(cand);
+                    }
+                    continue;
+                }
+                let mut mask: u64 = if w.len() == CHUNK_WIDTH {
+                    u64::MAX
+                } else {
+                    (1u64 << w.len()) - 1
+                };
+                for o in others.iter_mut() {
+                    if mask == 0 {
+                        break;
+                    }
+                    if let Some(sig) = o.sig {
+                        o.tested += mask.count_ones();
+                        let mut pass = 0u64;
+                        let mut mk = mask;
+                        while mk != 0 {
+                            let i = mk.trailing_zeros() as usize;
+                            mk &= mk - 1;
+                            if sig & (1u64 << (w[i] & 63)) != 0 {
+                                pass |= 1u64 << i;
+                            }
+                        }
+                        mask &= pass;
+                        if mask == 0 {
+                            continue;
+                        }
+                    }
+                    let mut nt = 0usize;
+                    let mut mk = mask;
+                    while mk != 0 {
+                        let i = mk.trailing_zeros() as usize;
+                        mk &= mk - 1;
+                        targets[nt] = w[i];
+                        lane_of[nt] = i as u8;
+                        nt += 1;
+                    }
+                    o.probed += nt as u32;
+                    let found = gpma.run_seek_chunk(&mut o.cur, &targets[..nt], &mut labels);
+                    let mut keep = 0u64;
+                    for t in 0..nt {
+                        if found & (1u64 << t) != 0 && labels[t] == o.el {
+                            let dead = !o.inc.is_empty()
+                                && matches!(
+                                    uo.order_within(o.inc, targets[t]),
+                                    Some(ord) if ord < anchor_order
+                                );
+                            if !dead {
+                                keep |= 1u64 << lane_of[t];
+                            }
+                        }
+                    }
+                    mask &= keep;
+                }
+                self.ctx.compute(2);
+                let mut mk = mask;
+                while mk != 0 {
+                    let i = mk.trailing_zeros() as usize;
+                    mk &= mk - 1;
+                    sink(w[i]);
+                }
+            }
+            self.scratch.chunk = chunk;
+            for o in others.iter() {
+                if o.sig.is_some() {
+                    self.ctx.bitmap_probe(o.tested as u64);
+                }
+                self.ctx
+                    .chunked_intersect(o.probed as u64, (o.rem0 - o.cur.rem()) as u64);
+            }
+            self.scratch.probes = others;
+            return;
+        }
+
+        // --- Flipped direction (owner-only; candidates' runs complete) ---
+        let mut flipped = std::mem::take(&mut self.scratch.flipped);
+        flipped.clear();
+        flipped.extend(backward.iter().copied().filter(|&(dv, _)| dv != base));
+        // Ascending targets: the candidate's run cursor merges monotonically.
+        flipped.sort_unstable();
+        let nt = flipped.len();
+        debug_assert!((1..=CHUNK_WIDTH).contains(&nt));
+        let mut targets = [0 as VertexId; CHUNK_WIDTH];
+        let mut incs = [IncidentRange::default(); CHUNK_WIDTH];
+        let mut req: u64 = 0;
+        for (i, &(dv, _)) in flipped.iter().enumerate() {
+            targets[i] = dv;
+            incs[i] = uo.incident(dv);
+            req |= 1u64 << (dv & 63);
+        }
+        let want: u64 = if nt == 64 { u64::MAX } else { (1u64 << nt) - 1 };
+        let use_sig = !sigs.is_empty();
+        let mut labels = [0 as ELabel; CHUNK_WIDTH];
+        let mut tested = 0u64;
+        let mut probed = 0u64;
+        let mut covered = 0u64;
+        gpma.for_each_neighbor(base, |cand, el| {
+            if el != base_el {
+                return;
+            }
+            if !table.is_candidate(cand, qv) {
+                return;
+            }
+            if m.uses(cand) {
+                return;
+            }
+            if !bv_incident.is_empty() {
+                if let Some(o) = uo.order_within(bv_incident, cand) {
+                    if o < anchor_order {
+                        return;
+                    }
+                }
+            }
+            // Signature quick-reject on the *candidate's* run: a missing
+            // required bit proves some backward vertex absent.
+            if use_sig && gpma.degree(cand) <= CHUNK_WIDTH {
+                tested += 1;
+                if sigs[cand as usize] & req != req {
+                    return;
+                }
+            }
+            let mut cur = gpma.run_cursor(cand);
+            let rem0 = cur.rem();
+            let found = gpma.run_seek_chunk(&mut cur, &targets[..nt], &mut labels);
+            probed += nt as u64;
+            covered += (rem0 - cur.rem()) as u64;
+            if found != want {
+                return;
+            }
+            for (i, &(_, del)) in flipped.iter().enumerate() {
+                if labels[i] != del {
+                    return;
+                }
+                if !incs[i].is_empty()
+                    && matches!(
+                        uo.order_within(incs[i], cand),
+                        Some(ord) if ord < anchor_order
+                    )
+                {
+                    return;
+                }
+            }
+            sink(cand);
+        });
+        if tested > 0 {
+            self.ctx.bitmap_probe(tested);
+        }
+        self.ctx.chunked_intersect(probed, covered);
+        self.scratch.flipped = flipped;
     }
 
     /// Moves the top frame to its next candidate (or pops exhausted
     /// frames). On success the state's next action is a scan again.
     fn advance(&mut self, mut st: SDfs) -> ScanOutcome {
-        let meta = Arc::clone(&self.shared.meta);
-        let seed = &meta.seeds[st.seed];
+        let env = self.env;
+        let seed = &env.meta.seeds[st.seed];
         loop {
             if st.frames.is_empty() {
                 return ScanOutcome::Done;
@@ -739,133 +1270,80 @@ impl ShardTask {
             }
             if let Some(f) = st.frames.pop() {
                 self.recycle(f.cands);
+                if let Some(s) = f.memo_last {
+                    self.recycle(s);
+                }
             }
         }
     }
 }
 
-impl WarpTask for ShardTask {
-    fn step(&mut self, ctx: &mut WarpCtx) -> StepResult {
-        if self.shared.abort.load(Ordering::Relaxed) {
-            self.flush();
-            return StepResult::Done;
+// ---------------------------------------------------------------------------
+// The virtual-time executor
+// ---------------------------------------------------------------------------
+
+/// Per-shard lane clocks: one virtual clock per simulated resident warp.
+/// A unit runs on the earliest-free lane, starting no earlier than its
+/// causal ready stamp.
+#[derive(Clone)]
+struct Lanes {
+    /// Completion stamps as a min-heap (`Reverse` orders earliest-first).
+    /// Lane *identity* never matters — only the multiset of stamps — so
+    /// the heap is observationally identical to a linear scan while the
+    /// executor queries it once or twice per unit.
+    t: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+    high: u64,
+}
+
+impl Lanes {
+    fn new(n: usize) -> Self {
+        Self {
+            t: (0..n).map(|_| std::cmp::Reverse(0)).collect(),
+            high: 0,
         }
-        let mut budget = ATTEMPTS_PER_STEP;
-        while budget > 0 {
-            budget -= 1;
-            if let Some(st) = self.state.take() {
-                let outcome = if st.pending_scan {
-                    self.scan_or_migrate(st, ctx)
-                } else {
-                    self.advance(st)
-                };
-                match outcome {
-                    ScanOutcome::Continue(st) => self.state = Some(st),
-                    ScanOutcome::Done => {}
-                }
-                continue;
-            }
-            let Some((si, flipped)) = self.seed_queue.pop_front() else {
-                self.flush();
-                return StepResult::Done;
-            };
-            if let Some(st) = self.start_seed(si, flipped, ctx) {
-                self.state = Some(st);
-            }
-        }
-        StepResult::Continue
     }
 
-    fn remaining_hint(&self) -> u64 {
-        let frames: u64 = self
-            .state
-            .as_ref()
-            .map(|st| {
-                st.frames
-                    .iter()
-                    .map(|f| (f.cands.len().saturating_sub(f.p + 1)) as u64)
-                    .sum()
-            })
-            .unwrap_or(0);
-        frames + 16 * self.seed_queue.len() as u64
+    /// The earliest time any lane can start new work.
+    fn earliest(&self) -> u64 {
+        self.t.peek().map(|r| r.0).unwrap_or(0)
     }
 
-    /// Intra-shard (warp-tier) stealing: split the shallowest frame with
-    /// ≥ 2 unexplored candidates, else half the unstarted seeds. The thief
-    /// re-runs the ownership check on its first scan, so stolen subtrees
-    /// migrate on their own if they wander off-shard.
-    fn try_split(&mut self) -> Option<Box<dyn WarpTask>> {
-        if let Some(st) = &mut self.state {
-            let seed = self.shared.meta.seeds[st.seed].clone();
-            for (fi, f) in st.frames.iter_mut().enumerate() {
-                let level = st.base_level + fi;
-                let unexplored = f.cands.len().saturating_sub(f.p + 1);
-                if unexplored < 2 {
-                    continue;
-                }
-                let take = unexplored / 2;
-                let stolen: Vec<VertexId> = f.cands.split_off(f.cands.len() - take);
-                let mut m = VMatch::EMPTY;
-                for l in 0..level {
-                    let qv = seed.order[l];
-                    if let Some(v) = st.m.get(qv) {
-                        m.set(qv, v);
-                    }
-                }
-                m.set(seed.order[level], stolen[0]);
-                let thief = SDfs {
-                    seed: st.seed,
-                    base_level: level,
-                    m,
-                    frames: vec![SFrame {
-                        cands: stolen,
-                        p: 0,
-                    }],
-                    pending_scan: true,
-                    authorized: false,
-                };
-                return Some(Box::new(ShardTask {
-                    shared: Arc::clone(&self.shared),
-                    v1: self.v1,
-                    v2: self.v2,
-                    elabel: self.elabel,
-                    anchor_order: self.anchor_order,
-                    seed_queue: std::collections::VecDeque::new(),
-                    state: Some(thief),
-                    local: Vec::new(),
-                    local_count: 0,
-                    pool: Vec::new(),
-                    backward_buf: Vec::new(),
-                    others_buf: Vec::new(),
-                }));
-            }
-        }
-        if self.seed_queue.len() >= 2 {
-            let take = self.seed_queue.len() / 2;
-            let stolen = self.seed_queue.split_off(self.seed_queue.len() - take);
-            return Some(Box::new(ShardTask {
-                shared: Arc::clone(&self.shared),
-                v1: self.v1,
-                v2: self.v2,
-                elabel: self.elabel,
-                anchor_order: self.anchor_order,
-                seed_queue: stolen,
-                state: None,
-                local: Vec::new(),
-                local_count: 0,
-                pool: Vec::new(),
-                backward_buf: Vec::new(),
-                others_buf: Vec::new(),
-            }));
-        }
-        None
+    /// The shard's makespan so far.
+    fn makespan(&self) -> u64 {
+        self.high
+    }
+
+    /// Schedules `cycles` of work that may not start before `ready` on the
+    /// earliest-free lane; returns the completion stamp.
+    fn run(&mut self, ready: u64, cycles: u64) -> u64 {
+        let free = self.t.pop().map(|r| r.0).unwrap_or(0);
+        let stamp = free.max(ready) + cycles;
+        self.t.push(std::cmp::Reverse(stamp));
+        self.high = self.high.max(stamp);
+        stamp
     }
 }
 
-impl Drop for ShardTask {
-    fn drop(&mut self) {
-        self.flush();
-    }
+/// A schedulable unit: an anchor (with its batch order) or an arrived
+/// migrant, available from virtual cycle `ready`.
+struct Unit {
+    ready: u64,
+    work: UnitWork,
+}
+
+enum UnitWork {
+    Anchor(Update, u32),
+    Mig(Migrant),
+}
+
+/// The action the scheduler picked for a shard.
+enum Action {
+    /// Pop and run the front of the local unit queue.
+    Run,
+    /// Drain the oldest sealed inbox batch into the local queue.
+    Drain,
+    /// Steal the newest sealed batch from the given victim's inbox.
+    Steal(usize),
 }
 
 // ---------------------------------------------------------------------------
@@ -882,12 +1360,21 @@ pub struct ShardedEngine {
     graph: DynamicGraph,
     partition: Partition,
     shards: Vec<Shard>,
-    meta: Arc<QueryMeta>,
+    /// The shared physical edge store. Every run a shard is allowed to
+    /// read (its resident vertices' runs) is complete, hence identical
+    /// across replicas — so one physical copy serves all simulated
+    /// devices; per-device update cost is charged from each shard's
+    /// resident sub-batch share of the measured store cycles.
+    store: Gpma,
+    /// Shared NLF encoder (vertex metadata is replicated conceptually;
+    /// since every replica was bit-identical by construction, the engine
+    /// stores one).
+    encoder: IncrementalEncoder,
+    table: CandidateTable,
+    meta: QueryMeta,
     config: ShardedConfig,
-    /// Replicated true-degree vector, maintained incrementally per batch
-    /// (O(batch) updates, not O(V) rebuilds). Kernel phases snapshot it
-    /// with an `Arc` clone; the snapshots are dropped before the next
-    /// structural update, so `Arc::make_mut` never deep-copies.
+    /// Shared true-degree vector, maintained incrementally per batch
+    /// (O(batch) updates, not O(V) rebuilds).
     degrees: Arc<Vec<u32>>,
     stats: ShardStats,
     batches_processed: u64,
@@ -895,21 +1382,35 @@ pub struct ShardedEngine {
 
 impl ShardedEngine {
     /// Partitions `graph`, builds every shard's GPMA over its resident set
-    /// (owned + one-hop boundary) and its replicated encoder/table, and
+    /// (owned + one-hop boundary) and the shared encoder/table, and
     /// derives the per-edge matching orders (coalesced search off — one
     /// seed per query edge keeps the distributed dedup rule identical to
     /// the single-device engine's match attribution).
     pub fn new(graph: DynamicGraph, query: &QueryGraph, config: ShardedConfig) -> Self {
+        let partition = Partition::build(config.strategy, config.num_shards, &graph);
+        Self::with_partition(graph, query, config, partition)
+    }
+
+    /// [`ShardedEngine::new`] with a caller-supplied partition (the
+    /// durable restore path reuses the snapshotted assignment; tests use
+    /// it to pin a placement).
+    pub fn with_partition(
+        graph: DynamicGraph,
+        query: &QueryGraph,
+        config: ShardedConfig,
+        partition: Partition,
+    ) -> Self {
+        assert_eq!(
+            partition.num_shards(),
+            config.num_shards,
+            "partition shard count disagrees with configuration"
+        );
         let n = graph.num_vertices();
-        let partition = Partition::new(config.strategy, config.num_shards, n);
-        // The encoder/table replicas are identical at build time (same
-        // graph, same scheme): encode once, clone per shard. Divergence
-        // only ever comes from per-shard `reencode` calls, which all
-        // shards run with identical inputs anyway.
-        let (encoder0, table0) = IncrementalEncoder::build(&graph, query, config.base.counter_bits);
-        // Resident sets first (owned ∪ one-hop boundary), then a single
-        // pass over the edge list distributing each edge to the shards
-        // whose runs must contain it.
+        let (encoder, table) = IncrementalEncoder::build(&graph, query, config.base.counter_bits);
+        // Resident sets (owned ∪ one-hop boundary) per shard, then one
+        // shared physical store over the full edge list — a resident
+        // vertex's run is complete, so every shard reads the same bytes
+        // a private replica would have held.
         let mut residents: Vec<Vec<bool>> = vec![vec![false; n]; config.num_shards];
         for v in 0..n as VertexId {
             let s = partition.owner(v);
@@ -918,111 +1419,113 @@ impl ShardedEngine {
                 residents[s][w as usize] = true;
             }
         }
-        let mut shard_edges: Vec<Vec<(VertexId, VertexId, ELabel)>> =
-            vec![Vec::new(); config.num_shards];
-        for (u, v, l) in graph.edges() {
-            for (s, resident) in residents.iter().enumerate() {
-                if resident[u as usize] || resident[v as usize] {
-                    shard_edges[s].push((u, v, l));
-                }
-            }
-        }
-        let mut shards = Vec::with_capacity(config.num_shards);
-        for (resident, edges) in residents.into_iter().zip(shard_edges) {
-            let mut gpma = Gpma::new(n, config.base.gpma.clone());
-            gpma.insert_edges(&edges);
-            gpma.ensure_vertices(n);
-            shards.push(Shard {
-                gpma: Some(gpma),
-                encoder: encoder0.clone(),
-                table: Some(table0.clone()),
-                device: Device::new(config.base.device.clone()),
+        let edges: Vec<(VertexId, VertexId, ELabel)> = graph.edges().collect();
+        let mut store = Gpma::new(n, config.base.gpma.clone());
+        store.insert_edges(&edges);
+        store.ensure_vertices(n);
+        let shards = residents
+            .into_iter()
+            .map(|resident| Shard {
                 resident: Arc::new(resident),
-            });
-        }
-        let meta = Arc::new(QueryMeta::build(
+            })
+            .collect();
+        let meta = QueryMeta::build(
             query,
-            &table0,
-            encoder0.scheme(),
+            &table,
+            encoder.scheme(),
             false, // coalesced search off: one seed per query edge
             config.base.max_degenerate_k,
-        ));
+        );
         let degrees = Arc::new(
             (0..n as VertexId)
                 .map(|v| graph.degree(v) as u32)
                 .collect::<Vec<u32>>(),
         );
+        let num_shards = config.num_shards;
         Self {
             graph,
             partition,
             shards,
+            store,
+            encoder,
+            table,
             meta,
             config,
             degrees,
-            stats: ShardStats::default(),
+            stats: ShardStats {
+                pair_migrants: vec![0; num_shards * num_shards],
+                ..ShardStats::default()
+            },
             batches_processed: 0,
         }
     }
 
     /// Rebuilds a sharded engine from recovered state: the host graph
-    /// mirror plus, per shard, its restored GPMA and resident-set flags.
+    /// mirror, the snapshotted partition, the restored shared store, and
+    /// every shard's resident-set flags.
     ///
     /// Resident sets grow monotonically as batches touch new boundary
     /// vertices, so they cannot be rederived from the current graph alone
     /// — a fresh build's sets can be *smaller* than the incrementally
     /// maintained ones. They are therefore part of the snapshot, exactly
-    /// like the GPMA geometry. Encoder/table/meta replicas are pure
-    /// functions of `(graph, query, config)` and are rebuilt.
-    ///
-    /// The durable path applies edge batches only (no vertex additions),
-    /// so the partition rebuilt from the current vertex count is the one
-    /// the engine was built with.
+    /// like the GPMA geometry and (for greedy) the owner table.
+    /// Encoder/table/meta are pure functions of `(graph, query, config)`
+    /// and are rebuilt.
     pub fn restore(
         graph: DynamicGraph,
         query: &QueryGraph,
         config: ShardedConfig,
-        shard_state: Vec<(Gpma, Vec<bool>)>,
+        partition: Partition,
+        store: Gpma,
+        residents: Vec<Vec<bool>>,
         batches_processed: u64,
     ) -> Self {
         assert_eq!(
-            shard_state.len(),
+            residents.len(),
             config.num_shards,
             "restored shard count disagrees with configuration"
         );
+        assert_eq!(
+            partition.num_shards(),
+            config.num_shards,
+            "restored partition shard count disagrees with configuration"
+        );
         let n = graph.num_vertices();
-        let partition = Partition::new(config.strategy, config.num_shards, n);
-        let (encoder0, table0) = IncrementalEncoder::build(&graph, query, config.base.counter_bits);
+        let (encoder, table) = IncrementalEncoder::build(&graph, query, config.base.counter_bits);
         let mut shards = Vec::with_capacity(config.num_shards);
-        for (gpma, resident) in shard_state {
+        for resident in residents {
             assert_eq!(resident.len(), n, "resident bitmap length drift");
             shards.push(Shard {
-                gpma: Some(gpma),
-                encoder: encoder0.clone(),
-                table: Some(table0.clone()),
-                device: Device::new(config.base.device.clone()),
                 resident: Arc::new(resident),
             });
         }
-        let meta = Arc::new(QueryMeta::build(
+        let meta = QueryMeta::build(
             query,
-            &table0,
-            encoder0.scheme(),
+            &table,
+            encoder.scheme(),
             false, // coalesced search off, as in `new`
             config.base.max_degenerate_k,
-        ));
+        );
         let degrees = Arc::new(
             (0..n as VertexId)
                 .map(|v| graph.degree(v) as u32)
                 .collect::<Vec<u32>>(),
         );
+        let num_shards = config.num_shards;
         Self {
             graph,
             partition,
             shards,
+            store,
+            encoder,
+            table,
             meta,
             config,
             degrees,
-            stats: ShardStats::default(),
+            stats: ShardStats {
+                pair_migrants: vec![0; num_shards * num_shards],
+                ..ShardStats::default()
+            },
             batches_processed,
         }
     }
@@ -1032,18 +1535,13 @@ impl ShardedEngine {
         &self.graph
     }
 
-    /// Per-shard state for snapshotting: each shard's GPMA and resident
-    /// flags, in shard order.
-    pub fn shard_state(&self) -> Vec<(&Gpma, &[bool])> {
-        self.shards
-            .iter()
-            .map(|s| {
-                (
-                    s.gpma.as_ref().expect("gpma present between batches"),
-                    s.resident.as_slice(),
-                )
-            })
-            .collect()
+    /// State for snapshotting: the shared physical store plus each
+    /// shard's resident flags, in shard order.
+    pub fn shard_state(&self) -> (&Gpma, Vec<&[bool]>) {
+        (
+            &self.store,
+            self.shards.iter().map(|s| s.resident.as_slice()).collect(),
+        )
     }
 
     /// The static vertex partition.
@@ -1053,7 +1551,7 @@ impl ShardedEngine {
 
     /// Cumulative cross-shard statistics.
     pub fn shard_stats(&self) -> ShardStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// The engine's configuration.
@@ -1072,27 +1570,16 @@ impl ShardedEngine {
         let n = self.graph.num_vertices();
         Arc::make_mut(&mut self.degrees).resize(n, 0);
         let owner = self.partition.owner(v);
-        for (s, shard) in self.shards.iter_mut().enumerate() {
-            shard
-                .gpma
-                .as_mut()
-                .expect("gpma present")
-                .ensure_vertices(n);
-            if s == owner {
-                shard.mark_resident(v);
-            }
-            let dirty = shard.encoder.reencode(&self.graph, &[v]);
-            shard.table.as_mut().expect("table present").refresh(
-                &dirty,
-                &shard.encoder.encodings,
-                &shard.encoder.qcodes,
-            );
-        }
+        self.store.ensure_vertices(n);
+        self.shards[owner].mark_resident(v);
+        let dirty = self.encoder.reencode(&self.graph, &[v]);
+        self.table
+            .refresh(&dirty, &self.encoder.encodings, &self.encoder.qcodes);
         v
     }
 
-    /// Folds a canonical batch's endpoint deltas into the replicated
-    /// degree vector (call when the structural update lands).
+    /// Folds a canonical batch's endpoint deltas into the shared degree
+    /// vector (call when the structural update lands).
     fn update_degrees(&mut self, batch: &UpdateBatch) {
         let need = self.graph.num_vertices();
         let degrees = Arc::make_mut(&mut self.degrees);
@@ -1145,7 +1632,7 @@ impl ShardedEngine {
             .timeout
             .map(|t| crate::engine::spawn_watchdog(t, &abort));
 
-        // Phase 1: negative matches on the pre-update stores.
+        // Phase 1: negative matches on the pre-update store.
         if !batch.deletes.is_empty() {
             let degrees = Arc::clone(&self.degrees);
             let (matches, count, stats) = self.kernel_phase(&batch.deletes, degrees, &abort);
@@ -1154,20 +1641,30 @@ impl ShardedEngine {
             result.stats.kernel.absorb(&stats);
         }
 
-        // Phase 2: structural update, routed per shard. The simulated
-        // devices update in parallel, so the batch's update time is the
-        // slowest shard's.
+        // Phase 2: structural update. Residency grows per shard first
+        // (boundary pulls are computed against the pre-batch graph), then
+        // the batch lands once on the shared store. The simulated devices
+        // update in parallel, each charged its resident sub-batch's
+        // proportional share of the measured store cycles, so the batch's
+        // update time is the slowest shard's; a one-shard engine is
+        // charged the full measured cost exactly.
+        let shares: Vec<UpdateShare> = (0..self.shards.len())
+            .map(|s| self.grow_residency(s, batch))
+            .collect();
+        let (del_cycles, ins_cycles) = self.apply_shared_update(batch);
+        let k_del = batch.deletes.len() as u64;
+        let k_ins = batch.inserts.len() as u64;
         let mut max_update_cycles = 0u64;
-        for s in 0..self.shards.len() {
-            let cycles = self.apply_structural_update(s, batch);
+        for share in &shares {
+            let cycles = share.cycles(del_cycles, k_del, ins_cycles, k_ins);
             max_update_cycles = max_update_cycles.max(cycles);
         }
         result.stats.update_cycles = max_update_cycles;
         batch.apply(&mut self.graph);
         self.update_degrees(batch);
 
-        // Phase 3: host preprocess — re-encode touched vertices and
-        // refresh every shard's replicated candidate rows.
+        // Phase 3: host preprocess — re-encode touched vertices once and
+        // refresh the shared candidate rows (one table, not N replicas).
         let pre_t = Instant::now();
         let mut touched: Vec<VertexId> = batch
             .deletes
@@ -1177,30 +1674,13 @@ impl ShardedEngine {
             .collect();
         touched.sort_unstable();
         touched.dedup();
-        let graph = &self.graph;
-        let mut dirty_count = 0usize;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for shard in &mut self.shards {
-                let touched = &touched;
-                handles.push(scope.spawn(move || {
-                    let dirty = shard.encoder.reencode(graph, touched);
-                    shard.table.as_mut().expect("table present").refresh(
-                        &dirty,
-                        &shard.encoder.encodings,
-                        &shard.encoder.qcodes,
-                    );
-                    dirty.len()
-                }));
-            }
-            for h in handles {
-                dirty_count = h.join().expect("preprocess worker").max(dirty_count);
-            }
-        });
-        result.stats.dirty_vertices = dirty_count;
+        let dirty = self.encoder.reencode(&self.graph, &touched);
+        self.table
+            .refresh(&dirty, &self.encoder.encodings, &self.encoder.qcodes);
+        result.stats.dirty_vertices = dirty.len();
         let preprocess = pre_t.elapsed().as_secs_f64();
 
-        // Phase 4: positive matches on the post-update stores.
+        // Phase 4: positive matches on the post-update store.
         if !batch.inserts.is_empty() {
             let degrees = Arc::clone(&self.degrees);
             let (matches, count, stats) = self.kernel_phase(&batch.inserts, degrees, &abort);
@@ -1216,13 +1696,12 @@ impl ShardedEngine {
         result
     }
 
-    /// Routes one canonical batch into shard `s`'s store: materializes
-    /// newly-resident boundary vertices (their full pre-batch adjacency),
-    /// then applies the resident sub-batch. Returns the simulated update
-    /// cycles this shard spent.
-    fn apply_structural_update(&mut self, s: usize, batch: &UpdateBatch) -> u64 {
-        // Residency growth: an insertion with an owned endpoint pulls the
-        // other endpoint into this shard's boundary frontier.
+    /// Grows shard `s`'s resident set for one canonical batch (an
+    /// insertion with an owned endpoint pulls the other endpoint into the
+    /// boundary frontier) and returns the shard's update-work shares: how
+    /// many of the batch's deletes/inserts touch its resident set, plus
+    /// how many pre-batch adjacency edges its new residents materialize.
+    fn grow_residency(&mut self, s: usize, batch: &UpdateBatch) -> UpdateShare {
         let mut new_residents: Vec<VertexId> = Vec::new();
         {
             let shard = &self.shards[s];
@@ -1236,37 +1715,42 @@ impl ShardedEngine {
         }
         new_residents.sort_unstable();
         new_residents.dedup();
-        let shard = &mut self.shards[s];
-        let gpma = shard.gpma.as_mut().expect("gpma present");
-        let pre_cycles = gpma.stats().sim_cycles;
-        if !new_residents.is_empty() {
-            let mut edges: Vec<(VertexId, VertexId, ELabel)> = Vec::new();
-            for &v in &new_residents {
-                for &(w, l) in self.graph.neighbors(v) {
-                    edges.push((v, w, l));
-                }
-                shard.mark_resident(v);
-            }
-            let gpma = shard.gpma.as_mut().expect("gpma present");
-            gpma.insert_edges(&edges);
+        let mut materialized = 0u64;
+        for &v in &new_residents {
+            materialized += self.graph.neighbors(v).len() as u64;
+            self.shards[s].mark_resident(v);
         }
-        let shard = &mut self.shards[s];
-        let dels: Vec<(VertexId, VertexId)> = batch
+        let shard = &self.shards[s];
+        let deletes = batch
             .deletes
             .iter()
             .filter(|d| shard.is_resident(d.u) || shard.is_resident(d.v))
-            .map(|d| (d.u, d.v))
-            .collect();
-        let ins: Vec<(VertexId, VertexId, ELabel)> = batch
+            .count() as u64;
+        let inserts = batch
             .inserts
             .iter()
             .filter(|i| shard.is_resident(i.u) || shard.is_resident(i.v))
-            .map(|i| (i.u, i.v, i.label))
-            .collect();
-        let gpma = shard.gpma.as_mut().expect("gpma present");
-        gpma.delete_edges(&dels);
-        gpma.insert_edges(&ins);
-        gpma.ensure_vertices(
+            .count() as u64;
+        UpdateShare {
+            deletes,
+            inserts,
+            materialized,
+        }
+    }
+
+    /// Lands one canonical batch on the shared physical store and returns
+    /// the measured `(delete, insert)` simulated-cycle costs. Runs once
+    /// per batch; the per-device split happens in the caller via
+    /// [`UpdateShare::cycles`].
+    fn apply_shared_update(&mut self, batch: &UpdateBatch) -> (u64, u64) {
+        let dels: Vec<(VertexId, VertexId)> = batch.deletes.iter().map(|d| (d.u, d.v)).collect();
+        let ins: Vec<(VertexId, VertexId, ELabel)> =
+            batch.inserts.iter().map(|i| (i.u, i.v, i.label)).collect();
+        let pre = self.store.stats().sim_cycles;
+        self.store.delete_edges(&dels);
+        let after_del = self.store.stats().sim_cycles;
+        self.store.insert_edges(&ins);
+        self.store.ensure_vertices(
             self.graph.num_vertices().max(
                 batch
                     .inserts
@@ -1276,181 +1760,310 @@ impl ShardedEngine {
                     .unwrap_or(0),
             ),
         );
-        gpma.stats().sim_cycles - pre_cycles
+        let total = self.store.stats().sim_cycles;
+        (after_del - pre, total - after_del)
     }
 
-    /// One distributed kernel phase: routes anchors to their owner shards,
-    /// then drives BSP rounds — per-shard launches inside a thread scope,
-    /// migrant exchange and inter-device stealing at each barrier — until
-    /// every inbox drains.
+    /// One distributed kernel phase on the virtual-time executor: anchors
+    /// start on the shard owning their canonical endpoint; units run to
+    /// completion on per-shard lane clocks; migrants flow through the
+    /// batched comm fabric mid-phase (no barriers); idle shards steal
+    /// eligible published batches; the phase ends at quiescence. Every
+    /// scheduling decision reads virtual state only — the whole phase is
+    /// bit-reproducible, including all cycle counters.
     fn kernel_phase(
         &mut self,
         anchors: &[Update],
         degrees: Arc<Vec<u32>>,
         abort: &Arc<AtomicBool>,
     ) -> (Vec<VMatch>, u64, KernelStats) {
+        let wall_t0 = Instant::now();
         let num_shards = self.shards.len();
-        let update_order = Arc::new({
+        let update_order = {
             let mut uo = UpdateOrder::build(anchors);
             uo.index_vertices(self.graph.num_vertices());
             uo
-        });
-        let sink = Arc::new(Mutex::new(Vec::new()));
-        let match_count = Arc::new(AtomicU64::new(0));
-        let router = Arc::new(Router::new(num_shards));
+        };
+        // One O(capacity) sweep over the shared store amortizes the
+        // bitmap prefilter across every scan of the phase, on every
+        // shard — resident runs are complete, so the signatures each
+        // device would compute locally are the shared store's.
+        let signatures: Vec<u64> = if self.config.base.bitmap_intersect {
+            self.store.run_signatures()
+        } else {
+            Vec::new()
+        };
+        let dev = &self.config.base.device;
+        let lanes_per_shard = (dev.num_sms * dev.warps_per_block).max(1);
+        let cost = dev.cost;
+        let warp_size = dev.warp_size;
+        let nv_words = self.meta.q.num_vertices() as u64;
+        let collect = self.config.base.collect_matches;
+        let match_limit = self.config.base.match_limit;
+        let stealing = self.config.stealing;
 
         // Anchor routing: an update edge starts on the shard owning its
         // canonical (smaller-id) endpoint — both endpoints are resident
         // there, and the first scan migrates on its own if its base lands
         // elsewhere.
-        let mut pending_anchors: Vec<Vec<(Update, u32)>> = vec![Vec::new(); num_shards];
+        let mut local: Vec<VecDeque<Unit>> = (0..num_shards).map(|_| VecDeque::new()).collect();
         for (i, a) in anchors.iter().enumerate() {
             let (lo, _) = a.endpoints();
-            pending_anchors[self.partition.owner(lo)].push((*a, i as u32));
+            local[self.partition.owner(lo)].push_back(Unit {
+                ready: 0,
+                work: UnitWork::Anchor(*a, i as u32),
+            });
         }
-        let mut pending_migrants: Vec<Vec<Migrant>> = vec![Vec::new(); num_shards];
 
-        let mut agg = KernelStats::default();
+        let mut fabric: CommFabric<Migrant> = CommFabric::new(num_shards, MIGRANT_BATCH);
+        let mut lanes: Vec<Lanes> = vec![Lanes::new(lanes_per_shard); num_shards];
+        let mut ctxs: Vec<WarpCtx> = (0..num_shards)
+            .map(|_| WarpCtx::new(cost, warp_size))
+            .collect();
+        let mut scratch = UnitScratch::default();
+        let mut sink: Vec<VMatch> = Vec::new();
+        let mut out: Vec<(usize, Migrant)> = Vec::new();
+        let mut steal_buf: Vec<Migrant> = Vec::new();
+        let mut elig_buf: Vec<(VertexId, ELabel)> = Vec::new();
+        let mut match_count = 0u64;
+        // A thief that found nothing stealable stays idle until the next
+        // publish event (avoids rescanning the same unstealable batches).
+        let mut steal_stale = vec![false; num_shards];
+        let mut units_run = vec![0u64; num_shards];
+        let mut busy = vec![0u64; num_shards];
+        let mut migrations = 0u64;
+        let mut shard_steals = 0u64;
+        let mut drains = 0u64;
+
         self.stats.phases += 1;
+
         loop {
-            let any_work = pending_anchors.iter().any(|q| !q.is_empty())
-                || pending_migrants.iter().any(|q| !q.is_empty());
-            if !any_work || abort.load(Ordering::Relaxed) {
+            if abort.load(Ordering::Relaxed) {
                 break;
             }
-            self.stats.rounds += 1;
-
-            // Launch every shard's round concurrently; each launch owns
-            // its shard's store and table for the duration (mirroring
-            // device-buffer ownership in the single engine).
-            let mut launches: Vec<Option<(Arc<ShardShared>, Vec<Box<dyn WarpTask>>, Device)>> =
-                Vec::with_capacity(num_shards);
-            for (s, shard) in self.shards.iter_mut().enumerate() {
-                let anchors_q = std::mem::take(&mut pending_anchors[s]);
-                let migrants_q = std::mem::take(&mut pending_migrants[s]);
-                if anchors_q.is_empty() && migrants_q.is_empty() {
-                    launches.push(None);
-                    continue;
-                }
-                let shared = Arc::new(ShardShared {
-                    shard_id: s,
-                    partition: self.partition,
-                    gpma: shard.gpma.take().expect("gpma present"),
-                    table: shard.table.take().expect("table present"),
-                    meta: Arc::clone(&self.meta),
-                    update_order: Arc::clone(&update_order),
-                    degrees: Arc::clone(&degrees),
-                    resident: Arc::clone(&shard.resident),
-                    router: Arc::clone(&router),
-                    sink: Arc::clone(&sink),
-                    match_count: Arc::clone(&match_count),
-                    collect: self.config.base.collect_matches,
-                    abort: Arc::clone(abort),
-                    match_limit: self.config.base.match_limit,
-                });
-                let mut tasks: Vec<Box<dyn WarpTask>> = Vec::new();
-                for (a, order) in anchors_q {
-                    tasks.push(Box::new(ShardTask::for_anchor(
-                        Arc::clone(&shared),
-                        &a,
-                        order,
-                    )));
-                }
-                for m in migrants_q {
-                    tasks.push(Box::new(ShardTask::for_migrant(Arc::clone(&shared), m)));
-                }
-                launches.push(Some((shared, tasks, shard.device.clone())));
-            }
-
-            let mut round_stats: Vec<Option<KernelStats>> = Vec::with_capacity(num_shards);
-            let results: Vec<(usize, Option<(Arc<ShardShared>, KernelStats)>)> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = launches
-                        .into_iter()
-                        .enumerate()
-                        .map(|(s, launch)| {
-                            scope.spawn(move || match launch {
-                                None => (s, None),
-                                Some((shared, tasks, device)) => {
-                                    let stats = device.launch(tasks);
-                                    (s, Some((shared, stats)))
-                                }
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("shard worker"))
-                        .collect()
-                });
-            for (s, outcome) in results {
-                match outcome {
-                    None => round_stats.push(None),
-                    Some((shared, stats)) => {
-                        let shared = Arc::try_unwrap(shared)
-                            .unwrap_or_else(|_| panic!("shard tasks must release shared state"));
-                        self.shards[s].gpma = Some(shared.gpma);
-                        self.shards[s].table = Some(shared.table);
-                        round_stats.push(Some(stats));
-                    }
-                }
-            }
-            // Parallel devices: the round's device time is the slowest
-            // shard's; counters sum.
-            let mut round_max = 0u64;
-            for stats in round_stats.into_iter().flatten() {
-                round_max = round_max.max(stats.device_cycles);
-                agg.num_blocks += stats.num_blocks;
-                agg.num_tasks += stats.num_tasks;
-                agg.total_block_cycles += stats.total_block_cycles;
-                agg.busy_cycles += stats.busy_cycles;
-                agg.resident_warp_cycles += stats.resident_warp_cycles;
-                agg.steals += stats.steals;
-                agg.global_transactions += stats.global_transactions;
-                agg.shared_accesses += stats.shared_accesses;
-                agg.buf_reuse += stats.buf_reuse;
-                agg.buf_alloc += stats.buf_alloc;
-                agg.wall_seconds += stats.wall_seconds;
-            }
-            agg.device_cycles += round_max;
-
-            // Barrier: collect migrants, then let idle shards steal what
-            // they can legally execute.
-            let mut inboxes = router.drain();
-            if self.config.stealing == ShardStealing::Active {
-                let idle: Vec<usize> = (0..num_shards).filter(|&s| inboxes[s].is_empty()).collect();
-                for thief in idle {
-                    let Some(victim) = (0..num_shards)
-                        .filter(|&s| s != thief)
-                        .max_by_key(|&s| inboxes[s].len())
-                        .filter(|&s| inboxes[s].len() >= 2)
-                    else {
-                        continue;
-                    };
-                    let take = inboxes[victim].len() / 2;
-                    let mut stolen = Vec::new();
-                    let mut kept = Vec::new();
-                    for m in std::mem::take(&mut inboxes[victim]) {
-                        if stolen.len() < take && m.steal_eligible(&self.meta, &self.shards[thief])
-                        {
-                            stolen.push(m);
-                        } else {
-                            kept.push(m);
+            // Pick the (shard, action) with the earliest virtual start.
+            // Per shard: run local work if any, else drain the inbox, else
+            // steal. Ties break toward the lowest shard id — every input
+            // to this choice is virtual state, so the schedule replays
+            // exactly.
+            let mut best: Option<(u64, usize, Action)> = None;
+            for s in 0..num_shards {
+                let avail = lanes[s].earliest();
+                let cand = if let Some(u) = local[s].front() {
+                    Some((avail.max(u.ready), Action::Run))
+                } else if let Some(r) = fabric.head_ready(s) {
+                    Some((avail.max(r), Action::Drain))
+                } else if stealing == ShardStealing::Active && !steal_stale[s] {
+                    // Victim: the most loaded inbox (tie: lowest id).
+                    let mut victim: Option<(usize, usize)> = None;
+                    for v in 0..num_shards {
+                        if v == s {
+                            continue;
+                        }
+                        let q = fabric.queued_items(v);
+                        if q > 0 && victim.is_none_or(|(bq, _)| q > bq) {
+                            victim = Some((q, v));
                         }
                     }
-                    inboxes[victim] = kept;
-                    self.stats.shard_steals += stolen.len() as u64;
-                    inboxes[thief].extend(stolen);
+                    match victim {
+                        Some((_, v)) => {
+                            let r = fabric.tail_ready(v).expect("victim has sealed batches");
+                            Some((avail.max(r), Action::Steal(v)))
+                        }
+                        None => {
+                            steal_stale[s] = true;
+                            None
+                        }
+                    }
+                } else {
+                    None
+                };
+                if let Some((t, a)) = cand {
+                    if best.as_ref().is_none_or(|&(bt, _, _)| t < bt) {
+                        best = Some((t, s, a));
+                    }
                 }
             }
-            for (s, inbox) in inboxes.into_iter().enumerate() {
-                pending_migrants[s].extend(inbox);
+            let Some((_, s, action)) = best else {
+                // Nothing runnable. If partial batches are still open,
+                // flush them (their producers are idle by construction —
+                // they had no local work) and go again; otherwise the
+                // phase is quiescent.
+                let mut published = false;
+                for src in 0..num_shards {
+                    let busy_src = &mut busy[src];
+                    fabric.flush_src(src, |len| {
+                        published = true;
+                        let ship = cost.migrant_ship(len as u64, nv_words, warp_size);
+                        *busy_src += ship;
+                        ship
+                    });
+                }
+                if published {
+                    steal_stale.iter_mut().for_each(|f| *f = false);
+                    continue;
+                }
+                debug_assert!(!fabric.pending(), "quiescence with items in flight");
+                break;
+            };
+            match action {
+                Action::Drain => {
+                    let mut batch = fabric.pop(s).expect("drain action implies a batch");
+                    drains += 1;
+                    let ready = batch.ready;
+                    for mitem in batch.items.drain(..) {
+                        local[s].push_back(Unit {
+                            ready,
+                            work: UnitWork::Mig(mitem),
+                        });
+                    }
+                    fabric.recycle(batch.items);
+                }
+                Action::Steal(v) => {
+                    let mut batch = fabric.steal_tail(v).expect("steal action implies a batch");
+                    let ready = batch.ready;
+                    let resident: &[bool] = &self.shards[s].resident;
+                    let mut taken = 0u64;
+                    steal_buf.clear();
+                    for mitem in batch.items.drain(..) {
+                        if mitem.steal_eligible(&self.meta, resident, &mut elig_buf) {
+                            taken += 1;
+                            local[s].push_back(Unit {
+                                ready,
+                                work: UnitWork::Mig(mitem),
+                            });
+                        } else {
+                            steal_buf.push(mitem);
+                        }
+                    }
+                    std::mem::swap(&mut batch.items, &mut steal_buf);
+                    if taken == 0 {
+                        steal_stale[s] = true;
+                    } else {
+                        shard_steals += taken;
+                    }
+                    fabric.requeue_tail(batch);
+                }
+                Action::Run => {
+                    let unit = local[s].pop_front().expect("run action implies a unit");
+                    let env = ShardEnv {
+                        shard_id: s,
+                        partition: &self.partition,
+                        gpma: &self.store,
+                        table: &self.table,
+                        meta: &self.meta,
+                        update_order: &update_order,
+                        degrees: &degrees,
+                        resident: &self.shards[s].resident,
+                        signatures: &signatures,
+                        collect,
+                    };
+                    out.clear();
+                    match unit.work {
+                        UnitWork::Anchor(a, order) => {
+                            let mut task = UnitTask {
+                                env: &env,
+                                ctx: &mut ctxs[s],
+                                scratch: &mut scratch,
+                                sink: &mut sink,
+                                out: &mut out,
+                                match_count: &mut match_count,
+                                match_limit,
+                                abort,
+                                v1: a.u,
+                                v2: a.v,
+                                elabel: a.label,
+                                anchor_order: order,
+                            };
+                            task.run_anchor();
+                        }
+                        UnitWork::Mig(mig) => {
+                            let mut task = UnitTask {
+                                env: &env,
+                                ctx: &mut ctxs[s],
+                                scratch: &mut scratch,
+                                sink: &mut sink,
+                                out: &mut out,
+                                match_count: &mut match_count,
+                                match_limit,
+                                abort,
+                                v1: mig.anchor.0,
+                                v2: mig.anchor.1,
+                                elabel: mig.anchor.2,
+                                anchor_order: mig.anchor_order,
+                            };
+                            task.run_migrant(mig);
+                        }
+                    }
+                    let cycles = ctxs[s].take_step_cycles();
+                    let completion = lanes[s].run(unit.ready, cycles);
+                    busy[s] += cycles;
+                    units_run[s] += 1;
+                    // Stage produced migrants; a buffer hitting capacity
+                    // publishes immediately (ship cost on the producer).
+                    let mut published = false;
+                    for (dst, mig) in out.drain(..) {
+                        migrations += 1;
+                        if fabric.push(s, dst, mig, completion) {
+                            let ship = cost.migrant_ship(MIGRANT_BATCH as u64, nv_words, warp_size);
+                            fabric.publish(s, dst, ship);
+                            busy[s] += ship;
+                            published = true;
+                        }
+                    }
+                    // A producer going idle flushes its partial batches —
+                    // consumers never wait on work the producer has
+                    // finished staging.
+                    if local[s].is_empty() {
+                        let busy_s = &mut busy[s];
+                        fabric.flush_src(s, |len| {
+                            published = true;
+                            let ship = cost.migrant_ship(len as u64, nv_words, warp_size);
+                            *busy_s += ship;
+                            ship
+                        });
+                    }
+                    if published {
+                        steal_stale.iter_mut().for_each(|f| *f = false);
+                    }
+                }
             }
         }
-        self.stats.migrations += router.migrations.load(Ordering::Relaxed);
 
-        let matches = std::mem::take(&mut *sink.lock());
-        let count = match_count.load(Ordering::Relaxed);
-        (matches, count, agg)
+        // Merge telemetry in shard order (order-independent accounting:
+        // there is only one order).
+        let comm = fabric.stats();
+        self.stats.migrations += migrations;
+        self.stats.shard_steals += shard_steals;
+        self.stats.migrant_batches += comm.batches_published;
+        self.stats.drains += drains;
+        self.stats.inbox_high_water = self.stats.inbox_high_water.max(comm.inbox_high_water);
+        if self.stats.pair_migrants.len() != num_shards * num_shards {
+            self.stats.pair_migrants = vec![0; num_shards * num_shards];
+        }
+        for (acc, &x) in self.stats.pair_migrants.iter_mut().zip(&comm.pair_items) {
+            *acc += x;
+        }
+
+        let mut agg = KernelStats::default();
+        let mut device = 0u64;
+        for (s, lane) in lanes.iter().enumerate() {
+            let mk = lane.makespan();
+            device = device.max(mk);
+            agg.total_block_cycles += mk;
+            agg.resident_warp_cycles += lanes_per_shard as u64 * mk;
+            agg.num_tasks += units_run[s] as usize;
+            agg.num_blocks += units_run[s].div_ceil(dev.warps_per_block.max(1) as u64) as usize;
+            agg.busy_cycles += busy[s];
+            agg.global_transactions += ctxs[s].global_transactions;
+            agg.shared_accesses += ctxs[s].shared_accesses;
+            agg.buf_reuse += ctxs[s].buf_reuse;
+            agg.buf_alloc += ctxs[s].buf_alloc;
+        }
+        agg.device_cycles = device;
+        agg.steals = shard_steals;
+        agg.wall_seconds = wall_t0.elapsed().as_secs_f64();
+
+        (sink, match_count, agg)
     }
 }

@@ -1148,7 +1148,7 @@ pub struct IncidentRange {
 
 impl IncidentRange {
     #[inline]
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.lo == self.hi
     }
 }
@@ -1230,9 +1230,10 @@ impl UpdateOrder {
     }
 
     /// The anchor order of update edge `(v, other)` within `v`'s
-    /// pre-resolved incident range.
+    /// pre-resolved incident range. `pub(crate)`: the sharded kernel's
+    /// scans apply the identical dedup rule.
     #[inline]
-    fn order_within(&self, r: IncidentRange, other: VertexId) -> Option<u32> {
+    pub(crate) fn order_within(&self, r: IncidentRange, other: VertexId) -> Option<u32> {
         let slice = &self.by_endpoint[r.lo as usize..r.hi as usize];
         slice
             .binary_search_by_key(&other, |e| e.1)

@@ -1,15 +1,21 @@
 //! Partitioner and sharded-engine properties.
 //!
-//! * Hash and range partitioning must be a **true partition**: every
-//!   vertex gets exactly one owner in range, deterministically.
+//! * Hash, range and greedy partitioning must be a **true partition**:
+//!   every vertex gets exactly one owner in range, deterministically.
 //! * Shard **edge loads** (sum of owned-vertex degrees) must stay within a
 //!   balance bound on Zipf-skewed graphs — hash placement is uniform over
 //!   vertices, so the bound is the mean plus the heaviest single vertex
-//!   (a hub lands *somewhere*) with a constant-factor slack.
+//!   (a hub lands *somewhere*) with a constant-factor slack. The greedy
+//!   partitioner enforces a hard per-shard vertex capacity instead.
+//! * The greedy label-frequency partitioner must actually earn its keep:
+//!   a strictly lower edge-cut fraction than hash placement on the
+//!   labeled dense presets it is tuned for.
 //! * The merged per-shard match deltas of [`ShardedEngine`] must equal
 //!   the single-device [`GammaEngine`]'s, batch after batch, across shard
 //!   counts, strategies and stealing modes (the distributed DFS enumerates
-//!   the identical match set).
+//!   the identical match set) — and the async-drain executor's sim-cycle
+//!   accounting must be bit-stable run over run (the replay gate holds
+//!   SHARD cells to exact equality).
 
 use gamma_core::{
     GammaConfig, GammaEngine, Partition, PartitionStrategy, ShardStealing, ShardedConfig,
@@ -143,6 +149,24 @@ fn assert_shard_parity(g0: &DynamicGraph, q: &gamma_graph::QueryGraph, batches: 
             g0.clone(),
             q,
             sharded_cfg(2, PartitionStrategy::Range, ShardStealing::Off),
+        ),
+    ));
+    // Greedy cells cover both stealing modes: the async drain must be
+    // order-insensitive no matter who consumes a published batch.
+    sharded.push((
+        "greedy/2/off".to_string(),
+        ShardedEngine::new(
+            g0.clone(),
+            q,
+            sharded_cfg(2, PartitionStrategy::Greedy, ShardStealing::Off),
+        ),
+    ));
+    sharded.push((
+        "greedy/4/active".to_string(),
+        ShardedEngine::new(
+            g0.clone(),
+            q,
+            sharded_cfg(4, PartitionStrategy::Greedy, ShardStealing::Active),
         ),
     ));
     let mut total = 0u64;
@@ -280,7 +304,125 @@ fn migrations_occur_across_shards() {
         stats.migrations > 0,
         "no embedding ever crossed a shard boundary — sharding is vacuous"
     );
-    assert!(stats.rounds >= stats.phases, "rounds must cover phases");
+    assert!(
+        stats.migrant_batches > 0,
+        "migrations happened but nothing flowed through the comm fabric"
+    );
+    assert!(
+        stats.drains > 0 || stats.shard_steals > 0,
+        "published batches must be consumed by a drain or a steal"
+    );
+    assert!(
+        stats.inbox_high_water > 0,
+        "published batches must register inbox depth"
+    );
+    let pair_total: u64 = stats.pair_migrants.iter().sum();
+    assert_eq!(
+        pair_total, stats.migrations,
+        "per-pair migrant telemetry must cover every migration"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// The greedy partitioner is a true partition under a hard capacity:
+    /// every vertex owned exactly once, no shard above the (slightly
+    /// slack) [`gamma_core::shard::greedy_capacity`] bound, and ownership
+    /// is deterministic (rebuilding yields the same table).
+    #[test]
+    fn greedy_partition_respects_capacity(
+        seed in 0u64..16,
+        shards in 2usize..6,
+        skew_pct in 40u32..110,
+    ) {
+        let g = zipf_graph(900, skew_pct as f64 / 100.0, seed);
+        let n = g.num_vertices();
+        let p = Partition::build(PartitionStrategy::Greedy, shards, &g);
+        let owners = p.assignments(n);
+        prop_assert_eq!(owners.len(), n);
+        let mut counts = vec![0usize; shards];
+        for (v, &s) in owners.iter().enumerate() {
+            prop_assert!(s < shards, "owner out of range");
+            prop_assert_eq!(s, p.owner(v as VertexId), "owner not deterministic");
+            counts[s] += 1;
+        }
+        let cap = gamma_core::shard::greedy_capacity(n, shards);
+        for (s, &c) in counts.iter().enumerate() {
+            prop_assert!(c <= cap, "greedy shard {s} overfull: {c} > {cap}");
+        }
+        let p2 = Partition::build(PartitionStrategy::Greedy, shards, &g);
+        prop_assert_eq!(p2.assignments(n), owners, "rebuild diverged");
+    }
+}
+
+/// The greedy label-frequency partitioner must strictly beat hash
+/// placement on edge-cut fraction for the labeled dense presets the
+/// perf suite gates on — otherwise it is dead weight.
+#[test]
+fn greedy_cut_beats_hash_on_labeled_presets() {
+    for preset in [DatasetPreset::GH, DatasetPreset::AZ] {
+        let d = preset.build(0.35, 42);
+        for shards in [2usize, 4] {
+            let hash = Partition::new(PartitionStrategy::Hash, shards, d.graph.num_vertices());
+            let greedy = Partition::build(PartitionStrategy::Greedy, shards, &d.graph);
+            let hc = hash.cut_fraction(&d.graph);
+            let gc = greedy.cut_fraction(&d.graph);
+            assert!(
+                gc < hc,
+                "{preset:?}/{shards} shards: greedy cut {gc:.3} not below hash cut {hc:.3}"
+            );
+        }
+    }
+}
+
+/// The async-drain executor's virtual-time accounting must be bit-stable:
+/// two fresh engines replaying the same workload report identical
+/// sim-cycle numbers batch by batch (this is what licenses the replay
+/// gate's exact-equality tolerance on SHARD cells).
+#[test]
+fn sharded_sim_cycles_are_deterministic() {
+    let d = DatasetPreset::GH.build(0.05, 33);
+    let queries = generate_queries(&d.graph, QueryClass::Dense, 5, 1, 44);
+    let q = queries.first().expect("query");
+    let dels = gamma_datasets::sample_deletion_workload(&d.graph, 0.1, 6);
+    let ins: Vec<Update> = dels
+        .iter()
+        .map(|u| {
+            let l = d.graph.edge_label(u.u, u.v).unwrap_or(0);
+            Update::insert_labeled(u.u, u.v, l)
+        })
+        .collect();
+    let cfg = || sharded_cfg(4, PartitionStrategy::Greedy, ShardStealing::Active);
+    let mut a = ShardedEngine::new(d.graph.clone(), q, cfg());
+    let mut b = ShardedEngine::new(d.graph.clone(), q, cfg());
+    for batch in [&dels, &ins, &dels, &ins] {
+        let ra = a.apply_batch(batch);
+        let rb = b.apply_batch(batch);
+        assert_eq!(
+            ra.stats.kernel.device_cycles, rb.stats.kernel.device_cycles,
+            "device_cycles diverged between identical runs"
+        );
+        assert_eq!(
+            ra.stats.kernel.total_block_cycles, rb.stats.kernel.total_block_cycles,
+            "total_block_cycles diverged between identical runs"
+        );
+        assert_eq!(
+            ra.stats.kernel.busy_cycles, rb.stats.kernel.busy_cycles,
+            "busy_cycles diverged between identical runs"
+        );
+        assert_eq!(
+            ra.stats.update_cycles, rb.stats.update_cycles,
+            "update_cycles diverged between identical runs"
+        );
+    }
+    let sa = a.shard_stats();
+    let sb = b.shard_stats();
+    assert_eq!(sa.migrations, sb.migrations, "migration count diverged");
+    assert_eq!(
+        sa.migrant_batches, sb.migrant_batches,
+        "batch count diverged"
+    );
+    assert_eq!(sa.shard_steals, sb.shard_steals, "steal count diverged");
 }
 
 /// Single-shard configuration must behave exactly like the single device

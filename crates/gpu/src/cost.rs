@@ -141,6 +141,18 @@ impl CostModel {
         let probes = (64 - n.leading_zeros() as u64).max(1);
         (probes * self.global_latency / 4).max(self.compute)
     }
+
+    /// Cycles for shipping a published migrant batch of `items` partial
+    /// embeddings of `words` 4-byte words each across the inter-device
+    /// fabric: a fixed per-message launch overhead (descriptor + doorbell,
+    /// charged as one divergent transaction pair) plus a coalesced copy of
+    /// the payload. Because the overhead is per *batch*, shipping N items
+    /// in one message is strictly cheaper than N one-item messages — the
+    /// cost-model statement of why the comm layer batches migrants at all.
+    pub fn migrant_ship(&self, items: u64, words: u64, warp_size: u32) -> u64 {
+        let payload = self.coalesced_read((items * words).max(1), warp_size);
+        2 * self.global_latency + self.sync + payload
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +233,19 @@ mod tests {
         assert!(probe < c.coop_intersect(64, 64, 32));
         assert!(probe < c.run_search(64));
         assert!(c.bitmap_probe(0, 32) > 0);
+    }
+
+    #[test]
+    fn batched_shipping_beats_per_item() {
+        // The per-message overhead amortizes: one 32-item batch must be far
+        // cheaper than 32 single-item ships of the same total payload.
+        let c = CostModel::default();
+        let batched = c.migrant_ship(32, 8, 32);
+        let single = 32 * c.migrant_ship(1, 8, 32);
+        assert!(batched * 4 < single, "batched={batched} single={single}");
+        // Payload still counts: a bigger batch costs more than a smaller one.
+        assert!(c.migrant_ship(64, 8, 32) > c.migrant_ship(8, 8, 32));
+        assert!(c.migrant_ship(0, 8, 32) > 0);
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub struct WarpCtx {
 }
 
 impl WarpCtx {
-    pub(crate) fn new(cost: CostModel, warp_size: u32) -> Self {
+    /// Builds a fresh context. Public so host-side executors that schedule
+    /// work *outside* [`crate::Device::launch`] (e.g. the sharded
+    /// virtual-time runtime in `gamma-core`) can meter their units with the
+    /// same cost model the block scheduler uses.
+    pub fn new(cost: CostModel, warp_size: u32) -> Self {
         Self {
             cost,
             warp_size,
@@ -157,8 +161,10 @@ impl WarpCtx {
         }
     }
 
-    /// Drains and returns the cycles charged since the last drain.
-    pub(crate) fn take_step_cycles(&mut self) -> u64 {
+    /// Drains and returns the cycles charged since the last drain. Public
+    /// for the same reason as [`WarpCtx::new`]: external executors meter a
+    /// unit of work by running it to completion and draining its cycles.
+    pub fn take_step_cycles(&mut self) -> u64 {
         std::mem::take(&mut self.step_cycles)
     }
 }

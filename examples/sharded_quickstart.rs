@@ -53,7 +53,7 @@ fn main() {
 
     // Demonstrate the partition-aware routing helper on the raw stream:
     // the same owner rule the engine applies to kernel anchors.
-    let partition = *sharded.partition();
+    let partition = sharded.partition().clone();
     let routed = gamma::datasets::route_updates_by_owner(&deletes, partition.num_shards(), |v| {
         partition.owner(v)
     });
@@ -90,8 +90,12 @@ fn main() {
     println!("  embedding migrations: {}", stats.migrations);
     println!("  inter-device steals:  {}", stats.shard_steals);
     println!(
-        "  BSP rounds / phases:  {} / {}",
-        stats.rounds, stats.phases
+        "  migrant batches / drains: {} / {}",
+        stats.migrant_batches, stats.drains
+    );
+    println!(
+        "  inbox high water / phases: {} / {}",
+        stats.inbox_high_water, stats.phases
     );
     println!("\nOK: 2-shard deltas bit-identical to the single device.");
 }

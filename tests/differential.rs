@@ -6,9 +6,10 @@
 //!
 //! * [`GammaEngine`] under multiple `StealingMode`s,
 //! * [`PipelinedEngine`] (asynchronous three-stage pipeline),
-//! * [`ShardedEngine`] at 1, 2 and 4 simulated devices (hash partition,
-//!   inter-device stealing on — embedding migration and cross-shard
-//!   stealing run under the same oracle as everything else), and
+//! * [`ShardedEngine`] at 1, 2 and 4 simulated devices (hash and greedy
+//!   partitions, both inter-device stealing modes — embedding migration
+//!   and cross-shard stealing run under the same oracle as everything
+//!   else), and
 //! * the sequential CSM baselines (`TurboFluxLite`, `RapidFlowLite`),
 //!
 //! and after **every** batch each engine's positive/negative incremental
@@ -281,6 +282,19 @@ fn run_differential(
             )
         })
         .collect();
+    // Locality-aware partition cells: same oracle, greedy placement.
+    for (n, stealing) in [(2usize, ShardStealing::Off), (4, ShardStealing::Active)] {
+        let cfg = ShardedConfig {
+            base: gamma_config(StealingMode::Active),
+            num_shards: n,
+            strategy: PartitionStrategy::Greedy,
+            stealing,
+        };
+        shardeds.push((
+            format!("sharded-greedy[{n}]"),
+            ShardedEngine::new(start.clone(), q, cfg),
+        ));
+    }
 
     let mut host = start;
     let mut before = all_matches(&host, q);

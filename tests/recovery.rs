@@ -31,7 +31,7 @@ use gamma::engine::durable::{
 };
 use gamma::engine::{
     BatchResult, GammaConfig, GammaEngine, PartitionStrategy, ShardStealing, ShardedConfig,
-    StealingMode,
+    ShardedEngine, StealingMode,
 };
 use gamma::gpu::DeviceConfig;
 use gamma::graph::{DynamicGraph, Update, VMatch};
@@ -300,4 +300,68 @@ fn recovery_st_tree() {
 #[test]
 fn recovery_nf_edge_labeled() {
     run_recovery(DatasetPreset::NF, QueryClass::Tree, 0.03, 4, 110);
+}
+
+/// The greedy partition's owner table is state the graph cannot rebuild
+/// implicitly (it depends on the *seed* graph, not the recovered one), so
+/// it rides in the snapshot. Kill, recover, and check the table came back
+/// verbatim and deltas stay bit-identical.
+#[test]
+fn recovery_preserves_greedy_partition() {
+    let dataset = DatasetPreset::GH.build(0.04, 207);
+    let mut start = dataset.graph.clone();
+    let batches = build_workload(&mut start, 207u64.wrapping_mul(0x9e37));
+    let queries =
+        gamma::datasets::generate_queries(&start, QueryClass::Dense, 4, 1, 207 ^ 0x51_f1ed);
+    let q = queries.first().expect("query extractable");
+
+    let config = || ShardedConfig {
+        base: gamma_config(),
+        num_shards: 4,
+        strategy: PartitionStrategy::Greedy,
+        stealing: ShardStealing::Active,
+    };
+    let mut reference_engine = ShardedEngine::new(start.clone(), q, config());
+    let reference: Vec<Delta> = batches
+        .iter()
+        .map(|b| reference_engine.apply_batch(b).into())
+        .collect();
+    let want_owners: Vec<u16> = reference_engine
+        .partition()
+        .owners()
+        .expect("greedy builds an owner table")
+        .to_vec();
+
+    let kill_at = batches.len() / 2;
+    let dir = temp_dir("sharded_greedy_207");
+    {
+        let mut d = DurableShardedEngine::create(start.clone(), q, config(), durability(&dir))
+            .expect("create durable greedy engine");
+        for (i, b) in batches.iter().take(kill_at).enumerate() {
+            let got: Delta = d.apply_batch(b).expect("logged apply").into();
+            assert_eq!(got, reference[i], "durable greedy diverges pre-kill at {i}");
+        }
+    }
+    let (mut d, report) = DurableShardedEngine::recover(q, config(), durability(&dir))
+        .expect("recover durable greedy engine");
+    check_recovery("sharded-greedy", &report, &reference, kill_at);
+    assert_eq!(
+        d.engine().partition().strategy(),
+        PartitionStrategy::Greedy,
+        "recovered engine lost its partition strategy"
+    );
+    assert_eq!(
+        d.engine().partition().owners().expect("owner table"),
+        want_owners.as_slice(),
+        "recovered owner table differs from the one the engine was built with"
+    );
+    for (i, b) in batches.iter().enumerate().skip(kill_at) {
+        let got: Delta = d.apply_batch(b).expect("logged apply").into();
+        assert_eq!(
+            got, reference[i],
+            "durable greedy diverges post-recovery at {i}"
+        );
+    }
+    drop(d);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }

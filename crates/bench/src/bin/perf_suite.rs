@@ -132,6 +132,13 @@ struct ShardTelemetry {
     edge_cut: f64,
     /// Migrants shipped per (src, dst) pair, `src * num_shards + dst`.
     pair_migrants: Vec<u64>,
+    /// Runtime faults applied from the configured fault plan (0 on
+    /// non-chaos runs; asserted present by the CI smoke gate).
+    faults_injected: u64,
+    /// Shard fail-stops that triggered partition repair.
+    failovers: u64,
+    /// Pending units reassigned to survivors by failovers.
+    requeued_units: u64,
 }
 
 /// One measured cell of the suite.
@@ -416,6 +423,7 @@ fn run_engine(
                 num_shards: shards,
                 strategy: PartitionStrategy::Greedy,
                 stealing: ShardStealing::Active,
+                faults: None,
             };
             let mut engine = ShardedEngine::new(g0.clone(), q, cfg);
             let edge_cut = engine.partition().cut_fraction(g0);
@@ -432,6 +440,9 @@ fn run_engine(
                 inbox_high_water: st.inbox_high_water,
                 edge_cut,
                 pair_migrants: st.pair_migrants,
+                faults_injected: st.faults_injected,
+                failovers: st.failovers,
+                requeued_units: st.requeued_units,
             });
         }
     }
@@ -703,13 +714,17 @@ fn write_json(
                     .join(", ");
                 format!(
                     ", \"migrations\": {}, \"migrant_batches\": {}, \"shard_steals\": {}, \
-                     \"inbox_high_water\": {}, \"edge_cut\": {:.4}, \"pair_migrants\": [{}]",
+                     \"inbox_high_water\": {}, \"edge_cut\": {:.4}, \"pair_migrants\": [{}], \
+                     \"faults_injected\": {}, \"failovers\": {}, \"requeued_units\": {}",
                     t.migrations,
                     t.migrant_batches,
                     t.shard_steals,
                     t.inbox_high_water,
                     t.edge_cut,
-                    pairs
+                    pairs,
+                    t.faults_injected,
+                    t.failovers,
+                    t.requeued_units
                 )
             }
             None => String::new(),

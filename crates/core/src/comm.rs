@@ -218,6 +218,51 @@ impl<T> CommFabric<T> {
         self.queues[dst].back().map(|b| b.ready)
     }
 
+    /// Fail-stop failover drain: removes every in-flight migrant the
+    /// dead shard was party to and returns each paired with its causal
+    /// stamp, in deterministic order —
+    ///
+    /// 1. sealed batches queued **at** `dead` (oldest first; every item
+    ///    stamped with its batch's `ready`), then
+    /// 2. open buffers with `src == dead` or `dst == dead`, in slot
+    ///    (src-major) order, every item stamped with the buffer's max
+    ///    producer stamp.
+    ///
+    /// Sealed batches the dead shard had already published **toward
+    /// survivors** are untouched: they are in flight on the
+    /// interconnect and deliver normally. The caller requeues the
+    /// returned items on live shards with the stamps intact, so the
+    /// degraded schedule stays causally priced and bit-reproducible.
+    pub fn drain_for_failover(&mut self, dead: usize) -> Vec<(u64, T)> {
+        let mut out = Vec::new();
+        while let Some(mut batch) = self.pop(dead) {
+            let ready = batch.ready;
+            for item in batch.items.drain(..) {
+                out.push((ready, item));
+            }
+            self.recycle(batch.items);
+        }
+        for src in 0..self.num_shards {
+            for dst in 0..self.num_shards {
+                if src != dead && dst != dead {
+                    continue;
+                }
+                let slot = self.slot(src, dst);
+                if self.open[slot].is_empty() {
+                    continue;
+                }
+                let stamp = self.open_stamp[slot];
+                self.open_stamp[slot] = 0;
+                let mut items = std::mem::take(&mut self.open[slot]);
+                for item in items.drain(..) {
+                    out.push((stamp, item));
+                }
+                self.recycle(items);
+            }
+        }
+        out
+    }
+
     /// True while any item sits in an open buffer or a sealed queue — the
     /// fabric half of the quiescence predicate that ends a kernel phase.
     pub fn pending(&self) -> bool {
@@ -301,6 +346,33 @@ mod tests {
         assert_eq!(f.queued_items(1), 2);
         assert_eq!(f.pop(1).unwrap().items, vec![1]);
         assert_eq!(f.pop(1).unwrap().items, vec![3]);
+    }
+
+    #[test]
+    fn failover_drain_takes_inbox_and_open_buffers_only() {
+        let mut f: CommFabric<u32> = CommFabric::new(3, 8);
+        // Sealed batch queued AT the dead shard (1).
+        f.push(0, 1, 10, 4);
+        f.publish(0, 1, 100);
+        // Sealed batch FROM the dead shard toward a survivor: stays.
+        f.push(1, 2, 20, 7);
+        f.publish(1, 2, 100);
+        // Open buffers: from dead (1→0), toward dead (2→1), unrelated (0→2).
+        f.push(1, 0, 30, 9);
+        f.push(2, 1, 40, 11);
+        f.push(0, 2, 50, 13);
+        let drained = f.drain_for_failover(1);
+        // Inbox first (batch ready = 4 + 100), then open buffers in
+        // src-major slot order: (1,0) before (2,1).
+        assert_eq!(drained, vec![(104, 10), (9, 30), (11, 40)]);
+        assert_eq!(f.queued_items(1), 0);
+        assert_eq!(f.open_len(1, 0), 0);
+        assert_eq!(f.open_len(2, 1), 0);
+        // The in-flight batch toward the survivor and the unrelated open
+        // buffer are untouched.
+        assert_eq!(f.queued_items(2), 1);
+        assert_eq!(f.open_len(0, 2), 1);
+        assert_eq!(f.pop(2).unwrap().items, vec![20]);
     }
 
     #[test]

@@ -36,8 +36,8 @@ use gamma_gpma::Gpma;
 use gamma_graph::{DynamicGraph, QueryGraph, Update, VertexId};
 use gamma_wal::codec::{decode_graph, encode_graph, ByteReader, ByteWriter};
 use gamma_wal::{
-    manifest_len, read_manifest, ManifestWriter, Snapshot, SyncPolicy, WalError, WalReader,
-    WalWriter,
+    manifest_len, read_manifest, Failpoints, ManifestWriter, Snapshot, SyncPolicy, WalError,
+    WalReader, WalWriter,
 };
 
 use crate::engine::{BatchResult, GammaConfig, GammaEngine};
@@ -57,17 +57,30 @@ pub struct DurabilityConfig {
     /// Automatic snapshot every `n` batches (`None` = only explicit
     /// [`DurableGammaEngine::snapshot`] calls). Snapshots rotate the log.
     pub snapshot_every: Option<u64>,
+    /// Optional deterministic I/O fault schedule (see
+    /// [`gamma_wal::Failpoints`]). Every log, manifest and snapshot write
+    /// of this engine goes through the shared schedule's byte clock, so a
+    /// single plan addresses faults anywhere in the durable state.
+    /// `None` (the default) uses plain file I/O.
+    pub failpoints: Option<Failpoints>,
 }
 
 impl DurabilityConfig {
-    /// Durability rooted at `dir` with per-record `fsync` and no automatic
-    /// snapshots.
+    /// Durability rooted at `dir` with per-record `fsync`, no automatic
+    /// snapshots, and no fault injection.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             sync: SyncPolicy::EveryRecord,
             snapshot_every: None,
+            failpoints: None,
         }
+    }
+
+    /// Builder: attach a deterministic I/O fault schedule.
+    pub fn with_failpoints(mut self, failpoints: Failpoints) -> Self {
+        self.failpoints = Some(failpoints);
+        self
     }
 }
 
@@ -115,7 +128,12 @@ impl DurableGammaEngine {
     ) -> Result<Self, WalError> {
         std::fs::create_dir_all(&durability.dir)?;
         let engine = GammaEngine::new(graph, query, config);
-        let wal = WalWriter::create(&durability.dir.join(LOG_FILE), durability.sync, 0)?;
+        let wal = WalWriter::create_with(
+            &durability.dir.join(LOG_FILE),
+            durability.sync,
+            0,
+            durability.failpoints.as_ref(),
+        )?;
         let this = Self {
             engine,
             wal,
@@ -153,8 +171,13 @@ impl DurableGammaEngine {
             replayed.push(engine.apply_batch(&ups));
         }
         let recovered_epoch = engine.batches_processed();
-        let wal =
-            WalWriter::open_after_replay(&log_path, durability.sync, &replay, recovered_epoch)?;
+        let wal = WalWriter::open_after_replay_with(
+            &log_path,
+            durability.sync,
+            &replay,
+            recovered_epoch,
+            durability.failpoints.as_ref(),
+        )?;
         let report = RecoveryReport {
             snapshot_epoch: snap.epoch,
             recovered_epoch,
@@ -186,10 +209,11 @@ impl DurableGammaEngine {
     /// Writes a snapshot at the current epoch and rotates the log.
     pub fn snapshot(&mut self) -> Result<(), WalError> {
         self.write_snapshot()?;
-        self.wal = WalWriter::create(
+        self.wal = WalWriter::create_with(
             &self.durability.dir.join(LOG_FILE),
             self.durability.sync,
             self.engine.batches_processed(),
+            self.durability.failpoints.as_ref(),
         )?;
         Ok(())
     }
@@ -201,7 +225,10 @@ impl DurableGammaEngine {
             epoch: self.engine.batches_processed(),
             sections: vec![g.into_bytes(), self.engine.gpma().snapshot_bytes()],
         }
-        .write(&self.durability.dir.join(SNAPSHOT_FILE))
+        .write_with(
+            &self.durability.dir.join(SNAPSHOT_FILE),
+            self.durability.failpoints.as_ref(),
+        )
     }
 
     /// The wrapped engine.
@@ -386,13 +413,19 @@ impl DurableShardedEngine {
         let sync_each = durability.sync == SyncPolicy::EveryRecord;
         let mut wals = Vec::with_capacity(engine.config().num_shards);
         for s in 0..engine.config().num_shards {
-            wals.push(WalWriter::create(
+            wals.push(WalWriter::create_with(
                 &shard_log_path(&durability.dir, s),
                 durability.sync,
                 0,
+                durability.failpoints.as_ref(),
             )?);
         }
-        let manifest = ManifestWriter::create(&durability.dir.join(MANIFEST_FILE), 0, sync_each)?;
+        let manifest = ManifestWriter::create_with(
+            &durability.dir.join(MANIFEST_FILE),
+            0,
+            sync_each,
+            durability.failpoints.as_ref(),
+        )?;
         let this = Self {
             engine,
             wals,
@@ -468,18 +501,20 @@ impl DurableShardedEngine {
         let sync_each = durability.sync == SyncPolicy::EveryRecord;
         let mut wals = Vec::with_capacity(num_shards);
         for (s, replay) in replays.iter().enumerate() {
-            wals.push(WalWriter::open_after_replay(
+            wals.push(WalWriter::open_after_replay_with(
                 &shard_log_path(&durability.dir, s),
                 durability.sync,
                 replay,
                 boundary,
+                durability.failpoints.as_ref(),
             )?);
         }
-        let manifest = ManifestWriter::open_after_replay(
+        let manifest = ManifestWriter::open_after_replay_with(
             &durability.dir.join(MANIFEST_FILE),
             man.valid_len.min(manifest_len(boundary - snap.epoch)),
             boundary,
             sync_each,
+            durability.failpoints.as_ref(),
         )?;
         let report = RecoveryReport {
             snapshot_epoch: snap.epoch,
@@ -506,7 +541,14 @@ impl DurableShardedEngine {
         let mut slices: Vec<Vec<(u32, Update)>> = vec![Vec::new(); num_shards];
         for (idx, &u) in raw.iter().enumerate() {
             let anchor = u.u.min(u.v) as VertexId;
-            slices[self.engine.partition().owner(anchor)].push((idx as u32, u));
+            // Live-owner routing: after a fail-stop the dead shard's log
+            // receives only empty records (epochs stay contiguous per log)
+            // while its slices land on the surviving owner's log. Recovery
+            // merges the per-shard slices back by index, so slice placement
+            // never affects the replayed batch — it only has to be a
+            // function of durable state, which `owner_shard` is for the
+            // repaired partition (the repair table is snapshot state).
+            slices[self.engine.owner_shard(anchor)].push((idx as u32, u));
         }
         for (wal, slice) in self.wals.iter_mut().zip(&slices) {
             wal.append(&encode_shard_slice(slice))?;
@@ -534,14 +576,19 @@ impl DurableShardedEngine {
         let epoch = self.engine.batches_processed();
         let sync_each = self.durability.sync == SyncPolicy::EveryRecord;
         for (s, wal) in self.wals.iter_mut().enumerate() {
-            *wal = WalWriter::create(
+            *wal = WalWriter::create_with(
                 &shard_log_path(&self.durability.dir, s),
                 self.durability.sync,
                 epoch,
+                self.durability.failpoints.as_ref(),
             )?;
         }
-        self.manifest =
-            ManifestWriter::create(&self.durability.dir.join(MANIFEST_FILE), epoch, sync_each)?;
+        self.manifest = ManifestWriter::create_with(
+            &self.durability.dir.join(MANIFEST_FILE),
+            epoch,
+            sync_each,
+            self.durability.failpoints.as_ref(),
+        )?;
         Ok(())
     }
 
@@ -558,7 +605,10 @@ impl DurableShardedEngine {
             epoch: self.engine.batches_processed(),
             sections,
         }
-        .write(&self.durability.dir.join(SNAPSHOT_FILE))
+        .write_with(
+            &self.durability.dir.join(SNAPSHOT_FILE),
+            self.durability.failpoints.as_ref(),
+        )
     }
 
     /// The wrapped engine.

@@ -1,0 +1,134 @@
+//! Deterministic fault plans for the sharded virtual-time runtime.
+//!
+//! A [`FaultPlan`] schedules shard fail-stops in **virtual time**: a
+//! fault fires at an exact `(phase, step)` coordinate of the executor —
+//! `phase` counts kernel phases over the engine's lifetime (each batch
+//! runs a delete phase and an insert phase when the respective side is
+//! non-empty), `step` counts scheduling iterations within a phase. Both
+//! are pure virtual state, so an identical plan against an identical
+//! workload replays **bit-exactly**: the same shard dies between the
+//! same two scheduling decisions in every run, and the recovered delta
+//! stream, sim-cycle counters and failover telemetry are bit-identical
+//! across runs. This extends the executor's 0%-drift discipline to chaos
+//! testing — a flaky chaos run is a real bug, never scheduling noise.
+//!
+//! I/O faults (torn writes, fsync failures, ENOSPC) live on the storage
+//! side as [`gamma_wal::Failpoints`] byte-offset schedules; the durable
+//! engines accept one through their configuration. The two schedules
+//! compose: a chaos cell can kill a shard mid-phase *and* tear the WAL
+//! tail of the same run, deterministically.
+//!
+//! ## Fault model
+//!
+//! Fail-stop only, at scheduling-step granularity: a dead shard executes
+//! nothing from the step it dies, and the executor observes the death at
+//! the next scheduling decision. Because the executor runs units
+//! atomically between steps, a fault never lands mid-unit — there are no
+//! half-executed scans to reason about, and every match a shard emitted
+//! before dying is already in the shared sink. What a dead shard loses
+//! is *pending* work: its queued local units and its staged migrant
+//! buffers — all partial embeddings, which the failover protocol
+//! requeues on survivors (the shared store plus the complete-runs
+//! residency invariant mean no graph state lives only on one shard).
+
+use crate::shard::splitmix64;
+
+/// One scheduled shard fail-stop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardFailStop {
+    /// Lifetime kernel-phase index (the engine's `phases` counter at the
+    /// start of the phase the fault fires in).
+    pub phase: u64,
+    /// Scheduling step within that phase (0 = before the first decision).
+    pub step: u64,
+    /// The shard that fail-stops.
+    pub shard: usize,
+}
+
+/// A deterministic schedule of runtime faults.
+///
+/// An empty plan (or `None` in the configuration) injects nothing and
+/// leaves the engine's behavior byte-identical to a build without the
+/// fault subsystem — every fault check is a no-op branch on virtual
+/// state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    fail_stops: Vec<ShardFailStop>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: schedule shard `shard` to fail-stop at `(phase, step)`.
+    pub fn fail_stop(mut self, phase: u64, step: u64, shard: usize) -> Self {
+        self.fail_stops.push(ShardFailStop { phase, step, shard });
+        self
+    }
+
+    /// A seeded pseudo-random plan: `n_faults` fail-stops over the first
+    /// few phases, derived from `seed` by a SplitMix64 counter stream —
+    /// the same seed always yields the same plan. Duplicate coordinates
+    /// and already-dead targets are harmless (a fail-stop of a dead shard
+    /// is skipped), so every seed is a valid plan.
+    pub fn seeded(seed: u64, num_shards: usize, n_faults: usize) -> Self {
+        let mut plan = Self::default();
+        for i in 0..n_faults {
+            let h = splitmix64(seed.wrapping_add(i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            plan.fail_stops.push(ShardFailStop {
+                phase: h % 4,
+                step: (h >> 8) % 48,
+                shard: ((h >> 32) % num_shards.max(1) as u64) as usize,
+            });
+        }
+        plan
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.fail_stops.is_empty()
+    }
+
+    /// Every scheduled fail-stop, in insertion order.
+    pub fn fail_stops(&self) -> &[ShardFailStop] {
+        &self.fail_stops
+    }
+
+    /// Shards scheduled to fail-stop at exactly `(phase, step)`, in
+    /// insertion order.
+    pub fn fail_stops_at(&self, phase: u64, step: u64) -> impl Iterator<Item = usize> + '_ {
+        self.fail_stops
+            .iter()
+            .filter(move |f| f.phase == phase && f.step == step)
+            .map(|f| f.shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_query() {
+        let plan = FaultPlan::new().fail_stop(1, 5, 0).fail_stop(1, 5, 2);
+        assert_eq!(plan.fail_stops_at(1, 5).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(plan.fail_stops_at(1, 6).count(), 0);
+        assert_eq!(plan.fail_stops_at(0, 5).count(), 0);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn seeded_is_deterministic_and_in_range() {
+        let a = FaultPlan::seeded(42, 4, 6);
+        let b = FaultPlan::seeded(42, 4, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.fail_stops().len(), 6);
+        for f in a.fail_stops() {
+            assert!(f.phase < 4 && f.step < 48 && f.shard < 4);
+        }
+        assert_ne!(a, FaultPlan::seeded(43, 4, 6));
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`durable`] — crash recovery: write-ahead logged batches + atomic
 //!   snapshots for both engines, with a per-shard log + batch-epoch
 //!   manifest protocol for the sharded one.
+//! * [`fault`] — deterministic chaos: seeded virtual-time fault plans
+//!   (shard fail-stop at a given phase/step; I/O faults at WAL byte
+//!   offsets via [`gamma_wal::Failpoints`]) driving fail-stop shard
+//!   failover with partition repair and work requeue.
 //!
 //! ## Example
 //!
@@ -56,6 +60,7 @@ pub mod comm;
 pub mod durable;
 pub mod encoding;
 pub mod engine;
+pub mod fault;
 pub mod order;
 pub mod pipeline;
 pub mod shard;
@@ -67,6 +72,7 @@ pub use comm::{Batch, CommFabric, CommStats, MIGRANT_BATCH};
 pub use durable::{DurabilityConfig, DurableGammaEngine, DurableShardedEngine, RecoveryReport};
 pub use encoding::{CandidateTable, EncodingScheme, IncrementalEncoder};
 pub use engine::{BatchResult, BatchStats, GammaConfig, GammaEngine, StealingMode};
+pub use fault::{FaultPlan, ShardFailStop};
 pub use pipeline::{PipelineOutput, PipelinedEngine};
 pub use shard::{
     Partition, PartitionStrategy, ShardStats, ShardStealing, ShardedConfig, ShardedEngine,

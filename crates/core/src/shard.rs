@@ -68,6 +68,7 @@ use gamma_graph::{
 use crate::comm::{CommFabric, MIGRANT_BATCH};
 use crate::encoding::{CandidateTable, IncrementalEncoder};
 use crate::engine::{BatchResult, GammaConfig};
+use crate::fault::FaultPlan;
 use crate::wbm::{IncidentRange, QueryMeta, UpdateOrder};
 
 /// Survivor chunks narrower than this are intersected candidate-by-
@@ -118,7 +119,7 @@ pub struct Partition {
 
 /// SplitMix64 finalizer — well-mixed, cheap, dependency-free.
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -379,6 +380,120 @@ impl Partition {
     pub fn assignments(&self, n: usize) -> Vec<usize> {
         (0..n as VertexId).map(|v| self.owner(v)).collect()
     }
+
+    /// Fail-stop partition repair: reassigns every vertex owned by
+    /// `dead` to a surviving shard and returns the moves, in ascending
+    /// vertex order.
+    ///
+    /// Placement is the greedy partitioner's refinement rule restricted
+    /// to the orphans: each orphan goes where its (label-frequency-
+    /// weighted) already-placed neighborhood is heaviest, scored by
+    /// `gain × remaining capacity` under the relaxed
+    /// [`greedy_capacity`] budget over the S−1 survivors — earlier
+    /// reassignments are visible to later ones, so orphan clusters tend
+    /// to land together. **Only orphans move**: survivor-owned vertices
+    /// never change owner, which keeps the destination of every
+    /// in-flight migrant batch valid. The repaired assignment is
+    /// materialized as an explicit owner table (whatever the strategy),
+    /// so it snapshots and restores through the durable layer like a
+    /// greedy table. Deterministic: fixed iteration order, integer
+    /// scores.
+    pub fn repair_failover(
+        &mut self,
+        dead: usize,
+        graph: &DynamicGraph,
+        alive: &[bool],
+    ) -> Vec<(VertexId, usize)> {
+        let n = graph.num_vertices();
+        let num_shards = self.num_shards as usize;
+        assert!(dead < num_shards, "dead shard out of range");
+        let num_alive = alive.iter().filter(|&&a| a).count();
+        assert!(num_alive >= 1, "failover needs at least one survivor");
+        let mut table: Vec<u16> = (0..n as VertexId).map(|v| self.owner(v) as u16).collect();
+        let mut moved = Vec::new();
+        if n > 0 {
+            let max_label = graph.labels().iter().copied().max().unwrap_or(0) as usize;
+            let mut freq = vec![0u64; max_label + 1];
+            for &l in graph.labels() {
+                freq[l as usize] += 1;
+            }
+            let scale = n as u64;
+            let weight = |u: VertexId, v: VertexId| -> u64 {
+                1 + scale / freq[graph.label(u) as usize].max(1)
+                    + scale / freq[graph.label(v) as usize].max(1)
+            };
+            let cap = greedy_capacity(n, num_alive) as u64;
+            let mut load = vec![0u64; num_shards];
+            for &o in &table {
+                load[o as usize] += 1;
+            }
+            let mut gain = vec![0u64; num_shards];
+            for v in 0..n as VertexId {
+                if table[v as usize] as usize != dead {
+                    continue;
+                }
+                gain.iter_mut().for_each(|g| *g = 0);
+                for &(w, _) in graph.neighbors(v) {
+                    let o = table[w as usize] as usize;
+                    if o != dead && alive.get(o).copied().unwrap_or(false) {
+                        gain[o] += weight(v, w);
+                    }
+                }
+                let mut best: Option<(u128, u64, usize)> = None;
+                for s in 0..num_shards {
+                    if s == dead || !alive[s] || load[s] >= cap {
+                        continue;
+                    }
+                    let score = gain[s] as u128 * (cap - load[s]) as u128;
+                    let better = match best {
+                        None => true,
+                        Some((bs, bl, _)) => score > bs || (score == bs && load[s] < bl),
+                    };
+                    if better {
+                        best = Some((score, load[s], s));
+                    }
+                }
+                // The relaxed capacity leaves (S−1)·cap ≥ n·9/8 > n slots,
+                // so the fallback only triggers in degenerate tiny-graph
+                // corners: place on the least-loaded survivor.
+                let s = match best {
+                    Some((_, _, s)) => s,
+                    None => (0..num_shards)
+                        .filter(|&s| s != dead && alive[s])
+                        .min_by_key(|&s| (load[s], s))
+                        .expect("at least one survivor"),
+                };
+                table[v as usize] = s as u16;
+                load[s] += 1;
+                moved.push((v, s));
+            }
+        }
+        self.owners = Some(Arc::new(table));
+        moved
+    }
+}
+
+/// The owner shard of `v` among the live shards: the partition's owner
+/// when it is alive, else the next alive shard in cyclic id order (a
+/// deterministic rule every site computes identically). With all shards
+/// alive this is exactly [`Partition::owner`] — the zero-fault path is
+/// unchanged. Only late-added vertices can reach the cyclic fallback:
+/// [`Partition::repair_failover`] materializes a full table, so every
+/// vertex known at repair time maps to a survivor directly.
+#[inline]
+fn live_owner(partition: &Partition, alive: &[bool], v: VertexId) -> usize {
+    let o = partition.owner(v);
+    if alive.get(o).copied().unwrap_or(true) {
+        return o;
+    }
+    let n = partition.num_shards();
+    for d in 1..n {
+        let s = (o + d) % n;
+        if alive[s] {
+            return s;
+        }
+    }
+    o
 }
 
 // ---------------------------------------------------------------------------
@@ -411,6 +526,10 @@ pub struct ShardedConfig {
     pub strategy: PartitionStrategy,
     /// Inter-device stealing tier.
     pub stealing: ShardStealing,
+    /// Deterministic runtime fault schedule (chaos testing). `None` —
+    /// the default — injects nothing and leaves every phase byte-
+    /// identical to a configuration without the fault subsystem.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ShardedConfig {
@@ -420,6 +539,7 @@ impl Default for ShardedConfig {
             num_shards: 2,
             strategy: PartitionStrategy::Hash,
             stealing: ShardStealing::Active,
+            faults: None,
         }
     }
 }
@@ -442,6 +562,15 @@ pub struct ShardStats {
     pub phases: u64,
     /// Migrants shipped per (src, dst) pair, `src * num_shards + dst`.
     pub pair_migrants: Vec<u64>,
+    /// Runtime faults actually applied from the configured
+    /// [`FaultPlan`] (a scheduled fail-stop of an already-dead shard, or
+    /// of the last survivor, is skipped and not counted).
+    pub faults_injected: u64,
+    /// Shard fail-stops that triggered partition repair and requeue.
+    pub failovers: u64,
+    /// Pending units (local queue entries plus in-flight fabric
+    /// migrants) reassigned to survivors by failovers.
+    pub requeued_units: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -574,6 +703,27 @@ fn backward_neighbors(
     }
 }
 
+/// The live shard a migrant must be (re)delivered to: the live owner of
+/// its pending scan's base vertex, computed by the *same* base-selection
+/// rule as [`UnitTask::scan_or_migrate`] — the two must agree exactly,
+/// or a failover-requeued migrant would bounce between shards forever.
+fn migrant_dest(
+    meta: &QueryMeta,
+    partition: &Partition,
+    alive: &[bool],
+    degrees: &[u32],
+    mig: &Migrant,
+    scratch: &mut Vec<(VertexId, ELabel)>,
+) -> usize {
+    backward_neighbors(meta, mig.seed, mig.base_level, &mig.m, scratch);
+    let base = scratch
+        .iter()
+        .map(|&(dv, _)| dv)
+        .min_by_key(|&dv| (degrees.get(dv as usize).copied().unwrap_or(0), dv))
+        .expect("connected matching order");
+    live_owner(partition, alive, base)
+}
+
 // ---------------------------------------------------------------------------
 // The unit kernel (one anchor / one migrant, run to completion)
 // ---------------------------------------------------------------------------
@@ -660,6 +810,10 @@ struct ShardEnv<'a> {
     /// anchor or migrants would bounce.
     degrees: &'a [u32],
     resident: &'a [bool],
+    /// Live-shard mask — migration destinations are always computed
+    /// among survivors (all-true with no faults, where `live_owner`
+    /// degenerates to `Partition::owner`).
+    alive: &'a [bool],
     /// Per-vertex u64 run signatures of the shared store (empty
     /// disables the bitmap prefilter; results identical either way).
     signatures: &'a [u64],
@@ -837,7 +991,7 @@ impl UnitTask<'_, '_> {
             .map(|&(dv, _)| dv)
             .min_by_key(|&dv| (env.degrees.get(dv as usize).copied().unwrap_or(0), dv))
             .expect("connected matching order");
-        let owner = env.partition.owner(base);
+        let owner = live_owner(env.partition, env.alive, base);
         // Locality fast-path: the resident-direction scan reads exactly
         // the runs of the backward vertices (base included), all of which
         // are complete on any shard where those vertices are resident —
@@ -1378,6 +1532,13 @@ pub struct ShardedEngine {
     degrees: Arc<Vec<u32>>,
     stats: ShardStats,
     batches_processed: u64,
+    /// Live-shard mask: `alive[s]` is cleared when shard `s` fail-stops
+    /// (from a configured [`FaultPlan`]) and never set again — fail-stop
+    /// is permanent for the engine's lifetime (rejoin/rebalance is a
+    /// ROADMAP item). Not persisted: a recovered engine restarts with
+    /// every shard alive over the snapshotted (possibly repaired)
+    /// partition.
+    alive: Vec<bool>,
 }
 
 impl ShardedEngine {
@@ -1457,6 +1618,7 @@ impl ShardedEngine {
                 ..ShardStats::default()
             },
             batches_processed: 0,
+            alive: vec![true; num_shards],
         }
     }
 
@@ -1527,6 +1689,7 @@ impl ShardedEngine {
                 ..ShardStats::default()
             },
             batches_processed,
+            alive: vec![true; num_shards],
         }
     }
 
@@ -1564,12 +1727,25 @@ impl ShardedEngine {
         self.batches_processed
     }
 
+    /// Live-shard mask (all-true until a configured fault fires).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// The live shard responsible for vertex `v`: the partition owner
+    /// while it is alive, else the deterministic cyclic-successor
+    /// fallback. The durable layer routes per-shard WAL slices through
+    /// this, so logging agrees with where work actually executes.
+    pub fn owner_shard(&self, v: VertexId) -> usize {
+        live_owner(&self.partition, &self.alive, v)
+    }
+
     /// Adds a fresh vertex (owned by its partition shard, resident there).
     pub fn add_vertex(&mut self, label: VLabel) -> VertexId {
         let v = self.graph.add_vertex(label);
         let n = self.graph.num_vertices();
         Arc::make_mut(&mut self.degrees).resize(n, 0);
-        let owner = self.partition.owner(v);
+        let owner = live_owner(&self.partition, &self.alive, v);
         self.store.ensure_vertices(n);
         self.shards[owner].mark_resident(v);
         let dirty = self.encoder.reencode(&self.graph, &[v]);
@@ -1707,7 +1883,7 @@ impl ShardedEngine {
             let shard = &self.shards[s];
             for ins in &batch.inserts {
                 for (a, b) in [(ins.u, ins.v), (ins.v, ins.u)] {
-                    if self.partition.owner(a) == s && !shard.is_resident(b) {
+                    if live_owner(&self.partition, &self.alive, a) == s && !shard.is_resident(b) {
                         new_residents.push(b);
                     }
                 }
@@ -1809,7 +1985,7 @@ impl ShardedEngine {
         let mut local: Vec<VecDeque<Unit>> = (0..num_shards).map(|_| VecDeque::new()).collect();
         for (i, a) in anchors.iter().enumerate() {
             let (lo, _) = a.endpoints();
-            local[self.partition.owner(lo)].push_back(Unit {
+            local[live_owner(&self.partition, &self.alive, lo)].push_back(Unit {
                 ready: 0,
                 work: UnitWork::Anchor(*a, i as u32),
             });
@@ -1835,12 +2011,107 @@ impl ShardedEngine {
         let mut shard_steals = 0u64;
         let mut drains = 0u64;
 
+        let phase_id = self.stats.phases;
         self.stats.phases += 1;
+        // Snapshot of the fault schedule (cheap: `None` for every
+        // non-chaos run). Faults are looked up by pure virtual
+        // coordinates, so the whole chaos run replays bit-exactly.
+        let plan = self.config.faults.clone();
+        let mut step: u64 = 0;
+        let mut faults_injected = 0u64;
+        let mut failovers = 0u64;
+        let mut requeued_units = 0u64;
 
         loop {
             if abort.load(Ordering::Relaxed) {
                 break;
             }
+            // Fail-stop injection: a scheduled death lands *between*
+            // scheduling steps — units are atomic, so the dead shard has
+            // no half-executed work, and everything it had emitted is
+            // already in the shared sink. The executor quarantines the
+            // shard's lanes (never scheduled again), repairs the
+            // partition over the survivors, restores the owner-side
+            // residency invariant for the moved vertices, and requeues
+            // the dead shard's pending units and in-flight fabric
+            // migrants — all partial embeddings; the shared store means
+            // no graph state is lost. The phase then finishes degraded
+            // with a delta stream bit-identical to the uninterrupted
+            // run.
+            if let Some(plan) = &plan {
+                let deads: Vec<usize> = plan.fail_stops_at(phase_id, step).collect();
+                for dead in deads {
+                    if dead >= num_shards
+                        || !self.alive[dead]
+                        || self.alive.iter().filter(|&&a| a).count() <= 1
+                    {
+                        continue;
+                    }
+                    self.alive[dead] = false;
+                    faults_injected += 1;
+                    failovers += 1;
+                    let moved = self
+                        .partition
+                        .repair_failover(dead, &self.graph, &self.alive);
+                    // New owners inherit the owned ∪ one-hop residency
+                    // invariant for their adopted vertices, so both scan
+                    // directions stay licensed where migrants now land.
+                    for &(v, new_owner) in &moved {
+                        self.shards[new_owner].mark_resident(v);
+                        for &(w, _) in self.graph.neighbors(v) {
+                            self.shards[new_owner].mark_resident(w);
+                        }
+                    }
+                    // Requeue the dead shard's pending local units at
+                    // their new homes, original ready stamps intact
+                    // (coordinator redelivery: the units were already
+                    // causally priced when first enqueued; survivors
+                    // simply adopt them).
+                    let orphaned: Vec<Unit> = local[dead].drain(..).collect();
+                    for unit in orphaned {
+                        let dst = match &unit.work {
+                            UnitWork::Anchor(a, _) => {
+                                let (lo, _) = a.endpoints();
+                                live_owner(&self.partition, &self.alive, lo)
+                            }
+                            UnitWork::Mig(mig) => migrant_dest(
+                                &self.meta,
+                                &self.partition,
+                                &self.alive,
+                                &degrees,
+                                mig,
+                                &mut elig_buf,
+                            ),
+                        };
+                        requeued_units += 1;
+                        local[dst].push_back(unit);
+                    }
+                    // Requeue in-flight fabric migrants the dead shard
+                    // was party to: its inbox and its open buffers
+                    // (sealed batches it had already published toward
+                    // survivors are on the interconnect and deliver
+                    // normally).
+                    for (stamp, mig) in fabric.drain_for_failover(dead) {
+                        let dst = migrant_dest(
+                            &self.meta,
+                            &self.partition,
+                            &self.alive,
+                            &degrees,
+                            &mig,
+                            &mut elig_buf,
+                        );
+                        requeued_units += 1;
+                        local[dst].push_back(Unit {
+                            ready: stamp,
+                            work: UnitWork::Mig(mig),
+                        });
+                    }
+                    // Queues changed shape — every stale-steal verdict
+                    // is void.
+                    steal_stale.iter_mut().for_each(|f| *f = false);
+                }
+            }
+            step += 1;
             // Pick the (shard, action) with the earliest virtual start.
             // Per shard: run local work if any, else drain the inbox, else
             // steal. Ties break toward the lowest shard id — every input
@@ -1848,6 +2119,9 @@ impl ShardedEngine {
             // exactly.
             let mut best: Option<(u64, usize, Action)> = None;
             for s in 0..num_shards {
+                if !self.alive[s] {
+                    continue;
+                }
                 let avail = lanes[s].earliest();
                 let cand = if let Some(u) = local[s].front() {
                     Some((avail.max(u.ready), Action::Run))
@@ -1857,7 +2131,7 @@ impl ShardedEngine {
                     // Victim: the most loaded inbox (tie: lowest id).
                     let mut victim: Option<(usize, usize)> = None;
                     for v in 0..num_shards {
-                        if v == s {
+                        if v == s || !self.alive[v] {
                             continue;
                         }
                         let q = fabric.queued_items(v);
@@ -1891,6 +2165,9 @@ impl ShardedEngine {
                 // phase is quiescent.
                 let mut published = false;
                 for src in 0..num_shards {
+                    if !self.alive[src] {
+                        continue;
+                    }
                     let busy_src = &mut busy[src];
                     fabric.flush_src(src, |len| {
                         published = true;
@@ -1955,6 +2232,7 @@ impl ShardedEngine {
                         update_order: &update_order,
                         degrees: &degrees,
                         resident: &self.shards[s].resident,
+                        alive: &self.alive,
                         signatures: &signatures,
                         collect,
                     };
@@ -2035,6 +2313,9 @@ impl ShardedEngine {
         let comm = fabric.stats();
         self.stats.migrations += migrations;
         self.stats.shard_steals += shard_steals;
+        self.stats.faults_injected += faults_injected;
+        self.stats.failovers += failovers;
+        self.stats.requeued_units += requeued_units;
         self.stats.migrant_batches += comm.batches_published;
         self.stats.drains += drains;
         self.stats.inbox_high_water = self.stats.inbox_high_water.max(comm.inbox_high_water);

@@ -53,6 +53,7 @@ fn sharded_cfg(
         num_shards: shards,
         strategy,
         stealing,
+        faults: None,
     }
 }
 

@@ -28,6 +28,7 @@
 
 pub mod codec;
 pub mod crc32;
+pub mod io;
 pub mod log;
 pub mod manifest;
 pub mod snapshot;
@@ -35,6 +36,7 @@ pub mod trace;
 
 pub use codec::{ByteReader, ByteWriter};
 pub use crc32::crc32;
+pub use io::{FailpointIo, Failpoints, FileIo, IoError, IoFault, IoFaultKind, WalIo};
 pub use log::{LogReplay, SyncPolicy, TailState, WalReader, WalRecord, WalWriter};
 pub use manifest::{manifest_len, read_manifest, ManifestReplay, ManifestWriter};
 pub use snapshot::Snapshot;
@@ -51,6 +53,20 @@ pub enum WalError {
     BadHeader(String),
     /// A checksum did not verify.
     Corrupt(String),
+    /// The device ran out of space (`ENOSPC`) — not retryable.
+    NoSpace(String),
+    /// An `fsync` failed hard: the kernel may have dropped dirty pages,
+    /// so the write's durability is unknown — not retryable.
+    SyncFailed(String),
+    /// A transient I/O error persisted past the bounded retry budget.
+    RetriesExhausted {
+        /// The operation that was being retried.
+        context: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last transient error observed.
+        last: String,
+    },
 }
 
 impl std::fmt::Display for WalError {
@@ -60,6 +76,16 @@ impl std::fmt::Display for WalError {
             WalError::Truncated => write!(f, "payload truncated"),
             WalError::BadHeader(m) => write!(f, "bad header: {m}"),
             WalError::Corrupt(m) => write!(f, "corrupt payload: {m}"),
+            WalError::NoSpace(m) => write!(f, "out of space: {m}"),
+            WalError::SyncFailed(m) => write!(f, "fsync failed: {m}"),
+            WalError::RetriesExhausted {
+                context,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "{context}: transient i/o error persisted past {attempts} attempts: {last}"
+            ),
         }
     }
 }

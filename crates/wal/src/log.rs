@@ -25,10 +25,11 @@
 //! silently diverge — terminates replay at the last contiguous record.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::{Path, PathBuf};
 
 use crate::crc32::crc32;
+use crate::io::{boxed_io, map_hard, retry_io, Failpoints, WalIo};
 use crate::WalError;
 
 const MAGIC: &[u8; 4] = b"GWAL";
@@ -124,34 +125,67 @@ impl LogReplay {
 }
 
 /// Append side of the log.
+///
+/// All writes go through an injectable [`WalIo`]; transient errors are
+/// absorbed by a bounded deterministic retry loop (virtual-clock backoff,
+/// see [`WalWriter::retries`] / [`WalWriter::backoff_cycles`]), permanent
+/// ones surface as typed [`WalError`]s.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: File,
+    io: Box<dyn WalIo>,
     path: PathBuf,
     policy: SyncPolicy,
     appended_since_sync: u32,
     next_epoch: u64,
+    retries: u64,
+    backoff_cycles: u64,
 }
 
 impl WalWriter {
     /// Creates (or truncates) a log whose first record will carry
     /// `first_epoch`.
     pub fn create(path: &Path, policy: SyncPolicy, first_epoch: u64) -> Result<Self, WalError> {
-        let mut file = OpenOptions::new()
+        Self::create_with(path, policy, first_epoch, None)
+    }
+
+    /// [`WalWriter::create`] with an optional failpoint schedule wired
+    /// under the writer's I/O.
+    pub fn create_with(
+        path: &Path,
+        policy: SyncPolicy,
+        first_epoch: u64,
+        failpoints: Option<&Failpoints>,
+    ) -> Result<Self, WalError> {
+        let file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        file.write_all(MAGIC)?;
-        file.write_all(&VERSION.to_le_bytes())?;
-        file.sync_data()?;
-        Ok(Self {
-            file,
+        let mut s = Self {
+            io: boxed_io(file, failpoints),
             path: path.to_path_buf(),
             policy,
             appended_since_sync: 0,
             next_epoch: first_epoch,
-        })
+            retries: 0,
+            backoff_cycles: 0,
+        };
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        retry_io(
+            "log header write",
+            &mut s.retries,
+            &mut s.backoff_cycles,
+            || s.io.write_all(&header),
+        )?;
+        retry_io(
+            "log header sync",
+            &mut s.retries,
+            &mut s.backoff_cycles,
+            || s.io.sync_data(),
+        )?;
+        Ok(s)
     }
 
     /// Reopens a replayed log for appending: truncates the invalid tail
@@ -162,18 +196,37 @@ impl WalWriter {
         replay: &LogReplay,
         next_epoch: u64,
     ) -> Result<Self, WalError> {
+        Self::open_after_replay_with(path, policy, replay, next_epoch, None)
+    }
+
+    /// [`WalWriter::open_after_replay`] with an optional failpoint
+    /// schedule wired under the writer's I/O.
+    pub fn open_after_replay_with(
+        path: &Path,
+        policy: SyncPolicy,
+        replay: &LogReplay,
+        next_epoch: u64,
+        failpoints: Option<&Failpoints>,
+    ) -> Result<Self, WalError> {
         let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(replay.valid_len)?;
-        file.sync_data()?;
         let mut s = Self {
-            file,
+            io: boxed_io(file, failpoints),
             path: path.to_path_buf(),
             policy,
             appended_since_sync: 0,
             next_epoch,
+            retries: 0,
+            backoff_cycles: 0,
         };
-        use std::io::Seek;
-        s.file.seek(std::io::SeekFrom::End(0))?;
+        s.io.set_len(replay.valid_len)
+            .map_err(|e| map_hard(e, "log truncate"))?;
+        retry_io(
+            "log truncate sync",
+            &mut s.retries,
+            &mut s.backoff_cycles,
+            || s.io.sync_data(),
+        )?;
+        s.io.seek_end().map_err(|e| map_hard(e, "log seek"))?;
         Ok(s)
     }
 
@@ -185,6 +238,17 @@ impl WalWriter {
     /// The epoch the next [`WalWriter::append`] will stamp.
     pub fn next_epoch(&self) -> u64 {
         self.next_epoch
+    }
+
+    /// Transient I/O errors absorbed by retry so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Virtual backoff cycles accumulated by retries (deterministic; no
+    /// host time involved).
+    pub fn backoff_cycles(&self) -> u64 {
+        self.backoff_cycles
     }
 
     /// Appends one record. The epoch is assigned internally (strictly
@@ -200,7 +264,12 @@ impl WalWriter {
         crc_input.extend_from_slice(payload);
         frame.extend_from_slice(&crc32(&crc_input).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.file.write_all(&frame)?;
+        retry_io(
+            "log append",
+            &mut self.retries,
+            &mut self.backoff_cycles,
+            || self.io.write_all(&frame),
+        )?;
         self.next_epoch += 1;
         self.appended_since_sync += 1;
         match self.policy {
@@ -217,7 +286,12 @@ impl WalWriter {
 
     /// Forces an `fsync` of everything appended so far.
     pub fn sync(&mut self) -> Result<(), WalError> {
-        self.file.sync_data()?;
+        retry_io(
+            "log sync",
+            &mut self.retries,
+            &mut self.backoff_cycles,
+            || self.io.sync_data(),
+        )?;
         self.appended_since_sync = 0;
         Ok(())
     }

@@ -21,10 +21,11 @@
 //! epoch given at creation (the snapshot's epoch).
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::{Path, PathBuf};
 
 use crate::crc32::crc32;
+use crate::io::{boxed_io, map_hard, retry_io, Failpoints, WalIo};
 use crate::WalError;
 
 const MAGIC: &[u8; 4] = b"GMAN";
@@ -35,10 +36,12 @@ const RECORD_LEN: usize = 16;
 /// Append side of the manifest.
 #[derive(Debug)]
 pub struct ManifestWriter {
-    file: File,
+    io: Box<dyn WalIo>,
     path: PathBuf,
     next_epoch: u64,
     sync_each: bool,
+    retries: u64,
+    backoff_cycles: u64,
 }
 
 impl ManifestWriter {
@@ -47,20 +50,46 @@ impl ManifestWriter {
     /// manifest is the commit point, so group-committing it weakens the
     /// recovery boundary by the group size).
     pub fn create(path: &Path, first_epoch: u64, sync_each: bool) -> Result<Self, WalError> {
-        let mut file = OpenOptions::new()
+        Self::create_with(path, first_epoch, sync_each, None)
+    }
+
+    /// [`ManifestWriter::create`] with an optional failpoint schedule
+    /// wired under the writer's I/O.
+    pub fn create_with(
+        path: &Path,
+        first_epoch: u64,
+        sync_each: bool,
+        failpoints: Option<&Failpoints>,
+    ) -> Result<Self, WalError> {
+        let file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        file.write_all(MAGIC)?;
-        file.write_all(&VERSION.to_le_bytes())?;
-        file.sync_data()?;
-        Ok(Self {
-            file,
+        let mut s = Self {
+            io: boxed_io(file, failpoints),
             path: path.to_path_buf(),
             next_epoch: first_epoch,
             sync_each,
-        })
+            retries: 0,
+            backoff_cycles: 0,
+        };
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        retry_io(
+            "manifest header write",
+            &mut s.retries,
+            &mut s.backoff_cycles,
+            || s.io.write_all(&header),
+        )?;
+        retry_io(
+            "manifest header sync",
+            &mut s.retries,
+            &mut s.backoff_cycles,
+            || s.io.sync_data(),
+        )?;
+        Ok(s)
     }
 
     /// Reopens an existing manifest for appending after recovery,
@@ -72,17 +101,36 @@ impl ManifestWriter {
         next_epoch: u64,
         sync_each: bool,
     ) -> Result<Self, WalError> {
+        Self::open_after_replay_with(path, valid_len, next_epoch, sync_each, None)
+    }
+
+    /// [`ManifestWriter::open_after_replay`] with an optional failpoint
+    /// schedule wired under the writer's I/O.
+    pub fn open_after_replay_with(
+        path: &Path,
+        valid_len: u64,
+        next_epoch: u64,
+        sync_each: bool,
+        failpoints: Option<&Failpoints>,
+    ) -> Result<Self, WalError> {
         let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(valid_len)?;
-        file.sync_data()?;
         let mut s = Self {
-            file,
+            io: boxed_io(file, failpoints),
             path: path.to_path_buf(),
             next_epoch,
             sync_each,
+            retries: 0,
+            backoff_cycles: 0,
         };
-        use std::io::Seek;
-        s.file.seek(std::io::SeekFrom::End(0))?;
+        s.io.set_len(valid_len)
+            .map_err(|e| map_hard(e, "manifest truncate"))?;
+        retry_io(
+            "manifest truncate sync",
+            &mut s.retries,
+            &mut s.backoff_cycles,
+            || s.io.sync_data(),
+        )?;
+        s.io.seek_end().map_err(|e| map_hard(e, "manifest seek"))?;
         Ok(s)
     }
 
@@ -96,6 +144,11 @@ impl ManifestWriter {
         self.next_epoch
     }
 
+    /// Transient I/O errors absorbed by retry so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
     /// Marks `epoch` (which must be the next expected one) as committed
     /// on every shard.
     pub fn commit(&mut self) -> Result<u64, WalError> {
@@ -104,9 +157,14 @@ impl ManifestWriter {
         rec.extend_from_slice(&epoch.to_le_bytes());
         rec.extend_from_slice(&crc32(&epoch.to_le_bytes()).to_le_bytes());
         rec.extend_from_slice(&0u32.to_le_bytes());
-        self.file.write_all(&rec)?;
+        retry_io(
+            "manifest commit",
+            &mut self.retries,
+            &mut self.backoff_cycles,
+            || self.io.write_all(&rec),
+        )?;
         if self.sync_each {
-            self.file.sync_data()?;
+            self.sync()?;
         }
         self.next_epoch += 1;
         Ok(epoch)
@@ -114,8 +172,12 @@ impl ManifestWriter {
 
     /// Forces an `fsync`.
     pub fn sync(&mut self) -> Result<(), WalError> {
-        self.file.sync_data()?;
-        Ok(())
+        retry_io(
+            "manifest sync",
+            &mut self.retries,
+            &mut self.backoff_cycles,
+            || self.io.sync_data(),
+        )
     }
 }
 

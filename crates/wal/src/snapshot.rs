@@ -17,10 +17,11 @@
 //! is simply ignored).
 
 use std::fs::File;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
 
 use crate::crc32::crc32;
+use crate::io::{boxed_io, retry_io, Failpoints};
 use crate::WalError;
 
 const MAGIC: &[u8; 4] = b"GSNP";
@@ -40,6 +41,15 @@ pub struct Snapshot {
 impl Snapshot {
     /// Serializes and atomically replaces `path` (tmp + rename).
     pub fn write(&self, path: &Path) -> Result<(), WalError> {
+        self.write_with(path, None)
+    }
+
+    /// [`Snapshot::write`] with an optional failpoint schedule wired
+    /// under the tmp-file I/O. The atomicity contract holds under
+    /// injected faults: any error before the rename leaves the previous
+    /// snapshot untouched (only the `.tmp` file is damaged, and replay
+    /// ignores it).
+    pub fn write_with(&self, path: &Path, failpoints: Option<&Failpoints>) -> Result<(), WalError> {
         let mut body = Vec::new();
         body.extend_from_slice(&VERSION.to_le_bytes());
         body.extend_from_slice(&self.epoch.to_le_bytes());
@@ -51,11 +61,19 @@ impl Snapshot {
         let crc = crc32(&body);
         let tmp = path.with_extension("tmp");
         {
-            let mut f = File::create(&tmp)?;
-            f.write_all(MAGIC)?;
-            f.write_all(&body)?;
-            f.write_all(&crc.to_le_bytes())?;
-            f.sync_data()?;
+            let mut io = boxed_io(File::create(&tmp)?, failpoints);
+            let mut retries = 0u64;
+            let mut backoff = 0u64;
+            let mut buf = Vec::with_capacity(4 + body.len() + 4);
+            buf.extend_from_slice(MAGIC);
+            buf.extend_from_slice(&body);
+            buf.extend_from_slice(&crc.to_le_bytes());
+            retry_io("snapshot write", &mut retries, &mut backoff, || {
+                io.write_all(&buf)
+            })?;
+            retry_io("snapshot sync", &mut retries, &mut backoff, || {
+                io.sync_data()
+            })?;
         }
         std::fs::rename(&tmp, path)?;
         // Durability of the rename itself: sync the containing directory.

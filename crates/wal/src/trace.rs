@@ -100,7 +100,7 @@ impl Trace {
     pub fn write(&self, path: &Path) -> Result<u32, WalError> {
         let params = self
             .params
-            .expect("recorded trace must carry its parameters");
+            .ok_or_else(|| WalError::Corrupt("recorded trace carries no parameters".into()))?;
         let mut w = ByteWriter::new();
         w.put_f64(params.scale);
         w.put_u32(params.query_size);

@@ -17,12 +17,24 @@
 //!
 //! A companion property tortures the manifest the same way: damage may
 //! only ever *shrink* the committed boundary.
+//!
+//! The **failpoint** properties at the bottom drive the same guarantees
+//! through the injectable I/O layer instead of post-hoc file surgery: a
+//! short write cut *inside a record's final OS page* (the sub-page torn
+//! write real disks produce) must replay as a torn tail ending at the
+//! last whole record; transient write faults must be absorbed by the
+//! deterministic virtual-clock retry loop; exhaustion and ENOSPC must
+//! surface as their typed [`WalError`] variants, never a panic.
 
 use std::io::Write;
 use std::path::PathBuf;
 
 use gamma_wal::crc32::crc32;
-use gamma_wal::{read_manifest, ManifestWriter, SyncPolicy, TailState, WalReader, WalWriter};
+use gamma_wal::io::{IO_BACKOFF_BASE, IO_RETRY_LIMIT};
+use gamma_wal::{
+    read_manifest, Failpoints, IoFaultKind, ManifestWriter, SyncPolicy, TailState, WalError,
+    WalReader, WalWriter,
+};
 use proptest::prelude::*;
 
 const HEADER_LEN: usize = 8;
@@ -205,4 +217,153 @@ proptest! {
         prop_assert_eq!(r.last_committed, expected.checked_sub(1));
         std::fs::remove_file(&p).unwrap();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint-driven torture: faults injected *while writing*, not patched
+// into the file afterwards.
+// ---------------------------------------------------------------------------
+
+/// Typical OS page size; the sub-page property cuts inside the last page
+/// a frame touches.
+const PAGE: usize = 4096;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A short write that dies inside the final OS page of a multi-page
+    /// frame — the classic sub-page torn write — must replay as a torn
+    /// tail whose valid prefix is exactly the preceding whole records,
+    /// and the log must accept appends again after `open_after_replay`
+    /// truncates the wreckage.
+    #[test]
+    fn sub_page_short_write_leaves_a_torn_tail(
+        (p0_len, tail_len, keep_milli) in (0usize..48, 4200usize..9000, 0u32..1000)
+    ) {
+        let p = temp_path("shortw", (p0_len * 16384 + tail_len) as u64 * 1000 + keep_milli as u64);
+        let fp = Failpoints::new();
+        let mut w = WalWriter::create_with(&p, SyncPolicy::Never, 0, Some(&fp)).expect("create");
+        let first: Vec<u8> = (0..p0_len).map(|i| i as u8).collect();
+        w.append(&first).expect("append record 0");
+        let boundary = fp.written(); // end of record 0 = start of the doomed frame
+
+        // The doomed frame spans at least two OS pages; pick a cut point
+        // strictly inside its *final* page, short of the frame end.
+        let tail: Vec<u8> = (0..tail_len).map(|i| (i * 7) as u8).collect();
+        let frame_len = FRAME_OVERHEAD + tail_len;
+        let frame_end = boundary as usize + frame_len;
+        let last_page_start = (frame_end - 1) / PAGE * PAGE;
+        prop_assert!(last_page_start > boundary as usize, "frame must span pages");
+        let keep_lo = last_page_start - boundary as usize + 1;
+        let keep_hi = frame_len - 1;
+        let keep = keep_lo + (keep_hi - keep_lo) * keep_milli as usize / 1000;
+        fp.schedule(boundary, IoFaultKind::ShortWrite { keep: keep as u64 });
+
+        let err = w.append(&tail).expect_err("short write must surface");
+        prop_assert!(matches!(err, WalError::Io(_)), "unexpected error {err:?}");
+        prop_assert_eq!(fp.injected(), 1);
+        prop_assert_eq!(fp.written(), boundary + keep as u64, "prefix persisted, rest lost");
+        drop(w);
+
+        let r = WalReader::replay(&p, 0).expect("replay");
+        prop_assert_eq!(r.records.len(), 1, "only the whole record survives");
+        prop_assert_eq!(&r.records[0].payload, &first);
+        prop_assert!(
+            matches!(r.tail, TailState::Torn(_)),
+            "sub-page cut must report a torn tail, got {:?}", r.tail
+        );
+        prop_assert_eq!(r.valid_len, boundary, "valid prefix ends at the last whole record");
+
+        // The log heals: truncate the torn tail, append, replay clean.
+        let mut w = WalWriter::open_after_replay(&p, SyncPolicy::Never, &r, 1).expect("reopen");
+        w.append(&tail).expect("append after heal");
+        w.sync().expect("sync");
+        drop(w);
+        let r = WalReader::replay(&p, 0).expect("replay healed");
+        prop_assert_eq!(r.records.len(), 2);
+        prop_assert_eq!(&r.records[1].payload, &tail);
+        prop_assert!(r.tail.is_clean());
+        std::fs::remove_file(&p).unwrap();
+    }
+}
+
+/// Transient write faults are absorbed by the bounded retry loop: the
+/// record lands intact, and the backoff is charged to the *virtual*
+/// clock (deterministic, no host sleeping) with exponential growth.
+#[test]
+fn transient_write_faults_retry_on_the_virtual_clock() {
+    let p = temp_path("transient", 1);
+    let fp = Failpoints::new();
+    let mut w = WalWriter::create_with(&p, SyncPolicy::Never, 0, Some(&fp)).expect("create");
+    fp.schedule(fp.written(), IoFaultKind::WriteTransient { times: 3 });
+    w.append(b"survives three stumbles")
+        .expect("retried append");
+    assert_eq!(w.retries(), 3, "each transient costs one retry");
+    assert_eq!(
+        w.backoff_cycles(),
+        IO_BACKOFF_BASE + (IO_BACKOFF_BASE << 1) + (IO_BACKOFF_BASE << 2),
+        "backoff doubles per attempt on the virtual clock"
+    );
+    drop(w);
+    let r = WalReader::replay(&p, 0).expect("replay");
+    assert_eq!(r.records.len(), 1);
+    assert_eq!(r.records[0].payload, b"survives three stumbles");
+    assert!(r.tail.is_clean(), "retried write must leave no damage");
+    std::fs::remove_file(&p).unwrap();
+}
+
+/// A fault that outlasts the retry budget surfaces as the typed
+/// `RetriesExhausted` error naming the exact attempt count.
+#[test]
+fn retry_exhaustion_is_a_typed_error() {
+    let p = temp_path("exhaust", 2);
+    let fp = Failpoints::new();
+    let mut w = WalWriter::create_with(&p, SyncPolicy::Never, 0, Some(&fp)).expect("create");
+    fp.schedule(fp.written(), IoFaultKind::WriteTransient { times: 10_000 });
+    let err = w.append(b"never lands").expect_err("budget must run out");
+    match err {
+        WalError::RetriesExhausted { attempts, .. } => {
+            assert_eq!(
+                attempts, IO_RETRY_LIMIT,
+                "budget is the documented constant"
+            )
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    drop(w);
+    let r = WalReader::replay(&p, 0).expect("replay");
+    assert_eq!(r.records.len(), 0, "nothing may be half-written");
+    std::fs::remove_file(&p).unwrap();
+}
+
+/// ENOSPC is permanent, not retryable: it surfaces immediately as the
+/// typed `NoSpace` error.
+#[test]
+fn enospc_is_a_typed_no_space_error() {
+    let p = temp_path("enospc", 3);
+    let fp = Failpoints::new();
+    let mut w = WalWriter::create_with(&p, SyncPolicy::Never, 0, Some(&fp)).expect("create");
+    fp.schedule(fp.written(), IoFaultKind::Enospc);
+    let err = w.append(b"no room").expect_err("disk is full");
+    assert!(matches!(err, WalError::NoSpace(_)), "got {err:?}");
+    assert_eq!(fp.injected(), 1);
+    std::fs::remove_file(&p).unwrap();
+}
+
+/// A failing fsync surfaces as the typed `SyncFailed` error; a transient
+/// one is retried like any other fault.
+#[test]
+fn fsync_faults_surface_and_retry() {
+    let p = temp_path("fsync", 4);
+    let fp = Failpoints::new();
+    let mut w = WalWriter::create_with(&p, SyncPolicy::EveryRecord, 0, Some(&fp)).expect("create");
+    w.append(b"first").expect("append");
+    fp.schedule(fp.written(), IoFaultKind::SyncTransient { times: 2 });
+    w.append(b"second").expect("transient fsync retried");
+    assert_eq!(w.retries(), 2);
+
+    fp.schedule(fp.written(), IoFaultKind::SyncFail);
+    let err = w.append(b"third").expect_err("hard fsync failure");
+    assert!(matches!(err, WalError::SyncFailed(_)), "got {err:?}");
+    std::fs::remove_file(&p).unwrap();
 }

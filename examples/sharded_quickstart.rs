@@ -48,6 +48,7 @@ fn main() {
         num_shards: 2,
         strategy: PartitionStrategy::Hash,
         stealing: ShardStealing::Active,
+        faults: None,
     };
     let mut sharded = ShardedEngine::new(graph.clone(), &query, config);
 

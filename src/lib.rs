@@ -10,7 +10,8 @@
 //! * [`engine`] — the GAMMA engine itself (preprocess → update → WBM kernel
 //!   → postprocess), work stealing and coalesced search included, plus the
 //!   multi-device sharded engine (hash/range partitioning, cross-shard
-//!   embedding migration and inter-device work stealing).
+//!   embedding migration and inter-device work stealing) with deterministic
+//!   fault injection and fail-stop shard failover (`engine::fault`).
 //! * [`csm`] — CPU continuous-subgraph-matching baselines.
 //! * [`datasets`] — synthetic datasets, query and update-stream generators.
 //! * [`wal`] — durability primitives: write-ahead log, snapshots, the
@@ -55,9 +56,9 @@ pub use gamma_wal as wal;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use gamma_core::{
-        BatchResult, DurabilityConfig, DurableGammaEngine, DurableShardedEngine, GammaConfig,
-        GammaEngine, Partition, PartitionStrategy, PipelinedEngine, ShardStealing, ShardedConfig,
-        ShardedEngine, StealingMode,
+        BatchResult, DurabilityConfig, DurableGammaEngine, DurableShardedEngine, FaultPlan,
+        GammaConfig, GammaEngine, Partition, PartitionStrategy, PipelinedEngine, ShardStealing,
+        ShardedConfig, ShardedEngine, StealingMode,
     };
     pub use gamma_csm::{CsmEngine, IncrementalResult};
     pub use gamma_datasets::{DatasetPreset, QueryClass};

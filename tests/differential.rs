@@ -275,6 +275,7 @@ fn run_differential(
                 num_shards: n,
                 strategy: PartitionStrategy::Hash,
                 stealing: ShardStealing::Active,
+                faults: None,
             };
             (
                 format!("sharded[{n}]"),
@@ -289,6 +290,7 @@ fn run_differential(
             num_shards: n,
             strategy: PartitionStrategy::Greedy,
             stealing,
+            faults: None,
         };
         shardeds.push((
             format!("sharded-greedy[{n}]"),

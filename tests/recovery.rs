@@ -30,12 +30,12 @@ use gamma::engine::durable::{
     DurabilityConfig, DurableGammaEngine, DurableShardedEngine, RecoveryReport,
 };
 use gamma::engine::{
-    BatchResult, GammaConfig, GammaEngine, PartitionStrategy, ShardStealing, ShardedConfig,
-    ShardedEngine, StealingMode,
+    BatchResult, FaultPlan, GammaConfig, GammaEngine, PartitionStrategy, ShardStealing,
+    ShardedConfig, ShardedEngine, StealingMode,
 };
 use gamma::gpu::DeviceConfig;
 use gamma::graph::{DynamicGraph, Update, VMatch};
-use gamma::wal::SyncPolicy;
+use gamma::wal::{Failpoints, IoFaultKind, SyncPolicy, WalError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,6 +79,7 @@ fn sharded_config() -> ShardedConfig {
         num_shards: 4,
         strategy: PartitionStrategy::Hash,
         stealing: ShardStealing::Active,
+        faults: None,
     }
 }
 
@@ -133,6 +134,7 @@ fn durability(dir: &std::path::Path) -> DurabilityConfig {
         // leave the page cache intact so no records are lost to buffering.
         sync: SyncPolicy::EveryN(3),
         snapshot_every: Some(2),
+        failpoints: None,
     }
 }
 
@@ -302,6 +304,361 @@ fn recovery_nf_edge_labeled() {
     run_recovery(DatasetPreset::NF, QueryClass::Tree, 0.03, 4, 110);
 }
 
+// ---------------------------------------------------------------------------
+// Chaos cells: runtime fail-stops and injected I/O faults composed with
+// crash recovery (`gamma::engine::fault` + `gamma::wal::Failpoints`).
+// ---------------------------------------------------------------------------
+
+/// A durable sharded run that loses a shard mid-stream (phase-boundary
+/// *and* mid-phase fail-stops), is then killed, and recovers — the delta
+/// stream must stay bit-identical to the uninterrupted single-device
+/// oracle at every stage, the repaired partition must ride the snapshot,
+/// and a second recovery must be idempotent.
+#[test]
+fn chaos_failstop_then_crash_recovers_bit_identically() {
+    let dataset = DatasetPreset::GH.build(0.04, 301);
+    let mut start = dataset.graph.clone();
+    let batches = build_workload(&mut start, 301u64.wrapping_mul(0x9e37));
+    let queries =
+        gamma::datasets::generate_queries(&start, QueryClass::Dense, 4, 1, 301 ^ 0x51_f1ed);
+    let q = queries.first().expect("query extractable");
+
+    let mut engine = GammaEngine::new(start.clone(), q, gamma_config());
+    let reference: Vec<Delta> = batches
+        .iter()
+        .map(|b| engine.apply_batch(b).into())
+        .collect();
+
+    // Shard 2 dies before phase 0's first scheduling decision; shard 0
+    // dies with phase 1 in flight. Failover keeps deltas exact, so the
+    // pre-kill stream must already match the oracle.
+    let chaos_config = || ShardedConfig {
+        faults: Some(FaultPlan::new().fail_stop(0, 0, 2).fail_stop(1, 4, 0)),
+        ..sharded_config()
+    };
+    let kill_at = (batches.len() / 2).max(1);
+    let dir = temp_dir("chaos_failstop_301");
+    {
+        let mut d =
+            DurableShardedEngine::create(start.clone(), q, chaos_config(), durability(&dir))
+                .expect("create durable chaos engine");
+        for (i, b) in batches.iter().take(kill_at).enumerate() {
+            let got: Delta = d.apply_batch(b).expect("logged apply").into();
+            assert_eq!(got, reference[i], "chaos run diverges pre-kill at {i}");
+        }
+        let stats = d.engine().shard_stats();
+        assert!(
+            stats.failovers > 0,
+            "no failover fired — chaos cell vacuous"
+        );
+        assert!(
+            stats.requeued_units > 0,
+            "failover requeued nothing — chaos cell vacuous"
+        );
+        // Kill: drop without any graceful shutdown, mid-degraded-state.
+    }
+    // Recovery restarts the cluster all-alive over the snapshotted
+    // (repaired) partition; the fault plan is spent — pass none.
+    let (mut d, report) = DurableShardedEngine::recover(q, sharded_config(), durability(&dir))
+        .expect("recover after chaos");
+    check_recovery("chaos-failstop", &report, &reference, kill_at);
+    for (i, b) in batches.iter().enumerate().skip(kill_at) {
+        let got: Delta = d.apply_batch(b).expect("logged apply").into();
+        assert_eq!(got, reference[i], "chaos run diverges post-recovery at {i}");
+    }
+    drop(d);
+
+    // Idempotent double recovery: recovering again reaches the same
+    // epoch with the same state and nothing extra to replay.
+    let (d, report) = DurableShardedEngine::recover(q, sharded_config(), durability(&dir))
+        .expect("second recovery after chaos");
+    assert_eq!(
+        report.recovered_epoch,
+        batches.len() as u64,
+        "double recovery must land on the final epoch"
+    );
+    assert!(report.replayed.len() <= batches.len());
+    drop(d);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Replaying the *same* fault plan during recovery is also exact: the
+/// fail-stops re-fire at the same virtual coordinates while the log
+/// replays, and the delta stream still matches the oracle (failover
+/// never changes deltas, so chaos during recovery is harmless too).
+#[test]
+fn chaos_plan_refired_during_recovery_is_still_exact() {
+    let dataset = DatasetPreset::AZ.build(0.03, 302);
+    let mut start = dataset.graph.clone();
+    let batches = build_workload(&mut start, 302u64.wrapping_mul(0x9e37));
+    let queries =
+        gamma::datasets::generate_queries(&start, QueryClass::Sparse, 5, 1, 302 ^ 0x51_f1ed);
+    let q = queries.first().expect("query extractable");
+
+    let mut engine = GammaEngine::new(start.clone(), q, gamma_config());
+    let reference: Vec<Delta> = batches
+        .iter()
+        .map(|b| engine.apply_batch(b).into())
+        .collect();
+
+    let chaos_config = || ShardedConfig {
+        faults: Some(FaultPlan::new().fail_stop(0, 0, 1)),
+        ..sharded_config()
+    };
+    let kill_at = batches.len();
+    let dir = temp_dir("chaos_refire_302");
+    {
+        let mut d =
+            DurableShardedEngine::create(start.clone(), q, chaos_config(), durability(&dir))
+                .expect("create durable chaos engine");
+        for (i, b) in batches.iter().enumerate() {
+            let got: Delta = d.apply_batch(b).expect("logged apply").into();
+            assert_eq!(got, reference[i], "chaos run diverges pre-kill at {i}");
+        }
+    }
+    let (d, report) = DurableShardedEngine::recover(q, chaos_config(), durability(&dir))
+        .expect("recover with the same plan");
+    check_recovery("chaos-refire", &report, &reference, kill_at);
+    drop(d);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// An fsync failure during snapshot rotation must surface as a typed
+/// error and leave the *previous* snapshot (and recovery) intact — the
+/// tmp+rename protocol means a failed snapshot damages only the tmp
+/// file. A transient fsync stumble must be absorbed silently.
+#[test]
+fn chaos_snapshot_fsync_failure_keeps_previous_snapshot() {
+    let dataset = DatasetPreset::GH.build(0.04, 303);
+    let mut start = dataset.graph.clone();
+    let batches = build_workload(&mut start, 303u64.wrapping_mul(0x9e37));
+    let queries =
+        gamma::datasets::generate_queries(&start, QueryClass::Dense, 4, 1, 303 ^ 0x51_f1ed);
+    let q = queries.first().expect("query extractable");
+
+    let mut engine = GammaEngine::new(start.clone(), q, gamma_config());
+    let reference: Vec<Delta> = batches
+        .iter()
+        .map(|b| engine.apply_batch(b).into())
+        .collect();
+
+    let fp = Failpoints::new();
+    let dir = temp_dir("chaos_fsync_303");
+    let dura = || DurabilityConfig {
+        dir: dir.clone(),
+        sync: SyncPolicy::EveryN(3),
+        // Explicit snapshots only: the test aims faults at them.
+        snapshot_every: None,
+        failpoints: Some(fp.clone()),
+    };
+    let mut d = DurableShardedEngine::create(start.clone(), q, sharded_config(), dura())
+        .expect("create durable engine");
+    for (i, b) in batches.iter().enumerate() {
+        let got: Delta = d.apply_batch(b).expect("logged apply").into();
+        assert_eq!(got, reference[i], "diverges at {i}");
+    }
+
+    // A hard fsync failure lands on the snapshot's tmp file: the call
+    // errors, the previous snapshot survives.
+    fp.schedule(fp.written(), IoFaultKind::SyncFail);
+    let err = d.snapshot().expect_err("fsync death must surface");
+    assert!(
+        matches!(err, WalError::SyncFailed(_)),
+        "expected SyncFailed, got {err:?}"
+    );
+    assert_eq!(fp.injected(), 1, "exactly the scheduled fault fired");
+    drop(d);
+
+    // Recovery still reaches the full stream from the epoch-0 snapshot
+    // plus logs — the failed rotation lost nothing.
+    let (mut d, report) =
+        DurableShardedEngine::recover(q, sharded_config(), dura()).expect("recover past fsync");
+    assert_eq!(
+        report.recovered_epoch,
+        batches.len() as u64,
+        "failed snapshot must not move the recovery boundary"
+    );
+    check_recovery("chaos-fsync", &report, &reference, batches.len());
+
+    // A transient fsync stumble is retried on the virtual clock and the
+    // rotation completes; recovery then starts from the new snapshot.
+    fp.schedule(fp.written(), IoFaultKind::SyncTransient { times: 2 });
+    d.snapshot().expect("transient fsync must be absorbed");
+    drop(d);
+    let (d, report) = DurableShardedEngine::recover(q, sharded_config(), dura())
+        .expect("recover from rotated snapshot");
+    assert_eq!(report.snapshot_epoch, batches.len() as u64);
+    assert_eq!(report.recovered_epoch, batches.len() as u64);
+    assert!(report.replayed.is_empty(), "nothing left to replay");
+    drop(d);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// ENOSPC while logging a batch surfaces as the typed `NoSpace` error
+/// before the batch executes: the caller can fail the write without the
+/// engine state running ahead of the log.
+#[test]
+fn chaos_enospc_fails_the_batch_before_it_applies() {
+    let dataset = DatasetPreset::GH.build(0.04, 304);
+    let mut start = dataset.graph.clone();
+    let batches = build_workload(&mut start, 304u64.wrapping_mul(0x9e37));
+    let queries =
+        gamma::datasets::generate_queries(&start, QueryClass::Dense, 4, 1, 304 ^ 0x51_f1ed);
+    let q = queries.first().expect("query extractable");
+
+    let fp = Failpoints::new();
+    let dir = temp_dir("chaos_enospc_304");
+    let dura = DurabilityConfig {
+        dir: dir.clone(),
+        sync: SyncPolicy::EveryRecord,
+        snapshot_every: None,
+        failpoints: Some(fp.clone()),
+    };
+    let mut d = DurableShardedEngine::create(start.clone(), q, sharded_config(), dura)
+        .expect("create durable engine");
+    let before = d.batches_processed();
+    fp.schedule(fp.written(), IoFaultKind::Enospc);
+    let err = d
+        .apply_batch(&batches[0])
+        .expect_err("full disk must surface");
+    assert!(
+        matches!(err, WalError::NoSpace(_)),
+        "expected NoSpace, got {err:?}"
+    );
+    assert_eq!(
+        d.batches_processed(),
+        before,
+        "a batch that could not be logged must not execute"
+    );
+    drop(d);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The single-device durable engine under the same failpoint schedule:
+/// transient write faults mid-stream are absorbed by the virtual-clock
+/// retry (the stream stays exact), a hard fsync death aimed at its
+/// snapshot surfaces without moving the recovery boundary, and a crash
+/// afterwards recovers bit-identically.
+#[test]
+fn chaos_gamma_transient_faults_then_crash_recovers() {
+    let dataset = DatasetPreset::AZ.build(0.03, 305);
+    let mut start = dataset.graph.clone();
+    let batches = build_workload(&mut start, 305u64.wrapping_mul(0x9e37));
+    let queries =
+        gamma::datasets::generate_queries(&start, QueryClass::Sparse, 5, 1, 305 ^ 0x51_f1ed);
+    let q = queries.first().expect("query extractable");
+
+    let mut engine = GammaEngine::new(start.clone(), q, gamma_config());
+    let reference: Vec<Delta> = batches
+        .iter()
+        .map(|b| engine.apply_batch(b).into())
+        .collect();
+
+    let fp = Failpoints::new();
+    let dir = temp_dir("chaos_gamma_305");
+    let dura = || DurabilityConfig {
+        dir: dir.clone(),
+        sync: SyncPolicy::EveryRecord,
+        snapshot_every: None,
+        failpoints: Some(fp.clone()),
+    };
+    let kill_at = (batches.len() / 2).max(1);
+    {
+        let mut d = DurableGammaEngine::create(start.clone(), q, gamma_config(), dura())
+            .expect("create durable gamma engine");
+        // Sprinkle transient faults ahead of the log head: each stalls the
+        // writer for a few virtual backoff cycles, none reaches the caller.
+        fp.schedule(fp.written() + 5, IoFaultKind::WriteTransient { times: 2 });
+        fp.schedule(fp.written() + 900, IoFaultKind::SyncTransient { times: 1 });
+        for (i, b) in batches.iter().take(kill_at).enumerate() {
+            let got: Delta = d.apply_batch(b).expect("logged apply").into();
+            assert_eq!(got, reference[i], "gamma chaos diverges pre-kill at {i}");
+        }
+        // Both faults were absorbed by the retry loop: they count as
+        // injected, yet every apply above succeeded.
+        assert!(
+            fp.injected() >= 1,
+            "no transient fault fired — cell vacuous"
+        );
+
+        // A hard fsync death on snapshot rotation: typed error, and the
+        // tmp+rename protocol keeps the recovery boundary where it was.
+        fp.schedule(fp.written(), IoFaultKind::SyncFail);
+        let err = d.snapshot().expect_err("fsync death must surface");
+        assert!(
+            matches!(err, WalError::SyncFailed(_)),
+            "expected SyncFailed, got {err:?}"
+        );
+        // Kill: drop without graceful shutdown.
+    }
+    let (mut d, report) =
+        DurableGammaEngine::recover(q, gamma_config(), dura()).expect("recover gamma after chaos");
+    check_recovery("chaos-gamma", &report, &reference, kill_at);
+    for (i, b) in batches.iter().enumerate().skip(kill_at) {
+        let got: Delta = d.apply_batch(b).expect("logged apply").into();
+        assert_eq!(
+            got, reference[i],
+            "gamma chaos diverges post-recovery at {i}"
+        );
+    }
+    drop(d);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// A *seeded* fault plan (the chaos-matrix generator, not hand-placed
+/// coordinates) composed with a crash: whatever deaths the seed draws,
+/// the durable stream must stay exact and recovery must complete over
+/// the repaired partition.
+#[test]
+fn chaos_seeded_plan_survives_crash_recovery() {
+    let dataset = DatasetPreset::GH.build(0.04, 306);
+    let mut start = dataset.graph.clone();
+    let batches = build_workload(&mut start, 306u64.wrapping_mul(0x9e37));
+    let queries =
+        gamma::datasets::generate_queries(&start, QueryClass::Dense, 4, 1, 306 ^ 0x51_f1ed);
+    let q = queries.first().expect("query extractable");
+
+    let mut engine = GammaEngine::new(start.clone(), q, gamma_config());
+    let reference: Vec<Delta> = batches
+        .iter()
+        .map(|b| engine.apply_batch(b).into())
+        .collect();
+
+    let chaos_config = || ShardedConfig {
+        faults: Some(FaultPlan::seeded(306, 4, 3)),
+        ..sharded_config()
+    };
+    let kill_at = (batches.len() / 2).max(1);
+    let dir = temp_dir("chaos_seeded_306");
+    {
+        let mut d =
+            DurableShardedEngine::create(start.clone(), q, chaos_config(), durability(&dir))
+                .expect("create durable seeded-chaos engine");
+        for (i, b) in batches.iter().take(kill_at).enumerate() {
+            let got: Delta = d.apply_batch(b).expect("logged apply").into();
+            assert_eq!(got, reference[i], "seeded chaos diverges pre-kill at {i}");
+        }
+        // The seeded generator draws coordinates in phases 0..4 and steps
+        // 0..48, all reachable here — at least one death must have fired.
+        assert!(
+            d.engine().shard_stats().failovers > 0,
+            "seeded plan fired nothing — cell vacuous"
+        );
+    }
+    let (mut d, report) = DurableShardedEngine::recover(q, sharded_config(), durability(&dir))
+        .expect("recover after seeded chaos");
+    check_recovery("chaos-seeded", &report, &reference, kill_at);
+    for (i, b) in batches.iter().enumerate().skip(kill_at) {
+        let got: Delta = d.apply_batch(b).expect("logged apply").into();
+        assert_eq!(
+            got, reference[i],
+            "seeded chaos diverges post-recovery at {i}"
+        );
+    }
+    drop(d);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
 /// The greedy partition's owner table is state the graph cannot rebuild
 /// implicitly (it depends on the *seed* graph, not the recovered one), so
 /// it rides in the snapshot. Kill, recover, and check the table came back
@@ -320,6 +677,7 @@ fn recovery_preserves_greedy_partition() {
         num_shards: 4,
         strategy: PartitionStrategy::Greedy,
         stealing: ShardStealing::Active,
+        faults: None,
     };
     let mut reference_engine = ShardedEngine::new(start.clone(), q, config());
     let reference: Vec<Delta> = batches

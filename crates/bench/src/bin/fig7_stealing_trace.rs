@@ -56,6 +56,7 @@ fn main() {
             abort: Arc::new(AtomicBool::new(false)),
             match_limit: u64::MAX,
             signatures,
+            group: None,
         });
         let tasks: Vec<Box<dyn WarpTask>> = batch
             .inserts

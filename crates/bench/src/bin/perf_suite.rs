@@ -20,9 +20,16 @@
 //! For every (dataset, class, workload, engine) cell it prints updates/sec
 //! (net structural updates over host wall time), matches/sec, and the
 //! simulated device-cycle total, then writes a machine-readable JSON
-//! summary (default `BENCH_PR7.json`; `--smoke` defaults to a
+//! summary (default `BENCH_PR10.json`; `--smoke` defaults to a
 //! per-invocation file under the system temp dir so parallel CI jobs never
 //! clobber each other — `--out=PATH` is honored everywhere).
+//!
+//! The summary's `registry` block measures the standing-query serving
+//! tier: 8 same-class subscriptions served by one [`QueryRegistry`]
+//! against the same subscriptions on dedicated engines, over the same
+//! churn stream. Under `--check` (non-replay) the same-run ratio must
+//! hold [`REGISTRY_SPEEDUP_FLOOR`]. The block is omitted under
+//! `--replay-trace`, whose recorded traces predate the serving tier.
 //!
 //! The summary also carries an `intersect` micro-benchmark block: ns/probe
 //! of the three backward-edge membership primitives (scalar galloping,
@@ -90,7 +97,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use gamma_bench::{fmt_secs, print_header, print_row, GammaVariant};
-use gamma_core::{GammaEngine, PartitionStrategy, ShardStealing, ShardedConfig, ShardedEngine};
+use gamma_core::{
+    GammaEngine, PartitionStrategy, QueryConfig, QueryRegistry, ShardStealing, ShardedConfig,
+    ShardedEngine,
+};
 use gamma_datasets::{
     generate_queries, sample_deletion_workload, split_insertion_workload, DatasetPreset, QueryClass,
 };
@@ -228,7 +238,7 @@ impl SuiteParams {
                 .to_string_lossy()
                 .into_owned()
         } else {
-            "BENCH_PR8.json".to_string()
+            "BENCH_PR10.json".to_string()
         };
         let mut p = Self {
             smoke,
@@ -424,6 +434,7 @@ fn run_engine(
                 strategy: PartitionStrategy::Greedy,
                 stealing: ShardStealing::Active,
                 faults: None,
+                query_id: 0,
             };
             let mut engine = ShardedEngine::new(g0.clone(), q, cfg);
             let edge_cut = engine.partition().cut_fraction(g0);
@@ -503,6 +514,145 @@ fn build_workloads(
         out.push(("delete", d.graph, chunk(del, p.rounds)));
     }
     Some((q, out))
+}
+
+// ---------------------------------------------------------------------------
+// Standing-query serving-tier benchmark
+// ---------------------------------------------------------------------------
+
+/// Same-run floor for the registry-vs-independent churn throughput ratio:
+/// 8 same-class subscriptions served by one [`QueryRegistry`] (shared
+/// structural update, shared encoders, shared-prefix grouped launches)
+/// must beat 8 sequential dedicated engines by at least this factor.
+const REGISTRY_SPEEDUP_FLOOR: f64 = 1.3;
+
+/// One standing-query subscription's totals, for the JSON summary.
+struct RegistryPerQuery {
+    id: u64,
+    batches: u64,
+    positive: u64,
+    negative: u64,
+}
+
+/// The serving-tier cell: one registry holding `queries` subscriptions vs
+/// the same subscriptions served by dedicated engines, same churn stream.
+struct RegistryBench {
+    dataset: &'static str,
+    class: &'static str,
+    queries: usize,
+    group_count: usize,
+    distinct_patterns: usize,
+    /// Net structural updates of the (shared) stream.
+    stream_updates: u64,
+    /// Registry wall-clock across all `apply_batch` calls.
+    reg_wall: f64,
+    /// Summed wall-clock of the dedicated engines over the same stream.
+    indep_wall: f64,
+    per_query: Vec<RegistryPerQuery>,
+}
+
+impl RegistryBench {
+    fn reg_updates_per_sec(&self) -> f64 {
+        if self.reg_wall > 0.0 {
+            self.stream_updates as f64 / self.reg_wall
+        } else {
+            0.0
+        }
+    }
+
+    fn indep_updates_per_sec(&self) -> f64 {
+        if self.indep_wall > 0.0 {
+            self.stream_updates as f64 / self.indep_wall
+        } else {
+            0.0
+        }
+    }
+
+    fn speedup(&self) -> f64 {
+        if self.reg_wall > 0.0 {
+            self.indep_wall / self.reg_wall
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the serving-tier cell on the GH preset's steady-state churn
+/// workload: 8 same-class subscriptions cycling a couple of distinct
+/// patterns (duplicates land in shared-prefix groups — the serving tier's
+/// whole point), measured against 8 sequential dedicated engines.
+fn bench_registry(p: &SuiteParams) -> Option<RegistryBench> {
+    const SUBS: usize = 8;
+    let preset = DatasetPreset::GH;
+    // Dense first (the acceptance cell); fall back so smoke always emits
+    // the JSON section even on hostile scales.
+    for class in [QueryClass::Dense, QueryClass::Sparse, QueryClass::Tree] {
+        let (_, workloads) = match build_workloads(preset, class, p) {
+            Some(x) => x,
+            None => continue,
+        };
+        let (_, g0, batches) = workloads
+            .into_iter()
+            .find(|(w, _, _)| *w == "churn")
+            .expect("churn workload always present");
+        let qs = generate_queries(&g0, class, p.query_size.min(5), 2, p.seed ^ 0x517e);
+        if qs.is_empty() {
+            continue;
+        }
+        let subs: Vec<&QueryGraph> = (0..SUBS).map(|i| &qs[i % qs.len()]).collect();
+
+        let mut cfg = GammaVariant::FULL.config(120.0);
+        cfg.collect_matches = false;
+
+        let mut reg = QueryRegistry::new(g0.clone(), cfg.clone());
+        let ids: Vec<_> = subs
+            .iter()
+            .map(|q| reg.register(q, QueryConfig::default()))
+            .collect();
+        let mut stream_updates = 0u64;
+        let mut reg_wall = 0.0;
+        for batch in &batches {
+            let t0 = Instant::now();
+            let r = reg.apply_batch(batch);
+            reg_wall += t0.elapsed().as_secs_f64();
+            stream_updates += r.net_updates as u64;
+        }
+
+        let mut indep_wall = 0.0;
+        for q in &subs {
+            let mut engine = GammaEngine::new(g0.clone(), q, cfg.clone());
+            for batch in &batches {
+                let t0 = Instant::now();
+                engine.apply_batch(batch);
+                indep_wall += t0.elapsed().as_secs_f64();
+            }
+        }
+
+        let per_query = ids
+            .iter()
+            .map(|&id| {
+                let st = reg.stats(id).expect("registered id has stats");
+                RegistryPerQuery {
+                    id: id.0,
+                    batches: st.batches,
+                    positive: st.positive_total,
+                    negative: st.negative_total,
+                }
+            })
+            .collect();
+        return Some(RegistryBench {
+            dataset: preset.name(),
+            class: class.name(),
+            queries: SUBS,
+            group_count: reg.group_count(),
+            distinct_patterns: qs.len(),
+            stream_updates,
+            reg_wall,
+            indep_wall,
+            per_query,
+        });
+    }
+    None
 }
 
 // ---------------------------------------------------------------------------
@@ -633,13 +783,14 @@ fn write_json(
     path: &str,
     samples: &[Sample],
     isect: &IntersectBench,
+    registry: Option<&RegistryBench>,
     p: &SuiteParams,
     trace_info: Option<(&str, u32)>,
 ) -> std::io::Result<()> {
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"suite\": \"perf_suite\",");
-    let _ = writeln!(j, "  \"pr\": 8,");
+    let _ = writeln!(j, "  \"pr\": 10,");
     match trace_info {
         Some((tpath, crc)) => {
             let _ = writeln!(j, "  \"trace\": \"{}\",", json_escape(tpath));
@@ -699,6 +850,48 @@ fn write_json(
     let _ = writeln!(j, "    \"chunked_ns_per_probe\": {:.2},", isect.chunked_ns);
     let _ = writeln!(j, "    \"bitmap_ns_per_probe\": {:.2}", isect.bitmap_ns);
     j.push_str("  },\n");
+
+    // The standing-query serving tier: one registry vs dedicated engines
+    // (absent under `--replay-trace` — replayed runs reproduce the
+    // recorded engine matrix only).
+    match registry {
+        Some(r) => {
+            j.push_str("  \"registry\": {\n");
+            let _ = writeln!(j, "    \"dataset\": \"{}\",", json_escape(r.dataset));
+            let _ = writeln!(j, "    \"class\": \"{}\",", json_escape(r.class));
+            let _ = writeln!(j, "    \"queries\": {},", r.queries);
+            let _ = writeln!(j, "    \"group_count\": {},", r.group_count);
+            let _ = writeln!(j, "    \"distinct_patterns\": {},", r.distinct_patterns);
+            let _ = writeln!(j, "    \"stream_updates\": {},", r.stream_updates);
+            let _ = writeln!(j, "    \"wall_seconds\": {:.6},", r.reg_wall);
+            let _ = writeln!(
+                j,
+                "    \"updates_per_sec\": {:.1},",
+                r.reg_updates_per_sec()
+            );
+            let _ = writeln!(j, "    \"indep_wall_seconds\": {:.6},", r.indep_wall);
+            let _ = writeln!(
+                j,
+                "    \"indep_updates_per_sec\": {:.1},",
+                r.indep_updates_per_sec()
+            );
+            let _ = writeln!(j, "    \"speedup_vs_independent\": {:.2},", r.speedup());
+            j.push_str("    \"per_query\": [\n");
+            for (i, q) in r.per_query.iter().enumerate() {
+                let comma = if i + 1 < r.per_query.len() { "," } else { "" };
+                let _ = writeln!(
+                    j,
+                    "      {{\"id\": {}, \"batches\": {}, \"positive\": {}, \"negative\": {}}}{}",
+                    q.id, q.batches, q.positive, q.negative, comma
+                );
+            }
+            j.push_str("    ]\n");
+            j.push_str("  },\n");
+        }
+        None => {
+            let _ = writeln!(j, "  \"registry\": null,");
+        }
+    }
 
     j.push_str("  \"cells\": [\n");
     for (i, s) in samples.iter().enumerate() {
@@ -1176,6 +1369,27 @@ fn main() -> ExitCode {
         isect.probes, isect.scalar_ns, isect.chunked_ns, isect.bitmap_ns
     );
 
+    // Serving-tier cell: skipped under replay (the recorded traces predate
+    // the registry, and the replay gate compares the engine matrix only).
+    let registry = if replay.is_some() {
+        None
+    } else {
+        bench_registry(&p)
+    };
+    if let Some(r) = &registry {
+        println!(
+            "# registry ({}/{}): {} queries in {} groups — {:.0} upd/s vs {:.0} upd/s \
+             dedicated ({}x speedup, floor {REGISTRY_SPEEDUP_FLOOR})",
+            r.dataset,
+            r.class,
+            r.queries,
+            r.group_count,
+            r.reg_updates_per_sec(),
+            r.indep_updates_per_sec(),
+            format_args!("{:.2}", r.speedup()),
+        );
+    }
+
     // Trace provenance in the JSON: the file just recorded, or the one
     // being replayed (re-reading for its crc keeps one code path).
     let mut trace_info: Option<(String, u32)> = None;
@@ -1190,7 +1404,8 @@ fn main() -> ExitCode {
     }
     let trace_ref = trace_info.as_ref().map(|(f, c)| (f.as_str(), *c));
 
-    write_json(&p.out, &samples, &isect, &p, trace_ref).expect("write JSON summary");
+    write_json(&p.out, &samples, &isect, registry.as_ref(), &p, trace_ref)
+        .expect("write JSON summary");
     println!("\nwrote {}", p.out);
 
     if p.check && p.baseline_path.is_none() {
@@ -1268,7 +1483,8 @@ fn main() -> ExitCode {
             violations = check_regressions(&samples, &cells, sim_gate);
             // Keep the JSON summary consistent with the retained (best)
             // measurements.
-            write_json(&p.out, &samples, &isect, &p, trace_ref).expect("rewrite JSON summary");
+            write_json(&p.out, &samples, &isect, registry.as_ref(), &p, trace_ref)
+                .expect("rewrite JSON summary");
         }
         if p.check && !violations.is_empty() {
             eprintln!(
@@ -1343,7 +1559,8 @@ fn main() -> ExitCode {
                     }
                 }
                 scaling = shard_scaling_ratios(&samples);
-                write_json(&p.out, &samples, &isect, &p, trace_ref).expect("rewrite JSON summary");
+                write_json(&p.out, &samples, &isect, registry.as_ref(), &p, trace_ref)
+                    .expect("rewrite JSON summary");
             }
             let failing: Vec<&(usize, f64, String)> = scaling
                 .iter()
@@ -1359,6 +1576,30 @@ fn main() -> ExitCode {
             println!(
                 "shard gate: {} dense cell(s), all ratios >= {SHARD_VS_WBM_FLOOR}",
                 scaling.len()
+            );
+        }
+    }
+
+    // Serving-tier gate: same-run ratio (host speed cancels), so no
+    // baseline needed. The registry amortizes the structural update, the
+    // re-encoding pipeline and shared-prefix DFS levels across its
+    // subscriptions — if it cannot beat dedicated engines by the floor,
+    // the sharing machinery has regressed.
+    if p.check {
+        if let Some(r) = &registry {
+            if r.speedup() < REGISTRY_SPEEDUP_FLOOR {
+                eprintln!(
+                    "\nregistry gate FAILED: {} queries in {} groups, {:.2}x vs dedicated \
+                     engines (floor {REGISTRY_SPEEDUP_FLOOR})",
+                    r.queries,
+                    r.group_count,
+                    r.speedup()
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "registry gate: {:.2}x vs dedicated engines, floor {REGISTRY_SPEEDUP_FLOOR}",
+                r.speedup()
             );
         }
     }

@@ -41,6 +41,7 @@ use gamma_wal::{
 };
 
 use crate::engine::{BatchResult, GammaConfig, GammaEngine};
+use crate::registry::{QueryConfig, QueryId, QueryRegistry, RegistryBatchResult};
 use crate::shard::{Partition, PartitionStrategy, ShardedConfig, ShardedEngine};
 
 const SNAPSHOT_FILE: &str = "snapshot.bin";
@@ -440,6 +441,53 @@ impl DurableShardedEngine {
     /// every shard log up to the manifest's committed boundary (discarding
     /// per-shard records the crash left uncommitted), and reopens logs and
     /// manifest at that common epoch.
+    ///
+    /// ```
+    /// use gamma_core::{DurabilityConfig, DurableShardedEngine, ShardedConfig};
+    /// use gamma_graph::{DynamicGraph, QueryGraph, Update, NO_ELABEL};
+    /// use gamma_wal::SyncPolicy;
+    ///
+    /// // A 2-path data graph and a triangle query: inserting (0, 2)
+    /// // completes one data triangle — 6 embeddings under the unlabeled
+    /// // triangle's 3! automorphisms.
+    /// let mut g = DynamicGraph::new();
+    /// for _ in 0..3 {
+    ///     g.add_vertex(0);
+    /// }
+    /// g.insert_edge(0, 1, NO_ELABEL);
+    /// g.insert_edge(1, 2, NO_ELABEL);
+    /// let mut b = QueryGraph::builder();
+    /// let (x, y, z) = (b.vertex(0), b.vertex(0), b.vertex(0));
+    /// b.edge(x, y).edge(y, z).edge(x, z);
+    /// let q = b.build();
+    ///
+    /// let dir = std::env::temp_dir().join(format!("doc_recover_{}", std::process::id()));
+    /// let durability = DurabilityConfig {
+    ///     dir: dir.clone(),
+    ///     sync: SyncPolicy::EveryRecord,
+    ///     snapshot_every: None,
+    ///     failpoints: None,
+    /// };
+    /// let config = ShardedConfig {
+    ///     num_shards: 2,
+    ///     ..ShardedConfig::default()
+    /// };
+    ///
+    /// let mut durable =
+    ///     DurableShardedEngine::create(g, &q, config.clone(), durability.clone())?;
+    /// let r = durable.apply_batch(&[Update::insert(0, 2)])?; // log, then apply
+    /// assert_eq!(r.positive_count, 6);
+    /// drop(durable); // "crash"
+    ///
+    /// // Recovery replays the logged batch through the real batch path:
+    /// // the replayed delta equals what the original run emitted.
+    /// let (recovered, report) = DurableShardedEngine::recover(&q, config, durability)?;
+    /// assert_eq!(report.recovered_epoch, 1);
+    /// assert_eq!(recovered.batches_processed(), 1);
+    /// assert_eq!(report.replayed[0].positive_count, 6);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), gamma_wal::WalError>(())
+    /// ```
     pub fn recover(
         query: &QueryGraph,
         config: ShardedConfig,
@@ -619,6 +667,237 @@ impl DurableShardedEngine {
     /// Batch epoch (batches applied since creation, across restarts).
     pub fn batches_processed(&self) -> u64 {
         self.engine.batches_processed()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Standing-query registry
+// ---------------------------------------------------------------------------
+
+/// Encodes the registered query set: the id allocator plus, per query in
+/// id order, its id, collection flag, and pattern.
+fn encode_query_set(reg: &QueryRegistry) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let ids = reg.query_ids();
+    w.put_u64(reg.next_query_id());
+    w.put_u32(ids.len() as u32);
+    for id in ids {
+        w.put_u64(id.0);
+        w.put_u8(u8::from(reg.collects(id).expect("listed id is registered")));
+        gamma_wal::codec::encode_query(&mut w, reg.query(id).expect("listed id is registered"));
+    }
+    w.into_bytes()
+}
+
+fn decode_query_set(bytes: &[u8]) -> Result<(u64, Vec<(QueryId, bool, QueryGraph)>), WalError> {
+    let mut r = ByteReader::new(bytes);
+    let next_id = r.get_u64()?;
+    let n = r.get_u32()? as usize;
+    if n > bytes.len() {
+        return Err(WalError::Corrupt(format!(
+            "query-set count {n} exceeds payload"
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = QueryId(r.get_u64()?);
+        let collect = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(WalError::Corrupt(format!("unknown collect flag {other}"))),
+        };
+        let q = gamma_wal::codec::decode_query(&mut r)?;
+        out.push((id, collect, q));
+    }
+    if r.remaining() != 0 {
+        return Err(WalError::Corrupt("trailing bytes after query set".into()));
+    }
+    Ok((next_id, out))
+}
+
+/// [`QueryRegistry`] with write-ahead durability. Update batches are
+/// logged before they execute, exactly like [`DurableGammaEngine`]; the
+/// *registered query set* is snapshot state — every
+/// [`register`](Self::register)/[`unregister`](Self::unregister) writes a
+/// fresh snapshot (and rotates the log) before returning, so the
+/// subscription change commits atomically with the graph state it saw.
+/// Registration is rare next to batch traffic, so the snapshot-per-change
+/// cost is the simple and safe trade.
+pub struct DurableQueryRegistry {
+    registry: QueryRegistry,
+    wal: WalWriter,
+    durability: DurabilityConfig,
+}
+
+/// What registry recovery found and did.
+#[derive(Debug)]
+pub struct RegistryRecoveryReport {
+    /// Epoch of the snapshot recovery started from.
+    pub snapshot_epoch: u64,
+    /// Batch epoch after replay — the next batch to be applied.
+    pub recovered_epoch: u64,
+    /// Whether the log ended cleanly on a record boundary.
+    pub clean: bool,
+    /// Per-query deltas of the replayed batches, in epoch order.
+    pub replayed: Vec<RegistryBatchResult>,
+}
+
+impl DurableQueryRegistry {
+    /// Builds a fresh, empty registry and initializes its durable state:
+    /// a snapshot of the starting graph at epoch 0 and an empty log.
+    pub fn create(
+        graph: DynamicGraph,
+        config: GammaConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Self, WalError> {
+        std::fs::create_dir_all(&durability.dir)?;
+        let registry = QueryRegistry::new(graph, config);
+        let wal = WalWriter::create_with(
+            &durability.dir.join(LOG_FILE),
+            durability.sync,
+            0,
+            durability.failpoints.as_ref(),
+        )?;
+        let this = Self {
+            registry,
+            wal,
+            durability,
+        };
+        this.write_snapshot()?;
+        Ok(this)
+    }
+
+    /// Recovers a registry from `durability.dir`: restores the snapshot
+    /// (graph, device store, and registered query set), replays the log's
+    /// valid prefix through the real batch path, and truncates whatever
+    /// invalid tail the crash left. Queries are re-registered in id order,
+    /// so the recovered grouping is the deterministic one the same
+    /// registration sequence always produces.
+    pub fn recover(
+        config: GammaConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RegistryRecoveryReport), WalError> {
+        let snap = Snapshot::read(&durability.dir.join(SNAPSHOT_FILE))?;
+        if snap.sections.len() != 3 {
+            return Err(WalError::Corrupt(format!(
+                "registry snapshot holds {} sections, expected 3",
+                snap.sections.len()
+            )));
+        }
+        let graph = decode_graph(&mut ByteReader::new(&snap.sections[0]))?;
+        let gpma = Gpma::from_snapshot_bytes(&snap.sections[1], config.gpma.clone())
+            .map_err(WalError::Corrupt)?;
+        let (next_id, queries) = decode_query_set(&snap.sections[2])?;
+        let mut registry = QueryRegistry::restore(graph, config, gpma, snap.epoch);
+        for (id, collect, q) in &queries {
+            registry.restore_query(
+                *id,
+                q,
+                QueryConfig {
+                    collect_matches: Some(*collect),
+                },
+            );
+        }
+        registry.set_next_id(next_id);
+
+        let log_path = durability.dir.join(LOG_FILE);
+        let replay = WalReader::replay(&log_path, snap.epoch)?;
+        let mut replayed = Vec::with_capacity(replay.records.len());
+        for rec in &replay.records {
+            let ups = gamma_wal::codec::updates_from_bytes(&rec.payload)?;
+            replayed.push(registry.apply_batch(&ups));
+        }
+        let recovered_epoch = registry.batches_processed();
+        let wal = WalWriter::open_after_replay_with(
+            &log_path,
+            durability.sync,
+            &replay,
+            recovered_epoch,
+            durability.failpoints.as_ref(),
+        )?;
+        let report = RegistryRecoveryReport {
+            snapshot_epoch: snap.epoch,
+            recovered_epoch,
+            clean: replay.tail.is_clean(),
+            replayed,
+        };
+        Ok((
+            Self {
+                registry,
+                wal,
+                durability,
+            },
+            report,
+        ))
+    }
+
+    /// Registers a standing query and durably commits the new query set
+    /// (snapshot + log rotation) before returning its id.
+    pub fn register(&mut self, query: &QueryGraph, qcfg: QueryConfig) -> Result<QueryId, WalError> {
+        let id = self.registry.register(query, qcfg);
+        self.snapshot()?;
+        Ok(id)
+    }
+
+    /// Unregisters a standing query, durably committing the removal.
+    /// Returns `Ok(false)` (with no I/O) if `id` is unknown.
+    pub fn unregister(&mut self, id: QueryId) -> Result<bool, WalError> {
+        if !self.registry.unregister(id) {
+            return Ok(false);
+        }
+        self.snapshot()?;
+        Ok(true)
+    }
+
+    /// Logs `raw` (durably, per the sync policy), then applies it.
+    pub fn apply_batch(&mut self, raw: &[Update]) -> Result<RegistryBatchResult, WalError> {
+        self.wal.append(&gamma_wal::codec::updates_to_bytes(raw))?;
+        let result = self.registry.apply_batch(raw);
+        if let Some(every) = self.durability.snapshot_every {
+            if every > 0 && self.registry.batches_processed().is_multiple_of(every) {
+                self.snapshot()?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Writes a snapshot at the current epoch and rotates the log.
+    pub fn snapshot(&mut self) -> Result<(), WalError> {
+        self.write_snapshot()?;
+        self.wal = WalWriter::create_with(
+            &self.durability.dir.join(LOG_FILE),
+            self.durability.sync,
+            self.registry.batches_processed(),
+            self.durability.failpoints.as_ref(),
+        )?;
+        Ok(())
+    }
+
+    fn write_snapshot(&self) -> Result<(), WalError> {
+        let mut g = ByteWriter::new();
+        encode_graph(&mut g, self.registry.graph());
+        Snapshot {
+            epoch: self.registry.batches_processed(),
+            sections: vec![
+                g.into_bytes(),
+                self.registry.gpma().snapshot_bytes(),
+                encode_query_set(&self.registry),
+            ],
+        }
+        .write_with(
+            &self.durability.dir.join(SNAPSHOT_FILE),
+            self.durability.failpoints.as_ref(),
+        )
+    }
+
+    /// The wrapped registry.
+    pub fn registry(&self) -> &QueryRegistry {
+        &self.registry
+    }
+
+    /// Batch epoch (batches applied since creation, across restarts).
+    pub fn batches_processed(&self) -> u64 {
+        self.registry.batches_processed()
     }
 }
 

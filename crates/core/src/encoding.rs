@@ -54,6 +54,19 @@ impl EncodingScheme {
         self.labels.len()
     }
 
+    /// The sorted distinct labels this layout encodes. Two queries with
+    /// equal label sets (and equal `counter_bits`) share a layout, so their
+    /// data-vertex encodings are interchangeable — the precondition for
+    /// sharing one [`IncrementalEncoder`] across registered queries.
+    pub fn labels(&self) -> &[VLabel] {
+        &self.labels
+    }
+
+    /// Counter width `M` of this layout.
+    pub fn counter_bits(&self) -> u32 {
+        self.counter_bits
+    }
+
     /// Saturation point of the counters (`2^M - 1` values collapse to `M`
     /// ones in thermometer code, i.e. counts ≥ `M` are indistinguishable).
     pub fn saturation(&self) -> u32 {
@@ -129,6 +142,35 @@ impl CandidateTable {
             rows.push(row);
         }
         (Self { rows, counts }, encodings)
+    }
+
+    /// An empty table (no rows, no query vertices): placeholder for
+    /// launches that resolve their tables elsewhere (grouped multi-query
+    /// kernels gate through per-member tables).
+    pub fn empty() -> Self {
+        Self {
+            rows: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Builds the table for a query from *already-maintained* data-vertex
+    /// encodings (a shared [`IncrementalEncoder`]'s), instead of re-encoding
+    /// the graph: row `v` = candidate bits of `encodings[v]` against
+    /// `qcodes`. Equal to [`CandidateTable::build`] whenever `encodings`
+    /// matches the graph state, which the incremental re-encoding invariant
+    /// guarantees.
+    pub fn from_encodings(encodings: &[u64], qcodes: &[u64]) -> Self {
+        let mut rows = Vec::with_capacity(encodings.len());
+        let mut counts = vec![0u32; qcodes.len()];
+        for &vcode in encodings {
+            let row = Self::row_for(vcode, qcodes);
+            for (u, c) in counts.iter_mut().enumerate() {
+                *c += u32::from(row & (1 << u) != 0);
+            }
+            rows.push(row);
+        }
+        Self { rows, counts }
     }
 
     fn row_for(vcode: u64, qcodes: &[u64]) -> u16 {

@@ -73,6 +73,23 @@ impl FaultPlan {
     /// the same seed always yields the same plan. Duplicate coordinates
     /// and already-dead targets are harmless (a fail-stop of a dead shard
     /// is skipped), so every seed is a valid plan.
+    ///
+    /// ```
+    /// use gamma_core::{FaultPlan, ShardedConfig};
+    ///
+    /// // Same seed ⇒ same plan ⇒ (against the same workload) the same
+    /// // shard dies between the same two scheduling decisions, every run.
+    /// let plan = FaultPlan::seeded(7, /* num_shards */ 4, /* n_faults */ 3);
+    /// assert_eq!(plan, FaultPlan::seeded(7, 4, 3));
+    /// assert_eq!(plan.fail_stops().len(), 3);
+    ///
+    /// // Hand it to the sharded engine through its configuration.
+    /// let config = ShardedConfig {
+    ///     num_shards: 4,
+    ///     faults: Some(plan),
+    ///     ..ShardedConfig::default()
+    /// };
+    /// ```
     pub fn seeded(seed: u64, num_shards: usize, n_faults: usize) -> Self {
         let mut plan = Self::default();
         for i in 0..n_faults {

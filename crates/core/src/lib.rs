@@ -15,6 +15,9 @@
 //! * [`engine`] — the synchronous engine tying the stages together.
 //! * [`pipeline`] — the asynchronous pipelined variant of Figure 3
 //!   (preprocessing of batch k+1 overlaps the device work of batch k).
+//! * [`registry`] — the standing-query serving tier: N registered
+//!   patterns over one graph, with shared encoders per label-set class
+//!   and shared-prefix grouped kernel launches.
 //! * [`shard`] — the multi-device sharded engine: hash/range/greedy
 //!   vertex partitioning, boundary-replicated per-shard GPMA stores, and
 //!   a barrier-free virtual-time runtime with inter-device batch stealing.
@@ -63,17 +66,25 @@ pub mod engine;
 pub mod fault;
 pub mod order;
 pub mod pipeline;
+pub mod registry;
 pub mod shard;
 pub mod wbm;
 
 pub use auto::CoalescedPlan;
 pub use bfs::{run_bfs_phase, BfsReport};
 pub use comm::{Batch, CommFabric, CommStats, MIGRANT_BATCH};
-pub use durable::{DurabilityConfig, DurableGammaEngine, DurableShardedEngine, RecoveryReport};
+pub use durable::{
+    DurabilityConfig, DurableGammaEngine, DurableQueryRegistry, DurableShardedEngine,
+    RecoveryReport, RegistryRecoveryReport,
+};
 pub use encoding::{CandidateTable, EncodingScheme, IncrementalEncoder};
 pub use engine::{BatchResult, BatchStats, GammaConfig, GammaEngine, StealingMode};
 pub use fault::{FaultPlan, ShardFailStop};
 pub use pipeline::{PipelineOutput, PipelinedEngine};
+pub use registry::{
+    QueryConfig, QueryDelta, QueryId, QueryRegistry, QueryStats, RegistryBatchResult,
+    ShardedQueryRegistry,
+};
 pub use shard::{
     Partition, PartitionStrategy, ShardStats, ShardStealing, ShardedConfig, ShardedEngine,
 };

@@ -1,0 +1,1074 @@
+//! The standing-query serving tier: many registered patterns, one graph.
+//!
+//! Production continuous subgraph matching serves thousands of *registered*
+//! standing queries over a single dynamic data graph — not one query per
+//! engine. [`QueryRegistry`] holds N registered patterns and evaluates each
+//! update batch once per *group*:
+//!
+//! * **Encoder sharing** — queries with equal distinct-label sets share one
+//!   [`IncrementalEncoder`]: the per-batch re-encode of touched data
+//!   vertices runs once per label-set class, not once per query (the
+//!   NLF layout — and hence every data-vertex code — is a function of the
+//!   label set and counter width only; see [`EncodingScheme::labels`]).
+//! * **Shared-prefix grouping** — at (un)registration, queries whose
+//!   per-seed matching orders are *gate-equivalent* over a common prefix
+//!   (see [`crate::order::compatible_prefix_len`]) are grouped: the shared
+//!   DFS levels run **once** per group against the representative's
+//!   candidate table, forking into per-query suffix scans only where the
+//!   patterns diverge ([`crate::wbm::run_group_phase`]).
+//! * **Per-query routing** — every query gets its own delta stream,
+//!   candidate table, and [`QueryStats`] telemetry; match vectors are
+//!   bit-identical to what a dedicated [`GammaEngine`](crate::GammaEngine)
+//!   would produce for the same update stream (modulo match *order*, which
+//!   is compared sorted-unique throughout this codebase).
+//!
+//! Telemetry attribution: a singleton group's launch stats are exclusive
+//! to its query; a shared group's launch stats are attributed whole to
+//! *each* member (the levels are genuinely shared — there is no meaningful
+//! per-member split of a shared prefix scan).
+//!
+//! # Example
+//!
+//! ```
+//! use gamma_core::registry::{QueryConfig, QueryRegistry};
+//! use gamma_core::GammaConfig;
+//! use gamma_graph::{DynamicGraph, QueryGraph, Update, NO_ELABEL};
+//!
+//! // Figure 1's data graph (labels A=0, B=1, C=2).
+//! let mut g = DynamicGraph::new();
+//! for &l in &[0, 0, 1, 1, 1, 1, 1, 2, 2, 2] {
+//!     g.add_vertex(l);
+//! }
+//! for &(u, v) in &[(0, 3), (0, 4), (2, 3), (2, 4), (3, 7), (2, 8),
+//!                  (1, 5), (1, 6), (5, 6), (5, 9), (4, 7)] {
+//!     g.insert_edge(u, v, NO_ELABEL);
+//! }
+//!
+//! // Two standing queries: the A-B-B triangle with a C tail (Figure 1's
+//! // Q) and the bare A-B-B triangle.
+//! let mut b = QueryGraph::builder();
+//! let (u0, u1, u2, u3) = (b.vertex(0), b.vertex(1), b.vertex(1), b.vertex(2));
+//! b.edge(u0, u1).edge(u0, u2).edge(u1, u2).edge(u1, u3);
+//! let q_tail = b.build();
+//! let mut b = QueryGraph::builder();
+//! let (u0, u1, u2) = (b.vertex(0), b.vertex(1), b.vertex(1));
+//! b.edge(u0, u1).edge(u0, u2).edge(u1, u2);
+//! let q_tri = b.build();
+//!
+//! let mut reg = QueryRegistry::new(g, GammaConfig::default());
+//! let id_tail = reg.register(&q_tail, QueryConfig::default());
+//! let id_tri = reg.register(&q_tri, QueryConfig::default());
+//!
+//! let result = reg.apply_batch(&[Update::insert(0, 2)]);
+//! let tail = result.delta(id_tail).unwrap();
+//! let tri = result.delta(id_tri).unwrap();
+//! assert_eq!(tail.positive_count, 4); // M1..M4 of Figure 1
+//! assert_eq!(tri.positive_count, 4); // 2 new triangles x the B-B symmetry
+//!
+//! reg.unregister(id_tri);
+//! assert_eq!(reg.num_queries(), 1);
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gamma_gpma::Gpma;
+use gamma_gpu::{Device, KernelStats};
+use gamma_graph::{DynamicGraph, QueryGraph, Update, UpdateBatch, VLabel, VMatch, VertexId};
+
+use crate::encoding::{CandidateTable, EncodingScheme, IncrementalEncoder};
+use crate::engine::{spawn_watchdog, GammaConfig};
+use crate::order::compatible_prefix_len;
+use crate::shard::{ShardedConfig, ShardedEngine};
+use crate::wbm::{run_group_phase, run_phase, GroupMember, QueryMeta, SeedPlan};
+
+/// Opaque handle to a registered standing query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+/// Per-query registration options.
+#[derive(Clone, Debug, Default)]
+pub struct QueryConfig {
+    /// Materialize this query's match deltas (`None` inherits the
+    /// registry-wide [`GammaConfig::collect_matches`]). Counts are always
+    /// maintained either way.
+    pub collect_matches: Option<bool>,
+}
+
+/// Cumulative per-query telemetry.
+#[derive(Clone, Debug, Default)]
+pub struct QueryStats {
+    /// Batches this query was registered for.
+    pub batches: u64,
+    /// Total positive (insert-side) matches delivered.
+    pub positive_total: u64,
+    /// Total negative (delete-side) matches delivered.
+    pub negative_total: u64,
+    /// Kernel stats of the launches this query participated in. Exclusive
+    /// for singleton groups; whole-group for shared launches (see module
+    /// docs on attribution).
+    pub kernel: KernelStats,
+}
+
+/// One query's slice of a batch result.
+#[derive(Clone, Debug, Default)]
+pub struct QueryDelta {
+    /// The query this delta belongs to.
+    pub id: QueryId,
+    /// Positive incremental matches (present in `G'`, absent in `G`).
+    pub positive: Vec<VMatch>,
+    /// Negative incremental matches (present in `G`, absent in `G'`).
+    pub negative: Vec<VMatch>,
+    /// Positive count (maintained even when collection is off).
+    pub positive_count: u64,
+    /// Negative count.
+    pub negative_count: u64,
+    /// Kernel stats of the launches that produced this delta (whole-group
+    /// for shared launches).
+    pub kernel: KernelStats,
+}
+
+/// Result of one registry batch: per-query deltas plus the shared costs.
+#[derive(Clone, Debug, Default)]
+pub struct RegistryBatchResult {
+    /// Per-query deltas, in [`QueryId`] order.
+    pub deltas: Vec<QueryDelta>,
+    /// Simulated cycles of the (single, shared) GPMA structural update.
+    pub update_cycles: u64,
+    /// Host preprocessing seconds (canonicalize + re-encode + refresh).
+    pub preprocess_seconds: f64,
+    /// Data vertices whose encoding changed, summed over encoder slots.
+    pub dirty_vertices: usize,
+    /// Merged kernel stats across every launch of the batch.
+    pub kernel: KernelStats,
+    /// Whether any launch hit the timeout or match limit.
+    pub timed_out: bool,
+    /// Net updates after canonicalization.
+    pub net_updates: usize,
+}
+
+impl RegistryBatchResult {
+    /// This batch's delta for `id`, if the query was registered.
+    pub fn delta(&self, id: QueryId) -> Option<&QueryDelta> {
+        self.deltas.iter().find(|d| d.id == id)
+    }
+}
+
+/// One shared [`IncrementalEncoder`] per distinct (label set, counter
+/// width) class of registered queries. Slots with `refs == 0` are kept as
+/// tombstones (bounded by the number of distinct label sets ever seen) and
+/// revived on a matching registration; dead slots are skipped per batch.
+struct EncoderSlot {
+    enc: IncrementalEncoder,
+    refs: usize,
+}
+
+/// Frozen per-query serving state.
+struct QueryState {
+    id: QueryId,
+    q: QueryGraph,
+    collect: bool,
+    /// Index into [`QueryRegistry::slots`].
+    slot: usize,
+    /// NLF query-vertex codes under the slot's shared scheme.
+    qcodes: Vec<u64>,
+    /// Plain (coalescing-off) per-edge seed plans — the grouping substrate.
+    seeds: Vec<SeedPlan>,
+    /// Per-query candidate table (`None` only while a launch borrows it).
+    table: Option<CandidateTable>,
+    /// Metadata for singleton launches (honors the registry's coalesced
+    /// setting — a singleton serves exactly like a dedicated engine).
+    full_meta: Arc<QueryMeta>,
+    stats: QueryStats,
+}
+
+/// One evaluation group: queries proven gate-equivalent over a shared
+/// matching-order prefix on every seed.
+struct Group {
+    /// Indices into [`QueryRegistry::queries`], representative first.
+    members: Vec<usize>,
+    /// Per-seed shared prefix length (min over members).
+    prefix: Vec<usize>,
+    /// Truncated-order metadata for shared launches (`None` iff singleton).
+    shared_meta: Option<Arc<QueryMeta>>,
+}
+
+/// The standing-query serving tier over one dynamic data graph. See the
+/// [module docs](self) for the sharing model and a worked example.
+pub struct QueryRegistry {
+    graph: DynamicGraph,
+    gpma: Option<Gpma>,
+    device: Device,
+    config: GammaConfig,
+    slots: Vec<EncoderSlot>,
+    /// Registered queries in [`QueryId`] order.
+    queries: Vec<QueryState>,
+    groups: Vec<Group>,
+    next_id: u64,
+    batches_processed: u64,
+}
+
+impl QueryRegistry {
+    /// Builds an empty registry over `graph`. `config.coalesced_search`
+    /// applies to singleton groups only — shared launches always run plain
+    /// per-edge orders (results are identical either way; the coalesced
+    /// toggle is a pinned parity invariant).
+    pub fn new(graph: DynamicGraph, config: GammaConfig) -> Self {
+        let gpma = Gpma::from_graph(&graph, config.gpma.clone());
+        let device = Device::new(config.device.clone());
+        Self {
+            graph,
+            gpma: Some(gpma),
+            device,
+            config,
+            slots: Vec::new(),
+            queries: Vec::new(),
+            groups: Vec::new(),
+            next_id: 0,
+            batches_processed: 0,
+        }
+    }
+
+    /// Rebuilds a registry from recovered state: the host graph mirror and
+    /// the restored GPMA device store, with no queries yet — the durable
+    /// layer re-registers the persisted query set in id order (grouping is
+    /// a deterministic function of the registration sequence). Matching
+    /// orders are recomputed against the recovered graph, so they can
+    /// differ from the original registration-time orders — match *sets*
+    /// are order-invariant, so delta streams still agree sorted-unique.
+    pub fn restore(
+        graph: DynamicGraph,
+        config: GammaConfig,
+        gpma: Gpma,
+        batches_processed: u64,
+    ) -> Self {
+        assert_eq!(
+            gpma.num_edges(),
+            graph.num_edges(),
+            "restored gpma and graph mirror disagree on edge count"
+        );
+        let device = Device::new(config.device.clone());
+        Self {
+            graph,
+            gpma: Some(gpma),
+            device,
+            config,
+            slots: Vec::new(),
+            queries: Vec::new(),
+            groups: Vec::new(),
+            next_id: 0,
+            batches_processed,
+        }
+    }
+
+    /// Re-registers a recovered query under its original id (ids must
+    /// arrive in increasing order).
+    pub(crate) fn restore_query(&mut self, id: QueryId, query: &QueryGraph, qcfg: QueryConfig) {
+        assert!(
+            id.0 >= self.next_id,
+            "restored query ids must be increasing"
+        );
+        self.next_id = id.0;
+        let got = self.register(query, qcfg);
+        debug_assert_eq!(got, id);
+    }
+
+    /// Restores the id allocator past every id ever handed out.
+    pub(crate) fn set_next_id(&mut self, next_id: u64) {
+        assert!(next_id >= self.next_id);
+        self.next_id = next_id;
+    }
+
+    /// Registers a standing query; its deltas appear in every subsequent
+    /// [`apply_batch`](Self::apply_batch) result until unregistered.
+    pub fn register(&mut self, query: &QueryGraph, qcfg: QueryConfig) -> QueryId {
+        let mut want: Vec<VLabel> = query.labels().to_vec();
+        want.sort_unstable();
+        want.dedup();
+
+        let slot = match self
+            .slots
+            .iter()
+            .position(|s| s.enc.scheme().labels() == want.as_slice())
+        {
+            Some(i) => {
+                self.slots[i].refs += 1;
+                i
+            }
+            None => {
+                let (enc, _table) =
+                    IncrementalEncoder::build(&self.graph, query, self.config.counter_bits);
+                self.slots.push(EncoderSlot { enc, refs: 1 });
+                self.slots.len() - 1
+            }
+        };
+
+        let scheme = self.slots[slot].enc.scheme();
+        let qcodes: Vec<u64> = (0..query.num_vertices() as u8)
+            .map(|u| scheme.encode_query_vertex(query, u))
+            .collect();
+        let table = CandidateTable::from_encodings(&self.slots[slot].enc.encodings, &qcodes);
+        let plain = QueryMeta::build(query, &table, scheme, false, 0);
+        let full_meta = if self.config.coalesced_search {
+            Arc::new(QueryMeta::build(
+                query,
+                &table,
+                scheme,
+                true,
+                self.config.max_degenerate_k,
+            ))
+        } else {
+            Arc::new(plain.clone())
+        };
+
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.queries.push(QueryState {
+            id,
+            q: query.clone(),
+            collect: qcfg.collect_matches.unwrap_or(self.config.collect_matches),
+            slot,
+            qcodes,
+            seeds: plain.seeds,
+            table: Some(table),
+            full_meta,
+            stats: QueryStats::default(),
+        });
+        self.rebuild_groups();
+        id
+    }
+
+    /// Removes a standing query. Returns `false` if `id` is unknown.
+    pub fn unregister(&mut self, id: QueryId) -> bool {
+        let Some(pos) = self.queries.iter().position(|s| s.id == id) else {
+            return false;
+        };
+        let st = self.queries.remove(pos);
+        self.slots[st.slot].refs -= 1;
+        self.rebuild_groups();
+        true
+    }
+
+    /// Regroups from scratch — registration-order greedy, deterministic.
+    /// A query joins the first group whose representative (a) shares its
+    /// encoder slot, (b) has the same seed count, and (c) is gate-
+    /// equivalent over ≥ 2 order positions on *every* seed; the group's
+    /// per-seed shared prefix is the min over members.
+    fn rebuild_groups(&mut self) {
+        self.groups.clear();
+        for qi in 0..self.queries.len() {
+            let st = &self.queries[qi];
+            let mut joined = false;
+            for g in &mut self.groups {
+                let rep = &self.queries[g.members[0]];
+                if rep.slot != st.slot || rep.seeds.len() != st.seeds.len() {
+                    continue;
+                }
+                let ps: Vec<usize> = rep
+                    .seeds
+                    .iter()
+                    .zip(&st.seeds)
+                    .map(|(rs, ss)| {
+                        compatible_prefix_len(
+                            &rep.q,
+                            &rs.order,
+                            &rep.qcodes,
+                            &st.q,
+                            &ss.order,
+                            &st.qcodes,
+                        )
+                    })
+                    .collect();
+                if ps.iter().all(|&p| p >= 2) {
+                    for (gp, p) in g.prefix.iter_mut().zip(ps) {
+                        *gp = (*gp).min(p);
+                    }
+                    g.members.push(qi);
+                    joined = true;
+                    break;
+                }
+            }
+            if !joined {
+                self.groups.push(Group {
+                    members: vec![qi],
+                    prefix: st.seeds.iter().map(|s| s.order.len()).collect(),
+                    shared_meta: None,
+                });
+            }
+        }
+        for g in &mut self.groups {
+            if g.members.len() < 2 {
+                continue;
+            }
+            let rep = &self.queries[g.members[0]];
+            let seeds: Vec<SeedPlan> = rep
+                .seeds
+                .iter()
+                .zip(&g.prefix)
+                .map(|(s, &p)| SeedPlan {
+                    a: s.a,
+                    b: s.b,
+                    elabel: s.elabel,
+                    order: s.order[..p].to_vec(),
+                    class: None,
+                    vk_size: p,
+                })
+                .collect();
+            g.shared_meta = Some(Arc::new(QueryMeta {
+                q: rep.q.clone(),
+                seeds,
+                plan: Default::default(),
+                class_vk_codes: Vec::new(),
+            }));
+        }
+    }
+
+    /// Applies one update batch, serving every registered query.
+    pub fn apply_batch(&mut self, raw: &[Update]) -> RegistryBatchResult {
+        let t0 = Instant::now();
+        let batch = UpdateBatch::canonicalize(&self.graph, raw);
+        let canon = t0.elapsed().as_secs_f64();
+        let mut r = self.apply_canonical_batch(&batch);
+        r.preprocess_seconds += canon;
+        r
+    }
+
+    /// Applies an already-canonicalized batch (must be canonical w.r.t.
+    /// the registry's current graph). The pipeline mirrors
+    /// [`GammaEngine::apply_canonical_batch`](crate::GammaEngine::apply_canonical_batch):
+    /// negative launches on the pre-update graph, one shared structural
+    /// update, one re-encode per live encoder slot, a candidate refresh
+    /// per query, positive launches on the post-update graph.
+    pub fn apply_canonical_batch(&mut self, batch: &UpdateBatch) -> RegistryBatchResult {
+        let mut result = RegistryBatchResult {
+            deltas: self
+                .queries
+                .iter()
+                .map(|s| QueryDelta {
+                    id: s.id,
+                    ..QueryDelta::default()
+                })
+                .collect(),
+            net_updates: batch.len(),
+            ..RegistryBatchResult::default()
+        };
+        if batch.is_empty() {
+            self.batches_processed += 1;
+            for st in &mut self.queries {
+                st.stats.batches += 1;
+            }
+            return result;
+        }
+
+        let abort = Arc::new(AtomicBool::new(false));
+        let deadline_guard = self.config.timeout.map(|t| spawn_watchdog(t, &abort));
+
+        if !batch.deletes.is_empty() {
+            self.run_groups(&batch.deletes, &abort, &mut result, false);
+        }
+
+        let pre_update_cycles = self.gpma.as_ref().expect("gpma").stats().sim_cycles;
+        {
+            let gpma = self.gpma.as_mut().expect("gpma");
+            let dels: Vec<(VertexId, VertexId)> =
+                batch.deletes.iter().map(|d| (d.u, d.v)).collect();
+            gpma.delete_edges(&dels);
+            let ins: Vec<(VertexId, VertexId, gamma_graph::ELabel)> =
+                batch.inserts.iter().map(|i| (i.u, i.v, i.label)).collect();
+            gpma.insert_edges(&ins);
+        }
+        result.update_cycles =
+            self.gpma.as_ref().expect("gpma").stats().sim_cycles - pre_update_cycles;
+        batch.apply(&mut self.graph);
+
+        let pre_t = Instant::now();
+        let mut touched: Vec<VertexId> = batch
+            .deletes
+            .iter()
+            .chain(batch.inserts.iter())
+            .flat_map(|u| [u.u, u.v])
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for si in 0..self.slots.len() {
+            if self.slots[si].refs == 0 {
+                continue;
+            }
+            let dirty = self.slots[si].enc.reencode(&self.graph, &touched);
+            result.dirty_vertices += dirty.len();
+            let encodings = Arc::clone(&self.slots[si].enc.encodings);
+            for st in self.queries.iter_mut().filter(|s| s.slot == si) {
+                st.table
+                    .as_mut()
+                    .expect("table present between launches")
+                    .refresh(&dirty, &encodings, &st.qcodes);
+            }
+        }
+        result.preprocess_seconds = pre_t.elapsed().as_secs_f64();
+
+        if !batch.inserts.is_empty() {
+            self.run_groups(&batch.inserts, &abort, &mut result, true);
+        }
+
+        drop(deadline_guard);
+        result.timed_out = abort.load(Ordering::Relaxed);
+        self.batches_processed += 1;
+        for (st, d) in self.queries.iter_mut().zip(&result.deltas) {
+            st.stats.batches += 1;
+            st.stats.positive_total += d.positive_count;
+            st.stats.negative_total += d.negative_count;
+            st.stats.kernel.absorb(&d.kernel);
+        }
+        result
+    }
+
+    /// Runs one kernel phase (negative or positive) for every group,
+    /// routing each member's matches into its delta.
+    fn run_groups(
+        &mut self,
+        anchors: &[Update],
+        abort: &Arc<AtomicBool>,
+        result: &mut RegistryBatchResult,
+        positive: bool,
+    ) {
+        for gi in 0..self.groups.len() {
+            let members = self.groups[gi].members.clone();
+            if members.len() == 1 {
+                let qi = members[0];
+                let (meta, encodings, collect) = {
+                    let st = &self.queries[qi];
+                    (
+                        Arc::clone(&st.full_meta),
+                        Arc::clone(&self.slots[st.slot].enc.encodings),
+                        st.collect,
+                    )
+                };
+                let gpma = self.gpma.take().expect("gpma present");
+                let table = self.queries[qi].table.take().expect("table present");
+                let (gpma, table, matches, count, stats) = run_phase(
+                    &self.device,
+                    gpma,
+                    meta,
+                    table,
+                    encodings,
+                    anchors,
+                    collect,
+                    self.config.match_limit,
+                    Arc::clone(abort),
+                    self.config.bitmap_intersect,
+                );
+                self.gpma = Some(gpma);
+                self.queries[qi].table = Some(table);
+                Self::route(&mut result.deltas[qi], matches, count, &stats, positive);
+                result.kernel.absorb(&stats);
+            } else {
+                let shared_meta = Arc::clone(
+                    self.groups[gi]
+                        .shared_meta
+                        .as_ref()
+                        .expect("multi-member groups carry shared metadata"),
+                );
+                let encodings =
+                    Arc::clone(&self.slots[self.queries[members[0]].slot].enc.encodings);
+                let group_members: Vec<GroupMember> = members
+                    .iter()
+                    .map(|&qi| {
+                        let st = &mut self.queries[qi];
+                        GroupMember {
+                            q: st.q.clone(),
+                            seeds: st.seeds.clone(),
+                            table: st.table.take().expect("table present"),
+                            collect: st.collect,
+                        }
+                    })
+                    .collect();
+                let gpma = self.gpma.take().expect("gpma present");
+                let (gpma, group_members, outputs, stats) = run_group_phase(
+                    &self.device,
+                    gpma,
+                    shared_meta,
+                    group_members,
+                    encodings,
+                    anchors,
+                    self.config.match_limit,
+                    Arc::clone(abort),
+                    self.config.bitmap_intersect,
+                );
+                self.gpma = Some(gpma);
+                for (mi, (member, (matches, count))) in
+                    group_members.into_iter().zip(outputs).enumerate()
+                {
+                    let qi = members[mi];
+                    self.queries[qi].table = Some(member.table);
+                    Self::route(&mut result.deltas[qi], matches, count, &stats, positive);
+                }
+                result.kernel.absorb(&stats);
+            }
+        }
+    }
+
+    fn route(
+        delta: &mut QueryDelta,
+        matches: Vec<VMatch>,
+        count: u64,
+        stats: &KernelStats,
+        positive: bool,
+    ) {
+        if positive {
+            delta.positive = matches;
+            delta.positive_count = count;
+        } else {
+            delta.negative = matches;
+            delta.negative_count = count;
+        }
+        delta.kernel.absorb(stats);
+    }
+
+    /// Adds a fresh data vertex (vertex insertions are a vertex plus edge
+    /// insertions, §II-A): encoded under every live slot, with a candidate
+    /// row in every query's table.
+    pub fn add_vertex(&mut self, label: VLabel) -> VertexId {
+        let v = self.graph.add_vertex(label);
+        self.gpma
+            .as_mut()
+            .expect("gpma present between batches")
+            .ensure_vertices(self.graph.num_vertices());
+        for si in 0..self.slots.len() {
+            if self.slots[si].refs == 0 {
+                continue;
+            }
+            let dirty = self.slots[si].enc.reencode(&self.graph, &[v]);
+            let encodings = Arc::clone(&self.slots[si].enc.encodings);
+            for st in self.queries.iter_mut().filter(|s| s.slot == si) {
+                st.table
+                    .as_mut()
+                    .expect("table present between launches")
+                    .refresh(&dirty, &encodings, &st.qcodes);
+            }
+        }
+        v
+    }
+
+    /// Number of currently registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of evaluation groups (≤ [`num_queries`](Self::num_queries);
+    /// lower means more sharing).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The current grouping, each group's members in [`QueryId`] order
+    /// with the representative first.
+    pub fn groups(&self) -> Vec<Vec<QueryId>> {
+        self.groups
+            .iter()
+            .map(|g| g.members.iter().map(|&qi| self.queries[qi].id).collect())
+            .collect()
+    }
+
+    /// Registered query ids, in registration order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.queries.iter().map(|s| s.id).collect()
+    }
+
+    /// Cumulative telemetry for `id`.
+    pub fn stats(&self, id: QueryId) -> Option<&QueryStats> {
+        self.queries.iter().find(|s| s.id == id).map(|s| &s.stats)
+    }
+
+    /// The registered pattern behind `id`.
+    pub fn query(&self, id: QueryId) -> Option<&QueryGraph> {
+        self.queries.iter().find(|s| s.id == id).map(|s| &s.q)
+    }
+
+    /// Whether `id` materializes its match deltas.
+    pub fn collects(&self, id: QueryId) -> Option<bool> {
+        self.queries.iter().find(|s| s.id == id).map(|s| s.collect)
+    }
+
+    /// The id the next registration will receive.
+    pub fn next_query_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Read access to the host mirror of the data graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Read access to the GPMA device store (snapshot support).
+    pub fn gpma(&self) -> &Gpma {
+        self.gpma.as_ref().expect("gpma present between batches")
+    }
+
+    /// The registry-wide configuration.
+    pub fn config(&self) -> &GammaConfig {
+        &self.config
+    }
+
+    /// Number of batches processed so far.
+    pub fn batches_processed(&self) -> u64 {
+        self.batches_processed
+    }
+
+    /// Simulated seconds for a cycle count under this registry's clock.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        self.device.seconds(cycles)
+    }
+
+    /// Live encoder slots (label-set classes with ≥ 1 registered query).
+    pub fn encoder_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.refs > 0).count()
+    }
+
+    /// The shared encoding scheme serving `id`.
+    pub fn scheme(&self, id: QueryId) -> Option<&EncodingScheme> {
+        self.queries
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| self.slots[s.slot].enc.scheme())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serving tier
+// ---------------------------------------------------------------------------
+
+/// One sharded engine serving a class of identical registered patterns.
+struct ShardedClass {
+    q: QueryGraph,
+    engine: ShardedEngine,
+}
+
+/// One subscription to a sharded class.
+struct ShardedSub {
+    id: QueryId,
+    class: usize,
+    stats: QueryStats,
+}
+
+/// The standing-query serving tier over the multi-device
+/// [`ShardedEngine`] runtime.
+///
+/// Sharing model: **identity-class dedup** — subscriptions whose patterns
+/// are equal share one sharded engine (its per-batch work runs once, its
+/// deltas are cloned per subscriber), and every migrant envelope that
+/// engine ships across the interconnect is stamped with the class
+/// representative's [`QueryId`] ([`ShardedConfig::query_id`]). Shared-
+/// *prefix* grouping across non-identical patterns is single-device only
+/// (see [`QueryRegistry`]): the sharded kernel's migration/stealing
+/// soundness argument is per-query, and a forked envelope format is
+/// future work (tracked in ROADMAP).
+pub struct ShardedQueryRegistry {
+    /// Host mirror — the source graph for engines registered mid-stream.
+    graph: DynamicGraph,
+    config: ShardedConfig,
+    classes: Vec<ShardedClass>,
+    /// Subscriptions in [`QueryId`] order.
+    subs: Vec<ShardedSub>,
+    next_id: u64,
+    batches_processed: u64,
+}
+
+impl ShardedQueryRegistry {
+    /// Builds an empty sharded registry over `graph`.
+    /// `config.query_id` is ignored — each class engine gets its own tag.
+    pub fn new(graph: DynamicGraph, config: ShardedConfig) -> Self {
+        Self {
+            graph,
+            config,
+            classes: Vec::new(),
+            subs: Vec::new(),
+            next_id: 0,
+            batches_processed: 0,
+        }
+    }
+
+    /// Registers a standing query. Identical patterns (graph equality)
+    /// share one sharded engine; a novel pattern gets a fresh engine
+    /// built from the current graph state.
+    pub fn register(&mut self, query: &QueryGraph) -> QueryId {
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        let class = match self.classes.iter().position(|c| &c.q == query) {
+            Some(i) => i,
+            None => {
+                let mut cfg = self.config.clone();
+                cfg.query_id = id.0;
+                self.classes.push(ShardedClass {
+                    q: query.clone(),
+                    engine: ShardedEngine::new(self.graph.clone(), query, cfg),
+                });
+                self.classes.len() - 1
+            }
+        };
+        self.subs.push(ShardedSub {
+            id,
+            class,
+            stats: QueryStats::default(),
+        });
+        id
+    }
+
+    /// Removes a subscription; a class with no remaining subscribers
+    /// drops its engine. Returns `false` if `id` is unknown.
+    pub fn unregister(&mut self, id: QueryId) -> bool {
+        let Some(pos) = self.subs.iter().position(|s| s.id == id) else {
+            return false;
+        };
+        let class = self.subs.remove(pos).class;
+        if !self.subs.iter().any(|s| s.class == class) {
+            self.classes.remove(class);
+            for s in &mut self.subs {
+                if s.class > class {
+                    s.class -= 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies one update batch: once per class engine, with each class's
+    /// delta cloned to every subscriber.
+    pub fn apply_batch(&mut self, raw: &[Update]) -> RegistryBatchResult {
+        let t0 = Instant::now();
+        let batch = UpdateBatch::canonicalize(&self.graph, raw);
+        let mut result = RegistryBatchResult {
+            net_updates: batch.len(),
+            ..RegistryBatchResult::default()
+        };
+        batch.apply(&mut self.graph);
+        result.preprocess_seconds = t0.elapsed().as_secs_f64();
+
+        let per_class: Vec<crate::engine::BatchResult> = self
+            .classes
+            .iter_mut()
+            .map(|c| c.engine.apply_batch(raw))
+            .collect();
+        for r in &per_class {
+            result.update_cycles += r.stats.update_cycles;
+            result.dirty_vertices += r.stats.dirty_vertices;
+            result.kernel.absorb(&r.stats.kernel);
+            result.preprocess_seconds += r.stats.preprocess_seconds;
+            result.timed_out |= r.stats.timed_out;
+        }
+        for sub in &mut self.subs {
+            let r = &per_class[sub.class];
+            result.deltas.push(QueryDelta {
+                id: sub.id,
+                positive: r.positive.clone(),
+                negative: r.negative.clone(),
+                positive_count: r.positive_count,
+                negative_count: r.negative_count,
+                kernel: r.stats.kernel.clone(),
+            });
+            sub.stats.batches += 1;
+            sub.stats.positive_total += r.positive_count;
+            sub.stats.negative_total += r.negative_count;
+            sub.stats.kernel.absorb(&r.stats.kernel);
+        }
+        self.batches_processed += 1;
+        result
+    }
+
+    /// Adds a fresh data vertex across the mirror and every class engine.
+    pub fn add_vertex(&mut self, label: VLabel) -> VertexId {
+        let v = self.graph.add_vertex(label);
+        for c in &mut self.classes {
+            let cv = c.engine.add_vertex(label);
+            debug_assert_eq!(cv, v, "class engines and mirror must agree on ids");
+        }
+        v
+    }
+
+    /// Number of currently registered subscriptions.
+    pub fn num_queries(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Number of class engines (≤ [`num_queries`](Self::num_queries)).
+    pub fn group_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Cumulative telemetry for `id`.
+    pub fn stats(&self, id: QueryId) -> Option<&QueryStats> {
+        self.subs.iter().find(|s| s.id == id).map(|s| &s.stats)
+    }
+
+    /// Read access to the host mirror of the data graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Number of batches processed so far.
+    pub fn batches_processed(&self) -> u64 {
+        self.batches_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamma_graph::NO_ELABEL;
+
+    fn fig1() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        for &l in &[0u16, 0, 1, 1, 1, 1, 1, 2, 2, 2] {
+            g.add_vertex(l);
+        }
+        for &(u, v) in &[
+            (0, 3),
+            (0, 4),
+            (2, 3),
+            (2, 4),
+            (3, 7),
+            (2, 8),
+            (1, 5),
+            (1, 6),
+            (5, 6),
+            (5, 9),
+            (4, 7),
+        ] {
+            g.insert_edge(u, v, NO_ELABEL);
+        }
+        g
+    }
+
+    fn triangle_with_tail() -> QueryGraph {
+        let mut b = QueryGraph::builder();
+        let u0 = b.vertex(0);
+        let u1 = b.vertex(1);
+        let u2 = b.vertex(1);
+        let u3 = b.vertex(2);
+        b.edge(u0, u1).edge(u0, u2).edge(u1, u2).edge(u1, u3);
+        b.build()
+    }
+
+    fn triangle() -> QueryGraph {
+        let mut b = QueryGraph::builder();
+        let u0 = b.vertex(0);
+        let u1 = b.vertex(1);
+        let u2 = b.vertex(1);
+        b.edge(u0, u1).edge(u0, u2).edge(u1, u2);
+        b.build()
+    }
+
+    fn sorted(mut v: Vec<VMatch>) -> Vec<VMatch> {
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn identical_queries_share_one_group() {
+        let q = triangle_with_tail();
+        let mut reg = QueryRegistry::new(fig1(), GammaConfig::default());
+        let a = reg.register(&q, QueryConfig::default());
+        let b = reg.register(&q, QueryConfig::default());
+        assert_eq!(reg.num_queries(), 2);
+        assert_eq!(reg.group_count(), 1);
+        assert_eq!(reg.encoder_count(), 1);
+
+        let r = reg.apply_batch(&[Update::insert(0, 2)]);
+        let da = r.delta(a).unwrap();
+        let db = r.delta(b).unwrap();
+        assert_eq!(da.positive_count, 4);
+        assert_eq!(db.positive_count, 4);
+        assert_eq!(sorted(da.positive.clone()), sorted(db.positive.clone()));
+    }
+
+    #[test]
+    fn registry_matches_dedicated_engine() {
+        let q = triangle_with_tail();
+        let mut engine = crate::GammaEngine::new(fig1(), &q, GammaConfig::default());
+        let mut reg = QueryRegistry::new(fig1(), GammaConfig::default());
+        let id = reg.register(&q, QueryConfig::default());
+
+        for batch in [
+            vec![Update::insert(0, 2)],
+            vec![Update::delete(0, 3), Update::insert(6, 9)],
+            vec![Update::insert(0, 3), Update::delete(0, 2)],
+        ] {
+            let e = engine.apply_batch(&batch);
+            let r = reg.apply_batch(&batch);
+            let d = r.delta(id).unwrap();
+            assert_eq!(e.positive_count, d.positive_count);
+            assert_eq!(e.negative_count, d.negative_count);
+            assert_eq!(sorted(e.positive.clone()), sorted(d.positive.clone()));
+            assert_eq!(sorted(e.negative.clone()), sorted(d.negative.clone()));
+        }
+    }
+
+    #[test]
+    fn mixed_classes_get_separate_encoders() {
+        let mut reg = QueryRegistry::new(fig1(), GammaConfig::default());
+        let a = reg.register(&triangle_with_tail(), QueryConfig::default());
+        let b = reg.register(&triangle(), QueryConfig::default());
+        // {A,B,C} vs {A,B}: different label sets, different encoders.
+        assert_eq!(reg.encoder_count(), 2);
+        assert_ne!(
+            reg.scheme(a).unwrap().labels(),
+            reg.scheme(b).unwrap().labels()
+        );
+        let r = reg.apply_batch(&[Update::insert(0, 2)]);
+        assert_eq!(r.delta(a).unwrap().positive_count, 4);
+        // Two new data triangles x the u1/u2 automorphism.
+        assert_eq!(r.delta(b).unwrap().positive_count, 4);
+    }
+
+    #[test]
+    fn unregister_revives_slot_and_regroups() {
+        let q = triangle_with_tail();
+        let mut reg = QueryRegistry::new(fig1(), GammaConfig::default());
+        let a = reg.register(&q, QueryConfig::default());
+        let b = reg.register(&q, QueryConfig::default());
+        assert_eq!(reg.group_count(), 1);
+        assert!(reg.unregister(a));
+        assert!(!reg.unregister(a));
+        assert_eq!(reg.num_queries(), 1);
+        assert_eq!(reg.group_count(), 1);
+        let r = reg.apply_batch(&[Update::insert(0, 2)]);
+        assert!(r.delta(a).is_none());
+        assert_eq!(r.delta(b).unwrap().positive_count, 4);
+        // Re-registering the same class revives the tombstoned slot.
+        let c = reg.register(&q, QueryConfig::default());
+        assert_eq!(reg.encoder_count(), 1);
+        let r = reg.apply_batch(&[Update::delete(0, 2)]);
+        assert_eq!(r.delta(b).unwrap().negative_count, 4);
+        assert_eq!(r.delta(c).unwrap().negative_count, 4);
+    }
+
+    #[test]
+    fn collect_override_counts_only() {
+        let q = triangle_with_tail();
+        let mut reg = QueryRegistry::new(fig1(), GammaConfig::default());
+        let a = reg.register(
+            &q,
+            QueryConfig {
+                collect_matches: Some(false),
+            },
+        );
+        let b = reg.register(&q, QueryConfig::default());
+        let r = reg.apply_batch(&[Update::insert(0, 2)]);
+        let da = r.delta(a).unwrap();
+        let db = r.delta(b).unwrap();
+        assert_eq!(da.positive_count, 4);
+        assert!(da.positive.is_empty());
+        assert_eq!(db.positive.len(), 4);
+    }
+
+    #[test]
+    fn empty_batch_counts_batches() {
+        let mut reg = QueryRegistry::new(fig1(), GammaConfig::default());
+        let id = reg.register(&triangle(), QueryConfig::default());
+        let r = reg.apply_batch(&[]);
+        assert_eq!(r.deltas.len(), 1);
+        assert_eq!(r.delta(id).unwrap().positive_count, 0);
+        assert_eq!(reg.stats(id).unwrap().batches, 1);
+    }
+}

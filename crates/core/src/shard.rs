@@ -530,6 +530,12 @@ pub struct ShardedConfig {
     /// the default — injects nothing and leaves every phase byte-
     /// identical to a configuration without the fault subsystem.
     pub faults: Option<FaultPlan>,
+    /// Serving-tier tag stamped on every migrant envelope this engine
+    /// ships (see [`crate::registry::ShardedQueryRegistry`]): the raw
+    /// [`crate::registry::QueryId`] of the query class this engine
+    /// serves. Purely an envelope tag — it never influences routing,
+    /// costs, or results — so standalone engines leave the default `0`.
+    pub query_id: u64,
 }
 
 impl Default for ShardedConfig {
@@ -540,6 +546,7 @@ impl Default for ShardedConfig {
             strategy: PartitionStrategy::Hash,
             stealing: ShardStealing::Active,
             faults: None,
+            query_id: 0,
         }
     }
 }
@@ -657,6 +664,10 @@ pub(crate) struct Migrant {
     seed: usize,
     base_level: usize,
     m: VMatch,
+    /// Serving-tier envelope tag ([`ShardedConfig::query_id`]); carried
+    /// so multi-registry deployments can route and audit in-flight
+    /// partials per standing query.
+    qid: u64,
 }
 
 impl Migrant {
@@ -818,6 +829,8 @@ struct ShardEnv<'a> {
     /// disables the bitmap prefilter; results identical either way).
     signatures: &'a [u64],
     collect: bool,
+    /// Envelope tag stamped on shipped migrants.
+    query_id: u64,
 }
 
 impl ShardEnv<'_> {
@@ -1021,6 +1034,7 @@ impl UnitTask<'_, '_> {
                     seed: st.seed,
                     base_level: level,
                     m: st.m,
+                    qid: env.query_id,
                 },
             ));
             st.pending_scan = false;
@@ -2235,6 +2249,7 @@ impl ShardedEngine {
                         alive: &self.alive,
                         signatures: &signatures,
                         collect,
+                        query_id: self.config.query_id,
                     };
                     out.clear();
                     match unit.work {
@@ -2256,6 +2271,10 @@ impl ShardedEngine {
                             task.run_anchor();
                         }
                         UnitWork::Mig(mig) => {
+                            debug_assert_eq!(
+                                mig.qid, self.config.query_id,
+                                "migrant envelope routed to a different standing query"
+                            );
                             let mut task = UnitTask {
                                 env: &env,
                                 ctx: &mut ctxs[s],

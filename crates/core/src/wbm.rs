@@ -199,6 +199,45 @@ pub struct KernelShared {
     /// bit-identical either way (a clear bit proves absence); the toggle
     /// exists for parity testing and ablation.
     pub signatures: Vec<u64>,
+    /// Grouped multi-query launch state (`None` for the classic one-query
+    /// launch). When set, `meta` holds the *shared-prefix* seeds (orders
+    /// truncated to the group's per-seed compatible prefix, member 0's
+    /// query vertices), completed prefix assignments fork into per-member
+    /// suffix searches, and matches route to the group's per-member sinks
+    /// instead of [`KernelShared::sink`].
+    pub group: Option<Arc<GroupShared>>,
+}
+
+/// One registered query riding a grouped launch. `seeds` is aligned 1:1
+/// with the shared meta's (truncated) seeds: `seeds[si].order` is this
+/// member's *full* matching order for the query edge the shared seed `si`
+/// maps anchors onto, and its first `p` positions are gate-equivalent to
+/// the shared prefix (same qcodes under one encoding scheme, same
+/// within-prefix backward edges and edge labels) — the precondition
+/// [`crate::order::compatible_prefix_len`] certifies at registration.
+#[derive(Clone, Debug)]
+pub struct GroupMember {
+    /// The member's query graph.
+    pub q: QueryGraph,
+    /// Full-order seed plans, one per shared seed (positionally aligned).
+    pub seeds: Vec<SeedPlan>,
+    /// The member's candidate table (member 0's doubles as the gate for
+    /// the shared prefix levels).
+    pub table: CandidateTable,
+    /// Materialize this member's matches (counts are always maintained).
+    pub collect: bool,
+}
+
+/// Per-launch state of a grouped multi-query search: the members plus
+/// their result routing. Member 0 is the group representative whose
+/// (truncated) orders the shared meta carries.
+pub struct GroupShared {
+    /// The registered queries of this group, representative first.
+    pub members: Vec<GroupMember>,
+    /// Per-member collected matches.
+    pub sinks: Vec<Mutex<Vec<VMatch>>>,
+    /// Per-member match counts (always maintained).
+    pub counts: Vec<AtomicU64>,
 }
 
 impl KernelShared {
@@ -224,12 +263,18 @@ struct Frame {
     memo_last: Option<Vec<VertexId>>,
 }
 
-/// A pending `V^k` partial match produced by permutation, awaiting
-/// extension over `R^k`.
+/// A pending partial match awaiting suffix extension: a permuted `V^k`
+/// partial (coalesced search) or a per-member continuation forked at a
+/// shared-prefix boundary (grouped multi-query search).
 #[derive(Clone, Debug)]
 struct PendingPartial {
     m: VMatch,
     seed: usize,
+    /// DFS level the suffix search resumes at (`vk_size` for permuted
+    /// partials, the shared-prefix length for group forks).
+    base_level: usize,
+    /// Group member this partial belongs to (`None`: the shared search).
+    member: Option<u32>,
 }
 
 /// The DFS engine state for the current seed / pending partial.
@@ -245,6 +290,9 @@ struct DfsState {
     frames: Vec<Frame>,
     /// Needs its initial frame generated on the next step.
     warm: bool,
+    /// Group member whose suffix this state explores (`None`: the shared
+    /// prefix search, or any search of an ungrouped launch).
+    member: Option<u32>,
 }
 
 /// The warp task for one update edge.
@@ -262,6 +310,10 @@ pub struct WbmTask {
     state: Option<DfsState>,
     local: Vec<VMatch>,
     local_count: u64,
+    /// Per-member collect buffers (grouped launches; empty otherwise).
+    member_local: Vec<Vec<VMatch>>,
+    /// Per-member pending counts (grouped launches; empty otherwise).
+    member_count: Vec<u64>,
     /// Recycled candidate buffers: every popped DFS frame returns its
     /// vector here and every new frame draws from here, so steady-state
     /// quanta perform no heap allocation.
@@ -303,6 +355,7 @@ impl WbmTask {
             seed_queue.push_back((si, false));
             seed_queue.push_back((si, true));
         }
+        let nm = shared.group.as_ref().map_or(0, |g| g.members.len());
         Self {
             shared,
             v1: anchor.u,
@@ -314,6 +367,35 @@ impl WbmTask {
             state: None,
             local: Vec::new(),
             local_count: 0,
+            member_local: vec![Vec::new(); nm],
+            member_count: vec![0; nm],
+            pool: Vec::new(),
+            others_buf: Vec::new(),
+            chunk_buf: Vec::new(),
+        }
+    }
+
+    /// A fresh task sharing this one's anchor and launch state (the shape
+    /// every `try_split` thief starts from).
+    fn child(
+        &self,
+        seed_queue: VecDeque<(usize, bool)>,
+        pending: VecDeque<PendingPartial>,
+        state: Option<DfsState>,
+    ) -> WbmTask {
+        WbmTask {
+            shared: Arc::clone(&self.shared),
+            v1: self.v1,
+            v2: self.v2,
+            elabel: self.elabel,
+            anchor_order: self.anchor_order,
+            seed_queue,
+            pending,
+            state,
+            local: Vec::new(),
+            local_count: 0,
+            member_local: vec![Vec::new(); self.member_local.len()],
+            member_count: vec![0; self.member_count.len()],
             pool: Vec::new(),
             others_buf: Vec::new(),
             chunk_buf: Vec::new(),
@@ -350,6 +432,19 @@ impl WbmTask {
         if !self.local.is_empty() {
             self.shared.sink.lock().append(&mut self.local);
         }
+        if let Some(grp) = self.shared.group.clone() {
+            for (mi, c) in self.member_count.iter_mut().enumerate() {
+                if *c > 0 {
+                    grp.counts[mi].fetch_add(*c, Ordering::Relaxed);
+                    *c = 0;
+                }
+            }
+            for (mi, buf) in self.member_local.iter_mut().enumerate() {
+                if !buf.is_empty() {
+                    grp.sinks[mi].lock().append(buf);
+                }
+            }
+        }
     }
 
     fn emit(&mut self, m: VMatch) {
@@ -362,27 +457,97 @@ impl WbmTask {
         }
     }
 
+    /// Routes a complete match of group member `mi` to its sink/count
+    /// (`local_count` still feeds the launch-wide match limit).
+    fn emit_member(&mut self, mi: u32, m: VMatch, collect: bool) {
+        self.local_count += 1;
+        self.member_count[mi as usize] += 1;
+        if collect {
+            self.member_local[mi as usize].push(m);
+        }
+        if self.member_local[mi as usize].len() >= FLUSH_THRESHOLD
+            || self.local_count >= FLUSH_THRESHOLD as u64
+        {
+            self.flush();
+        }
+    }
+
+    /// Bulk count for group member `mi` (the count-only fast paths of a
+    /// member suffix search).
+    fn note_member_count(&mut self, mi: u32, n: u64) {
+        self.local_count += n;
+        self.member_count[mi as usize] += n;
+        if self.local_count >= FLUSH_THRESHOLD as u64 {
+            self.flush();
+        }
+    }
+
+    /// On completing a shared-prefix assignment of a grouped launch, fork
+    /// one suffix continuation per member: the prefix assignment is
+    /// remapped positionally from the shared (representative) order onto
+    /// the member's own order — gate equality at every prefix level is the
+    /// registration-time grouping invariant, so the remapped partial is
+    /// exactly the state the member's independent search would have
+    /// reached. Members whose whole order is the prefix emit directly.
+    fn fork_members(&mut self, grp: &GroupShared, si: usize, m: &VMatch, ctx: &mut WarpCtx) {
+        let meta = Arc::clone(&self.shared.meta);
+        let rep_order = &meta.seeds[si].order;
+        let p = rep_order.len();
+        for (mi, mem) in grp.members.iter().enumerate() {
+            ctx.compute(p as u64);
+            let mord = &mem.seeds[si].order;
+            let mut mm = VMatch::EMPTY;
+            for l in 0..p {
+                mm.set(mord[l], m.at(rep_order[l]));
+            }
+            if mord.len() == p {
+                self.emit_member(mi as u32, mm, mem.collect);
+            } else {
+                self.pending.push_back(PendingPartial {
+                    m: mm,
+                    seed: si,
+                    base_level: p,
+                    member: Some(mi as u32),
+                });
+            }
+        }
+    }
+
     /// Candidate gate for query vertex `qv` at a given DFS `level` of
     /// `seed`. Inside a class representative's `V^k` phase the test uses
     /// the `V^k`-restricted code (weaker, so member-edge matches survive to
     /// be recovered by permutation); everywhere else it uses the full
     /// candidate table.
     #[inline]
-    fn candidate_ok(&self, seed: &SeedPlan, level: usize, qv: u8, v: VertexId) -> bool {
+    fn candidate_ok(
+        &self,
+        seed: &SeedPlan,
+        table: &CandidateTable,
+        level: usize,
+        qv: u8,
+        v: VertexId,
+    ) -> bool {
         match seed.class {
             Some(ci) if level < seed.vk_size => {
                 let ucode = self.shared.meta.class_vk_codes[ci][qv as usize];
                 let vcode = self.shared.encodings.get(v as usize).copied().unwrap_or(0);
                 crate::encoding::EncodingScheme::is_candidate(ucode, vcode)
             }
-            _ => self.shared.table.is_candidate(v, qv),
+            _ => table.is_candidate(v, qv),
         }
     }
 
     /// Validates and installs the next seed; returns the ready state.
     fn start_seed(&mut self, si: usize, flipped: bool, ctx: &mut WarpCtx) -> Option<DfsState> {
         let meta = Arc::clone(&self.shared.meta);
+        let grp = self.shared.group.clone();
         let seed = &meta.seeds[si];
+        // Grouped launches gate the shared prefix (including the two
+        // anchored levels) with the representative's table.
+        let table = match &grp {
+            Some(g) => &g.members[0].table,
+            None => &self.shared.table,
+        };
         let (x, y) = if flipped {
             (self.v2, self.v1)
         } else {
@@ -394,7 +559,9 @@ impl WbmTask {
         }
         // Candidate gate for the two anchored vertices (levels 0 and 1).
         ctx.shared_access(2);
-        if !self.candidate_ok(seed, 0, seed.a, x) || !self.candidate_ok(seed, 1, seed.b, y) {
+        if !self.candidate_ok(seed, table, 0, seed.a, x)
+            || !self.candidate_ok(seed, table, 1, seed.b, y)
+        {
             return None;
         }
         let mut m = VMatch::EMPTY;
@@ -406,6 +573,7 @@ impl WbmTask {
             m,
             frames: Vec::new(),
             warm: true,
+            member: None,
         })
     }
 
@@ -422,12 +590,14 @@ impl WbmTask {
     fn gen_candidates(
         &mut self,
         seed: &SeedPlan,
+        q: &QueryGraph,
+        table: &CandidateTable,
         level: usize,
         m: &VMatch,
         ctx: &mut WarpCtx,
     ) -> Vec<VertexId> {
         let mut out = self.take_buf(ctx);
-        self.scan_candidates(seed, level, m, ctx, |c| out.push(c));
+        self.scan_candidates(seed, q, table, level, m, ctx, |c| out.push(c));
         out
     }
 
@@ -438,12 +608,14 @@ impl WbmTask {
     fn count_candidates(
         &mut self,
         seed: &SeedPlan,
+        q: &QueryGraph,
+        table: &CandidateTable,
         level: usize,
         m: &VMatch,
         ctx: &mut WarpCtx,
     ) -> u64 {
         let mut n = 0u64;
-        self.scan_candidates(seed, level, m, ctx, |_| n += 1);
+        self.scan_candidates(seed, q, table, level, m, ctx, |_| n += 1);
         n
     }
 
@@ -460,16 +632,18 @@ impl WbmTask {
     /// (popcount = the count pass, bit order = the exclusive-scan offsets,
     /// so writes are contention-free). Every filter is exact, so the result
     /// is bit-identical with per-element galloping.
+    #[allow(clippy::too_many_arguments)]
     fn scan_candidates(
         &mut self,
         seed: &SeedPlan,
+        q: &QueryGraph,
+        table: &CandidateTable,
         level: usize,
         m: &VMatch,
         ctx: &mut WarpCtx,
         mut sink: impl FnMut(VertexId),
     ) {
         let shared = Arc::clone(&self.shared);
-        let q = &shared.meta.q;
         let qv = seed.order[level];
         // Matched backward neighbors of qv; the smallest adjacency list
         // seeds the scan, the rest are probed by chunked merge cursors.
@@ -529,7 +703,6 @@ impl WbmTask {
             Some(ci) if level < seed.vk_size => Some(shared.meta.class_vk_codes[ci][qv as usize]),
             _ => None,
         };
-        let table = &shared.table;
         let encodings: &[u64] = &shared.encodings;
         let anchor_order = self.anchor_order;
         // Directory fetch of the base run head, then one warp-coalesced
@@ -724,6 +897,8 @@ impl WbmTask {
                 self.pending.push_back(PendingPartial {
                     m: pm,
                     seed: seed_idx,
+                    base_level: seed.vk_size,
+                    member: None,
                 });
             }
         }
@@ -735,19 +910,49 @@ impl WbmTask {
         let Some(mut st) = self.state.take() else {
             return false;
         };
-        let meta = Arc::clone(&self.shared.meta);
-        let seed = &meta.seeds[st.seed];
+        let shared = Arc::clone(&self.shared);
+        let grp = shared.group.clone();
+        // Resolve the state's query context: the shared (truncated) prefix
+        // search runs the launch meta gated by the representative's table;
+        // a member suffix search runs the member's own full order, query
+        // graph and table.
+        let (seed, q, table, collect) = match st.member {
+            None => (
+                &shared.meta.seeds[st.seed],
+                &shared.meta.q,
+                match &grp {
+                    Some(g) => &g.members[0].table,
+                    None => &shared.table,
+                },
+                shared.collect,
+            ),
+            Some(mi) => {
+                let mem =
+                    &grp.as_ref().expect("member state requires a group").members[mi as usize];
+                (&mem.seeds[st.seed], &mem.q, &mem.table, mem.collect)
+            }
+        };
+        // Shared-prefix searches of a grouped launch fork per-member
+        // continuations at completion instead of emitting.
+        let forking = grp.is_some() && st.member.is_none();
         let n = seed.order.len();
 
         if st.warm {
             st.warm = false;
             if st.base_level == n {
                 // Degenerate: nothing to extend (k = 0 classes emit
-                // directly and never get here; guard anyway).
-                self.emit(st.m);
+                // directly and never get here; a 2-long shared prefix
+                // forks straight off the validated anchor pair).
+                if let Some(mi) = st.member {
+                    self.emit_member(mi, st.m, collect);
+                } else if forking {
+                    self.fork_members(grp.as_deref().expect("grouped"), st.seed, &st.m, ctx);
+                } else {
+                    self.emit(st.m);
+                }
                 return false;
             }
-            let cands = self.gen_candidates(seed, st.base_level, &st.m, ctx);
+            let cands = self.gen_candidates(seed, q, table, st.base_level, &st.m, ctx);
             if cands.is_empty() {
                 self.recycle(cands);
                 return false;
@@ -772,17 +977,23 @@ impl WbmTask {
                 // Count-only fast path: every candidate in the frame was
                 // fully validated by `GenCandidates`, so when matches are
                 // not materialized (and no coalesced-search permutation
-                // rides on the final assignment) the frame collapses into
-                // one bulk-counted emit — the per-match join loop is pure
+                // rides on the final assignment, and no group fork needs
+                // the assignment itself) the frame collapses into one
+                // bulk-counted emit — the per-match join loop is pure
                 // overhead in benchmarking mode.
-                if !(self.shared.collect || seed.class.is_some() && seed.vk_size == n) {
+                if !(collect || forking || seed.class.is_some() && seed.vk_size == n) {
                     let f = &mut st.frames[top_idx];
                     let remaining = f.cands.len() - f.p;
                     f.p = f.cands.len();
                     ctx.compute(remaining as u64);
-                    self.local_count += remaining as u64;
-                    if self.local_count >= FLUSH_THRESHOLD as u64 {
-                        self.flush();
+                    match st.member {
+                        Some(mi) => self.note_member_count(mi, remaining as u64),
+                        None => {
+                            self.local_count += remaining as u64;
+                            if self.local_count >= FLUSH_THRESHOLD as u64 {
+                                self.flush();
+                            }
+                        }
                     }
                     if let Some(f) = st.frames.pop() {
                         self.recycle(f.cands);
@@ -809,7 +1020,13 @@ impl WbmTask {
                     let mut m = st.m;
                     m.set(qv, c);
                     ctx.compute(1);
-                    self.emit(m);
+                    match st.member {
+                        Some(mi) => self.emit_member(mi, m, collect),
+                        None if forking => {
+                            self.fork_members(grp.as_deref().expect("grouped"), st.seed, &m, ctx)
+                        }
+                        None => self.emit(m),
+                    }
                     // Coalesced-search trigger when V^k ends at the last
                     // level (|R^k| = 0 handled at class build; this arm
                     // covers vk_size == n with class present).
@@ -859,23 +1076,22 @@ impl WbmTask {
             let crossing_vk = seed.class.is_some() && level + 1 == seed.vk_size;
             // Count-only fast path: when the next level is the last, its
             // candidate set would be materialized only to be counted —
-            // stream-count it instead and never build the frame.
-            if level + 2 == n
-                && !self.shared.collect
-                && !(seed.class.is_some() && seed.vk_size == n)
-            {
+            // stream-count it instead and never build the frame. (Forking
+            // prefix searches need the materialized last frame.)
+            let vk_ends_at_last = seed.class.is_some() && seed.vk_size == n;
+            if level + 2 == n && !collect && !forking && !vk_ends_at_last {
                 let qv_last = seed.order[level + 1];
                 // When the last query vertex has no backward edge to *this*
                 // level's vertex, its candidate set is identical across all
                 // siblings here (only injectivity against `c` differs):
                 // memoize it on the parent frame and answer each sibling
                 // with one binary search instead of a rescan.
-                let independent = !meta.q.neighbors(qv_last).iter().any(|&(un, _)| un == qv);
+                let independent = !q.neighbors(qv_last).iter().any(|&(un, _)| un == qv);
                 let count = if independent {
                     if st.frames[top_idx].memo_last.is_none() {
                         st.m.unset(qv);
                         let mut s = self.take_buf(ctx);
-                        self.scan_candidates(seed, level + 1, &st.m, ctx, |v| s.push(v));
+                        self.scan_candidates(seed, q, table, level + 1, &st.m, ctx, |v| s.push(v));
                         st.m.set(qv, c);
                         st.frames[top_idx].memo_last = Some(s);
                     }
@@ -885,23 +1101,28 @@ impl WbmTask {
                     ctx.shared_access((64 - (s.len() as u64).leading_zeros() as u64).max(1));
                     (s.len() - usize::from(s.binary_search(&c).is_ok())) as u64
                 } else {
-                    self.count_candidates(seed, level + 1, &st.m, ctx)
+                    self.count_candidates(seed, q, table, level + 1, &st.m, ctx)
                 };
                 if crossing_vk {
                     let m = st.m;
                     self.spawn_permutations(st.seed, &m, ctx);
                 }
                 ctx.compute(count);
-                self.local_count += count;
-                if self.local_count >= FLUSH_THRESHOLD as u64 {
-                    self.flush();
+                match st.member {
+                    Some(mi) => self.note_member_count(mi, count),
+                    None => {
+                        self.local_count += count;
+                        if self.local_count >= FLUSH_THRESHOLD as u64 {
+                            self.flush();
+                        }
+                    }
                 }
                 st.m.unset(qv);
                 st.frames[top_idx].p += 1;
                 budget -= 1;
                 continue;
             }
-            let next = self.gen_candidates(seed, level + 1, &st.m, ctx);
+            let next = self.gen_candidates(seed, q, table, level + 1, &st.m, ctx);
             if !next.is_empty() {
                 if crossing_vk {
                     let m = st.m;
@@ -970,15 +1191,15 @@ impl WarpTask for WbmTask {
             self.state = None;
             return StepResult::Continue;
         }
-        // Pull the next pending permuted partial.
+        // Pull the next pending partial (permuted V^k or group fork).
         if let Some(p) = self.pending.pop_front() {
-            let seed = &self.shared.meta.seeds[p.seed];
             self.state = Some(DfsState {
                 seed: p.seed,
-                base_level: seed.vk_size,
+                base_level: p.base_level,
                 m: p.m,
                 frames: Vec::new(),
                 warm: true,
+                member: p.member,
             });
             ctx.compute(2);
             return StepResult::Continue;
@@ -1013,7 +1234,17 @@ impl WarpTask for WbmTask {
         // candidates beyond the current one (the paper's "appropriates half
         // of the unexplored candidates along with their parents").
         if let Some(st) = &mut self.state {
-            let seed = self.shared.meta.seeds[st.seed].clone();
+            let seed = match st.member {
+                None => self.shared.meta.seeds[st.seed].clone(),
+                Some(mi) => self
+                    .shared
+                    .group
+                    .as_ref()
+                    .expect("member state requires a group")
+                    .members[mi as usize]
+                    .seeds[st.seed]
+                    .clone(),
+            };
             let num_frames = st.frames.len();
             for (fi, f) in st.frames.iter_mut().enumerate() {
                 let level = st.base_level + fi;
@@ -1045,6 +1276,7 @@ impl WarpTask for WbmTask {
                         memo_last: None,
                     }],
                     warm: false,
+                    member: st.member,
                 };
                 return Some(Box::new(WbmTask {
                     shared: Arc::clone(&self.shared),
@@ -1057,53 +1289,27 @@ impl WarpTask for WbmTask {
                     state: Some(thief_state),
                     local: Vec::new(),
                     local_count: 0,
+                    member_local: vec![Vec::new(); self.member_local.len()],
+                    member_count: vec![0; self.member_count.len()],
                     pool: Vec::new(),
                     others_buf: Vec::new(),
                     chunk_buf: Vec::new(),
                 }));
             }
         }
-        // Priority 2: hand over half of the pending permuted partials.
+        // Priority 2: hand over half of the pending partials.
         if self.pending.len() >= 2 {
             let take = self.pending.len() / 2;
             let stolen: VecDeque<PendingPartial> =
                 self.pending.split_off(self.pending.len() - take);
-            return Some(Box::new(WbmTask {
-                shared: Arc::clone(&self.shared),
-                v1: self.v1,
-                v2: self.v2,
-                elabel: self.elabel,
-                anchor_order: self.anchor_order,
-                seed_queue: VecDeque::new(),
-                pending: stolen,
-                state: None,
-                local: Vec::new(),
-                local_count: 0,
-                pool: Vec::new(),
-                others_buf: Vec::new(),
-                chunk_buf: Vec::new(),
-            }));
+            return Some(Box::new(self.child(VecDeque::new(), stolen, None)));
         }
         // Priority 3: hand over half of the unstarted seeds.
         if self.seed_queue.len() >= 2 {
             let take = self.seed_queue.len() / 2;
             let stolen: VecDeque<(usize, bool)> =
                 self.seed_queue.split_off(self.seed_queue.len() - take);
-            return Some(Box::new(WbmTask {
-                shared: Arc::clone(&self.shared),
-                v1: self.v1,
-                v2: self.v2,
-                elabel: self.elabel,
-                anchor_order: self.anchor_order,
-                seed_queue: stolen,
-                pending: VecDeque::new(),
-                state: None,
-                local: Vec::new(),
-                local_count: 0,
-                pool: Vec::new(),
-                others_buf: Vec::new(),
-                chunk_buf: Vec::new(),
-            }));
+            return Some(Box::new(self.child(stolen, VecDeque::new(), None)));
         }
         None
     }
@@ -1303,6 +1509,7 @@ pub fn run_phase(
         abort,
         match_limit,
         signatures,
+        group: None,
     });
     let tasks: Vec<Box<dyn WarpTask>> = anchors
         .iter()
@@ -1320,4 +1527,82 @@ pub fn run_phase(
         count,
         stats,
     )
+}
+
+/// Launches one *grouped* kernel phase over `anchors`: the shared-prefix
+/// levels of every seed run once (gated by member 0's table under `meta`'s
+/// truncated orders), fork into per-member suffix searches where the
+/// registered patterns diverge, and each member's matches land in its own
+/// slot of the returned `(matches, count)` vector — bit-identical to
+/// running each member through [`run_phase`] alone (the `QueryRegistry`
+/// parity gate).
+///
+/// `members[0]` must be the group representative whose (full) orders
+/// `meta`'s seeds truncate. Ownership of `gpma` and the members (their
+/// tables in particular) round-trips, mirroring host↔device buffers.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn run_group_phase(
+    device: &gamma_gpu::Device,
+    gpma: Gpma,
+    meta: Arc<QueryMeta>,
+    members: Vec<GroupMember>,
+    encodings: Arc<Vec<u64>>,
+    anchors: &[Update],
+    match_limit: u64,
+    abort: Arc<AtomicBool>,
+    bitmap_intersect: bool,
+) -> (
+    Gpma,
+    Vec<GroupMember>,
+    Vec<(Vec<VMatch>, u64)>,
+    gamma_gpu::KernelStats,
+) {
+    let update_order = {
+        let mut uo = UpdateOrder::build(anchors);
+        uo.index_vertices(gpma.num_vertices());
+        uo
+    };
+    let signatures = if bitmap_intersect {
+        gpma.run_signatures()
+    } else {
+        Vec::new()
+    };
+    let nm = members.len();
+    let group = Arc::new(GroupShared {
+        members,
+        sinks: (0..nm).map(|_| Mutex::new(Vec::new())).collect(),
+        counts: (0..nm).map(|_| AtomicU64::new(0)).collect(),
+    });
+    let shared = Arc::new(KernelShared {
+        gpma,
+        meta,
+        table: CandidateTable::empty(),
+        encodings,
+        update_order,
+        sink: Mutex::new(Vec::new()),
+        match_count: AtomicU64::new(0),
+        collect: false,
+        abort,
+        match_limit,
+        signatures,
+        group: Some(Arc::clone(&group)),
+    });
+    let tasks: Vec<Box<dyn WarpTask>> = anchors
+        .iter()
+        .enumerate()
+        .map(|(i, a)| Box::new(WbmTask::new(Arc::clone(&shared), a, i as u32)) as _)
+        .collect();
+    let stats = device.launch(tasks);
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("kernel tasks must release shared state"));
+    drop(shared.group);
+    let group =
+        Arc::try_unwrap(group).unwrap_or_else(|_| panic!("kernel tasks must release group state"));
+    let per_member: Vec<(Vec<VMatch>, u64)> = group
+        .sinks
+        .into_iter()
+        .zip(group.counts)
+        .map(|(s, c)| (s.into_inner(), c.load(Ordering::Relaxed)))
+        .collect();
+    (shared.gpma, group.members, per_member, stats)
 }

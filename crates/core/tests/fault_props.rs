@@ -42,6 +42,7 @@ fn sharded_cfg(
         strategy,
         stealing: ShardStealing::Active,
         faults,
+        query_id: 0,
     }
 }
 

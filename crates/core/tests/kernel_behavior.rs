@@ -37,6 +37,7 @@ fn run_raw_block(
         abort: Arc::new(AtomicBool::new(false)),
         match_limit: u64::MAX,
         signatures,
+        group: None,
     });
     let tasks: Vec<Box<dyn WarpTask>> = anchors
         .iter()

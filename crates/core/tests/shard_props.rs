@@ -54,6 +54,7 @@ fn sharded_cfg(
         strategy,
         stealing,
         faults: None,
+        query_id: 0,
     }
 }
 

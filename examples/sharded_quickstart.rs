@@ -49,6 +49,7 @@ fn main() {
         strategy: PartitionStrategy::Hash,
         stealing: ShardStealing::Active,
         faults: None,
+        query_id: 0,
     };
     let mut sharded = ShardedEngine::new(graph.clone(), &query, config);
 

@@ -56,9 +56,10 @@ pub use gamma_wal as wal;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use gamma_core::{
-        BatchResult, DurabilityConfig, DurableGammaEngine, DurableShardedEngine, FaultPlan,
-        GammaConfig, GammaEngine, Partition, PartitionStrategy, PipelinedEngine, ShardStealing,
-        ShardedConfig, ShardedEngine, StealingMode,
+        BatchResult, DurabilityConfig, DurableGammaEngine, DurableQueryRegistry,
+        DurableShardedEngine, FaultPlan, GammaConfig, GammaEngine, Partition, PartitionStrategy,
+        PipelinedEngine, QueryConfig, QueryId, QueryRegistry, RegistryBatchResult, ShardStealing,
+        ShardedConfig, ShardedEngine, ShardedQueryRegistry, StealingMode,
     };
     pub use gamma_csm::{CsmEngine, IncrementalResult};
     pub use gamma_datasets::{DatasetPreset, QueryClass};

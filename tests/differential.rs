@@ -276,6 +276,7 @@ fn run_differential(
                 strategy: PartitionStrategy::Hash,
                 stealing: ShardStealing::Active,
                 faults: None,
+                query_id: 0,
             };
             (
                 format!("sharded[{n}]"),
@@ -291,6 +292,7 @@ fn run_differential(
             strategy: PartitionStrategy::Greedy,
             stealing,
             faults: None,
+            query_id: 0,
         };
         shardeds.push((
             format!("sharded-greedy[{n}]"),

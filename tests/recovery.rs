@@ -80,6 +80,7 @@ fn sharded_config() -> ShardedConfig {
         strategy: PartitionStrategy::Hash,
         stealing: ShardStealing::Active,
         faults: None,
+        query_id: 0,
     }
 }
 
@@ -678,6 +679,7 @@ fn recovery_preserves_greedy_partition() {
         strategy: PartitionStrategy::Greedy,
         stealing: ShardStealing::Active,
         faults: None,
+        query_id: 0,
     };
     let mut reference_engine = ShardedEngine::new(start.clone(), q, config());
     let reference: Vec<Delta> = batches
@@ -721,5 +723,115 @@ fn recovery_preserves_greedy_partition() {
         );
     }
     drop(d);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Standing-query serving tier: a [`DurableQueryRegistry`] killed at a
+/// batch boundary must recover its registered query set from the snapshot
+/// manifest, replay the log tail through the real grouped batch path, and
+/// then continue emitting per-query delta streams bit-identical to an
+/// uninterrupted registry — including a query registered mid-stream
+/// (registration snapshots eagerly, so it always survives the crash).
+#[test]
+fn recovery_query_registry_preserves_subscriptions() {
+    use gamma::engine::durable::DurableQueryRegistry;
+    use gamma::engine::registry::{QueryConfig, QueryId, QueryRegistry, RegistryBatchResult};
+
+    fn registry_deltas(r: &RegistryBatchResult) -> Vec<(QueryId, Delta)> {
+        r.deltas
+            .iter()
+            .map(|d| {
+                let mut positive = d.positive.clone();
+                let mut negative = d.negative.clone();
+                positive.sort_unstable();
+                negative.sort_unstable();
+                (
+                    d.id,
+                    Delta {
+                        positive,
+                        negative,
+                        positive_count: d.positive_count,
+                        negative_count: d.negative_count,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    let dataset = DatasetPreset::GH.build(0.04, 101);
+    let mut start = dataset.graph.clone();
+    let batches = build_workload(&mut start, 0x9e37);
+    let queries = gamma::datasets::generate_queries(&start, QueryClass::Sparse, 4, 2, 7901);
+    assert!(queries.len() >= 2, "need two patterns");
+    let late = gamma::datasets::generate_queries(&start, QueryClass::Tree, 4, 1, 7902)
+        .pop()
+        .unwrap_or_else(|| queries[0].clone());
+
+    // Reference: uninterrupted in-memory registry, same op sequence.
+    let mut reference = QueryRegistry::new(start.clone(), gamma_config());
+    reference.register(&queries[0], QueryConfig::default());
+    reference.register(&queries[1], QueryConfig::default());
+    reference.register(&queries[0], QueryConfig::default()); // duplicate: shared group
+
+    let dir = temp_dir("registry");
+    let mut durable = DurableQueryRegistry::create(start.clone(), gamma_config(), durability(&dir))
+        .expect("create durable registry");
+    durable
+        .register(&queries[0], QueryConfig::default())
+        .expect("register");
+    durable
+        .register(&queries[1], QueryConfig::default())
+        .expect("register");
+    durable
+        .register(&queries[0], QueryConfig::default())
+        .expect("register");
+
+    let mut expected: Vec<Vec<(QueryId, Delta)>> = Vec::new();
+    let kill_at = 1 + (batches.len() / 2);
+    for (i, b) in batches.iter().enumerate() {
+        // Mid-stream registration right before the second batch, on both
+        // sides — its delta stream starts at that batch.
+        if i == 1 {
+            reference.register(&late, QueryConfig::default());
+            durable
+                .register(&late, QueryConfig::default())
+                .expect("mid-stream register");
+        }
+        expected.push(registry_deltas(&reference.apply_batch(b)));
+        if i < kill_at {
+            let got = registry_deltas(&durable.apply_batch(b).expect("logged apply"));
+            assert_eq!(
+                got, expected[i],
+                "durable registry diverges pre-kill at {i}"
+            );
+        }
+    }
+
+    // Crash: drop mid-stream, recover from snapshot + log tail.
+    drop(durable);
+    let (mut recovered, report) =
+        DurableQueryRegistry::recover(gamma_config(), durability(&dir)).expect("recover");
+    assert!(report.clean, "in-process kill leaves a clean log");
+    assert_eq!(report.recovered_epoch, kill_at as u64);
+    assert_eq!(recovered.batches_processed(), kill_at as u64);
+    // Replay window: snapshot epoch .. kill point, delta streams intact.
+    for (off, r) in report.replayed.iter().enumerate() {
+        let i = report.snapshot_epoch as usize + off;
+        assert_eq!(
+            registry_deltas(r),
+            expected[i],
+            "replayed batch {i} diverges from the uninterrupted stream"
+        );
+    }
+    // The query set and its grouping survived the crash.
+    assert_eq!(recovered.registry().num_queries(), reference.num_queries());
+    assert_eq!(recovered.registry().group_count(), reference.group_count());
+
+    // Post-recovery continuation stays bit-identical.
+    for (i, b) in batches.iter().enumerate().skip(kill_at) {
+        let got = registry_deltas(&recovered.apply_batch(b).expect("logged apply"));
+        assert_eq!(got, expected[i], "recovered registry diverges at {i}");
+    }
+    drop(recovered);
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
